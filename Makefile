@@ -1,0 +1,40 @@
+# Convenience targets for the flowsched reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments quick fuzz cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at paper sizes (m=15, 10k tasks,
+# 100 permutations).
+experiments:
+	$(GO) run ./cmd/experiments all
+
+# Fast smoke run of the whole evaluation.
+quick:
+	$(GO) run ./cmd/experiments -quick all
+
+fuzz:
+	$(GO) test -fuzz=FuzzEFTDispatch -fuzztime=30s ./internal/sched/
+	$(GO) test -fuzz=FuzzReadInstanceJSON -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzReadScheduleJSON -fuzztime=30s ./internal/core/
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,66 @@
+package flowsched
+
+import (
+	"flowsched/internal/adversary"
+)
+
+// Adversary constructions of Section 6: each runs a lower-bound instance
+// against a scheduler and reports the measured vs proven competitive ratio.
+
+// AdversaryResult reports one adversary run (instance, both schedules,
+// measured ratio, proven bound).
+type AdversaryResult = adversary.Result
+
+// AdversaryInclusive runs the Theorem 3 adversary (inclusive sets,
+// immediate dispatch, ratio ≥ ⌊log2(m)+1⌋). p ≤ 0 picks a default
+// (1000·log2 m).
+func AdversaryInclusive(alg OnlineScheduler, m int, p Time) (*AdversaryResult, error) {
+	return adversary.Inclusive(alg, m, p)
+}
+
+// AdversaryFixedSizeK runs the Theorem 4 adversary (size-k sets, immediate
+// dispatch, ratio ≥ ⌊log_k(m)⌋).
+func AdversaryFixedSizeK(alg OnlineScheduler, m, k int, p Time) (*AdversaryResult, error) {
+	return adversary.FixedSizeK(alg, m, k, p)
+}
+
+// AdversaryNested runs the Theorem 5 adversary (nested sets, any online
+// algorithm, ratio ≥ ⌊log2(m)+2⌋/3).
+func AdversaryNested(alg OnlineScheduler, m int) (*AdversaryResult, error) {
+	return adversary.Nested(alg, m)
+}
+
+// AdversaryInterval runs the Theorem 7 adversary (fixed-size intervals,
+// any online algorithm, ratio ≥ 2; m = 4, k = 2).
+func AdversaryInterval(alg OnlineScheduler, p Time) (*AdversaryResult, error) {
+	return adversary.IntervalAnyOnline(alg, p)
+}
+
+// AdversaryEFTStream runs the Theorem 8/9 stream against EFT with the
+// given tie-break for `steps` unit rounds (≤ 0: the paper's m³ bound);
+// EFT-Min reaches Fmax = m − k + 1 against OPT = 1.
+func AdversaryEFTStream(tie TieBreak, m, k, steps int) (*AdversaryResult, error) {
+	return adversary.EFTStream(tie, m, k, steps)
+}
+
+// AdversaryEFTStreamPadded runs the Theorem 10 padded stream, which forces
+// Fmax ≥ m − k + 1 for EFT with ANY tie-break.
+func AdversaryEFTStreamPadded(tie TieBreak, m, k, steps int) (*AdversaryResult, error) {
+	return adversary.EFTStreamPadded(tie, m, k, steps)
+}
+
+// EFTStableProfile returns the stable profile w_τ(j) = min(m − j, m − k)
+// that the Theorem 8 stream drives EFT-Min toward.
+func EFTStableProfile(m, k int) []Time { return adversary.StableProfile(m, k) }
+
+// EFTStreamProfiles returns the schedule profiles w_t of EFT on the
+// Theorem 8 stream at each integer time (Figures 3-4 data).
+func EFTStreamProfiles(tie TieBreak, m, k, steps int) [][]Time {
+	return adversary.StreamProfiles(tie, m, k, steps)
+}
+
+// EFTStreamSchedule returns the instance and EFT schedule of the first
+// rounds of the Theorem 8 stream (Figure 3 rendering).
+func EFTStreamSchedule(tie TieBreak, m, k, steps int) (*Instance, *Schedule) {
+	return adversary.StreamSchedule(tie, m, k, steps)
+}

@@ -1,0 +1,87 @@
+// Command adversary runs the lower-bound constructions of Section 6
+// against a chosen scheduler and reports measured vs proven competitive
+// ratios.
+//
+//	adversary -which stream -m 15 -k 3 -tie min
+//	adversary -which inclusive -m 16
+//	adversary -which all -m 16 -k 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"flowsched"
+)
+
+func main() {
+	which := flag.String("which", "all", "adversary: inclusive|fixedk|nested|interval2|stream|padded|all")
+	m := flag.Int("m", 15, "machines (rounded per theorem where required)")
+	k := flag.Int("k", 3, "set size where applicable")
+	tieName := flag.String("tie", "min", "EFT tie-break for stream/padded: min|max|rand")
+	p := flag.Float64("p", 0, "processing time for Theorems 3/4/7 (0 = default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var tie flowsched.TieBreak
+	switch *tieName {
+	case "min":
+		tie = flowsched.TieMin
+	case "max":
+		tie = flowsched.TieMax
+	case "rand":
+		tie = flowsched.TieRand(rand.New(rand.NewSource(*seed)))
+	default:
+		fmt.Fprintf(os.Stderr, "adversary: unknown tie-break %q\n", *tieName)
+		os.Exit(2)
+	}
+
+	runs := map[string]func() (*flowsched.AdversaryResult, error){
+		"inclusive": func() (*flowsched.AdversaryResult, error) {
+			return flowsched.AdversaryInclusive(flowsched.NewEFT(tie), *m, *p)
+		},
+		"fixedk": func() (*flowsched.AdversaryResult, error) {
+			return flowsched.AdversaryFixedSizeK(flowsched.NewEFT(tie), *m, *k, *p)
+		},
+		"nested": func() (*flowsched.AdversaryResult, error) {
+			return flowsched.AdversaryNested(flowsched.NewEFT(tie), *m)
+		},
+		"interval2": func() (*flowsched.AdversaryResult, error) {
+			pp := *p
+			if pp <= 0 {
+				pp = 1000
+			}
+			return flowsched.AdversaryInterval(flowsched.NewEFT(tie), pp)
+		},
+		"stream": func() (*flowsched.AdversaryResult, error) {
+			return flowsched.AdversaryEFTStream(tie, *m, *k, 0)
+		},
+		"padded": func() (*flowsched.AdversaryResult, error) {
+			return flowsched.AdversaryEFTStreamPadded(tie, *m, *k, 0)
+		},
+	}
+	order := []string{"inclusive", "fixedk", "nested", "interval2", "stream", "padded"}
+
+	names := []string{*which}
+	if *which == "all" {
+		names = order
+	}
+	for _, name := range names {
+		run, ok := runs[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "adversary: unknown adversary %q\n", name)
+			os.Exit(2)
+		}
+		res, err := run()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(res)
+		if res.Notes != "" {
+			fmt.Printf("  %s\n", res.Notes)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see EXPERIMENTS.md for the index):
+//
+//	experiments table1              FIFO literature rows + empirical check
+//	experiments table2              all lower/upper bound rows (Theorems 3-10)
+//	experiments fig1                structure reduction graph witnesses
+//	experiments fig2                Theorem 5 adversary phases
+//	experiments fig3                EFT-Min adversary schedule (Gantt)
+//	experiments fig4                schedule profile vs stable profile
+//	experiments fig5-6              Lemma 2/3 plateau propagation
+//	experiments fig7                Theorem 10 small-task padding
+//	experiments fig8                popularity load distributions
+//	experiments fig9                replication strategy example
+//	experiments fig10a              max-load sweep (LP (15)) heat map
+//	experiments fig10b              overlapping/disjoint gain matrix
+//	experiments fig11               Fmax vs load simulations
+//	experiments extension           replication-strategy ablation
+//	experiments robustness          EFT under noisy processing-time estimates
+//	experiments convergence         Theorem 8 convergence time vs the m³ bound
+//	experiments writes              write fan-out extension (Fmax vs write fraction)
+//	experiments drift               popularity-drift extension (moving hot spots)
+//	experiments all                 everything above
+//
+// Flags select sizes; defaults follow the paper (m=15, k=3, 10 000 tasks,
+// 10 repetitions, 100 permutations). Use -quick for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"flowsched"
+	"flowsched/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller configurations for a fast run")
+	m := flag.Int("m", 15, "machines for interval experiments (fig10/fig11/table2)")
+	k := flag.Int("k", 3, "replication factor / interval size")
+	n := flag.Int("n", 10000, "tasks per simulation run (fig11)")
+	reps := flag.Int("reps", 10, "repetitions per point (fig11)")
+	perms := flag.Int("perms", 100, "permutations per cell (fig10)")
+	seed := flag.Int64("seed", 1, "random seed")
+	csvDir := flag.String("csvdir", "", "also write fig10/fig11 data as CSV files into this directory")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|fig1|fig2|fig3|fig4|fig5-6|fig7|fig8|fig9|fig10a|fig10b|fig11|extension|robustness|convergence|writes|all>")
+		os.Exit(2)
+	}
+
+	if *quick {
+		*m, *n, *reps, *perms = 10, 2000, 3, 10
+	}
+
+	run := func(name string) error {
+		w := os.Stdout
+		switch name {
+		case "table1":
+			cfg := experiments.DefaultTable1()
+			cfg.Seed = *seed
+			_, err := experiments.Table1(w, cfg)
+			return err
+		case "table2":
+			cfg := experiments.DefaultTable2()
+			cfg.M, cfg.K, cfg.Seed = *m, *k, *seed
+			_, err := experiments.Table2(w, cfg)
+			return err
+		case "fig1":
+			return experiments.Figure1(w, 12, *seed)
+		case "fig2":
+			return experiments.Figure2(w, 16)
+		case "fig3":
+			return experiments.Figure3(w, 6, 3, 4)
+		case "fig4":
+			return experiments.Figure4(w, *m, *k)
+		case "fig5", "fig6", "fig5-6":
+			return experiments.Figure5and6(w, 6, 3)
+		case "fig7":
+			return experiments.Figure7(w, 6, 3)
+		case "fig8":
+			return experiments.Figure8(w, 6, 1, *seed)
+		case "fig9":
+			return experiments.Figure9(w, 6, 3)
+		case "fig10a":
+			cfg := experiments.DefaultFig10()
+			cfg.M, cfg.Perms, cfg.Seed = *m, *perms, *seed
+			cfg.Ks = ksUpTo(*m)
+			data, err := experiments.Figure10a(w, cfg)
+			if err != nil {
+				return err
+			}
+			if err := writeCSV(*csvDir, "fig10a.csv", data.WriteCSV); err != nil {
+				return err
+			}
+			return writeFig10SVGs(*csvDir, data)
+		case "fig10b":
+			cfg := experiments.DefaultFig10()
+			cfg.M, cfg.Perms, cfg.Seed = *m, *perms, *seed
+			cfg.Ks = ksUpTo(*m)
+			data, err := experiments.Figure10b(w, cfg)
+			if err != nil {
+				return err
+			}
+			return writeCSV(*csvDir, "fig10b.csv", data.WriteRatioCSV)
+		case "fig11":
+			cfg := experiments.DefaultFig11()
+			cfg.M, cfg.K, cfg.N, cfg.Reps, cfg.Seed = *m, *k, *n, *reps, *seed
+			data, err := experiments.Figure11(w, cfg)
+			if err != nil {
+				return err
+			}
+			return writeCSV(*csvDir, "fig11.csv", data.WriteCSV)
+		case "extension":
+			cfg := experiments.DefaultExtension()
+			cfg.M, cfg.K, cfg.N, cfg.Reps, cfg.Seed = *m, *k, *n, *reps, *seed
+			_, err := experiments.ExtensionStrategies(w, cfg)
+			return err
+		case "robustness":
+			cfg := experiments.DefaultRobustness()
+			cfg.M, cfg.K, cfg.N, cfg.Seed = *m, *k, *n, *seed
+			_, err := experiments.Robustness(w, cfg)
+			return err
+		case "convergence":
+			_, err := experiments.Convergence(w, []int{6, 8, 10, 12, 15}, []int{2, 3, 5})
+			return err
+		case "writes":
+			cfg := experiments.DefaultWrites()
+			cfg.M, cfg.K, cfg.N, cfg.Seed = *m, *k, *n, *seed
+			cfg.Rate = 0.4 * float64(*m)
+			_, err := experiments.WriteFanout(w, cfg)
+			return err
+		case "drift":
+			cfg := experiments.DefaultDrift()
+			cfg.M, cfg.K, cfg.N, cfg.Seed = *m, *k, *n, *seed
+			_, err := experiments.PopularityDrift(w, cfg)
+			return err
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	names := flag.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5-6", "fig7",
+			"fig8", "fig9", "fig10a", "fig10b", "fig11", "extension", "robustness", "convergence", "writes", "drift"}
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Printf("\n%s\n\n", divider)
+		}
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+const divider = "================================================================"
+
+func ksUpTo(m int) []int {
+	ks := make([]int, m)
+	for i := range ks {
+		ks[i] = i + 1
+	}
+	return ks
+}
+
+// writeFig10SVGs renders the Figure 10a grids as SVG heat maps when
+// -csvdir is set.
+func writeFig10SVGs(dir string, data *experiments.Fig10Data) error {
+	if dir == "" {
+		return nil
+	}
+	rows := make([]string, len(data.Ss))
+	for i, sv := range data.Ss {
+		rows[i] = fmt.Sprintf("%.2f", sv)
+	}
+	cols := make([]string, len(data.Ks))
+	for j, kv := range data.Ks {
+		cols[j] = fmt.Sprintf("%d", kv)
+	}
+	for _, grid := range []struct {
+		name   string
+		values [][]float64
+	}{
+		{"overlapping", data.Overlapping},
+		{"disjoint", data.Disjoint},
+	} {
+		path := filepath.Join(dir, "fig10a-"+grid.name+".svg")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = flowsched.WriteHeatmapSVG(f, rows, cols, grid.values, 0, 100,
+			"Figure 10a — max load % ("+grid.name+")")
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("heat map written to %s\n", path)
+	}
+	return nil
+}
+
+// writeCSV writes one experiment's data file when -csvdir is set.
+func writeCSV(dir, name string, write func(io.Writer)) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	write(f)
+	fmt.Printf("\ndata written to %s\n", path)
+	return nil
+}

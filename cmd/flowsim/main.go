@@ -1,0 +1,196 @@
+// Command flowsim simulates a replicated key-value store cluster: Poisson
+// unit requests with a Zipf popularity bias are routed online to servers
+// and the response-time distribution is reported for every combination of
+// replication strategy and router.
+//
+//	flowsim -m 15 -k 3 -n 10000 -load 0.8 -s 1 -case shuffled
+//	flowsim ... -dump run.json        # also save the overlapping instance
+//	flowsim -replay run.json          # re-simulate a saved instance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"flowsched"
+	"flowsched/internal/table"
+)
+
+func main() {
+	m := flag.Int("m", 15, "cluster size")
+	k := flag.Int("k", 3, "replication factor")
+	n := flag.Int("n", 10000, "number of requests")
+	loadFrac := flag.Float64("load", 0.8, "average cluster load (fraction of 1)")
+	s := flag.Float64("s", 1, "Zipf popularity bias")
+	caseName := flag.String("case", "shuffled", "popularity case: uniform|worst|shuffled")
+	seed := flag.Int64("seed", 1, "random seed")
+	dump := flag.String("dump", "", "write the generated overlapping-strategy instance to this JSON file")
+	replay := flag.String("replay", "", "re-simulate a saved instance JSON instead of generating one")
+	timeline := flag.Int("timeline", -1, "after a -replay run, print this machine's busy timeline (1-based; 0 = full event trace)")
+	svg := flag.String("svg", "", "after a -replay run, write the EFT-Min schedule as an SVG Gantt chart to this file")
+	flag.Parse()
+	svgFlag = *svg
+
+	_ = timeline // used by simulateSaved via the package-level flag value below
+	timelineFlag = *timeline
+
+	if *replay != "" {
+		if err := simulateSaved(*replay); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	var pcase flowsched.PopularityCase
+	switch *caseName {
+	case "uniform":
+		pcase = flowsched.PopularityUniform
+	case "worst":
+		pcase = flowsched.PopularityWorst
+	case "shuffled":
+		pcase = flowsched.PopularityShuffled
+	default:
+		fmt.Fprintf(os.Stderr, "flowsim: unknown case %q\n", *caseName)
+		os.Exit(2)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	weights := flowsched.PopularityWeights(pcase, *m, *s, rng)
+
+	strategies := []flowsched.ReplicationStrategy{
+		flowsched.NoReplication(),
+		flowsched.OverlappingReplication(*k),
+		flowsched.DisjointReplication(*k),
+	}
+	routers := []struct {
+		name string
+		r    flowsched.Router
+	}{
+		{"EFT-Min", flowsched.EFTRouter(flowsched.TieMin)},
+		{"EFT-Max", flowsched.EFTRouter(flowsched.TieMax)},
+		{"JSQ", flowsched.JSQRouter()},
+	}
+
+	fmt.Printf("flowsim: m=%d k=%d n=%d load=%.0f%% case=%s s=%v seed=%d\n\n",
+		*m, *k, *n, *loadFrac*100, pcase, *s, *seed)
+	out := table.New("strategy", "router", "max load %", "Fmax", "mean flow", "p99", "utilization")
+	for _, strat := range strategies {
+		maxLoad := flowsched.MaxLoadPercent(flowsched.MaxLoad(weights, strat), *m)
+		inst, err := flowsched.GenerateWorkload(flowsched.WorkloadConfig{
+			M: *m, N: *n, Rate: flowsched.RateForLoad(*loadFrac, *m),
+			Weights: weights, Strategy: strat,
+		}, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *dump != "" {
+			if _, ok := strat.(interface{ Name() string }); ok && strat.Name() == flowsched.OverlappingReplication(*k).Name() {
+				if err := dumpInstance(*dump, inst); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		for _, rt := range routers {
+			sched, metrics, err := flowsched.Simulate(inst, rt.r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sched.Validate(); err != nil {
+				log.Fatalf("invalid schedule from %s: %v", rt.name, err)
+			}
+			out.AddRow(strat.Name(), rt.name,
+				fmt.Sprintf("%.0f", maxLoad),
+				float64(metrics.MaxFlow()),
+				float64(metrics.MeanFlow()),
+				float64(metrics.FlowQuantile(0.99)),
+				fmt.Sprintf("%.2f", metrics.Utilization()))
+		}
+	}
+	out.Render(os.Stdout)
+	if *dump != "" {
+		fmt.Printf("\noverlapping-strategy instance written to %s\n", *dump)
+	}
+}
+
+func dumpInstance(path string, inst *flowsched.Instance) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return flowsched.WriteInstanceJSON(f, inst)
+}
+
+// timelineFlag and svgFlag mirror the -timeline and -svg flags for
+// simulateSaved.
+var (
+	timelineFlag = -1
+	svgFlag      string
+)
+
+// simulateSaved replays a saved instance under every router.
+func simulateSaved(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	inst, err := flowsched.ReadInstanceJSON(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flowsim: replaying %s (m=%d, n=%d, structures %v)\n\n",
+		path, inst.M, inst.N(), flowsched.Structures(inst))
+	out := table.New("router", "Fmax", "mean flow", "p99", "utilization")
+	var eftSched *flowsched.Schedule
+	for _, rt := range []struct {
+		name string
+		r    flowsched.Router
+	}{
+		{"EFT-Min", flowsched.EFTRouter(flowsched.TieMin)},
+		{"EFT-Max", flowsched.EFTRouter(flowsched.TieMax)},
+		{"JSQ", flowsched.JSQRouter()},
+	} {
+		s, metrics, err := flowsched.Simulate(inst, rt.r)
+		if err != nil {
+			return err
+		}
+		if eftSched == nil {
+			eftSched = s
+		}
+		out.AddRow(rt.name,
+			float64(metrics.MaxFlow()),
+			float64(metrics.MeanFlow()),
+			float64(metrics.FlowQuantile(0.99)),
+			fmt.Sprintf("%.2f", metrics.Utilization()))
+	}
+	out.Render(os.Stdout)
+
+	if svgFlag != "" {
+		f, err := os.Create(svgFlag)
+		if err != nil {
+			return err
+		}
+		if err := flowsched.WriteGanttSVG(f, eftSched, 0); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nSVG Gantt written to %s\n", svgFlag)
+	}
+
+	switch {
+	case timelineFlag == 0:
+		fmt.Println("\nEFT-Min event trace:")
+		flowsched.WriteTrace(os.Stdout, flowsched.Trace(eftSched))
+	case timelineFlag > 0 && timelineFlag <= inst.M:
+		fmt.Println()
+		flowsched.WriteMachineTimeline(os.Stdout, eftSched, timelineFlag-1)
+	}
+	return nil
+}

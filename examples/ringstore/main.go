@@ -1,0 +1,99 @@
+// ringstore drives the full Dynamo-style pipeline end to end: Zipf-popular
+// keys are placed on a consistent-hash ring (idealized ordered ring vs a
+// hashed ring with virtual nodes), requests inherit the ring's replica sets
+// as processing sets, EFT routes them online, and the preemptive offline
+// optimum bounds how much of the tail latency is inherent.
+//
+// Run with: go run ./examples/ringstore [-m 12] [-k 3] [-keys 500] [-bias 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"flowsched"
+)
+
+func main() {
+	m := flag.Int("m", 12, "cluster size")
+	k := flag.Int("k", 3, "replication factor")
+	keys := flag.Int("keys", 500, "distinct keys in the store")
+	bias := flag.Float64("bias", 1, "Zipf popularity bias over keys")
+	n := flag.Int("n", 4000, "requests")
+	loadFrac := flag.Float64("load", 0.7, "average cluster load")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fmt.Printf("ringstore: m=%d k=%d keys=%d bias=%v load=%.0f%% n=%d\n\n",
+		*m, *k, *keys, *bias, *loadFrac*100, *n)
+
+	for _, cfg := range []struct {
+		name   string
+		vnodes int
+	}{
+		{"ordered ring (paper's idealized placement)", 0},
+		{"hashed ring, 1 vnode/machine", 1},
+		{"hashed ring, 64 vnodes/machine", 64},
+	} {
+		kw, err := flowsched.GenerateKeyWorkload(flowsched.KeyWorkloadConfig{
+			M: *m, N: *n, Rate: flowsched.RateForLoad(*loadFrac, *m),
+			NumKeys: *keys, KeyBias: *bias, K: *k, VNodes: cfg.vnodes,
+		}, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The machine-level popularity that emerges from keys + placement.
+		mw := kw.MachineWeights()
+		maxW := 0.0
+		for _, w := range mw {
+			if w > maxW {
+				maxW = w
+			}
+		}
+
+		_, metrics, err := flowsched.Simulate(kw.Inst, flowsched.EFTRouter(flowsched.TieMin))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// How much of the measured tail is inherent? The certified lower
+		// bound (interval-work argument) holds for ANY scheduler, even a
+		// preemptive offline one.
+		lb := flowsched.LowerBound(kw.Inst)
+
+		fmt.Printf("%s\n", cfg.name)
+		fmt.Printf("  structures: %v; hottest machine carries %.1f%% of requests\n",
+			flowsched.Structures(kw.Inst), 100*maxW)
+		fmt.Printf("  EFT-Min online: Fmax=%.3g mean=%.3g p99=%.3g\n",
+			metrics.MaxFlow(), metrics.MeanFlow(), metrics.FlowQuantile(0.99))
+		fmt.Printf("  certified offline lower bound: Fmax ≥ %.3g (gap ≤ %.2fx)\n\n",
+			lb, float64(metrics.MaxFlow())/lb)
+	}
+
+	// Zoom in on one burst: how much would preemption itself buy? Take the
+	// first requests of the ordered-ring run as a standalone instance and
+	// compare online EFT against the exact PREEMPTIVE offline optimum.
+	kw, err := flowsched.GenerateKeyWorkload(flowsched.KeyWorkloadConfig{
+		M: *m, N: 80, Rate: flowsched.RateForLoad(*loadFrac, *m),
+		NumKeys: *keys, KeyBias: *bias, K: *k,
+	}, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	burst, err := flowsched.NewEFT(flowsched.TieMin).Run(kw.Inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pOpt, err := flowsched.PreemptiveOptimalFmax(kw.Inst, 1e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("burst of %d requests: EFT-Min Fmax=%.4g vs preemptive offline optimum %.4g (gap %.2fx)\n\n",
+		kw.Inst.N(), burst.MaxFlow(), pOpt, float64(burst.MaxFlow())/pOpt)
+
+	fmt.Println("takeaway: the idealized ordered ring keeps the interval structure the paper analyzes;")
+	fmt.Println("hashing with few vnodes skews machine popularity, more vnodes smooth it back out.")
+}

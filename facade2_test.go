@@ -1,0 +1,226 @@
+package flowsched_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"flowsched"
+)
+
+func TestPublicPreemptive(t *testing.T) {
+	inst := flowsched.NewInstance(2, []flowsched.Task{
+		{Release: 0, Proc: 3},
+		{Release: 0, Proc: 3},
+		{Release: 0, Proc: 2},
+	})
+	opt, err := flowsched.PreemptiveOptimalFmax(inst, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-4) > 1e-4 {
+		t.Fatalf("preemptive OPT = %v, want 4", opt)
+	}
+	if !flowsched.PreemptiveFeasible(inst, 4.001) || flowsched.PreemptiveFeasible(inst, 3.9) {
+		t.Fatalf("feasibility oracle inconsistent around 4")
+	}
+	s, err := flowsched.PreemptiveMcNaughton(inst, opt+1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxFlow() > opt+1e-4 {
+		t.Fatalf("McNaughton Fmax %v exceeds OPT %v", s.MaxFlow(), opt)
+	}
+}
+
+func TestPublicRing(t *testing.T) {
+	r, err := flowsched.NewOrderedRing(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := r.ReplicaSet("some-key", 3)
+	if set.Len() != 3 || !set.Contains(r.Primary("some-key")) {
+		t.Fatalf("replica set %v broken", set)
+	}
+	hashed, err := flowsched.NewRing(6, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := hashed.OwnershipFractions()
+	sum := 0.0
+	for _, f := range fr {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ownership fractions sum to %v", sum)
+	}
+}
+
+func TestPublicKeyWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	kw, err := flowsched.GenerateKeyWorkload(flowsched.KeyWorkloadConfig{
+		M: 8, N: 300, Rate: 4, NumKeys: 100, KeyBias: 1, K: 3,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kw.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mw := kw.MachineWeights()
+	if len(mw) != 8 {
+		t.Fatalf("machine weights = %v", mw)
+	}
+	s, metrics, err := flowsched.Simulate(kw.Inst, flowsched.EFTRouter(nil))
+	if err != nil || s.Validate() != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if metrics.MaxFlow() < 1 {
+		t.Fatalf("Fmax = %v", metrics.MaxFlow())
+	}
+}
+
+func TestPublicJSONRoundTrip(t *testing.T) {
+	inst := flowsched.NewInstance(3, []flowsched.Task{
+		{Release: 0, Proc: 1, Set: flowsched.NewProcSet(0, 2)},
+		{Release: 1, Proc: 2},
+	})
+	var buf bytes.Buffer
+	if err := flowsched.WriteInstanceJSON(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	back, err := flowsched.ReadInstanceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 2 || !back.Tasks[0].Set.Equal(flowsched.NewProcSet(0, 2)) {
+		t.Fatalf("round trip lost data: %+v", back.Tasks)
+	}
+
+	s, err := flowsched.NewEFT(nil).Run(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := flowsched.WriteScheduleJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := flowsched.ReadScheduleJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.MaxFlow() != s.MaxFlow() {
+		t.Fatalf("schedule round trip changed Fmax")
+	}
+}
+
+// TestPreemptionGap: preemptive OPT ≤ non-preemptive OPT ≤ EFT through the
+// public API.
+func TestPreemptionGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tasks := make([]flowsched.Task, 8)
+	for i := range tasks {
+		tasks[i] = flowsched.Task{Release: rng.Float64() * 2, Proc: 0.5 + rng.Float64()*2}
+	}
+	inst := flowsched.NewInstance(2, tasks)
+	eft, err := flowsched.NewEFT(flowsched.TieMin).Run(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := flowsched.OptimalBruteForce(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := flowsched.PreemptiveOptimalFmax(inst, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p <= np.MaxFlow()+1e-5 && np.MaxFlow() <= eft.MaxFlow()+1e-9) {
+		t.Fatalf("ordering violated: preempt %v, nonpreempt %v, EFT %v", p, np.MaxFlow(), eft.MaxFlow())
+	}
+}
+
+func TestPublicTraceWorkloadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	inst, err := flowsched.GenerateWorkload(flowsched.WorkloadConfig{
+		M: 6, N: 100, Rate: 3, Strategy: flowsched.DisjointReplication(2),
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := flowsched.WorkloadToTrace(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	back, err := flowsched.WorkloadFromTrace(&buf, 6, flowsched.DisjointReplication(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != inst.N() {
+		t.Fatalf("trace round trip changed task count")
+	}
+}
+
+func TestPublicNewRouters(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	inst, err := flowsched.GenerateWorkload(flowsched.WorkloadConfig{
+		M: 6, N: 500, Rate: 4, Strategy: flowsched.OverlappingReplication(3),
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []flowsched.Router{
+		flowsched.PowerOfTwoRouter(rand.New(rand.NewSource(1))),
+		flowsched.RoundRobinRouter(),
+		flowsched.NoisyEFTRouter(flowsched.TieMin, 0.3, rand.New(rand.NewSource(2))),
+	} {
+		s, metrics, err := flowsched.Simulate(inst, r)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if metrics.MaxFlow() < 1 {
+			t.Fatalf("%s: Fmax = %v", r.Name(), metrics.MaxFlow())
+		}
+	}
+	_, m, err := flowsched.Simulate(inst, flowsched.EFTRouter(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := flowsched.FlowsByKey(inst, m)
+	if len(byKey) == 0 {
+		t.Fatal("no per-key stats")
+	}
+	hot, cold := flowsched.HotKeyPenalty(inst, m, 0.3)
+	if hot <= 0 || cold <= 0 {
+		t.Fatalf("penalty: %v %v", hot, cold)
+	}
+}
+
+func TestPublicMixedWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	cfg := flowsched.MixedWorkloadConfig{
+		M: 6, N: 200, Rate: 2, WriteFraction: 0.5,
+		Strategy: flowsched.OverlappingReplication(3),
+	}
+	inst, err := flowsched.GenerateMixedWorkload(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.N() <= 200 {
+		t.Fatalf("writes should fan out: n = %d", inst.N())
+	}
+	if eff := flowsched.EffectiveLoad(cfg); eff <= 2.0/6 {
+		t.Fatalf("effective load %v should exceed the read-only load", eff)
+	}
+	s, _, err := flowsched.Simulate(inst, flowsched.EFTRouter(nil))
+	if err != nil || s.Validate() != nil {
+		t.Fatalf("simulate mixed: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module flowsched
+
+go 1.22

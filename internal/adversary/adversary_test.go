@@ -1,0 +1,427 @@
+package adversary
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flowsched/internal/core"
+	"flowsched/internal/psets"
+	"flowsched/internal/sched"
+)
+
+func TestStreamRoundShape(t *testing.T) {
+	// m=6, k=3 (Figure 3): the m−k=3 typed tasks have types 4,3,2 → 0-based
+	// interval starts 3,2,1; then k=3 type-1 tasks (start 0).
+	sets := StreamRound(6, 3)
+	if len(sets) != 6 {
+		t.Fatalf("round size = %d", len(sets))
+	}
+	wantStarts := []int{3, 2, 1, 0, 0, 0}
+	for i, s := range sets {
+		if s.Len() != 3 || s.Min() != wantStarts[i] || !s.IsContiguous() {
+			t.Fatalf("set %d = %v, want contiguous k=3 starting at %d", i, s, wantStarts[i])
+		}
+	}
+	fam := psets.NewFamily(6, sets...)
+	if !fam.IsInterval() {
+		t.Fatalf("stream sets must be intervals")
+	}
+	if k, ok := fam.UniformSize(); !ok || k != 3 {
+		t.Fatalf("uniform size = %d %v", k, ok)
+	}
+}
+
+func TestTheorem8EFTMin(t *testing.T) {
+	for _, cfg := range []struct{ m, k int }{{6, 3}, {5, 2}, {8, 4}, {10, 2}, {7, 5}} {
+		res, err := EFTStream(sched.MinTie{}, cfg.m, cfg.k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.AlgSched.Validate(); err != nil {
+			t.Fatalf("m=%d k=%d: algorithm schedule invalid: %v", cfg.m, cfg.k, err)
+		}
+		want := core.Time(cfg.m - cfg.k + 1)
+		if res.AlgFmax < want {
+			t.Errorf("m=%d k=%d: EFT-Min Fmax = %v, want ≥ %v", cfg.m, cfg.k, res.AlgFmax, want)
+		}
+		if res.OptFmax != 1 {
+			t.Errorf("m=%d k=%d: OPT Fmax = %v, want 1", cfg.m, cfg.k, res.OptFmax)
+		}
+		if res.Ratio < float64(cfg.m-cfg.k+1) {
+			t.Errorf("m=%d k=%d: ratio %v below theory %v", cfg.m, cfg.k, res.Ratio, res.TheoryRatio)
+		}
+	}
+}
+
+func TestTheorem8ConvergesToStableProfile(t *testing.T) {
+	// The EFT-Min profile converges to w_τ(j) = min(m−j, m−k) and stays
+	// there (Lemmas 3-4).
+	m, k := 6, 3
+	steps := m * m * m
+	profiles := StreamProfiles(sched.MinTie{}, m, k, steps)
+	stable := StableProfile(m, k)
+	// Find first time the profile equals w_τ.
+	reached := -1
+	for t0, w := range profiles {
+		eq := true
+		for j := range w {
+			if w[j] != stable[j] {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			reached = t0
+			break
+		}
+	}
+	if reached == -1 {
+		t.Fatalf("profile never reached the stable profile %v; last = %v", stable, profiles[len(profiles)-1])
+	}
+	// Once reached, it persists.
+	for t0 := reached; t0 < len(profiles); t0++ {
+		for j := range stable {
+			if profiles[t0][j] != stable[j] {
+				t.Fatalf("profile left w_τ at t=%d: %v", t0, profiles[t0])
+			}
+		}
+	}
+}
+
+// TestLemma2ProfilesNonIncreasing checks Lemma 2: at any time t,
+// w_t(j+1) ≤ w_t(j) under EFT-Min on the adversary stream.
+func TestLemma2ProfilesNonIncreasing(t *testing.T) {
+	for _, cfg := range []struct{ m, k int }{{6, 3}, {8, 2}, {9, 5}} {
+		profiles := StreamProfiles(sched.MinTie{}, cfg.m, cfg.k, 3*cfg.m*cfg.m)
+		for t0, w := range profiles {
+			for j := 0; j+1 < len(w); j++ {
+				if w[j+1] > w[j]+1e-12 {
+					t.Fatalf("m=%d k=%d t=%d: profile increases at j=%d: %v", cfg.m, cfg.k, t0, j, w)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma4ProfileBounded checks the invariant of Lemma 4: the EFT-Min
+// profile never exceeds m−k anywhere (case (i) of the lemma never triggers
+// for EFT-Min).
+func TestLemma4ProfileBounded(t *testing.T) {
+	m, k := 7, 3
+	profiles := StreamProfiles(sched.MinTie{}, m, k, 3*m*m)
+	for t0, w := range profiles {
+		for j, v := range w {
+			if v > core.Time(m-k)+1e-12 {
+				t.Fatalf("t=%d: w(%d) = %v exceeds m-k = %d", t0, j, v, m-k)
+			}
+		}
+	}
+}
+
+func TestTheorem9EFTRand(t *testing.T) {
+	m, k := 6, 3
+	res, err := EFTStream(sched.RandTie{Rng: rand.New(rand.NewSource(42))}, m, k, 2*m*m*m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AlgFmax < core.Time(m-k+1) {
+		t.Fatalf("EFT-Rand Fmax = %v, want ≥ %d (a.s.)", res.AlgFmax, m-k+1)
+	}
+}
+
+func TestTheorem10AnyTieBreak(t *testing.T) {
+	m, k := 6, 3
+	for _, tie := range []sched.TieBreak{
+		sched.MaxTie{},
+		sched.MinTie{},
+		sched.RandTie{Rng: rand.New(rand.NewSource(7))},
+	} {
+		res, err := EFTStreamPadded(tie, m, k, 0)
+		if err != nil {
+			t.Fatalf("tie %s: %v", tie.Name(), err)
+		}
+		if err := res.AlgSched.Validate(); err != nil {
+			t.Fatalf("tie %s: schedule invalid: %v", tie.Name(), err)
+		}
+		if res.AlgFmax < core.Time(m-k+1) {
+			t.Errorf("tie %s: regular Fmax = %v, want ≥ %d", tie.Name(), res.AlgFmax, m-k+1)
+		}
+		if res.OptFmax >= 1.5 {
+			t.Errorf("tie %s: OPT bound = %v should be 1 + o(1)", tie.Name(), res.OptFmax)
+		}
+	}
+}
+
+func TestTheorem10NeededForEFTMax(t *testing.T) {
+	// Motivation for Theorem 10: the unpadded stream does NOT drive EFT-Max
+	// to m−k+1 (its ties resolve away from the trap), the padded one does.
+	m, k := 6, 3
+	plain, err := EFTStream(sched.MaxTie{}, m, k, m*m*m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := EFTStreamPadded(sched.MaxTie{}, m, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if padded.AlgFmax < core.Time(m-k+1) {
+		t.Fatalf("padded stream should trap EFT-Max: Fmax = %v", padded.AlgFmax)
+	}
+	t.Logf("EFT-Max: plain stream Fmax = %v, padded Fmax = %v", plain.AlgFmax, padded.AlgFmax)
+}
+
+func TestTheorem3Inclusive(t *testing.T) {
+	for _, alg := range []sched.Online{
+		sched.NewEFT(sched.MinTie{}),
+		sched.NewEFT(sched.MaxTie{}),
+		sched.NewJSQ(),
+	} {
+		mPrime := 16
+		res, err := Inclusive(alg, mPrime, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.AlgSched.Validate(); err != nil {
+			t.Fatalf("%s: schedule invalid: %v", alg.Name(), err)
+		}
+		fam := psets.FromInstance(res.Inst)
+		if !fam.IsInclusive() {
+			t.Fatalf("%s: adversary family must be inclusive", alg.Name())
+		}
+		// ratio ≥ (log2(m)+1) − log2(m)/p ≈ theory.
+		if res.Ratio < res.TheoryRatio-0.01 {
+			t.Errorf("%s: ratio %v below theory %v", alg.Name(), res.Ratio, res.TheoryRatio)
+		}
+	}
+}
+
+func TestTheorem3NonPowerOfTwo(t *testing.T) {
+	res, err := Inclusive(sched.NewEFT(sched.MinTie{}), 13, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M != 8 {
+		t.Fatalf("m' = 13 should round down to m = 8, got %d", res.M)
+	}
+	if res.TheoryRatio != 4 { // ⌊log2 13 + 1⌋ = 4
+		t.Fatalf("theory = %v, want 4", res.TheoryRatio)
+	}
+}
+
+func TestTheorem4FixedK(t *testing.T) {
+	for _, cfg := range []struct{ mPrime, k int }{{16, 2}, {27, 3}, {16, 4}} {
+		res, err := FixedSizeK(sched.NewEFT(sched.MinTie{}), cfg.mPrime, cfg.k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.AlgSched.Validate(); err != nil {
+			t.Fatalf("schedule invalid: %v", err)
+		}
+		fam := psets.FromInstance(res.Inst)
+		if k, ok := fam.UniformSize(); !ok || k != cfg.k {
+			t.Fatalf("family size = %d %v, want uniform %d", k, ok, cfg.k)
+		}
+		if res.Ratio < res.TheoryRatio-0.01 {
+			t.Errorf("m'=%d k=%d: ratio %v below theory %v", cfg.mPrime, cfg.k, res.Ratio, res.TheoryRatio)
+		}
+	}
+}
+
+func TestTheorem5Nested(t *testing.T) {
+	for _, alg := range []sched.Online{
+		sched.NewEFT(sched.MinTie{}),
+		sched.NewEFT(sched.MaxTie{}),
+		sched.NewJSQ(),
+	} {
+		mPrime := 16
+		res, err := Nested(alg, mPrime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.AlgSched.Validate(); err != nil {
+			t.Fatalf("%s: schedule invalid: %v", alg.Name(), err)
+		}
+		fam := psets.FromInstance(res.Inst)
+		if !fam.IsNested() {
+			t.Fatalf("%s: adversary family must be nested", alg.Name())
+		}
+		if res.OptFmax > 3 {
+			t.Fatalf("%s: OPT Fmax = %v, want ≤ 3", alg.Name(), res.OptFmax)
+		}
+		logm := floorLog(2, mPrime)
+		if res.AlgFmax < core.Time(logm+2) {
+			t.Errorf("%s: Fmax = %v, want ≥ log2(m)+2 = %d", alg.Name(), res.AlgFmax, logm+2)
+		}
+		if res.Ratio < res.TheoryRatio-1e-9 {
+			t.Errorf("%s: ratio %v below theory %v", alg.Name(), res.Ratio, res.TheoryRatio)
+		}
+	}
+}
+
+func TestTheorem7AnyOnline(t *testing.T) {
+	const p = 1000.0
+	for _, alg := range []sched.Online{
+		sched.NewEFT(sched.MinTie{}),
+		sched.NewEFT(sched.MaxTie{}),
+		sched.NewJSQ(),
+	} {
+		res, err := IntervalAnyOnline(alg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.AlgSched.Validate(); err != nil {
+			t.Fatalf("%s: schedule invalid: %v", alg.Name(), err)
+		}
+		fam := psets.FromInstance(res.Inst)
+		if !fam.IsInterval() {
+			t.Fatalf("%s: adversary family must be intervals", alg.Name())
+		}
+		if res.Ratio < 2-2/p {
+			t.Errorf("%s: ratio %v, want ≥ 2 − 2/p", alg.Name(), res.Ratio)
+		}
+	}
+}
+
+func TestAdversaryArgumentValidation(t *testing.T) {
+	eft := sched.NewEFT(sched.MinTie{})
+	if _, err := EFTStream(sched.MinTie{}, 4, 1, 1); err == nil {
+		t.Errorf("k=1 should be rejected")
+	}
+	if _, err := EFTStream(sched.MinTie{}, 4, 4, 1); err == nil {
+		t.Errorf("k=m should be rejected")
+	}
+	if _, err := Inclusive(eft, 1, 0); err == nil {
+		t.Errorf("m=1 should be rejected")
+	}
+	if _, err := Inclusive(eft, 8, 2); err == nil {
+		t.Errorf("p ≤ log2(m) should be rejected")
+	}
+	if _, err := FixedSizeK(eft, 8, 1, 0); err == nil {
+		t.Errorf("k=1 should be rejected")
+	}
+	if _, err := FixedSizeK(eft, 2, 3, 0); err == nil {
+		t.Errorf("m < k should be rejected")
+	}
+	if _, err := Nested(eft, 1); err == nil {
+		t.Errorf("m=1 should be rejected")
+	}
+	if _, err := IntervalAnyOnline(eft, 0.5); err == nil {
+		t.Errorf("p ≤ 1 should be rejected")
+	}
+	if _, err := EFTStreamPadded(sched.MinTie{}, 4, 1, 1); err == nil {
+		t.Errorf("padded k=1 should be rejected")
+	}
+}
+
+func TestStableProfileShape(t *testing.T) {
+	// m=6, k=3: w_τ = (3,3,3,2,1,0) in 1-based machine order.
+	got := StableProfile(6, 3)
+	want := []core.Time{3, 3, 3, 2, 1, 0}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("StableProfile = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFigure3FirstRound(t *testing.T) {
+	// Figure 3 shows EFT-Min on m=6, k=3. In round 0 all machines are
+	// empty, so EFT-Min puts each typed task (types 4,3,2 → intervals
+	// starting at M4,M3,M2) on the first machine of its interval, then the
+	// three type-1 tasks on M1 (idle), M5 and M6 (the remaining idle
+	// machines of the tie set {M1,M5,M6}∩{M1,M2,M3} = {M1} first, then the
+	// still-idle machines of {M1..M3}: M2, M3).
+	inst, s := StreamSchedule(sched.MinTie{}, 6, 3, 1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.N() != 6 {
+		t.Fatalf("n = %d", inst.N())
+	}
+	// Typed tasks land on the lowest machine of their interval.
+	wantTyped := []int{3, 2, 1}
+	for i, want := range wantTyped {
+		if s.Machine[i] != want {
+			t.Errorf("task %d on M%d, want M%d", i, s.Machine[i]+1, want+1)
+		}
+	}
+	// The three type-1 tasks: M1 is idle (start 0); machines M2, M3 are
+	// busy until time 1, so the remaining two start at 0 only if another
+	// machine of {M1..M3} is idle — there is none, so they queue with
+	// start 1 on M2 and M3 (the earliest-finishing eligible machines).
+	if s.Machine[3] != 0 || s.Start[3] != 0 {
+		t.Errorf("first type-1 task on M%d@%v, want M1@0", s.Machine[3]+1, s.Start[3])
+	}
+	for _, i := range []int{4, 5} {
+		if s.Start[i] != 1 {
+			t.Errorf("type-1 task %d starts at %v, want 1", i, s.Start[i])
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res, err := EFTStream(sched.MinTie{}, 5, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() == "" {
+		t.Fatal("empty String")
+	}
+	if math.IsNaN(res.Ratio) {
+		t.Fatal("NaN ratio")
+	}
+}
+
+// TestTheorem8ExactValue pins the exact worst case: EFT-Min on the full
+// stream reaches exactly m−k+1 (Lemma 4 caps the profile at m−k, so no
+// task can flow longer).
+func TestTheorem8ExactValue(t *testing.T) {
+	for _, cfg := range []struct{ m, k int }{{6, 3}, {8, 2}, {9, 4}} {
+		res, err := EFTStream(sched.MinTie{}, cfg.m, cfg.k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.Time(cfg.m - cfg.k + 1)
+		if res.AlgFmax != want {
+			t.Errorf("m=%d k=%d: Fmax = %v, want exactly %v", cfg.m, cfg.k, res.AlgFmax, want)
+		}
+	}
+}
+
+// TestTheorem3ScalesLogarithmically: the inclusive adversary's ratio tracks
+// ⌊log2(m)+1⌋ across machine scales.
+func TestTheorem3ScalesLogarithmically(t *testing.T) {
+	prev := 0.0
+	for _, m := range []int{4, 8, 16, 32, 64} {
+		res, err := Inclusive(sched.NewEFT(sched.MinTie{}), m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTheory := float64(floorLog(2, m) + 1)
+		if res.TheoryRatio != wantTheory {
+			t.Fatalf("m=%d: theory = %v, want %v", m, res.TheoryRatio, wantTheory)
+		}
+		if res.Ratio < wantTheory-0.01 {
+			t.Fatalf("m=%d: ratio %v below theory %v", m, res.Ratio, wantTheory)
+		}
+		if res.Ratio <= prev {
+			t.Fatalf("m=%d: ratio %v did not grow from %v", m, res.Ratio, prev)
+		}
+		prev = res.Ratio
+	}
+}
+
+// TestTheorem8ScalesLinearly: the interval stream's ratio is exactly
+// m−k+1, i.e. linear in m for fixed k.
+func TestTheorem8ScalesLinearly(t *testing.T) {
+	for _, m := range []int{5, 8, 12, 16} {
+		res, err := EFTStream(sched.MinTie{}, m, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ratio != float64(m-2) {
+			t.Fatalf("m=%d: ratio = %v, want %d", m, res.Ratio, m-2)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package adversary
+
+import (
+	"fmt"
+
+	"flowsched/internal/core"
+	"flowsched/internal/sched"
+)
+
+// StreamRound returns the m processing sets of one round of the Theorem 8
+// adversary, in release order: for 1 ≤ i ≤ m−k the i-th task has type
+// m−k−i+2 (its interval starts at machine M_{m−k−i+2}, 1-based), and the
+// last k tasks have type 1 (interval {M_1..M_k}).
+func StreamRound(m, k int) []core.ProcSet {
+	if k <= 1 || k >= m {
+		panic(fmt.Sprintf("adversary: Theorem 8 needs 1 < k < m, got m=%d k=%d", m, k))
+	}
+	sets := make([]core.ProcSet, 0, m)
+	for i := 1; i <= m-k; i++ {
+		lambda := m - k - i + 2 // 1-based type
+		lo := lambda - 1        // 0-based interval start
+		sets = append(sets, core.Interval(lo, lo+k-1))
+	}
+	for i := 0; i < k; i++ {
+		sets = append(sets, core.Interval(0, k-1))
+	}
+	return sets
+}
+
+// streamOptMachine returns the machine (0-based) used by the proof's
+// optimal strategy for the idx-th task (0-based) of a round: tasks of type
+// λ ≥ 2 go to the highest machine of their interval (machine λ+k−1,
+// 1-based), which are all distinct, and the k type-1 tasks fill machines
+// M_1..M_k.
+func streamOptMachine(m, k, idx int) int {
+	if idx < m-k {
+		lambda := m - k - idx + 1 // type of task idx (1-based type, idx 0-based: i=idx+1)
+		return lambda + k - 2     // 0-based λ+k−1
+	}
+	return idx - (m - k)
+}
+
+// EFTStream runs the Theorem 8/9 adversary stream against EFT with the
+// given tie-break for the given number of unit-time rounds (steps): at each
+// integer time t it releases the m tasks of StreamRound. The optimal
+// strategy schedules every task at its release for Fmax = 1, so the
+// measured ratio equals the algorithm's Fmax, which reaches m − k + 1 for
+// EFT-Min (Theorem 8) and almost surely for EFT-Rand (Theorem 9). steps ≤ 0
+// defaults to m³ (the paper's convergence bound).
+func EFTStream(tie sched.TieBreak, m, k, steps int) (*Result, error) {
+	if k <= 1 || k >= m {
+		return nil, fmt.Errorf("adversary: Theorem 8 needs 1 < k < m, got m=%d k=%d", m, k)
+	}
+	if steps <= 0 {
+		steps = m * m * m
+	}
+	eft := sched.NewEFT(tie)
+	r := newRunner(eft, m)
+	round := StreamRound(m, k)
+	for t := 0; t < steps; t++ {
+		for _, set := range round {
+			r.submit(core.Time(t), 1, set)
+		}
+	}
+	inst, algSched := r.finish()
+
+	// The proof's OPT: every task of every round starts at its release on a
+	// distinct machine.
+	opt := core.NewSchedule(inst)
+	for t := 0; t < steps; t++ {
+		for idx := 0; idx < m; idx++ {
+			i := t*m + idx
+			opt.Assign(i, streamOptMachine(m, k, idx), core.Time(t))
+		}
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, fmt.Errorf("adversary: Theorem 8 OPT schedule invalid: %w", err)
+	}
+
+	res := &Result{
+		Name:        "Theorem 8 (interval stream)",
+		AlgName:     eft.Name(),
+		M:           m,
+		K:           k,
+		AlgFmax:     algSched.MaxFlow(),
+		OptFmax:     opt.MaxFlow(),
+		Inst:        inst,
+		AlgSched:    algSched,
+		OptSched:    opt,
+		TheoryRatio: float64(m - k + 1),
+	}
+	res.Ratio = float64(res.AlgFmax / res.OptFmax)
+	return res, nil
+}
+
+// StreamProfiles runs the Theorem 8 stream and returns the schedule profile
+// w_t of the algorithm at each integer time t = 0..steps, captured just
+// before the adversary releases the round of time t (and, for the last
+// entry, after the final round). Used to reproduce Figures 3-4 and to test
+// Lemmas 2-4.
+func StreamProfiles(tie sched.TieBreak, m, k, steps int) [][]core.Time {
+	eft := sched.NewEFT(tie)
+	r := newRunner(eft, m)
+	round := StreamRound(m, k)
+	profiles := make([][]core.Time, 0, steps+1)
+	for t := 0; t < steps; t++ {
+		profiles = append(profiles, r.waiting(core.Time(t)))
+		for _, set := range round {
+			r.submit(core.Time(t), 1, set)
+		}
+	}
+	profiles = append(profiles, r.waiting(core.Time(steps)))
+	return profiles
+}
+
+// StreamSchedule returns the instance and EFT schedule of the first `steps`
+// rounds, for rendering Figure 3 (the paper shows m=6, k=3, t=0..3 with
+// EFT-Min).
+func StreamSchedule(tie sched.TieBreak, m, k, steps int) (*core.Instance, *core.Schedule) {
+	eft := sched.NewEFT(tie)
+	r := newRunner(eft, m)
+	round := StreamRound(m, k)
+	for t := 0; t < steps; t++ {
+		for _, set := range round {
+			r.submit(core.Time(t), 1, set)
+		}
+	}
+	return r.finish()
+}

@@ -1,0 +1,207 @@
+package adversary
+
+import (
+	"fmt"
+	"sort"
+
+	"flowsched/internal/core"
+	"flowsched/internal/sched"
+)
+
+// Inclusive runs the Theorem 3 adversary against an immediate-dispatch
+// scheduler: on m = 2^⌊log2(m')⌋ machines it releases, at each time ℓ−1,
+// m/2^ℓ tasks of length p restricted to a shrinking chain of machine sets
+// M(1) ⊇ M(2) ⊇ ..., where M(ℓ+1) keeps the most loaded half of M(ℓ); a
+// final task lands on the single most loaded machine. The processing sets
+// form an inclusive family and the algorithm's Fmax reaches
+// (log2(m)+1)·p − log2(m) while OPT achieves p, for a ratio approaching
+// ⌊log2(m') + 1⌋ as p → ∞.
+//
+// p must exceed log2(m); p ≤ 0 defaults to 1000·log2(m).
+func Inclusive(alg sched.Online, mPrime int, p core.Time) (*Result, error) {
+	if mPrime < 2 {
+		return nil, fmt.Errorf("adversary: Theorem 3 needs at least 2 machines")
+	}
+	logm := floorLog(2, mPrime)
+	m := powInt(2, logm)
+	if p <= 0 {
+		p = core.Time(1000 * logm)
+	}
+	if p <= core.Time(logm) {
+		return nil, fmt.Errorf("adversary: Theorem 3 needs p > log2(m) = %d, got %v", logm, p)
+	}
+
+	r := newRunner(alg, m)
+	// current = M(ℓ), as a sorted slice of machine indices.
+	current := make([]int, m)
+	for j := range current {
+		current[j] = j
+	}
+	counts := make([]int, m) // tasks allocated per machine so far
+
+	// chain[ℓ-1] = M(ℓ) for the OPT reconstruction.
+	chain := [][]int{append([]int(nil), current...)}
+
+	for l := 1; l <= logm; l++ {
+		set := core.NewProcSet(current...)
+		numTasks := m / powInt(2, l)
+		for x := 0; x < numTasks; x++ {
+			mach, _ := r.submit(core.Time(l-1), p, set)
+			counts[mach]++
+		}
+		// M(ℓ+1): the numTasks most loaded machines of M(ℓ) (ties broken by
+		// index for determinism).
+		next := append([]int(nil), current...)
+		sort.SliceStable(next, func(a, b int) bool {
+			if counts[next[a]] != counts[next[b]] {
+				return counts[next[a]] > counts[next[b]]
+			}
+			return next[a] < next[b]
+		})
+		next = next[:numTasks]
+		sort.Ints(next)
+		current = next
+		chain = append(chain, append([]int(nil), current...))
+	}
+	// Final task at time log2(m) on the single remaining machine.
+	finalSet := core.NewProcSet(current...)
+	fm, _ := r.submit(core.Time(logm), p, finalSet)
+	counts[fm]++
+
+	inst, algSched := r.finish()
+
+	// OPT: tasks of round ℓ (released at ℓ−1 with set M(ℓ)) go one per
+	// machine of M(ℓ) \ M(ℓ+1), starting at release; the final task goes on
+	// M(logm+1)'s single machine at its release.
+	opt := core.NewSchedule(inst)
+	i := 0
+	for l := 1; l <= logm; l++ {
+		free := core.NewProcSet(chain[l-1]...).Minus(core.NewProcSet(chain[l]...))
+		numTasks := m / powInt(2, l)
+		if len(free) != numTasks {
+			return nil, fmt.Errorf("adversary: Theorem 3 internal error: |M(%d)\\M(%d)| = %d, want %d",
+				l, l+1, len(free), numTasks)
+		}
+		for x := 0; x < numTasks; x++ {
+			opt.Assign(i, free[x], core.Time(l-1))
+			i++
+		}
+	}
+	opt.Assign(i, chain[logm][0], core.Time(logm))
+	if err := opt.Validate(); err != nil {
+		return nil, fmt.Errorf("adversary: Theorem 3 OPT schedule invalid: %w", err)
+	}
+
+	res := &Result{
+		Name:        "Theorem 3 (inclusive)",
+		AlgName:     alg.Name(),
+		M:           m,
+		AlgFmax:     algSched.MaxFlow(),
+		OptFmax:     opt.MaxFlow(),
+		Inst:        inst,
+		AlgSched:    algSched,
+		OptSched:    opt,
+		TheoryRatio: float64(floorLog(2, mPrime) + 1),
+		Notes:       fmt.Sprintf("p=%v; ratio → ⌊log2(m')+1⌋ as p → ∞", p),
+	}
+	res.Ratio = float64(res.AlgFmax / res.OptFmax)
+	return res, nil
+}
+
+// FixedSizeK runs the Theorem 4 adversary against an immediate-dispatch
+// scheduler: on m = k^⌊log_k(m')⌋ machines, round ℓ releases m/k^ℓ tasks
+// whose size-k processing sets partition M(ℓ−1); wherever the algorithm
+// puts them becomes M(ℓ). The algorithm accumulates log_k(m) tasks on one
+// machine while OPT achieves p, for a ratio approaching ⌊log_k(m')⌋.
+func FixedSizeK(alg sched.Online, mPrime, k int, p core.Time) (*Result, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("adversary: Theorem 4 needs k ≥ 2")
+	}
+	if mPrime < k {
+		return nil, fmt.Errorf("adversary: Theorem 4 needs m ≥ k")
+	}
+	logm := floorLog(k, mPrime)
+	if logm < 1 {
+		return nil, fmt.Errorf("adversary: Theorem 4 needs m ≥ k")
+	}
+	m := powInt(k, logm)
+	if p <= 0 {
+		p = core.Time(1000 * logm)
+	}
+	if p <= core.Time(logm) {
+		return nil, fmt.Errorf("adversary: Theorem 4 needs p > log_k(m) = %d, got %v", logm, p)
+	}
+
+	r := newRunner(alg, m)
+	current := make([]int, m) // M(ℓ-1)
+	for j := range current {
+		current[j] = j
+	}
+	type roundInfo struct {
+		sets   []core.ProcSet
+		chosen []int // machine picked by the algorithm for each task
+	}
+	var rounds []roundInfo
+
+	for l := 1; l <= logm; l++ {
+		numTasks := m / powInt(k, l)
+		info := roundInfo{}
+		var next []int
+		for x := 0; x < numTasks; x++ {
+			// Partition M(ℓ−1) into consecutive groups of k.
+			group := current[x*k : (x+1)*k]
+			set := core.NewProcSet(group...)
+			mach, _ := r.submit(core.Time(l-1), p, set)
+			info.sets = append(info.sets, set)
+			info.chosen = append(info.chosen, mach)
+			next = append(next, mach)
+		}
+		rounds = append(rounds, info)
+		sort.Ints(next)
+		current = next
+	}
+
+	inst, algSched := r.finish()
+
+	// OPT: each round-ℓ task runs on a machine of its own k-set other than
+	// the one the algorithm chose (that machine belongs to M(ℓ), which the
+	// adversary will keep loading; all other machines of the set are used by
+	// no later round).
+	opt := core.NewSchedule(inst)
+	i := 0
+	for l, info := range rounds {
+		for x, set := range info.sets {
+			alt := -1
+			for _, j := range set {
+				if j != info.chosen[x] {
+					alt = j
+					break
+				}
+			}
+			if alt == -1 {
+				return nil, fmt.Errorf("adversary: Theorem 4 internal error: no alternative machine")
+			}
+			opt.Assign(i, alt, core.Time(l))
+			i++
+		}
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, fmt.Errorf("adversary: Theorem 4 OPT schedule invalid: %w", err)
+	}
+
+	res := &Result{
+		Name:        "Theorem 4 (|Mi| = k)",
+		AlgName:     alg.Name(),
+		M:           m,
+		K:           k,
+		AlgFmax:     algSched.MaxFlow(),
+		OptFmax:     opt.MaxFlow(),
+		Inst:        inst,
+		AlgSched:    algSched,
+		OptSched:    opt,
+		TheoryRatio: float64(floorLog(k, mPrime)),
+		Notes:       fmt.Sprintf("p=%v; ratio → ⌊log_k(m')⌋ as p → ∞", p),
+	}
+	res.Ratio = float64(res.AlgFmax / res.OptFmax)
+	return res, nil
+}

@@ -1,0 +1,212 @@
+package adversary
+
+import (
+	"fmt"
+
+	"flowsched/internal/core"
+	"flowsched/internal/sched"
+)
+
+// Nested runs the Theorem 5 adversary (adapted from Anand et al. to nested
+// structures) against an online scheduler: on m = 2^⌊log2(m')⌋ machines,
+// phase c (c = 0..log2(m)) works on an interval I(u_c, s_c) of s_c = m/2^c
+// machines. At time t_c it releases s_c unit tasks feasible on the whole
+// interval (G1) plus, at each of the F times t_c..t_c+F−1, one unit task
+// pinned to each machine of the interval (G2). The next phase keeps the
+// half of the interval holding the most uncompleted work. After the last
+// phase one machine holds at least log2(m)+2 pending unit tasks, so the
+// algorithm's Fmax is at least ⌊log2(m')+2⌋ while the proof's OPT achieves
+// Fmax = 3; the competitive ratio is at least ⌊log2(m')+2⌋/3.
+//
+// The processing sets (intervals and singletons of a laminar chain) form a
+// nested family.
+func Nested(alg sched.Online, mPrime int) (*Result, error) {
+	if mPrime < 2 {
+		return nil, fmt.Errorf("adversary: Theorem 5 needs at least 2 machines")
+	}
+	logm := floorLog(2, mPrime)
+	m := powInt(2, logm)
+	F := logm + 2 // F ≥ log2(m) + 2
+
+	r := newRunner(alg, m)
+
+	type phaseInfo struct {
+		u, s int // interval start and size (0-based start)
+		t    int // phase start time
+	}
+	var phases []phaseInfo
+
+	u, s := 0, m
+	for c := 0; ; c++ {
+		t := c * F
+		phases = append(phases, phaseInfo{u: u, s: s, t: t})
+		interval := core.Interval(u, u+s-1)
+		// G1: s tasks feasible on the whole interval, released at t.
+		for x := 0; x < s; x++ {
+			r.submit(core.Time(t), 1, interval)
+		}
+		// G2: for each time t..t+F-1, one task pinned to each machine.
+		for dt := 0; dt < F; dt++ {
+			for j := u; j < u+s; j++ {
+				r.submit(core.Time(t+dt), 1, core.NewProcSet(j))
+			}
+		}
+		if s == 1 {
+			break
+		}
+		// Choose the half with the most uncompleted tasks at time t+F.
+		unc := r.uncompleted(core.Time(t + F))
+		left, right := 0, 0
+		half := s / 2
+		for j := u; j < u+half; j++ {
+			left += unc[j]
+		}
+		for j := u + half; j < u+s; j++ {
+			right += unc[j]
+		}
+		if right > left {
+			u += half
+		}
+		s = half
+	}
+
+	inst, algSched := r.finish()
+
+	// OPT (from the proof): during phase c < last, the discarded half
+	// executes G1 (two tasks per machine, flow ≤ 2) then its own G2 tasks
+	// with flow ≤ 3; the kept half executes its G2 tasks at release. The
+	// last phase (single machine) runs its G1 task first, then G2.
+	opt := core.NewSchedule(inst)
+	i := 0
+	for c, ph := range phases {
+		last := c == len(phases)-1
+		if !last {
+			next := phases[c+1]
+			discarded := core.Interval(ph.u, ph.u+ph.s-1).Minus(core.Interval(next.u, next.u+next.s-1))
+			// G1: ph.s tasks, two per discarded machine, at t and t+1.
+			for x := 0; x < ph.s; x++ {
+				mach := discarded[x%len(discarded)]
+				start := core.Time(ph.t + x/len(discarded))
+				opt.Assign(i, mach, start)
+				i++
+			}
+			// G2: kept-half machines run them at release; discarded-half
+			// machines run them 2 time units late (after their G1 pair).
+			for dt := 0; dt < F; dt++ {
+				for j := ph.u; j < ph.u+ph.s; j++ {
+					start := core.Time(ph.t + dt)
+					if discarded.Contains(j) {
+						start += 2
+					}
+					opt.Assign(i, j, start)
+					i++
+				}
+			}
+		} else {
+			// Single machine: G1 at t, G2 tasks shifted by one.
+			opt.Assign(i, ph.u, core.Time(ph.t))
+			i++
+			for dt := 0; dt < F; dt++ {
+				opt.Assign(i, ph.u, core.Time(ph.t+dt+1))
+				i++
+			}
+		}
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, fmt.Errorf("adversary: Theorem 5 OPT schedule invalid: %w", err)
+	}
+
+	res := &Result{
+		Name:        "Theorem 5 (nested)",
+		AlgName:     alg.Name(),
+		M:           m,
+		AlgFmax:     algSched.MaxFlow(),
+		OptFmax:     opt.MaxFlow(),
+		Inst:        inst,
+		AlgSched:    algSched,
+		OptSched:    opt,
+		TheoryRatio: float64(logm+2) / 3,
+		Notes:       fmt.Sprintf("F=%d; algorithm Fmax ≥ log2(m)+2, OPT Fmax ≤ 3", F),
+	}
+	res.Ratio = float64(res.AlgFmax / res.OptFmax)
+	return res, nil
+}
+
+// IntervalAnyOnline runs the Theorem 7 adversary against an online
+// scheduler on m = 4 machines with fixed-size intervals k = 2: a first task
+// on {M2,M3} forces the algorithm to commit; two follow-up tasks then
+// saturate the side it chose. Any online algorithm's Fmax is at least
+// 2p − 1 while OPT achieves p, for a ratio approaching 2 as p → ∞.
+func IntervalAnyOnline(alg sched.Online, p core.Time) (*Result, error) {
+	if p <= 1 {
+		return nil, fmt.Errorf("adversary: Theorem 7 needs p > 1")
+	}
+	const m = 4
+	r := newRunner(alg, m)
+
+	// T1 on {M2,M3} (0-based {1,2}).
+	mach, start := r.submit(0, p, core.NewProcSet(1, 2))
+
+	opt := func(inst *core.Instance) *core.Schedule { return core.NewSchedule(inst) }
+	var optAssign func(o *core.Schedule)
+
+	if start >= p {
+		// The algorithm delayed T1 by p: flow ≥ 2p already; OPT runs it at 0.
+		inst, algSched := r.finish()
+		o := opt(inst)
+		o.Assign(0, 1, 0)
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+		res := &Result{
+			Name: "Theorem 7 (fixed-size interval)", AlgName: alg.Name(),
+			M: m, K: 2,
+			AlgFmax: algSched.MaxFlow(), OptFmax: o.MaxFlow(),
+			Inst: inst, AlgSched: algSched, OptSched: o,
+			TheoryRatio: 2,
+			Notes:       "algorithm idled past p before starting T1",
+		}
+		res.Ratio = float64(res.AlgFmax / res.OptFmax)
+		return res, nil
+	}
+
+	if mach == 1 {
+		// Case (i): T1 on M2 → send T2, T3 on {M1,M2} at σ1+1.
+		r.submit(start+1, p, core.NewProcSet(0, 1))
+		r.submit(start+1, p, core.NewProcSet(0, 1))
+		optAssign = func(o *core.Schedule) {
+			// OPT: T1 on M3 at 0; T2 on M1 and T3 on M2 at release.
+			o.Assign(0, 2, 0)
+			o.Assign(1, 0, start+1)
+			o.Assign(2, 1, start+1)
+		}
+	} else {
+		// Case (ii): T1 on M3 → send T2, T3 on {M3,M4} at σ1+1.
+		r.submit(start+1, p, core.NewProcSet(2, 3))
+		r.submit(start+1, p, core.NewProcSet(2, 3))
+		optAssign = func(o *core.Schedule) {
+			// OPT: T1 on M2 at 0; T2 on M3 and T3 on M4 at release.
+			o.Assign(0, 1, 0)
+			o.Assign(1, 2, start+1)
+			o.Assign(2, 3, start+1)
+		}
+	}
+
+	inst, algSched := r.finish()
+	o := opt(inst)
+	optAssign(o)
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("adversary: Theorem 7 OPT schedule invalid: %w", err)
+	}
+
+	res := &Result{
+		Name: "Theorem 7 (fixed-size interval)", AlgName: alg.Name(),
+		M: m, K: 2,
+		AlgFmax: algSched.MaxFlow(), OptFmax: o.MaxFlow(),
+		Inst: inst, AlgSched: algSched, OptSched: o,
+		TheoryRatio: 2,
+		Notes:       "ratio → 2 as p → ∞",
+	}
+	res.Ratio = float64(res.AlgFmax / res.OptFmax)
+	return res, nil
+}

@@ -1,0 +1,129 @@
+package adversary
+
+import (
+	"fmt"
+
+	"flowsched/internal/core"
+	"flowsched/internal/sched"
+)
+
+// Padding constants for the Theorem 10 construction. Powers of two keep all
+// time arithmetic exact in float64, so the no-tie argument of the proof
+// holds bit-for-bit: δ is the per-machine stagger (machine M_j is delayed by
+// (j+1)·δ) and ε spaces the first-round probe tasks. The proof needs
+// m·δ < 1 and ε < δ/(2m), which holds here for every m ≤ 512.
+const (
+	Delta   = 1.0 / (1 << 16) // δ
+	Epsilon = 1.0 / (1 << 27) // ε
+)
+
+// EFTStreamPadded runs the Theorem 10 adversary: the Theorem 8 regular
+// stream interleaved with carefully crafted small tasks that stagger every
+// machine's availability by (j+1)·δ, removing all ties. EFT with ANY
+// tie-break then emulates EFT-Min on the regular tasks and its Fmax reaches
+// m − k + 1 (up to o(1)), while OPT stays at 1 + o(1). steps ≤ 0 defaults
+// to m³.
+//
+// The returned Result's OptFmax is the analytic upper bound
+// 1 + total small-task volume (the proof's 1 + o(1)); OptSched is nil.
+func EFTStreamPadded(tie sched.TieBreak, m, k, steps int) (*Result, error) {
+	if k <= 1 || k >= m {
+		return nil, fmt.Errorf("adversary: Theorem 10 needs 1 < k < m, got m=%d k=%d", m, k)
+	}
+	if m > 512 {
+		return nil, fmt.Errorf("adversary: Theorem 10 padding constants support m ≤ 512, got %d", m)
+	}
+	if steps <= 0 {
+		steps = m * m * m
+	}
+	eft := sched.NewEFT(tie)
+	r := newRunner(eft, m)
+	round := StreamRound(m, k)
+
+	regularFmax := core.Time(0)
+	smallVolume := core.Time(0)
+
+	// smallInterval returns an interval of size k covering machine j.
+	smallInterval := func(j int) core.ProcSet {
+		if j+k <= m {
+			return core.Interval(j, j+k-1)
+		}
+		return core.Interval(m-k, m-1)
+	}
+
+	for t := 0; t < steps; t++ {
+		now := core.Time(t)
+
+		// Round 1: while some machine is idle, probe with a task of
+		// duration c·ε whose interval covers the lowest-indexed idle
+		// machine.
+		c := 1
+		type probe struct {
+			c    int
+			mach int
+		}
+		var probes []probe
+		for {
+			idle := -1
+			for j := 0; j < m; j++ {
+				if r.completion[j] <= now {
+					idle = j
+					break
+				}
+			}
+			if idle == -1 {
+				break
+			}
+			dur := core.Time(c) * Epsilon
+			mach, _ := r.submit(now, dur, smallInterval(idle))
+			smallVolume += dur
+			probes = append(probes, probe{c: c, mach: mach})
+			c++
+			if c > m+1 {
+				return nil, fmt.Errorf("adversary: Theorem 10 round 1 did not terminate")
+			}
+		}
+
+		// Round 2: pin each probed machine to finish exactly at t + (j+1)δ.
+		for _, pr := range probes {
+			dur := core.Time(pr.mach+1)*Delta - core.Time(pr.c)*Epsilon
+			mach, _ := r.submit(now, dur, smallInterval(pr.mach))
+			smallVolume += dur
+			if mach != pr.mach {
+				return nil, fmt.Errorf("adversary: Theorem 10 second-round task for M%d landed on M%d",
+					pr.mach+1, mach+1)
+			}
+			if got, want := r.completion[mach], now+core.Time(mach+1)*Delta; got != want {
+				return nil, fmt.Errorf("adversary: Theorem 10 stagger broken on M%d: completes %v, want %v",
+					mach+1, got, want)
+			}
+		}
+
+		// Regular tasks of the Theorem 8 stream.
+		for _, set := range round {
+			_, start := r.submit(now, 1, set)
+			if f := start + 1 - now; f > regularFmax {
+				regularFmax = f
+			}
+		}
+	}
+
+	inst, algSched := r.finish()
+
+	optUpper := 1 + smallVolume // the proof's 1 + o(1) bound
+	res := &Result{
+		Name:        "Theorem 10 (padded interval stream)",
+		AlgName:     eft.Name(),
+		M:           m,
+		K:           k,
+		AlgFmax:     regularFmax,
+		OptFmax:     optUpper,
+		Inst:        inst,
+		AlgSched:    algSched,
+		TheoryRatio: float64(m - k + 1),
+		Notes: fmt.Sprintf("δ=%g ε=%g; AlgFmax is over regular tasks; OptFmax is the analytic bound 1 + small volume (%.3g)",
+			Delta, Epsilon, smallVolume),
+	}
+	res.Ratio = float64(res.AlgFmax / res.OptFmax)
+	return res, nil
+}

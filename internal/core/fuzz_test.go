@@ -1,0 +1,53 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadInstanceJSON checks that arbitrary input never panics the
+// decoder and that everything it accepts is a valid instance that
+// round-trips.
+func FuzzReadInstanceJSON(f *testing.F) {
+	f.Add([]byte(`{"m":2,"tasks":[{"release":0,"proc":1},{"release":1,"proc":2,"set":[0]}]}`))
+	f.Add([]byte(`{"m":1,"tasks":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"m":-1}`))
+	f.Add([]byte(`{"m":3,"tasks":[{"release":1e300,"proc":1e-300,"set":[0,1,2]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, err := ReadInstanceJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := inst.Validate(); verr != nil {
+			t.Fatalf("accepted instance fails validation: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := inst.WriteJSON(&buf); werr != nil {
+			t.Fatalf("re-encoding accepted instance: %v", werr)
+		}
+		back, rerr := ReadInstanceJSON(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip rejected: %v", rerr)
+		}
+		if back.N() != inst.N() || back.M != inst.M {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+// FuzzReadScheduleJSON checks the schedule decoder likewise.
+func FuzzReadScheduleJSON(f *testing.F) {
+	f.Add([]byte(`{"instance":{"m":1,"tasks":[{"release":0,"proc":1}]},"machine":[0],"start":[0]}`))
+	f.Add([]byte(`{"instance":{"m":1,"tasks":[{"release":0,"proc":1}]},"machine":[0],"start":[-1]}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadScheduleJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("accepted schedule fails validation: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time measures instants and durations. The model is continuous-time; unit
+// tasks use Proc == 1.
+type Time = float64
+
+// Task is a request to be processed: released at Release, needing Proc time
+// units on one machine of Set (nil Set = any machine). Key optionally records
+// the key-value key that generated the task (-1 when not applicable).
+type Task struct {
+	ID      int
+	Release Time
+	Proc    Time
+	Set     ProcSet
+	Key     int
+}
+
+// Eligible reports whether machine j may process the task.
+func (t Task) Eligible(j int) bool { return t.Set.Contains(j) }
+
+// Instance is a scheduling problem: n tasks to run on M identical machines.
+// Tasks must be ordered by non-decreasing release time (the paper's numbering
+// convention i < j ⇒ r_i ≤ r_j); NewInstance establishes this order.
+type Instance struct {
+	M     int
+	Tasks []Task
+}
+
+// NewInstance builds an instance on m machines, sorting the tasks by release
+// time (stable, preserving submission order among equal releases) and
+// assigning sequential IDs 0..n-1 in that order.
+func NewInstance(m int, tasks []Task) *Instance {
+	ts := make([]Task, len(tasks))
+	copy(ts, tasks)
+	sort.SliceStable(ts, func(i, j int) bool { return ts[i].Release < ts[j].Release })
+	for i := range ts {
+		ts[i].ID = i
+	}
+	return &Instance{M: m, Tasks: ts}
+}
+
+// N returns the number of tasks.
+func (in *Instance) N() int { return len(in.Tasks) }
+
+// Validate checks the instance invariants: m ≥ 1, non-negative releases,
+// positive processing times, non-decreasing release order, IDs equal to
+// positions, and processing sets that are non-empty subsets of 0..m-1.
+func (in *Instance) Validate() error {
+	if in.M < 1 {
+		return fmt.Errorf("instance: need at least one machine, got %d", in.M)
+	}
+	prev := Time(0)
+	for i, t := range in.Tasks {
+		if t.ID != i {
+			return fmt.Errorf("task %d: ID %d does not match position", i, t.ID)
+		}
+		if t.Release < 0 || math.IsNaN(t.Release) || math.IsInf(t.Release, 0) {
+			return fmt.Errorf("task %d: invalid release time %v", i, t.Release)
+		}
+		if t.Release < prev {
+			return fmt.Errorf("task %d: release %v decreases below %v", i, t.Release, prev)
+		}
+		prev = t.Release
+		if t.Proc <= 0 || math.IsNaN(t.Proc) || math.IsInf(t.Proc, 0) {
+			return fmt.Errorf("task %d: invalid processing time %v", i, t.Proc)
+		}
+		if t.Set != nil {
+			if len(t.Set) == 0 {
+				return fmt.Errorf("task %d: empty processing set", i)
+			}
+			if t.Set.Min() < 0 || t.Set.Max() >= in.M {
+				return fmt.Errorf("task %d: processing set %v out of machine range [0,%d)", i, t.Set, in.M)
+			}
+		}
+	}
+	return nil
+}
+
+// UnitTasks reports whether every task has processing time exactly 1.
+func (in *Instance) UnitTasks() bool {
+	for _, t := range in.Tasks {
+		if t.Proc != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxProc returns max_i p_i (0 for an empty instance).
+func (in *Instance) MaxProc() Time {
+	var mx Time
+	for _, t := range in.Tasks {
+		if t.Proc > mx {
+			mx = t.Proc
+		}
+	}
+	return mx
+}
+
+// TotalWork returns Σ_i p_i.
+func (in *Instance) TotalWork() Time {
+	var w Time
+	for _, t := range in.Tasks {
+		w += t.Proc
+	}
+	return w
+}
+
+// Sets returns the distinct processing sets of the instance, in first-seen
+// order. The unrestricted (nil) set, if present, is returned as the resolved
+// full interval so callers can reason uniformly.
+func (in *Instance) Sets() []ProcSet {
+	var out []ProcSet
+	for _, t := range in.Tasks {
+		s := t.Set.Resolve(in.M)
+		dup := false
+		for _, u := range out {
+			if u.Equal(s) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	ts := make([]Task, len(in.Tasks))
+	copy(ts, in.Tasks)
+	for i := range ts {
+		ts[i].Set = ts[i].Set.Clone()
+	}
+	return &Instance{M: in.M, Tasks: ts}
+}

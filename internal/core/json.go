@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// instanceJSON is the stable on-disk form of an Instance.
+type instanceJSON struct {
+	M     int        `json:"m"`
+	Tasks []taskJSON `json:"tasks"`
+}
+
+type taskJSON struct {
+	Release Time   `json:"release"`
+	Proc    Time   `json:"proc"`
+	Set     []int  `json:"set,omitempty"` // nil/absent = unrestricted
+	Key     int    `json:"key,omitempty"`
+	Comment string `json:"comment,omitempty"`
+}
+
+// WriteJSON serializes the instance (task IDs are positional and omitted).
+func (in *Instance) WriteJSON(w io.Writer) error {
+	out := instanceJSON{M: in.M, Tasks: make([]taskJSON, in.N())}
+	for i, t := range in.Tasks {
+		out.Tasks[i] = taskJSON{Release: t.Release, Proc: t.Proc, Set: t.Set, Key: t.Key}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadInstanceJSON deserializes and validates an instance written by
+// WriteJSON (or authored by hand in the same schema). Tasks are re-sorted
+// by release time as NewInstance does.
+func ReadInstanceJSON(r io.Reader) (*Instance, error) {
+	var raw instanceJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("core: decoding instance: %w", err)
+	}
+	tasks := make([]Task, len(raw.Tasks))
+	for i, t := range raw.Tasks {
+		var set ProcSet
+		if t.Set != nil {
+			set = NewProcSet(t.Set...)
+		}
+		tasks[i] = Task{Release: t.Release, Proc: t.Proc, Set: set, Key: t.Key}
+	}
+	inst := NewInstance(raw.M, tasks)
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid instance: %w", err)
+	}
+	return inst, nil
+}
+
+// scheduleJSON is the stable on-disk form of a Schedule, embedding its
+// instance so a file round-trips standalone.
+type scheduleJSON struct {
+	Instance instanceJSON `json:"instance"`
+	Machine  []int        `json:"machine"`
+	Start    []Time       `json:"start"`
+}
+
+// WriteJSON serializes the schedule together with its instance.
+func (s *Schedule) WriteJSON(w io.Writer) error {
+	out := scheduleJSON{
+		Instance: instanceJSON{M: s.Inst.M, Tasks: make([]taskJSON, s.Inst.N())},
+		Machine:  s.Machine,
+		Start:    s.Start,
+	}
+	for i, t := range s.Inst.Tasks {
+		out.Instance.Tasks[i] = taskJSON{Release: t.Release, Proc: t.Proc, Set: t.Set, Key: t.Key}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadScheduleJSON deserializes a schedule written by WriteJSON and
+// validates both the instance and the schedule's feasibility.
+func ReadScheduleJSON(r io.Reader) (*Schedule, error) {
+	var raw scheduleJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("core: decoding schedule: %w", err)
+	}
+	tasks := make([]Task, len(raw.Instance.Tasks))
+	for i, t := range raw.Instance.Tasks {
+		var set ProcSet
+		if t.Set != nil {
+			set = NewProcSet(t.Set...)
+		}
+		tasks[i] = Task{Release: t.Release, Proc: t.Proc, Set: set, Key: t.Key}
+	}
+	inst := NewInstance(raw.Instance.M, tasks)
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid embedded instance: %w", err)
+	}
+	if len(raw.Machine) != inst.N() || len(raw.Start) != inst.N() {
+		return nil, fmt.Errorf("core: schedule arrays sized %d/%d for %d tasks",
+			len(raw.Machine), len(raw.Start), inst.N())
+	}
+	s := NewSchedule(inst)
+	for i := range raw.Machine {
+		s.Assign(i, raw.Machine[i], raw.Start[i])
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid schedule: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(8)
+		n := rng.Intn(20)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			var set ProcSet
+			if rng.Intn(2) == 0 {
+				var ids []int
+				for j := 0; j < m; j++ {
+					if rng.Intn(2) == 0 {
+						ids = append(ids, j)
+					}
+				}
+				if len(ids) == 0 {
+					ids = []int{rng.Intn(m)}
+				}
+				set = NewProcSet(ids...)
+			}
+			tasks[i] = Task{
+				Release: float64(rng.Intn(10)),
+				Proc:    0.25 * float64(1+rng.Intn(8)),
+				Set:     set,
+				Key:     rng.Intn(5),
+			}
+		}
+		inst := NewInstance(m, tasks)
+		var buf bytes.Buffer
+		if err := inst.WriteJSON(&buf); err != nil {
+			return false
+		}
+		back, err := ReadInstanceJSON(&buf)
+		if err != nil {
+			return false
+		}
+		if back.M != inst.M || back.N() != inst.N() {
+			return false
+		}
+		for i := range inst.Tasks {
+			a, b := inst.Tasks[i], back.Tasks[i]
+			if a.Release != b.Release || a.Proc != b.Proc || a.Key != b.Key || !a.Set.Equal(b.Set) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	inst := NewInstance(2, []Task{
+		{Release: 0, Proc: 1, Set: NewProcSet(0)},
+		{Release: 0, Proc: 2},
+	})
+	s := NewSchedule(inst)
+	s.Assign(0, 0, 0)
+	s.Assign(1, 1, 0)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScheduleJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MaxFlow() != s.MaxFlow() {
+		t.Fatalf("Fmax changed across round trip")
+	}
+}
+
+func TestReadInstanceJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"m":0,"tasks":[]}`,                                 // no machines
+		`{"m":1,"tasks":[{"release":-1,"proc":1}]}`,          // negative release
+		`{"m":1,"tasks":[{"release":0,"proc":0}]}`,           // zero proc
+		`{"m":1,"tasks":[{"release":0,"proc":1,"set":[5]}]}`, // set out of range
+		`{"m":1,"bogus":true}`,                               // unknown field
+		`{`,                                                  // malformed
+	}
+	for i, src := range cases {
+		if _, err := ReadInstanceJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted: %s", i, src)
+		}
+	}
+}
+
+func TestReadScheduleJSONRejectsInfeasible(t *testing.T) {
+	// Two tasks overlapping on one machine.
+	src := `{
+	  "instance": {"m": 1, "tasks": [
+	    {"release": 0, "proc": 2},
+	    {"release": 0, "proc": 2}
+	  ]},
+	  "machine": [0, 0],
+	  "start": [0, 1]
+	}`
+	if _, err := ReadScheduleJSON(strings.NewReader(src)); err == nil {
+		t.Fatal("overlapping schedule accepted")
+	}
+	// Wrong array lengths.
+	src2 := `{"instance":{"m":1,"tasks":[{"release":0,"proc":1}]},"machine":[0,0],"start":[0]}`
+	if _, err := ReadScheduleJSON(strings.NewReader(src2)); err == nil {
+		t.Fatal("mismatched arrays accepted")
+	}
+}
+
+func TestJSONUnrestrictedStaysNil(t *testing.T) {
+	inst := NewInstance(2, []Task{{Release: 0, Proc: 1}})
+	var buf bytes.Buffer
+	if err := inst.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"set"`) {
+		t.Fatalf("unrestricted set should be omitted: %s", buf.String())
+	}
+	back, err := ReadInstanceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tasks[0].Set != nil {
+		t.Fatalf("unrestricted set should stay nil")
+	}
+}

@@ -1,0 +1,138 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueOrdersByTime(t *testing.T) {
+	var q Queue[string]
+	q.Push(3, "c")
+	q.Push(1, "a")
+	q.Push(2, "b")
+	var got []string
+	for q.Len() > 0 {
+		_, p := q.Pop()
+		got = append(got, p)
+	}
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestQueueFIFOAmongTies(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 10; i++ {
+		q.Push(5, i)
+	}
+	for i := 0; i < 10; i++ {
+		_, p := q.Pop()
+		if p != i {
+			t.Fatalf("tie order broken: got %d at position %d", p, i)
+		}
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	var q Queue[int]
+	q.Push(2, 20)
+	q.Push(1, 10)
+	tm, p := q.Peek()
+	if tm != 1 || p != 10 {
+		t.Fatalf("Peek = %v %v", tm, p)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Peek should not remove")
+	}
+}
+
+func TestQueueHeapProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue[int]
+		n := 1 + rng.Intn(200)
+		times := make([]float64, n)
+		for i := range times {
+			times[i] = float64(rng.Intn(20)) // many ties
+			q.Push(times[i], i)
+		}
+		sort.Float64s(times)
+		prevTime := -1.0
+		prevSeqAtTime := -1
+		for i := 0; q.Len() > 0; i++ {
+			tm, p := q.Pop()
+			if tm != times[i] {
+				return false
+			}
+			if tm == prevTime {
+				if p < prevSeqAtTime { // FIFO among equal times
+					return false
+				}
+			}
+			prevTime, prevSeqAtTime = tm, p
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineHeapBasics(t *testing.T) {
+	h := NewMachineHeap(4)
+	j, key := h.MinMachine()
+	if j != 0 || key != 0 {
+		t.Fatalf("initial min = %d %v", j, key)
+	}
+	h.Update(0, 5)
+	h.Update(1, 3)
+	h.Update(2, 3)
+	h.Update(3, 7)
+	j, key = h.MinMachine()
+	if j != 1 || key != 3 { // tie between 1 and 2 -> smallest index
+		t.Fatalf("min = %d %v, want 1 3", j, key)
+	}
+	h.Update(1, 10)
+	j, _ = h.MinMachine()
+	if j != 2 {
+		t.Fatalf("after update min = %d, want 2", j)
+	}
+	if h.Key(3) != 7 {
+		t.Fatalf("Key(3) = %v", h.Key(3))
+	}
+	if h.Len() != 4 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestMachineHeapMatchesLinearScan(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(30)
+		h := NewMachineHeap(m)
+		keys := make([]float64, m)
+		for step := 0; step < 200; step++ {
+			j := rng.Intn(m)
+			k := float64(rng.Intn(10))
+			h.Update(j, k)
+			keys[j] = k
+			// Linear scan reference with min-index tie-break.
+			bestJ, bestK := 0, keys[0]
+			for x := 1; x < m; x++ {
+				if keys[x] < bestK {
+					bestJ, bestK = x, keys[x]
+				}
+			}
+			gotJ, gotK := h.MinMachine()
+			if gotJ != bestJ || gotK != bestK {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"flowsched/internal/table"
+)
+
+// WriteCSV emits the Figure 10 sweep in long format
+// (strategy,s,k,max_load_pct), ready for external plotting.
+func (d *Fig10Data) WriteCSV(w io.Writer) {
+	t := table.New("strategy", "s", "k", "max_load_pct")
+	for i, s := range d.Ss {
+		for j, k := range d.Ks {
+			t.AddRow("overlapping", fmt.Sprintf("%.2f", s), k, d.Overlapping[i][j])
+			t.AddRow("disjoint", fmt.Sprintf("%.2f", s), k, d.Disjoint[i][j])
+		}
+	}
+	t.RenderCSV(w)
+}
+
+// WriteRatioCSV emits the Figure 10b gain matrix in long format
+// (s,k,ratio).
+func (d *Fig10Data) WriteRatioCSV(w io.Writer) {
+	r := d.Ratio()
+	t := table.New("s", "k", "ratio")
+	for i, s := range d.Ss {
+		for j, k := range d.Ks {
+			t.AddRow(fmt.Sprintf("%.2f", s), k, r[i][j])
+		}
+	}
+	t.RenderCSV(w)
+}
+
+// WriteCSV emits the Figure 11 curves in long format
+// (case,heuristic,strategy,load_pct,fmax) followed by the LP verticals as
+// (case,strategy,max_load_pct) rows in a second block separated by a blank
+// line.
+func (d *Fig11Data) WriteCSV(w io.Writer) {
+	t := table.New("case", "heuristic", "strategy", "load_pct", "fmax")
+	for _, p := range d.Points {
+		t.AddRow(p.Case.String(), p.Heuristic, p.Strategy, p.LoadPct, p.Fmax)
+	}
+	t.RenderCSV(w)
+	fmt.Fprintln(w)
+	keys := make([]string, 0, len(d.MaxLoad))
+	for key := range d.MaxLoad {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	v := table.New("case_strategy", "theoretical_max_load_pct")
+	for _, key := range keys {
+		v.AddRow(key, d.MaxLoad[key])
+	}
+	v.RenderCSV(w)
+}

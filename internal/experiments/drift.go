@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"flowsched/internal/replicate"
+	"flowsched/internal/sim"
+	"flowsched/internal/stats"
+	"flowsched/internal/table"
+	"flowsched/internal/workload"
+)
+
+// DriftConfig controls the popularity-drift extension: the Zipf
+// permutation re-shuffles every epoch, so the hot machines move while the
+// replication layout stays fixed.
+type DriftConfig struct {
+	M, K     int
+	N        int
+	Reps     int
+	Load     float64
+	SBias    float64
+	Segments []int // epochs per run to sweep (1 = the paper's static case)
+	Seed     int64
+}
+
+// DefaultDrift returns the default drift sweep.
+func DefaultDrift() DriftConfig {
+	return DriftConfig{
+		M: 15, K: 3, N: 10000, Reps: 5, Load: 0.55, SBias: 1,
+		Segments: []int{1, 2, 5, 10}, Seed: 1,
+	}
+}
+
+// DriftRow is one epoch-count outcome.
+type DriftRow struct {
+	Segments       int
+	FmaxOv, FmaxDj float64 // median Fmax (EFT-Min)
+}
+
+// PopularityDrift sweeps the number of popularity epochs and reports
+// median Fmax for both strategies. Expected shape: drifting popularity
+// helps rather than hurts — each epoch's hot spot saturates its block for
+// a shorter time, and overlapping replication keeps absorbing it; the
+// disjoint strategy's unlucky blocks change identity but not severity.
+func PopularityDrift(w io.Writer, cfg DriftConfig) ([]DriftRow, error) {
+	strategies := map[string]replicate.Strategy{
+		"overlapping": replicate.Overlapping{K: cfg.K},
+		"disjoint":    replicate.Disjoint{K: cfg.K},
+	}
+	var rows []DriftRow
+	out := table.New("epochs", "Fmax overlap", "Fmax disjoint")
+	for _, segs := range cfg.Segments {
+		row := DriftRow{Segments: segs}
+		for name, strat := range strategies {
+			var fmaxes []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				rng := subRng(cfg.Seed, 12, int64(rep), int64(segs))
+				inst, err := workload.GenerateDrift(workload.DriftConfig{
+					M: cfg.M, N: cfg.N, Rate: workload.RateForLoad(cfg.Load, cfg.M),
+					SBias: cfg.SBias, Segments: segs, Strategy: strat,
+				}, rng)
+				if err != nil {
+					return nil, err
+				}
+				_, metrics, err := sim.Run(inst, sim.EFTRouter{})
+				if err != nil {
+					return nil, err
+				}
+				fmaxes = append(fmaxes, float64(metrics.MaxFlow()))
+			}
+			if name == "overlapping" {
+				row.FmaxOv = stats.Median(fmaxes)
+			} else {
+				row.FmaxDj = stats.Median(fmaxes)
+			}
+		}
+		rows = append(rows, row)
+		out.AddRow(row.Segments, row.FmaxOv, row.FmaxDj)
+	}
+	fmt.Fprintf(w, "Popularity drift — Fmax vs number of popularity epochs (m=%d, k=%d, load %.0f%%, Shuffled s=%v, EFT-Min):\n",
+		cfg.M, cfg.K, cfg.Load*100, cfg.SBias)
+	out.Render(w)
+	fmt.Fprintln(w, "\nepochs = 1 is the paper's static bias; with drift the hot spot moves while the replication")
+	fmt.Fprintln(w, "layout stays fixed — overlapping intervals keep absorbing it, disjoint blocks keep saturating.")
+	return rows, nil
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"flowsched/internal/adversary"
+	"flowsched/internal/core"
+	"flowsched/internal/popularity"
+	"flowsched/internal/psets"
+	"flowsched/internal/replicate"
+	"flowsched/internal/sched"
+	"flowsched/internal/table"
+)
+
+// Figure1 demonstrates the reduction graph of processing set structures
+// (Figure 1) by classifying generated witnesses of each structure and
+// verifying the implications disjoint → nested, inclusive → nested, and
+// nested → interval after renumbering.
+func Figure1(w io.Writer, m int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Fprintln(w, "Figure 1 — reduction graph of processing set structures (A → B: A is a special case of B):")
+	fmt.Fprintln(w, "  disjoint  → nested;  inclusive → nested;  nested → interval (after machine renumbering);  interval → Mi")
+	fmt.Fprintln(w)
+
+	out := table.New("witness family", "disjoint", "inclusive", "nested", "interval(as given)", "interval(after renumbering)")
+	report := func(name string, f psets.Family) error {
+		renum := "n/a"
+		if f.IsNested() {
+			perm, err := f.IntervalOrder()
+			if err != nil {
+				return err
+			}
+			ok := true
+			for _, s := range f.Renumber(perm).Sets {
+				if !s.IsContiguous() {
+					ok = false
+				}
+			}
+			renum = fmt.Sprintf("%v", ok)
+		}
+		out.AddRow(name, f.IsDisjoint(), f.IsInclusive(), f.IsNested(), f.IsInterval(), renum)
+		return nil
+	}
+	if err := report("disjoint blocks", psets.RandomDisjointPartition(m, 3)); err != nil {
+		return err
+	}
+	if err := report("inclusive chain", psets.RandomInclusiveChain(m, 4, rng)); err != nil {
+		return err
+	}
+	if err := report("nested (laminar)", psets.RandomNested(m, rng)); err != nil {
+		return err
+	}
+	if err := report("overlapping intervals", psets.RandomIntervals(m, 3, m, rng)); err != nil {
+		return err
+	}
+	if err := report("general subsets", psets.RandomGeneral(m, m, rng)); err != nil {
+		return err
+	}
+	out.Render(w)
+	return nil
+}
+
+// Figure3 renders the EFT-Min schedule of the Theorem 8 adversary stream
+// (the paper shows m=6, k=3 over t = 0..3) as an ASCII Gantt chart.
+func Figure3(w io.Writer, m, k, steps int) error {
+	if steps <= 0 {
+		steps = 4
+	}
+	inst, s := adversary.StreamSchedule(sched.MinTie{}, m, k, steps)
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 3 — EFT-Min schedule of the adversary stream, m=%d, k=%d, t=0..%d\n", m, k, steps-1)
+	fmt.Fprintf(w, "(each round releases %d typed tasks then %d type-1 tasks; one glyph per task, '.' idle)\n\n", m-k, k)
+	fmt.Fprint(w, s.Gantt(1))
+	fmt.Fprintf(w, "\nFmax after %d rounds: %v (bound: m-k+1 = %d)\n", steps, s.MaxFlow(), m-k+1)
+	_ = inst
+	return nil
+}
+
+// Figure4 prints the EFT-Min schedule profile w_t against the stable
+// profile w_τ(j) = min(m−j, m−k) (Figure 4 shows them mid-convergence).
+func Figure4(w io.Writer, m, k int) error {
+	steps := m * m * m
+	profiles := adversary.StreamProfiles(sched.MinTie{}, m, k, steps)
+	stable := adversary.StableProfile(m, k)
+
+	// Locate the convergence time.
+	conv := -1
+	for t, prof := range profiles {
+		eq := true
+		for j := range prof {
+			if prof[j] != stable[j] {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			conv = t
+			break
+		}
+	}
+	fmt.Fprintf(w, "Figure 4 — schedule profile w_t vs stable profile w_τ (m=%d, k=%d)\n\n", m, k)
+	out := table.New("machine", "w_t (t=1)", "w_t (mid)", "w_τ (stable)")
+	mid := conv / 2
+	if mid < 1 {
+		mid = 1
+	}
+	for j := 0; j < m; j++ {
+		out.AddRow(fmt.Sprintf("M%d", j+1), profiles[1][j], profiles[mid][j], stable[j])
+	}
+	out.Render(w)
+	if conv >= 0 {
+		fmt.Fprintf(w, "\nprofile reaches w_τ at t=%d and stays there (Lemmas 3-4)\n", conv)
+	} else {
+		fmt.Fprintf(w, "\nprofile did not reach w_τ within %d rounds\n", steps)
+	}
+	return nil
+}
+
+// Figure8 prints the per-machine load distribution λ·P(E_j) of the three
+// popularity cases (the paper shows m=6, λ=m, s=1).
+func Figure8(w io.Writer, m int, s float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	lambda := float64(m)
+	uni := popularity.Weights(popularity.Uniform, m, s, nil)
+	wc := popularity.Weights(popularity.Worst, m, s, nil)
+	sh := popularity.Weights(popularity.Shuffled, m, s, rng)
+
+	fmt.Fprintf(w, "Figure 8 — load distribution λ·P(E_j) with m=%d, λ=m, s=%v\n\n", m, s)
+	out := table.New("machine", "Uniform", "Worst-case", "Shuffled")
+	for j := 0; j < m; j++ {
+		out.AddRow(fmt.Sprintf("M%d", j+1), lambda*uni[j], lambda*wc[j], lambda*sh[j])
+	}
+	out.Render(w)
+	fmt.Fprintf(w, "\nmax machine load: Uniform %.3g, Worst-case %.3g, Shuffled %.3g (loads > 1 saturate without replication)\n",
+		lambda*maxOf(uni), lambda*maxOf(wc), lambda*maxOf(sh))
+	return nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Figure9 prints the replication strategy example of Figure 9: the
+// processing set of every primary under the overlapping and disjoint
+// strategies.
+func Figure9(w io.Writer, m, k int) error {
+	fmt.Fprintf(w, "Figure 9 — replication strategies, m=%d, k=%d\n\n", m, k)
+	out := table.New("primary", "no replication", "disjoint", "overlapping")
+	ov := replicate.Overlapping{K: k}
+	dj := replicate.Disjoint{K: k}
+	no := replicate.None{}
+	for u := 0; u < m; u++ {
+		out.AddRow(fmt.Sprintf("M%d", u+1),
+			no.Set(u, m).String(), dj.Set(u, m).String(), ov.Set(u, m).String())
+	}
+	out.Render(w)
+	return nil
+}
+
+// mustValidate panics if a schedule is invalid; experiment drivers use it
+// where invalidity means a library bug rather than bad input.
+func mustValidate(s *core.Schedule) {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, shared by cmd/experiments and the benchmark harness
+// (bench_test.go). Each driver prints the regenerated rows/series and
+// returns the underlying data for programmatic checks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"flowsched/internal/core"
+	"flowsched/internal/offline"
+	"flowsched/internal/preempt"
+	"flowsched/internal/sched"
+	"flowsched/internal/table"
+)
+
+// Table1Config controls the empirical verification attached to Table 1.
+type Table1Config struct {
+	Ms     []int // machine counts for the FIFO verification rows
+	N      int   // tasks per random instance (≤ offline.MaxBruteForceTasks)
+	Trials int   // random instances per machine count
+	Seed   int64
+}
+
+// DefaultTable1 returns the default configuration.
+func DefaultTable1() Table1Config {
+	return Table1Config{Ms: []int{1, 2, 3, 4}, N: 9, Trials: 60, Seed: 1}
+}
+
+// Table1Row is one verified row of Table 1.
+type Table1Row struct {
+	M                 int
+	Bound             float64 // 3 − 2/m
+	WorstMeasured     float64 // max observed EFT/OPT ratio (non-preemptive OPT)
+	WorstVsPreemptive float64 // max observed EFT/OPT ratio against the preemptive OPT
+}
+
+// Table1 reprints the literature table of the paper and empirically
+// verifies its FIFO rows: on random unrestricted instances, the EFT (≡
+// FIFO, Proposition 1) max-flow never exceeds (3 − 2/m) times the exact
+// brute-force optimum.
+func Table1(w io.Writer, cfg Table1Config) ([]Table1Row, error) {
+	fmt.Fprintln(w, "Table 1 — existing results on max-flow optimization (literature):")
+	lit := table.New("Env.", "Preemption", "Algorithm", "Type", "Ratio", "Ref.")
+	lit.AddRow("P", "Non-preemptive", "FIFO", "Online", "3 - 2/m", "[11]")
+	lit.AddRow("P", "Non-preemptive", "any", "Online", ">= 2 - 1/m", "[19]")
+	lit.AddRow("P", "Preemptive", "FIFO", "Online", "3 - 2/m", "[12]")
+	lit.AddRow("P", "Preemptive", "Ambühl et al.", "Online", "2 - 1/m", "[19]")
+	lit.AddRow("P", "Preemptive", "any", "Online", ">= 2 - 1/m", "[19]")
+	lit.AddRow("P|Mi", "Non-preemptive", "any", "Online", ">= Ω(m)", "[13]")
+	lit.AddRow("Q", "Non-preemptive", "Double-Fit", "Online", "13.5", "[20]")
+	lit.AddRow("Q", "Non-preemptive", "Slow-Fit", "Online", ">= Ω(m)", "[20]")
+	lit.AddRow("Q", "Non-preemptive", "Greedy", "Online", ">= Ω(log m)", "[20]")
+	lit.AddRow("R", "Non-preemptive", "Bansal et al.", "Offline", "O(log n)", "[22]")
+	lit.AddRow("R", "Non-preemptive", "Bansal", "Offline PTAS", "1+eps", "[21]")
+	lit.AddRow("R", "Non-preemptive", "Mastrolilli", "Offline FPTAS", "1+eps", "[12]")
+	lit.AddRow("R", "Preemptive", "Legrand et al.", "Offline", "Optimal", "[18]")
+	lit.Render(w)
+
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Empirical verification of the FIFO rows (EFT ≡ FIFO by Prop. 1), %d random instances per m:\n", cfg.Trials)
+	fmt.Fprintln(w, "(the preemptive column checks Mastrolilli [12]: FIFO stays within 3-2/m even of the PREEMPTIVE optimum)")
+	rows := make([]Table1Row, 0, len(cfg.Ms))
+	out := table.New("m", "bound 3-2/m", "worst EFT/OPT", "worst EFT/preemptive-OPT", "holds")
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, m := range cfg.Ms {
+		worst, worstP := 0.0, 0.0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			tasks := make([]core.Task, cfg.N)
+			for i := range tasks {
+				tasks[i] = core.Task{
+					Release: rng.Float64() * 4,
+					Proc:    0.2 + rng.Float64()*2,
+				}
+			}
+			inst := core.NewInstance(m, tasks)
+			eft, err := sched.NewEFT(sched.MinTie{}).Run(inst)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := offline.BruteForce(inst)
+			if err != nil {
+				return nil, err
+			}
+			if r := float64(eft.MaxFlow() / opt.MaxFlow()); r > worst {
+				worst = r
+			}
+			pOpt, err := preempt.OptimalFmax(inst, 0, 0, 1e-8)
+			if err != nil {
+				return nil, err
+			}
+			if r := float64(eft.MaxFlow()) / pOpt; r > worstP {
+				worstP = r
+			}
+		}
+		bound := 3 - 2/float64(m)
+		rows = append(rows, Table1Row{M: m, Bound: bound, WorstMeasured: worst, WorstVsPreemptive: worstP})
+		out.AddRow(m, bound, worst, worstP, worst <= bound+1e-9 && worstP <= bound+1e-4)
+	}
+	out.Render(w)
+	return rows, nil
+}

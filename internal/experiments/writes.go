@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"flowsched/internal/popularity"
+	"flowsched/internal/replicate"
+	"flowsched/internal/sim"
+	"flowsched/internal/stats"
+	"flowsched/internal/table"
+	"flowsched/internal/workload"
+)
+
+// WritesConfig controls the write fan-out extension: the paper models
+// reads only; real stores also write to every replica, so larger k helps
+// reads and hurts writes.
+type WritesConfig struct {
+	M, K      int
+	N         int // requests per run
+	Reps      int
+	Rate      float64 // request rate (before write fan-out)
+	SBias     float64
+	Fractions []float64 // write fractions to sweep
+	Seed      int64
+}
+
+// DefaultWrites returns the default sweep: 40% base load so the fan-out
+// head-room is visible before saturation.
+func DefaultWrites() WritesConfig {
+	return WritesConfig{
+		M: 15, K: 3, N: 10000, Reps: 5, Rate: 0.4 * 15, SBias: 1,
+		Fractions: []float64{0, 0.1, 0.25, 0.5, 1.0}, Seed: 1,
+	}
+}
+
+// WritesRow is one write-fraction outcome.
+type WritesRow struct {
+	WriteFraction        float64
+	EffLoadOv, EffLoadDj float64 // effective machine load per strategy
+	FmaxOv, FmaxDj       float64 // median Fmax per strategy (EFT-Min)
+}
+
+// WriteFanout sweeps the write fraction and reports the effective load and
+// the simulated Fmax for both replication strategies under EFT-Min. The
+// shape to expect: at fraction 0 this is the paper's model (overlapping
+// wins); as writes dominate, the fan-out multiplies the load by up to k
+// and both strategies saturate — replication stops being free.
+func WriteFanout(w io.Writer, cfg WritesConfig) ([]WritesRow, error) {
+	strategies := map[string]replicate.Strategy{
+		"overlapping": replicate.Overlapping{K: cfg.K},
+		"disjoint":    replicate.Disjoint{K: cfg.K},
+	}
+	var rows []WritesRow
+	out := table.New("write %", "eff. load ov %", "eff. load dj %", "Fmax overlap", "Fmax disjoint")
+	for _, wf := range cfg.Fractions {
+		row := WritesRow{WriteFraction: wf}
+		for name, strat := range strategies {
+			var fmaxes []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				rng := subRng(cfg.Seed, 11, int64(rep), int64(wf*1000))
+				weights := popularity.Weights(popularity.Shuffled, cfg.M, cfg.SBias, rng)
+				mcfg := workload.MixedConfig{
+					M: cfg.M, N: cfg.N, Rate: cfg.Rate,
+					WriteFraction: wf, Weights: weights, Strategy: strat,
+				}
+				inst, err := workload.GenerateMixed(mcfg, rng)
+				if err != nil {
+					return nil, err
+				}
+				_, metrics, err := sim.Run(inst, sim.EFTRouter{})
+				if err != nil {
+					return nil, err
+				}
+				fmaxes = append(fmaxes, float64(metrics.MaxFlow()))
+			}
+			med := stats.Median(fmaxes)
+			eff := 100 * workload.EffectiveLoad(workload.MixedConfig{
+				M: cfg.M, Rate: cfg.Rate, WriteFraction: wf, Strategy: strat,
+			})
+			if name == "overlapping" {
+				row.FmaxOv, row.EffLoadOv = med, eff
+			} else {
+				row.FmaxDj, row.EffLoadDj = med, eff
+			}
+		}
+		rows = append(rows, row)
+		out.AddRow(fmt.Sprintf("%.0f", wf*100),
+			fmt.Sprintf("%.0f", row.EffLoadOv), fmt.Sprintf("%.0f", row.EffLoadDj),
+			row.FmaxOv, row.FmaxDj)
+	}
+	fmt.Fprintf(w, "Write fan-out — Fmax vs write fraction (m=%d, k=%d, request rate %.1f, Shuffled s=%v, EFT-Min):\n",
+		cfg.M, cfg.K, cfg.Rate, cfg.SBias)
+	out.Render(w)
+	fmt.Fprintln(w, "\nreads see any replica (the paper's model); writes fan out to every replica, so the")
+	fmt.Fprintln(w, "effective load grows toward k× the request rate — replication is not free once writes dominate.")
+	return rows, nil
+}

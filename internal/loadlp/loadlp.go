@@ -1,0 +1,222 @@
+// Package loadlp computes the theoretical maximum cluster load of
+// Section 7.2: the largest arrival rate λ such that, after replication, the
+// per-machine load stays below 100%. It implements the paper's Linear
+// Program (15) three independent ways so Figures 10a/10b rest on
+// cross-checked numbers:
+//
+//   - MaxLoadLP: the LP solved literally with the simplex of internal/lp;
+//   - MaxLoadFlow: bisection on λ with a max-flow feasibility oracle
+//     (internal/maxflow);
+//   - MaxLoadHall: exact enumeration of the Gale–Hoffman/Hall condition
+//     λ·P(A) ≤ |N(A)| over all primary subsets A (m ≤ 25).
+//
+// MaxLoadDisjoint gives the closed form for disjoint strategies.
+package loadlp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"flowsched/internal/core"
+	"flowsched/internal/lp"
+	"flowsched/internal/maxflow"
+	"flowsched/internal/psets"
+	"flowsched/internal/replicate"
+)
+
+// Model is a max-load problem: machine popularity weights P(E_j) and, for
+// every primary machine j, the set of machines that may process its work
+// after replication (I_k(j) in the paper).
+type Model struct {
+	M       int
+	Weights []float64
+	Sets    []core.ProcSet // Sets[j] = I_k(j)
+}
+
+// NewModel builds the model for a weight vector and a replication strategy.
+// It panics on an empty weight vector (no machines).
+func NewModel(weights []float64, strategy replicate.Strategy) *Model {
+	m := len(weights)
+	if m == 0 {
+		panic("loadlp: empty weight vector")
+	}
+	sets := make([]core.ProcSet, m)
+	for j := 0; j < m; j++ {
+		sets[j] = strategy.Set(j, m)
+	}
+	return &Model{M: m, Weights: weights, Sets: sets}
+}
+
+// MaxLoadLP solves LP (15) with the simplex method and returns the maximal
+// λ. Variables: x_0 = λ and one a_ij per admissible (machine i, primary j)
+// pair; constraints (15b)-(15f) as in the paper.
+func (mo *Model) MaxLoadLP() (float64, error) {
+	// Index admissible pairs.
+	type pair struct{ i, j int }
+	var pairs []pair
+	index := make(map[pair]int)
+	for j := 0; j < mo.M; j++ {
+		for _, i := range mo.Sets[j] {
+			index[pair{i, j}] = len(pairs) + 1 // +1: variable 0 is λ
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	numVars := 1 + len(pairs)
+	p := lp.NewProblem(numVars, true)
+	p.SetObjectiveCoef(0, 1) // maximize λ (15a)
+
+	// (15b): Σ_i a_ij - λ P(E_j) = 0 for all j.
+	for j := 0; j < mo.M; j++ {
+		idx := []int{0}
+		val := []float64{-mo.Weights[j]}
+		for _, i := range mo.Sets[j] {
+			idx = append(idx, index[pair{i, j}])
+			val = append(val, 1)
+		}
+		p.AddConstraintSparse(idx, val, lp.EQ, 0)
+	}
+	// (15c): Σ_j a_ij ≤ 1 for all i.
+	for i := 0; i < mo.M; i++ {
+		var idx []int
+		var val []float64
+		for j := 0; j < mo.M; j++ {
+			if mo.Sets[j].Contains(i) {
+				idx = append(idx, index[pair{i, j}])
+				val = append(val, 1)
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		p.AddConstraintSparse(idx, val, lp.LE, 1)
+	}
+	// (15d) is enforced structurally (absent variables); (15e)-(15f) are the
+	// solver's non-negativity.
+	sol, err := p.Solve()
+	if err != nil {
+		return 0, fmt.Errorf("loadlp: %w", err)
+	}
+	return sol.Objective, nil
+}
+
+// feasibleFlow reports whether arrival rate lambda is sustainable, using a
+// max-flow feasibility network: source → primary j (capacity λ·P(E_j)),
+// primary j → machine i for admissible pairs (∞), machine i → sink
+// (capacity 1).
+func (mo *Model) feasibleFlow(lambda float64) bool {
+	m := mo.M
+	src, sink := 2*m, 2*m+1
+	g := maxflow.NewGraph(2*m + 2)
+	demand := 0.0
+	for j := 0; j < m; j++ {
+		d := lambda * mo.Weights[j]
+		demand += d
+		g.AddEdge(src, j, d)
+		for _, i := range mo.Sets[j] {
+			g.AddEdge(j, m+i, math.Inf(1))
+		}
+	}
+	for i := 0; i < m; i++ {
+		g.AddEdge(m+i, sink, 1)
+	}
+	r := g.Run(src, sink)
+	return r.Value >= demand-1e-9
+}
+
+// MaxLoadFlow computes the maximal λ by bisection over the max-flow
+// feasibility oracle, to absolute precision tol (1e-9 when tol ≤ 0).
+func (mo *Model) MaxLoadFlow(tol float64) float64 {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	lo, hi := 0.0, float64(mo.M)+1
+	if !mo.feasibleFlow(tol) {
+		// Degenerate weights: nothing is sustainable beyond 0.
+		return 0
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if mo.feasibleFlow(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// MaxLoadHall computes the exact maximal λ by enumerating the Hall
+// condition: λ is feasible iff λ·P(A) ≤ |N(A)| for every subset A of
+// primaries, where N(A) = ∪_{j∈A} I_k(j). Hence
+//
+//	λ* = min_{A ≠ ∅, P(A) > 0} |N(A)| / P(A).
+//
+// It panics for m > 25 (the enumeration is 2^m).
+func (mo *Model) MaxLoadHall() float64 {
+	m := mo.M
+	if m > 25 {
+		panic("loadlp: MaxLoadHall limited to m ≤ 25")
+	}
+	targets := make([]uint32, m)
+	for j := 0; j < m; j++ {
+		var b uint32
+		for _, i := range mo.Sets[j] {
+			b |= 1 << uint(i)
+		}
+		targets[j] = b
+	}
+	size := 1 << uint(m)
+	union := make([]uint32, size)
+	weight := make([]float64, size)
+	best := math.Inf(1)
+	for mask := 1; mask < size; mask++ {
+		low := mask & (-mask)
+		j := bits.TrailingZeros32(uint32(low))
+		rest := mask ^ low
+		union[mask] = union[rest] | targets[j]
+		weight[mask] = weight[rest] + mo.Weights[j]
+		if weight[mask] <= 0 {
+			continue
+		}
+		ratio := float64(bits.OnesCount32(union[mask])) / weight[mask]
+		if ratio < best {
+			best = ratio
+		}
+	}
+	return best
+}
+
+// MaxLoadDisjoint computes the closed form for a disjoint family: the work
+// of a block can spread anywhere inside the block and nowhere else, so
+//
+//	λ* = min_B |B| / P(B).
+//
+// It returns an error if the model's sets do not form a disjoint family.
+func (mo *Model) MaxLoadDisjoint() (float64, error) {
+	fam := psets.NewFamily(mo.M, mo.Sets...)
+	if !fam.IsDisjoint() {
+		return 0, fmt.Errorf("loadlp: sets are not a disjoint family")
+	}
+	best := math.Inf(1)
+	for _, block := range fam.Sets {
+		p := 0.0
+		for j := 0; j < mo.M; j++ {
+			if mo.Sets[j].Equal(block) {
+				p += mo.Weights[j]
+			}
+		}
+		if p > 0 {
+			if r := float64(block.Len()) / p; r < best {
+				best = r
+			}
+		}
+	}
+	return best, nil
+}
+
+// MaxLoadPercent converts a λ value to the cluster load percentage
+// 100·λ/m reported in Figure 10.
+func (mo *Model) MaxLoadPercent(lambda float64) float64 {
+	return 100 * lambda / float64(mo.M)
+}

@@ -1,0 +1,240 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMaximize(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj=36.
+	p := NewProblem(2, true)
+	p.SetObjective([]float64{3, 5})
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 2}, LE, 12)
+	p.AddConstraint([]float64{3, 2}, LE, 18)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s.Objective, 36) || !almost(s.X[0], 2) || !almost(s.X[1], 6) {
+		t.Fatalf("solution = %+v", s)
+	}
+}
+
+func TestSimpleMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 10, x ≥ 2 → x=10? obj: put everything on x:
+	// x=10,y=0 → 20; check.
+	p := NewProblem(2, false)
+	p.SetObjective([]float64{2, 3})
+	p.AddConstraint([]float64{1, 1}, GE, 10)
+	p.AddConstraint([]float64{1, 0}, GE, 2)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s.Objective, 20) || !almost(s.X[0], 10) {
+		t.Fatalf("solution = %+v", s)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// max x + 2y s.t. x + y = 5, y ≤ 3 → y=3, x=2, obj=8.
+	p := NewProblem(2, true)
+	p.SetObjective([]float64{1, 2})
+	p.AddConstraint([]float64{1, 1}, EQ, 5)
+	p.AddConstraint([]float64{0, 1}, LE, 3)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s.Objective, 8) || !almost(s.X[0], 2) || !almost(s.X[1], 3) {
+		t.Fatalf("solution = %+v", s)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1, true)
+	p.SetObjective([]float64{1})
+	p.AddConstraint([]float64{1}, GE, 5)
+	p.AddConstraint([]float64{1}, LE, 3)
+	if _, err := p.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want infeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2, true)
+	p.SetObjective([]float64{1, 1})
+	p.AddConstraint([]float64{1, -1}, LE, 1)
+	if _, err := p.Solve(); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want unbounded", err)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// max x s.t. -x ≤ -2 (i.e. x ≥ 2), x ≤ 7.
+	p := NewProblem(1, true)
+	p.SetObjective([]float64{1})
+	p.AddConstraint([]float64{-1}, LE, -2)
+	p.AddConstraint([]float64{1}, LE, 7)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s.Objective, 7) {
+		t.Fatalf("objective = %v", s.Objective)
+	}
+	// And feasibility of the x ≥ 2 side with minimization.
+	p2 := NewProblem(1, false)
+	p2.SetObjectiveCoef(0, 1)
+	p2.AddConstraint([]float64{-1}, LE, -2)
+	s2, err := p2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s2.Objective, 2) {
+		t.Fatalf("min objective = %v, want 2", s2.Objective)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classic degenerate LP that can cycle without Bland's rule (Beale).
+	p := NewProblem(4, false)
+	p.SetObjective([]float64{-0.75, 150, -0.02, 6})
+	p.AddConstraint([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s.Objective, -0.05) {
+		t.Fatalf("Beale objective = %v, want -0.05", s.Objective)
+	}
+}
+
+func TestRedundantRows(t *testing.T) {
+	// Duplicate equality rows create a redundant artificial basis.
+	p := NewProblem(2, true)
+	p.SetObjective([]float64{1, 1})
+	p.AddConstraint([]float64{1, 1}, EQ, 4)
+	p.AddConstraint([]float64{2, 2}, EQ, 8)
+	p.AddConstraint([]float64{1, 0}, LE, 3)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s.Objective, 4) {
+		t.Fatalf("objective = %v, want 4", s.Objective)
+	}
+}
+
+func TestSparseConstraint(t *testing.T) {
+	p := NewProblem(5, true)
+	p.SetObjectiveCoef(4, 1)
+	p.AddConstraintSparse([]int{4, 0}, []float64{1, 1}, LE, 3)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s.Objective, 3) {
+		t.Fatalf("objective = %v", s.Objective)
+	}
+}
+
+// TestRandom2DAgainstVertexEnumeration cross-checks the simplex on random
+// bounded 2-variable maximization problems against brute-force enumeration
+// of constraint intersections.
+func TestRandom2DAgainstVertexEnumeration(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nc := 2 + rng.Intn(5)
+		type cons struct{ a, b, r float64 }
+		var cs []cons
+		for i := 0; i < nc; i++ {
+			cs = append(cs, cons{float64(1 + rng.Intn(5)), float64(1 + rng.Intn(5)), float64(1 + rng.Intn(20))})
+		}
+		c1, c2 := float64(1+rng.Intn(5)), float64(1+rng.Intn(5))
+
+		p := NewProblem(2, true)
+		p.SetObjective([]float64{c1, c2})
+		for _, c := range cs {
+			p.AddConstraint([]float64{c.a, c.b}, LE, c.r)
+		}
+		s, err := p.Solve()
+		if err != nil {
+			return false // positive coefficients: always feasible & bounded
+		}
+
+		// Enumerate candidate vertices: axes intersections and pairwise
+		// constraint intersections.
+		feasible := func(x, y float64) bool {
+			if x < -1e-9 || y < -1e-9 {
+				return false
+			}
+			for _, c := range cs {
+				if c.a*x+c.b*y > c.r+1e-9 {
+					return false
+				}
+			}
+			return true
+		}
+		best := 0.0 // origin
+		consider := func(x, y float64) {
+			if feasible(x, y) {
+				if v := c1*x + c2*y; v > best {
+					best = v
+				}
+			}
+		}
+		for _, c := range cs {
+			consider(c.r/c.a, 0)
+			consider(0, c.r/c.b)
+		}
+		for i := 0; i < nc; i++ {
+			for j := i + 1; j < nc; j++ {
+				det := cs[i].a*cs[j].b - cs[j].a*cs[i].b
+				if math.Abs(det) < 1e-12 {
+					continue
+				}
+				x := (cs[i].r*cs[j].b - cs[j].r*cs[i].b) / det
+				y := (cs[i].a*cs[j].r - cs[j].a*cs[i].r) / det
+				consider(x, y)
+			}
+		}
+		return math.Abs(s.Objective-best) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	p := NewProblem(2, true)
+	for _, f := range []func(){
+		func() { p.SetObjective([]float64{1}) },
+		func() { p.AddConstraint([]float64{1}, LE, 1) },
+		func() { p.AddConstraintSparse([]int{5}, []float64{1}, LE, 1) },
+		func() { p.AddConstraintSparse([]int{0, 1}, []float64{1}, LE, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSenseString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" || Sense(9).String() != "?" {
+		t.Fatalf("Sense.String broken")
+	}
+}

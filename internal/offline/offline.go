@@ -1,0 +1,323 @@
+// Package offline provides optimal baselines and lower bounds for the
+// offline problem P|r_i,M_i|Fmax, used to measure empirical competitive
+// ratios:
+//
+//   - LowerBound: a polynomial certified lower bound on the optimal Fmax
+//     (interval work arguments plus p_max);
+//   - BruteForce: the exact optimum for small instances by exhaustive
+//     assignment search (each machine runs its tasks in FIFO order, which
+//     is optimal per machine);
+//   - UnitOptimal: the exact optimum for unit tasks with integer releases,
+//     by binary search on F with a bipartite matching feasibility oracle
+//     over (machine, time-slot) pairs — the polynomial special case noted
+//     in Section 6.
+package offline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"flowsched/internal/core"
+	"flowsched/internal/maxflow"
+)
+
+// LowerBound returns a certified lower bound on the optimal maximum flow
+// time. It combines:
+//
+//	F ≥ max_i p_i                                       (bound (3));
+//	F ≥ work released in [a,b] / m − (b − a)            (interval bound);
+//	F ≥ work of tasks restricted to S in [a,b] / |S| − (b − a)
+//	                                                    (per-set bound),
+//
+// where [a,b] ranges over pairs of release times and S over the distinct
+// processing sets of the instance.
+func LowerBound(inst *core.Instance) core.Time {
+	lb := inst.MaxProc()
+	n := inst.N()
+	if n == 0 {
+		return 0
+	}
+	sets := inst.Sets()
+	full := core.Interval(0, inst.M-1)
+	// For each window start a (a release time), scan windows [a, b].
+	for ai := 0; ai < n; ai++ {
+		a := inst.Tasks[ai].Release
+		if ai > 0 && a == inst.Tasks[ai-1].Release {
+			continue
+		}
+		work := core.Time(0)
+		workSet := make([]core.Time, len(sets))
+		for bi := ai; bi < n; bi++ {
+			task := inst.Tasks[bi]
+			work += task.Proc
+			ts := task.Set.Resolve(inst.M)
+			for si, s := range sets {
+				if ts.SubsetOf(s) {
+					workSet[si] += task.Proc
+				}
+			}
+			b := task.Release
+			// Only evaluate at the end of a release group.
+			if bi+1 < n && inst.Tasks[bi+1].Release == b {
+				continue
+			}
+			if f := work/core.Time(inst.M) - (b - a); f > lb {
+				lb = f
+			}
+			for si, s := range sets {
+				if s.Equal(full) {
+					continue // already covered by the m-machine bound
+				}
+				if f := workSet[si]/core.Time(s.Len()) - (b - a); f > lb {
+					lb = f
+				}
+			}
+		}
+	}
+	return lb
+}
+
+// MaxBruteForceTasks bounds the instance size accepted by BruteForce.
+const MaxBruteForceTasks = 16
+
+// BruteForce computes the exact optimal Fmax (and an optimal schedule) by
+// exhaustive search over task-to-machine assignments with branch-and-bound.
+// Given an assignment, running each machine's tasks in release order without
+// idling is optimal (FIFO is optimal on a single machine), so only
+// assignments are enumerated. Pruning: the EFT schedule seeds the incumbent,
+// branches are explored in order of resulting flow, the certified LowerBound
+// stops the search as soon as the incumbent matches it, and
+// identical-completion machines are tried only once per node (they are
+// interchangeable: swapping two machines' whole futures preserves
+// feasibility and flows for unrestricted tasks, and a machine's identity
+// only matters through its completion time and membership in the task's
+// set, which the eligible-candidate filtering already accounts for before
+// the symmetry check).
+//
+// Instances larger than MaxBruteForceTasks tasks are rejected.
+func BruteForce(inst *core.Instance) (*core.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if inst.N() > MaxBruteForceTasks {
+		return nil, fmt.Errorf("offline: %d tasks exceed brute-force limit %d", inst.N(), MaxBruteForceTasks)
+	}
+	n := inst.N()
+	lb := LowerBound(inst)
+
+	// Symmetry breaking on identical-completion machines is only valid when
+	// machines are interchangeable for every remaining task, i.e. the
+	// instance is unrestricted.
+	unrestricted := true
+	for _, t := range inst.Tasks {
+		if t.Set != nil && !t.Set.Equal(core.Interval(0, inst.M-1)) {
+			unrestricted = false
+			break
+		}
+	}
+
+	bestF := math.Inf(1)
+	bestMach := make([]int, n)
+	bestStart := make([]core.Time, n)
+
+	// Seed the incumbent with EFT-Min (computed inline to avoid an import
+	// cycle with sched): it is feasible, so bestF starts tight.
+	{
+		completion := make([]core.Time, inst.M)
+		f := core.Time(0)
+		for i, task := range inst.Tasks {
+			best := -1
+			for j := 0; j < inst.M; j++ {
+				if !task.Eligible(j) {
+					continue
+				}
+				if best == -1 || completion[j] < completion[best] {
+					best = j
+				}
+			}
+			start := completion[best]
+			if task.Release > start {
+				start = task.Release
+			}
+			completion[best] = start + task.Proc
+			bestMach[i] = best
+			bestStart[i] = start
+			if fl := start + task.Proc - task.Release; fl > f {
+				f = fl
+			}
+		}
+		bestF = f
+	}
+
+	curMach := make([]int, n)
+	curStart := make([]core.Time, n)
+	completion := make([]core.Time, inst.M)
+	type cand struct {
+		j    int
+		f    core.Time
+		strt core.Time
+	}
+	candBuf := make([][]cand, n)
+	for i := range candBuf {
+		candBuf[i] = make([]cand, 0, inst.M)
+	}
+
+	var dfs func(i int, curF core.Time)
+	dfs = func(i int, curF core.Time) {
+		if curF >= bestF || bestF <= lb+1e-12 {
+			return // prune: flows only grow / incumbent already optimal
+		}
+		if i == n {
+			bestF = curF
+			copy(bestMach, curMach)
+			copy(bestStart, curStart)
+			return
+		}
+		task := inst.Tasks[i]
+		cands := candBuf[i][:0]
+		consider := func(j int) {
+			start := completion[j]
+			if task.Release > start {
+				start = task.Release
+			}
+			f := curF
+			if flow := start + task.Proc - task.Release; flow > f {
+				f = flow
+			}
+			cands = append(cands, cand{j: j, f: f, strt: start})
+		}
+		if task.Set == nil {
+			for j := 0; j < inst.M; j++ {
+				consider(j)
+			}
+		} else {
+			for _, j := range task.Set {
+				consider(j)
+			}
+		}
+		// Symmetry: among eligible machines with the same completion time
+		// (hence same start and flow), keep one representative. Valid only
+		// for fully unrestricted instances.
+		if unrestricted {
+			kept := cands[:0]
+			for _, c := range cands {
+				dup := false
+				for _, k := range kept {
+					if completion[k.j] == completion[c.j] {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					kept = append(kept, c)
+				}
+			}
+			cands = kept
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].f < cands[b].f })
+		for _, c := range cands {
+			if c.f >= bestF {
+				break // sorted: the rest are no better
+			}
+			saved := completion[c.j]
+			completion[c.j] = c.strt + task.Proc
+			curMach[i] = c.j
+			curStart[i] = c.strt
+			dfs(i+1, c.f)
+			completion[c.j] = saved
+		}
+	}
+	dfs(0, 0)
+
+	s := core.NewSchedule(inst)
+	for i := 0; i < n; i++ {
+		s.Assign(i, bestMach[i], bestStart[i])
+	}
+	return s, nil
+}
+
+// UnitOptimal computes the exact optimal Fmax for an instance of unit tasks
+// with integer release times: the smallest integer F such that every task
+// can be matched to a free (machine, slot) pair with slot ∈ [r_i, r_i+F-1],
+// found by binary search with a max-flow feasibility oracle. hi must be a
+// known achievable Fmax (e.g. from any heuristic schedule); pass 0 to use
+// the trivial bound n.
+func UnitOptimal(inst *core.Instance, hi int) (core.Time, error) {
+	if err := inst.Validate(); err != nil {
+		return 0, err
+	}
+	if inst.N() == 0 {
+		return 0, nil
+	}
+	if !inst.UnitTasks() {
+		return 0, fmt.Errorf("offline: UnitOptimal requires unit tasks")
+	}
+	for _, t := range inst.Tasks {
+		if t.Release != math.Trunc(t.Release) {
+			return 0, fmt.Errorf("offline: UnitOptimal requires integer release times, got %v", t.Release)
+		}
+	}
+	if hi <= 0 {
+		hi = inst.N()
+	}
+	lo := 1
+	if !unitFeasible(inst, hi) {
+		return 0, fmt.Errorf("offline: claimed upper bound F=%d is not feasible", hi)
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if unitFeasible(inst, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return core.Time(lo), nil
+}
+
+// unitFeasible reports whether all unit tasks can complete with flow ≤ F.
+func unitFeasible(inst *core.Instance, F int) bool {
+	n := inst.N()
+	type slot struct{ j, t int }
+	slotID := make(map[slot]int)
+	// Nodes: 0 = source, 1..n = tasks, then slots, then sink.
+	var edges []struct {
+		task int
+		s    slot
+	}
+	for i, task := range inst.Tasks {
+		r := int(task.Release)
+		set := task.Set.Resolve(inst.M)
+		for _, j := range set {
+			for t := r; t <= r+F-1; t++ {
+				key := slot{j, t}
+				if _, ok := slotID[key]; !ok {
+					slotID[key] = len(slotID)
+				}
+				edges = append(edges, struct {
+					task int
+					s    slot
+				}{i, key})
+			}
+		}
+	}
+	numNodes := 1 + n + len(slotID) + 1
+	src := 0
+	sink := numNodes - 1
+	g := maxflow.NewGraph(numNodes)
+	for i := 0; i < n; i++ {
+		g.AddEdge(src, 1+i, 1)
+	}
+	slotNode := func(s slot) int { return 1 + n + slotID[s] }
+	added := make(map[int]bool)
+	for _, e := range edges {
+		g.AddEdge(1+e.task, slotNode(e.s), 1)
+		if !added[slotNode(e.s)] {
+			g.AddEdge(slotNode(e.s), sink, 1)
+			added[slotNode(e.s)] = true
+		}
+	}
+	r := g.Run(src, sink)
+	return r.Value >= float64(n)-1e-9
+}

@@ -1,0 +1,422 @@
+package offline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowsched/internal/core"
+	"flowsched/internal/sched"
+)
+
+func TestLowerBoundSimple(t *testing.T) {
+	// One machine, two unit tasks at time 0: OPT Fmax = 2.
+	inst := core.NewInstance(1, []core.Task{
+		{Release: 0, Proc: 1},
+		{Release: 0, Proc: 1},
+	})
+	lb := LowerBound(inst)
+	if lb < 2-1e-9 {
+		t.Fatalf("LowerBound = %v, want ≥ 2", lb)
+	}
+}
+
+func TestLowerBoundPmax(t *testing.T) {
+	inst := core.NewInstance(4, []core.Task{{Release: 0, Proc: 7}})
+	if lb := LowerBound(inst); lb != 7 {
+		t.Fatalf("LowerBound = %v, want 7", lb)
+	}
+}
+
+func TestLowerBoundRestrictedSet(t *testing.T) {
+	// Three unit tasks at time 0 all restricted to machine 0, with 4
+	// machines: per-set bound gives F ≥ 3; the m-machine bound only 3/4.
+	inst := core.NewInstance(4, []core.Task{
+		{Release: 0, Proc: 1, Set: core.NewProcSet(0)},
+		{Release: 0, Proc: 1, Set: core.NewProcSet(0)},
+		{Release: 0, Proc: 1, Set: core.NewProcSet(0)},
+	})
+	if lb := LowerBound(inst); lb < 3-1e-9 {
+		t.Fatalf("LowerBound = %v, want ≥ 3", lb)
+	}
+}
+
+func TestBruteForceTinyExamples(t *testing.T) {
+	// Theorem 7 flavor: T1 on {1,2} p=2 at 0, then two tasks on {0,1} p=2
+	// at 1 -> OPT puts T1 on machine 2, Fmax = 2 (T2,T3 start at 1).
+	inst := core.NewInstance(4, []core.Task{
+		{Release: 0, Proc: 2, Set: core.NewProcSet(1, 2)},
+		{Release: 1, Proc: 2, Set: core.NewProcSet(0, 1)},
+		{Release: 1, Proc: 2, Set: core.NewProcSet(0, 1)},
+	})
+	s, err := BruteForce(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxFlow() != 2 {
+		t.Fatalf("OPT Fmax = %v, want 2", s.MaxFlow())
+	}
+}
+
+func TestBruteForceRejectsLarge(t *testing.T) {
+	tasks := make([]core.Task, MaxBruteForceTasks+1)
+	for i := range tasks {
+		tasks[i] = core.Task{Release: 0, Proc: 1}
+	}
+	if _, err := BruteForce(core.NewInstance(2, tasks)); err == nil {
+		t.Fatalf("expected size rejection")
+	}
+}
+
+func TestUnitOptimalSimple(t *testing.T) {
+	// m=2, four unit tasks at 0: two rounds -> F = 2.
+	tasks := make([]core.Task, 4)
+	for i := range tasks {
+		tasks[i] = core.Task{Release: 0, Proc: 1}
+	}
+	inst := core.NewInstance(2, tasks)
+	f, err := UnitOptimal(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 2 {
+		t.Fatalf("UnitOptimal = %v, want 2", f)
+	}
+}
+
+func TestUnitOptimalRestricted(t *testing.T) {
+	// Three unit tasks at 0 restricted to machine 0 among 3 machines: F=3.
+	inst := core.NewInstance(3, []core.Task{
+		{Release: 0, Proc: 1, Set: core.NewProcSet(0)},
+		{Release: 0, Proc: 1, Set: core.NewProcSet(0)},
+		{Release: 0, Proc: 1, Set: core.NewProcSet(0)},
+	})
+	f, err := UnitOptimal(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 3 {
+		t.Fatalf("UnitOptimal = %v, want 3", f)
+	}
+}
+
+func TestUnitOptimalRejectsNonUnit(t *testing.T) {
+	inst := core.NewInstance(1, []core.Task{{Release: 0, Proc: 2}})
+	if _, err := UnitOptimal(inst, 0); err == nil {
+		t.Fatalf("expected rejection of non-unit tasks")
+	}
+	inst2 := core.NewInstance(1, []core.Task{{Release: 0.5, Proc: 1}})
+	if _, err := UnitOptimal(inst2, 0); err == nil {
+		t.Fatalf("expected rejection of fractional releases")
+	}
+}
+
+// randomUnitInstance draws a small random unit-task instance with arbitrary
+// processing sets and integer releases.
+func randomUnitInstance(rng *rand.Rand, m, n int) *core.Instance {
+	tasks := make([]core.Task, n)
+	for i := range tasks {
+		var ids []int
+		for j := 0; j < m; j++ {
+			if rng.Intn(2) == 0 {
+				ids = append(ids, j)
+			}
+		}
+		if len(ids) == 0 {
+			ids = append(ids, rng.Intn(m))
+		}
+		tasks[i] = core.Task{
+			Release: float64(rng.Intn(5)),
+			Proc:    1,
+			Set:     core.NewProcSet(ids...),
+		}
+	}
+	return core.NewInstance(m, tasks)
+}
+
+// TestBruteForceMatchesUnitOptimal cross-checks the two exact solvers on
+// random small unit instances.
+func TestBruteForceMatchesUnitOptimal(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(3)
+		n := 1 + rng.Intn(8)
+		inst := randomUnitInstance(rng, m, n)
+		bf, err := BruteForce(inst)
+		if err != nil {
+			return false
+		}
+		uo, err := UnitOptimal(inst, 0)
+		if err != nil {
+			return false
+		}
+		return math.Abs(bf.MaxFlow()-uo) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLowerBoundIsValid checks LowerBound ≤ OPT on random small instances.
+func TestLowerBoundIsValid(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(8)
+		tasks := make([]core.Task, n)
+		for i := range tasks {
+			tasks[i] = core.Task{
+				Release: float64(rng.Intn(5)),
+				Proc:    0.5 + rng.Float64()*2,
+			}
+		}
+		inst := core.NewInstance(m, tasks)
+		bf, err := BruteForce(inst)
+		if err != nil {
+			return false
+		}
+		return LowerBound(inst) <= bf.MaxFlow()+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem1Bound verifies FIFO/EFT is within (3 − 2/m) of the exact
+// optimum on random unrestricted instances (Theorem 1).
+func TestTheorem1Bound(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(3)
+		n := 2 + rng.Intn(8)
+		tasks := make([]core.Task, n)
+		for i := range tasks {
+			tasks[i] = core.Task{
+				Release: rng.Float64() * 4,
+				Proc:    0.2 + rng.Float64()*2,
+			}
+		}
+		inst := core.NewInstance(m, tasks)
+		eft, err := sched.NewEFT(sched.MinTie{}).Run(inst)
+		if err != nil {
+			return false
+		}
+		opt, err := BruteForce(inst)
+		if err != nil {
+			return false
+		}
+		ratio := eft.MaxFlow() / opt.MaxFlow()
+		return ratio <= 3-2/float64(m)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem2FIFOOptimalUnit verifies Theorem 2: FIFO solves
+// P|online-r_i, p_i = p|Fmax optimally (unit tasks, no restrictions).
+func TestTheorem2FIFOOptimalUnit(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(10)
+		tasks := make([]core.Task, n)
+		for i := range tasks {
+			tasks[i] = core.Task{Release: float64(rng.Intn(6)), Proc: 1}
+		}
+		inst := core.NewInstance(m, tasks)
+		fifo, err := (&sched.FIFO{}).Run(inst)
+		if err != nil {
+			return false
+		}
+		opt, err := UnitOptimal(inst, int(fifo.MaxFlow())+1)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fifo.MaxFlow()-opt) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorollary1DisjointBound verifies EFT is (3 − 2/k)-competitive on
+// disjoint size-k processing sets (Corollary 1) against the exact optimum.
+func TestCorollary1DisjointBound(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		blocks := 1 + rng.Intn(2)
+		m := k * blocks
+		n := 2 + rng.Intn(7)
+		tasks := make([]core.Task, n)
+		for i := range tasks {
+			b := rng.Intn(blocks)
+			tasks[i] = core.Task{
+				Release: rng.Float64() * 3,
+				Proc:    0.2 + rng.Float64()*2,
+				Set:     core.Interval(b*k, b*k+k-1),
+			}
+		}
+		inst := core.NewInstance(m, tasks)
+		eft, err := sched.NewEFT(sched.MinTie{}).Run(inst)
+		if err != nil {
+			return false
+		}
+		opt, err := BruteForce(inst)
+		if err != nil {
+			return false
+		}
+		return eft.MaxFlow() <= (3-2/float64(k))*opt.MaxFlow()+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnitOptimalBadUpperBound(t *testing.T) {
+	// hi=1 infeasible here (two tasks, one machine).
+	inst := core.NewInstance(1, []core.Task{
+		{Release: 0, Proc: 1},
+		{Release: 0, Proc: 1},
+	})
+	if _, err := UnitOptimal(inst, 1); err == nil {
+		t.Fatalf("expected infeasible upper bound error")
+	}
+}
+
+func TestBruteForceEmptyInstance(t *testing.T) {
+	inst := core.NewInstance(2, nil)
+	s, err := BruteForce(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxFlow() != 0 {
+		t.Fatalf("empty instance Fmax = %v", s.MaxFlow())
+	}
+}
+
+// naiveBruteForce is an unpruned reference used to certify the optimized
+// BruteForce.
+func naiveBruteForce(inst *core.Instance) core.Time {
+	n := inst.N()
+	completion := make([]core.Time, inst.M)
+	best := math.Inf(1)
+	var dfs func(i int, curF core.Time)
+	dfs = func(i int, curF core.Time) {
+		if i == n {
+			if curF < best {
+				best = curF
+			}
+			return
+		}
+		task := inst.Tasks[i]
+		try := func(j int) {
+			start := completion[j]
+			if task.Release > start {
+				start = task.Release
+			}
+			f := curF
+			if flow := start + task.Proc - task.Release; flow > f {
+				f = flow
+			}
+			saved := completion[j]
+			completion[j] = start + task.Proc
+			dfs(i+1, f)
+			completion[j] = saved
+		}
+		if task.Set == nil {
+			for j := 0; j < inst.M; j++ {
+				try(j)
+			}
+		} else {
+			for _, j := range task.Set {
+				try(j)
+			}
+		}
+	}
+	dfs(0, 0)
+	return best
+}
+
+// TestBruteForceMatchesNaive certifies the pruned search (EFT incumbent,
+// branch ordering, symmetry breaking) against the unpruned reference.
+func TestBruteForceMatchesNaive(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(8)
+		tasks := make([]core.Task, n)
+		for i := range tasks {
+			var set core.ProcSet
+			switch rng.Intn(3) {
+			case 0: // unrestricted
+			case 1:
+				lo := rng.Intn(m)
+				set = core.Interval(lo, lo+rng.Intn(m-lo))
+			default:
+				var ids []int
+				for j := 0; j < m; j++ {
+					if rng.Intn(2) == 0 {
+						ids = append(ids, j)
+					}
+				}
+				if len(ids) == 0 {
+					ids = []int{rng.Intn(m)}
+				}
+				set = core.NewProcSet(ids...)
+			}
+			tasks[i] = core.Task{
+				Release: rng.Float64() * 4,
+				Proc:    0.2 + rng.Float64()*2,
+				Set:     set,
+			}
+		}
+		inst := core.NewInstance(m, tasks)
+		pruned, err := BruteForce(inst)
+		if err != nil {
+			return false
+		}
+		if err := pruned.Validate(); err != nil {
+			return false
+		}
+		want := naiveBruteForce(inst)
+		return math.Abs(pruned.MaxFlow()-want) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBruteForceLargerUnrestricted exercises the symmetry-broken search at
+// the new size limit.
+func TestBruteForceLargerUnrestricted(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	tasks := make([]core.Task, 16)
+	for i := range tasks {
+		tasks[i] = core.Task{Release: rng.Float64() * 3, Proc: 0.3 + rng.Float64()}
+	}
+	inst := core.NewInstance(4, tasks)
+	s, err := BruteForce(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if lb := LowerBound(inst); s.MaxFlow() < lb-1e-9 {
+		t.Fatalf("optimal %v below lower bound %v", s.MaxFlow(), lb)
+	}
+	// EFT can't beat the optimum.
+	eft, err := sched.NewEFT(sched.MinTie{}).Run(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eft.MaxFlow() < s.MaxFlow()-1e-9 {
+		t.Fatalf("EFT %v below claimed optimum %v", eft.MaxFlow(), s.MaxFlow())
+	}
+}

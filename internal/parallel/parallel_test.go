@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		var count int64
+		seen := make([]int32, 1000)
+		ForEach(1000, workers, func(i int) {
+			atomic.AddInt64(&count, 1)
+			atomic.AddInt32(&seen[i], 1)
+		})
+		if count != 1000 {
+			t.Fatalf("workers=%d: ran %d jobs", workers, count)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ran := false
+	ForEach(0, 4, func(i int) { ran = true })
+	ForEach(-3, 4, func(i int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for empty range")
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	out := Map(500, 8, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapErrReturnsLowestError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	_, err := MapErr(10, 4, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, errB
+		case 7:
+			return 0, errA
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errB) {
+		t.Fatalf("err = %v, want the lowest-indexed error", err)
+	}
+	out, err := MapErr(5, 2, func(i int) (int, error) { return i, nil })
+	if err != nil || out[4] != 4 {
+		t.Fatalf("clean MapErr: %v %v", out, err)
+	}
+}
+
+// TestDeterministicResults checks that parallel and sequential runs produce
+// identical outputs when jobs derive everything from their index.
+func TestDeterministicResults(t *testing.T) {
+	prop := func(seed int64) bool {
+		job := func(i int) int64 {
+			x := int64(i)*2654435761 + seed
+			x ^= x >> 13
+			return x
+		}
+		seq := Map(200, 1, job)
+		par := Map(200, 16, job)
+		for i := range seq {
+			if seq[i] != par[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package preempt
+
+import (
+	"fmt"
+	"sort"
+
+	"flowsched/internal/core"
+	"flowsched/internal/maxflow"
+)
+
+// The paper notes Fmax is the special case of Lmax with d_i = r_i (so that
+// C_i − d_i = F_i); this file provides the general deadline form: the exact
+// preemptive optimal maximum lateness Lmax = max_i (C_i − d_i) on identical
+// machines with processing sets, via the same interval-capacity flows.
+
+// FeasibleDeadlines reports whether every task can complete by its
+// absolute deadline under preemption. deadlines is indexed by task ID.
+func FeasibleDeadlines(inst *core.Instance, deadlines []core.Time) bool {
+	n := inst.N()
+	if n == 0 {
+		return true
+	}
+	if len(deadlines) != n {
+		panic(fmt.Sprintf("preempt: %d deadlines for %d tasks", len(deadlines), n))
+	}
+	for i, t := range inst.Tasks {
+		if deadlines[i] < t.Release+t.Proc {
+			return false // cannot even run the task inside its window
+		}
+	}
+	points := make([]core.Time, 0, 2*n)
+	for i, t := range inst.Tasks {
+		points = append(points, t.Release, deadlines[i])
+	}
+	sort.Float64s(points)
+	uniq := points[:0]
+	for i, p := range points {
+		if i == 0 || p > uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	type window struct{ lo, hi core.Time }
+	var windows []window
+	for i := 1; i < len(uniq); i++ {
+		windows = append(windows, window{uniq[i-1], uniq[i]})
+	}
+
+	twID := make(map[[2]int]int)
+	wmID := make(map[[2]int]int)
+	next := 1 + n
+	for i, task := range inst.Tasks {
+		for w, win := range windows {
+			if win.lo >= task.Release-1e-12 && win.hi <= deadlines[i]+1e-12 {
+				twID[[2]int{i, w}] = next
+				next++
+				set := task.Set.Resolve(inst.M)
+				for _, j := range set {
+					key := [2]int{w, j}
+					if _, ok := wmID[key]; !ok {
+						wmID[key] = next
+						next++
+					}
+				}
+			}
+		}
+	}
+	sink := next
+	g := maxflow.NewGraph(sink + 1)
+	demand := 0.0
+	for i, task := range inst.Tasks {
+		g.AddEdge(0, 1+i, task.Proc)
+		demand += task.Proc
+		for w, win := range windows {
+			id, ok := twID[[2]int{i, w}]
+			if !ok {
+				continue
+			}
+			length := win.hi - win.lo
+			g.AddEdge(1+i, id, length)
+			set := task.Set.Resolve(inst.M)
+			for _, j := range set {
+				g.AddEdge(id, wmID[[2]int{w, j}], length)
+			}
+		}
+	}
+	for key, id := range wmID {
+		w := key[0]
+		g.AddEdge(id, sink, windows[w].hi-windows[w].lo)
+	}
+	r := g.Run(0, sink)
+	return r.Value >= demand-1e-9*(1+demand)
+}
+
+// OptimalLmax computes the optimal preemptive maximum lateness with respect
+// to the given due dates (indexed by task ID), to within tol (0 = 1e-6).
+// The result may be negative when every task can finish early.
+func OptimalLmax(inst *core.Instance, dueDates []core.Time, tol core.Time) (core.Time, error) {
+	if err := inst.Validate(); err != nil {
+		return 0, err
+	}
+	n := inst.N()
+	if n == 0 {
+		return 0, nil
+	}
+	if len(dueDates) != n {
+		return 0, fmt.Errorf("preempt: %d due dates for %d tasks", len(dueDates), n)
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	// L ≥ r_i + p_i − d_i for every task (a task cannot finish before
+	// r_i + p_i); an upper bound comes from running everything sequentially
+	// after the last release.
+	lo := inst.Tasks[0].Release + inst.Tasks[0].Proc - dueDates[0]
+	for i, t := range inst.Tasks {
+		if v := t.Release + t.Proc - dueDates[i]; v > lo {
+			lo = v
+		}
+	}
+	lastRelease := inst.Tasks[n-1].Release
+	hi := lo
+	for i := range inst.Tasks {
+		if v := lastRelease + inst.TotalWork() - dueDates[i]; v > hi {
+			hi = v
+		}
+	}
+	deadlinesFor := func(L core.Time) []core.Time {
+		ds := make([]core.Time, n)
+		for i := range ds {
+			ds[i] = dueDates[i] + L
+		}
+		return ds
+	}
+	if !FeasibleDeadlines(inst, deadlinesFor(hi)) {
+		return 0, fmt.Errorf("preempt: internal error, upper bound L=%v infeasible", hi)
+	}
+	if FeasibleDeadlines(inst, deadlinesFor(lo)) {
+		return lo, nil
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if FeasibleDeadlines(inst, deadlinesFor(mid)) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,119 @@
+package preempt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowsched/internal/core"
+)
+
+func TestOptimalLmaxReducesToFmax(t *testing.T) {
+	// With due dates d_i = r_i, Lmax = Fmax (the paper's reduction).
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(7)
+		tasks := make([]core.Task, n)
+		for i := range tasks {
+			tasks[i] = core.Task{
+				Release: rng.Float64() * 3,
+				Proc:    0.2 + rng.Float64()*2,
+			}
+		}
+		inst := core.NewInstance(m, tasks)
+		due := make([]core.Time, n)
+		for i, task := range inst.Tasks {
+			due[i] = task.Release
+		}
+		lmax, err := OptimalLmax(inst, due, 1e-8)
+		if err != nil {
+			return false
+		}
+		fmax, err := OptimalFmax(inst, 0, 0, 1e-8)
+		if err != nil {
+			return false
+		}
+		return math.Abs(lmax-fmax) < 1e-5
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalLmaxCanBeNegative(t *testing.T) {
+	// One unit task released at 0 with due date 5: it finishes at 1, so
+	// Lmax = -4.
+	inst := core.NewInstance(1, []core.Task{{Release: 0, Proc: 1}})
+	l, err := OptimalLmax(inst, []core.Time{5}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-(-4)) > 1e-6 {
+		t.Fatalf("Lmax = %v, want -4", l)
+	}
+}
+
+func TestOptimalLmaxKnownExample(t *testing.T) {
+	// Two unit tasks at 0 on one machine, due dates 1 and 1: one finishes
+	// at 1 (L=0), the other at 2 (L=1) → Lmax = 1.
+	inst := core.NewInstance(1, []core.Task{
+		{Release: 0, Proc: 1},
+		{Release: 0, Proc: 1},
+	})
+	l, err := OptimalLmax(inst, []core.Time{1, 1}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-1) > 1e-6 {
+		t.Fatalf("Lmax = %v, want 1", l)
+	}
+}
+
+func TestFeasibleDeadlinesRestricted(t *testing.T) {
+	// Two unit tasks pinned to M1 with deadlines 1 and 2: feasible; both
+	// with deadline 1: infeasible.
+	inst := core.NewInstance(2, []core.Task{
+		{Release: 0, Proc: 1, Set: core.NewProcSet(0)},
+		{Release: 0, Proc: 1, Set: core.NewProcSet(0)},
+	})
+	if !FeasibleDeadlines(inst, []core.Time{1, 2}) {
+		t.Errorf("staggered deadlines should be feasible")
+	}
+	if FeasibleDeadlines(inst, []core.Time{1, 1}) {
+		t.Errorf("both-at-1 should be infeasible on one machine")
+	}
+}
+
+func TestFeasibleDeadlinesTightWindow(t *testing.T) {
+	// A window shorter than the processing time is immediately infeasible.
+	inst := core.NewInstance(3, []core.Task{{Release: 2, Proc: 3}})
+	if FeasibleDeadlines(inst, []core.Time{4}) {
+		t.Errorf("window of length 2 cannot fit p=3")
+	}
+	if !FeasibleDeadlines(inst, []core.Time{5}) {
+		t.Errorf("window of length 3 fits exactly")
+	}
+}
+
+func TestOptimalLmaxValidation(t *testing.T) {
+	inst := core.NewInstance(1, []core.Task{{Release: 0, Proc: 1}})
+	if _, err := OptimalLmax(inst, []core.Time{1, 2}, 0); err == nil {
+		t.Errorf("length mismatch accepted")
+	}
+	empty := core.NewInstance(2, nil)
+	if l, err := OptimalLmax(empty, nil, 0); err != nil || l != 0 {
+		t.Errorf("empty instance: %v %v", l, err)
+	}
+}
+
+func TestFeasibleDeadlinesPanicsOnMismatch(t *testing.T) {
+	inst := core.NewInstance(1, []core.Task{{Release: 0, Proc: 1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	FeasibleDeadlines(inst, []core.Time{1, 2})
+}

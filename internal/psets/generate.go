@@ -1,0 +1,96 @@
+package psets
+
+import (
+	"math/rand"
+
+	"flowsched/internal/core"
+)
+
+// RandomDisjointPartition splits machines 0..m-1 into consecutive blocks of
+// size k (the last block may be smaller) and returns the family of blocks,
+// matching the disjoint replication strategy of Section 7.2.
+func RandomDisjointPartition(m, k int) Family {
+	var sets []core.ProcSet
+	for lo := 0; lo < m; lo += k {
+		hi := lo + k - 1
+		if hi >= m {
+			hi = m - 1
+		}
+		sets = append(sets, core.Interval(lo, hi))
+	}
+	return Family{M: m, Sets: sets}
+}
+
+// RandomInclusiveChain draws a random chain of nested sets
+// S_1 ⊇ S_2 ⊇ ... ⊇ S_d over m machines: an inclusive family.
+func RandomInclusiveChain(m, depth int, rng *rand.Rand) Family {
+	cur := core.Interval(0, m-1)
+	sets := []core.ProcSet{cur}
+	for d := 1; d < depth && cur.Len() > 1; d++ {
+		// Keep a random non-empty strict subset of cur.
+		size := 1 + rng.Intn(cur.Len()-1)
+		idx := rng.Perm(cur.Len())[:size]
+		ids := make([]int, size)
+		for x, i := range idx {
+			ids[x] = cur[i]
+		}
+		cur = core.NewProcSet(ids...)
+		sets = append(sets, cur)
+	}
+	return NewFamily(m, sets...)
+}
+
+// RandomNested draws a random laminar (nested) family over m machines by
+// recursively splitting intervals of a random machine permutation. The
+// family is nested as a set family but its members are generally not
+// contiguous intervals of the original numbering, which exercises
+// IntervalOrder.
+func RandomNested(m int, rng *rand.Rand) Family {
+	perm := rng.Perm(m)
+	var sets []core.ProcSet
+	var split func(lo, hi int)
+	split = func(lo, hi int) {
+		ids := make([]int, 0, hi-lo+1)
+		for x := lo; x <= hi; x++ {
+			ids = append(ids, perm[x])
+		}
+		sets = append(sets, core.NewProcSet(ids...))
+		if hi-lo+1 <= 2 || rng.Intn(3) == 0 {
+			return
+		}
+		mid := lo + 1 + rng.Intn(hi-lo-1)
+		split(lo, mid)
+		split(mid+1, hi)
+	}
+	split(0, m-1)
+	return NewFamily(m, sets...)
+}
+
+// RandomIntervals draws n random contiguous intervals of size k on m
+// machines (an interval family with uniform sizes).
+func RandomIntervals(m, k, n int, rng *rand.Rand) Family {
+	var sets []core.ProcSet
+	for i := 0; i < n; i++ {
+		lo := rng.Intn(m - k + 1)
+		sets = append(sets, core.Interval(lo, lo+k-1))
+	}
+	return NewFamily(m, sets...)
+}
+
+// RandomGeneral draws n arbitrary random non-empty subsets of 0..m-1.
+func RandomGeneral(m, n int, rng *rand.Rand) Family {
+	var sets []core.ProcSet
+	for i := 0; i < n; i++ {
+		var ids []int
+		for j := 0; j < m; j++ {
+			if rng.Intn(2) == 0 {
+				ids = append(ids, j)
+			}
+		}
+		if len(ids) == 0 {
+			ids = append(ids, rng.Intn(m))
+		}
+		sets = append(sets, core.NewProcSet(ids...))
+	}
+	return NewFamily(m, sets...)
+}

@@ -1,0 +1,258 @@
+// Package psets classifies families of processing set restrictions into the
+// structures studied by the paper (Section 3): interval, nested, inclusive
+// and disjoint, and provides the reductions of Figure 1, including the
+// machine renumbering that turns any nested family into a family of
+// contiguous intervals.
+package psets
+
+import (
+	"fmt"
+	"sort"
+
+	"flowsched/internal/core"
+)
+
+// Family is a collection of distinct processing sets on m machines.
+type Family struct {
+	M    int
+	Sets []core.ProcSet
+}
+
+// FromInstance extracts the family of distinct processing sets of an
+// instance, resolving unrestricted sets to the full machine interval.
+func FromInstance(inst *core.Instance) Family {
+	return Family{M: inst.M, Sets: inst.Sets()}
+}
+
+// NewFamily builds a family from the given sets, deduplicating and resolving
+// unrestricted (nil) sets against m machines.
+func NewFamily(m int, sets ...core.ProcSet) Family {
+	var out []core.ProcSet
+	for _, s := range sets {
+		r := s.Resolve(m)
+		dup := false
+		for _, u := range out {
+			if u.Equal(r) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, r)
+		}
+	}
+	return Family{M: m, Sets: out}
+}
+
+// IsDisjoint reports whether the family has the M_i(disjoint) structure:
+// every pair of sets is either equal or disjoint.
+func (f Family) IsDisjoint() bool {
+	for i := 0; i < len(f.Sets); i++ {
+		for j := i + 1; j < len(f.Sets); j++ {
+			a, b := f.Sets[i], f.Sets[j]
+			if !a.Equal(b) && a.Intersects(b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsInclusive reports whether the family has the M_i(inclusive) structure:
+// every pair of sets is comparable by inclusion (a laminar chain).
+func (f Family) IsInclusive() bool {
+	for i := 0; i < len(f.Sets); i++ {
+		for j := i + 1; j < len(f.Sets); j++ {
+			a, b := f.Sets[i], f.Sets[j]
+			if !a.SubsetOf(b) && !b.SubsetOf(a) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsNested reports whether the family has the M_i(nested) structure: every
+// pair of sets is comparable by inclusion or disjoint (a laminar family).
+func (f Family) IsNested() bool {
+	for i := 0; i < len(f.Sets); i++ {
+		for j := i + 1; j < len(f.Sets); j++ {
+			a, b := f.Sets[i], f.Sets[j]
+			if !a.SubsetOf(b) && !b.SubsetOf(a) && a.Intersects(b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsInterval reports whether every set of the family is an interval of
+// machine indices in the paper's sense: either a contiguous range {a..b} or
+// a wrap-around range {..a} ∪ {b..} on the ring of m machines.
+func (f Family) IsInterval() bool {
+	for _, s := range f.Sets {
+		if !s.IsCircularInterval(f.M) {
+			return false
+		}
+	}
+	return true
+}
+
+// UniformSize returns (k, true) when every set in the family has exactly k
+// machines, and (0, false) otherwise. An empty family reports (0, true).
+func (f Family) UniformSize() (int, bool) {
+	if len(f.Sets) == 0 {
+		return 0, true
+	}
+	k := f.Sets[0].Len()
+	for _, s := range f.Sets[1:] {
+		if s.Len() != k {
+			return 0, false
+		}
+	}
+	return k, true
+}
+
+// Classify returns the most specific structure names that hold for the
+// family, in the partial order of Figure 1. It always reports every
+// structure that holds (e.g. a disjoint family also reports nested and, if
+// applicable after renumbering, interval is NOT implied set-wise, so
+// interval is only reported when the sets are intervals as given).
+func (f Family) Classify() []string {
+	var out []string
+	if f.IsDisjoint() {
+		out = append(out, "disjoint")
+	}
+	if f.IsInclusive() {
+		out = append(out, "inclusive")
+	}
+	if f.IsNested() {
+		out = append(out, "nested")
+	}
+	if f.IsInterval() {
+		out = append(out, "interval")
+	}
+	if len(out) == 0 {
+		out = append(out, "general")
+	}
+	return out
+}
+
+// IntervalOrder computes a renumbering of machines under which every set of
+// a nested family becomes a contiguous interval — the reduction
+// nested → interval of Figure 1 ("it is always possible to reorder the
+// machines so that one obtains contiguous intervals"). It returns a
+// permutation perm where perm[old] = new machine index, or an error if the
+// family is not nested.
+//
+// The algorithm builds the laminar forest of the sets and lays machines out
+// by depth-first traversal, so every set owns a contiguous block of new
+// indices.
+func (f Family) IntervalOrder() ([]int, error) {
+	if !f.IsNested() {
+		return nil, fmt.Errorf("psets: family is not nested")
+	}
+	// Sort sets by decreasing size so parents precede children.
+	sets := make([]core.ProcSet, len(f.Sets))
+	copy(sets, f.Sets)
+	sort.SliceStable(sets, func(i, j int) bool { return sets[i].Len() > sets[j].Len() })
+
+	// children[i] lists the indices of the maximal proper subsets of sets[i];
+	// roots are sets with no proper superset.
+	parent := make([]int, len(sets))
+	for i := range parent {
+		parent[i] = -1
+	}
+	for i := range sets {
+		// The smallest superset that appears before i (strictly larger or
+		// equal-size duplicates are excluded by NewFamily dedup).
+		best := -1
+		for j := 0; j < i; j++ {
+			if sets[i].SubsetOf(sets[j]) && !sets[i].Equal(sets[j]) {
+				if best == -1 || sets[j].Len() < sets[best].Len() {
+					best = j
+				}
+			}
+		}
+		parent[i] = best
+	}
+	children := make([][]int, len(sets))
+	var roots []int
+	for i, p := range parent {
+		if p == -1 {
+			roots = append(roots, i)
+		} else {
+			children[p] = append(children[p], i)
+		}
+	}
+
+	perm := make([]int, f.M)
+	for j := range perm {
+		perm[j] = -1
+	}
+	next := 0
+	assigned := make([]bool, f.M)
+
+	var layout func(i int)
+	layout = func(i int) {
+		// First lay out children blocks, then the remaining machines owned
+		// directly by this set.
+		covered := make(map[int]bool)
+		for _, c := range children[i] {
+			layout(c)
+			for _, mach := range sets[c] {
+				covered[mach] = true
+			}
+		}
+		for _, mach := range sets[i] {
+			if !covered[mach] && !assigned[mach] {
+				perm[mach] = next
+				next++
+				assigned[mach] = true
+			}
+		}
+	}
+	for _, r := range roots {
+		layout(r)
+	}
+	// Machines in no set keep arbitrary trailing positions.
+	for j := 0; j < f.M; j++ {
+		if perm[j] == -1 {
+			perm[j] = next
+			next++
+		}
+	}
+	return perm, nil
+}
+
+// Renumber applies a machine permutation (perm[old] = new) to the family,
+// returning the renamed sets.
+func (f Family) Renumber(perm []int) Family {
+	out := make([]core.ProcSet, len(f.Sets))
+	for i, s := range f.Sets {
+		ids := make([]int, len(s))
+		for x, j := range s {
+			ids[x] = perm[j]
+		}
+		out[i] = core.NewProcSet(ids...)
+	}
+	return Family{M: f.M, Sets: out}
+}
+
+// RenumberInstance applies a machine permutation to every task of an
+// instance, returning a new instance. Unrestricted sets stay unrestricted.
+func RenumberInstance(inst *core.Instance, perm []int) *core.Instance {
+	out := inst.Clone()
+	for i := range out.Tasks {
+		s := out.Tasks[i].Set
+		if s == nil {
+			continue
+		}
+		ids := make([]int, len(s))
+		for x, j := range s {
+			ids[x] = perm[j]
+		}
+		out.Tasks[i].Set = core.NewProcSet(ids...)
+	}
+	return out
+}

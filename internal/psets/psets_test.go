@@ -1,0 +1,195 @@
+package psets
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowsched/internal/core"
+)
+
+func TestClassifyDisjoint(t *testing.T) {
+	f := NewFamily(6, core.Interval(0, 1), core.Interval(2, 3), core.Interval(4, 5))
+	if !f.IsDisjoint() || !f.IsNested() || !f.IsInterval() {
+		t.Fatalf("disjoint blocks misclassified: %v", f.Classify())
+	}
+	if f.IsInclusive() {
+		t.Fatalf("disjoint blocks are not inclusive")
+	}
+	if k, ok := f.UniformSize(); !ok || k != 2 {
+		t.Fatalf("UniformSize = %d %v", k, ok)
+	}
+}
+
+func TestClassifyInclusive(t *testing.T) {
+	f := NewFamily(8, core.Interval(0, 7), core.Interval(0, 3), core.Interval(0, 1))
+	if !f.IsInclusive() || !f.IsNested() {
+		t.Fatalf("chain misclassified")
+	}
+	if f.IsDisjoint() {
+		t.Fatalf("chain is not disjoint")
+	}
+}
+
+func TestClassifyNestedOnly(t *testing.T) {
+	// {0..3}, {0,1}, {2,3}: nested but neither inclusive nor disjoint.
+	f := NewFamily(4, core.Interval(0, 3), core.Interval(0, 1), core.Interval(2, 3))
+	if !f.IsNested() {
+		t.Fatalf("should be nested")
+	}
+	if f.IsInclusive() || f.IsDisjoint() {
+		t.Fatalf("should be nested only, got %v", f.Classify())
+	}
+}
+
+func TestClassifyGeneral(t *testing.T) {
+	// Two properly overlapping sets: no structure (except not interval? they
+	// are intervals as given). {0,1} and {1,2} overlap without inclusion.
+	f := NewFamily(3, core.Interval(0, 1), core.Interval(1, 2))
+	if f.IsNested() || f.IsDisjoint() || f.IsInclusive() {
+		t.Fatalf("overlapping intervals misclassified: %v", f.Classify())
+	}
+	if !f.IsInterval() {
+		t.Fatalf("they are intervals")
+	}
+}
+
+func TestClassifyNonInterval(t *testing.T) {
+	f := NewFamily(5, core.NewProcSet(0, 2, 4))
+	if f.IsInterval() {
+		t.Fatalf("{0,2,4} is not an interval on 5 machines")
+	}
+	if got := NewFamily(5, core.NewProcSet(0, 4)).IsInterval(); !got {
+		t.Fatalf("{0,4} wraps on the ring and is an interval in the paper's sense")
+	}
+}
+
+// TestFigure1Reductions verifies the reduction graph of Figure 1 on random
+// families: disjoint ⇒ nested, inclusive ⇒ nested, and nested ⇒ interval
+// after machine renumbering.
+func TestFigure1Reductions(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(14)
+
+		d := RandomDisjointPartition(m, 1+rng.Intn(m))
+		if !d.IsDisjoint() || !d.IsNested() {
+			return false
+		}
+		incl := RandomInclusiveChain(m, 1+rng.Intn(5), rng)
+		if !incl.IsInclusive() || !incl.IsNested() {
+			return false
+		}
+		nested := RandomNested(m, rng)
+		if !nested.IsNested() {
+			return false
+		}
+		perm, err := nested.IntervalOrder()
+		if err != nil {
+			return false
+		}
+		renamed := nested.Renumber(perm)
+		for _, s := range renamed.Sets {
+			if !s.IsContiguous() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalOrderRejectsNonNested(t *testing.T) {
+	f := NewFamily(3, core.Interval(0, 1), core.Interval(1, 2))
+	if _, err := f.IntervalOrder(); err == nil {
+		t.Fatalf("IntervalOrder should fail on a non-nested family")
+	}
+}
+
+func TestIntervalOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		m := 2 + rng.Intn(12)
+		f := RandomNested(m, rng)
+		perm, err := f.IntervalOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, m)
+		for _, p := range perm {
+			if p < 0 || p >= m || seen[p] {
+				t.Fatalf("perm %v is not a permutation of 0..%d", perm, m-1)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestRenumberInstance(t *testing.T) {
+	inst := core.NewInstance(3, []core.Task{
+		{Release: 0, Proc: 1, Set: core.NewProcSet(0, 2)},
+		{Release: 0, Proc: 1}, // unrestricted
+	})
+	perm := []int{2, 1, 0}
+	out := RenumberInstance(inst, perm)
+	if !out.Tasks[0].Set.Equal(core.NewProcSet(0, 2)) {
+		t.Fatalf("renumbered set = %v", out.Tasks[0].Set)
+	}
+	if out.Tasks[1].Set != nil {
+		t.Fatalf("unrestricted set should stay nil")
+	}
+	// Original untouched.
+	if !inst.Tasks[0].Set.Equal(core.NewProcSet(0, 2)) {
+		t.Fatalf("original instance modified")
+	}
+}
+
+func TestFromInstance(t *testing.T) {
+	inst := core.NewInstance(4, []core.Task{
+		{Release: 0, Proc: 1, Set: core.Interval(0, 1)},
+		{Release: 0, Proc: 1, Set: core.Interval(0, 1)},
+		{Release: 0, Proc: 1, Set: core.Interval(2, 3)},
+	})
+	f := FromInstance(inst)
+	if len(f.Sets) != 2 || !f.IsDisjoint() {
+		t.Fatalf("FromInstance = %+v", f)
+	}
+}
+
+func TestUniformSizeNonUniform(t *testing.T) {
+	f := NewFamily(4, core.Interval(0, 1), core.Interval(0, 2))
+	if _, ok := f.UniformSize(); ok {
+		t.Fatalf("sizes 2 and 3 should not be uniform")
+	}
+	empty := Family{M: 4}
+	if _, ok := empty.UniformSize(); !ok {
+		t.Fatalf("empty family is vacuously uniform")
+	}
+}
+
+func TestClassifyNames(t *testing.T) {
+	gen := NewFamily(4, core.NewProcSet(0, 1), core.NewProcSet(1, 2), core.NewProcSet(0, 2))
+	names := gen.Classify()
+	if len(names) != 1 || names[0] != "general" {
+		t.Fatalf("Classify = %v", names)
+	}
+}
+
+func TestRandomGeneratorsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	iv := RandomIntervals(10, 3, 5, rng)
+	if !iv.IsInterval() {
+		t.Fatalf("RandomIntervals not intervals")
+	}
+	if k, ok := iv.UniformSize(); !ok || k != 3 {
+		t.Fatalf("RandomIntervals size = %d %v", k, ok)
+	}
+	g := RandomGeneral(8, 6, rng)
+	for _, s := range g.Sets {
+		if s.Len() == 0 {
+			t.Fatalf("RandomGeneral produced empty set")
+		}
+	}
+}

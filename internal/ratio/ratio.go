@@ -1,0 +1,132 @@
+// Package ratio is the empirical competitiveness harness: it samples
+// random instances from a generator, runs a scheduling algorithm against a
+// baseline (an exact optimum or a certified lower bound), and summarizes
+// the observed Fmax ratios. The experiment drivers use it to verify upper
+// bounds (Theorem 1, Corollary 1); library users can point it at their own
+// schedulers.
+package ratio
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flowsched/internal/core"
+	"flowsched/internal/offline"
+	"flowsched/internal/sched"
+	"flowsched/internal/stats"
+)
+
+// Generator draws a random instance.
+type Generator func(rng *rand.Rand) *core.Instance
+
+// Baseline returns a reference value for an instance: an exact optimal
+// Fmax for true ratios, or a certified lower bound for upper estimates.
+type Baseline func(inst *core.Instance) (core.Time, error)
+
+// Summary reports the sampled ratio distribution.
+type Summary struct {
+	Trials      int
+	Worst, Mean float64
+	P95         float64
+	WorstSeed   int64 // seed of the worst instance, for reproduction
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("trials=%d worst=%.4f mean=%.4f p95=%.4f (worst seed %d)",
+		s.Trials, s.Worst, s.Mean, s.P95, s.WorstSeed)
+}
+
+// Measure samples `trials` instances (seeded deterministically from seed)
+// and returns the ratio summary of alg's Fmax against the baseline.
+// Baselines returning 0 make the ratio undefined; such trials error out.
+func Measure(alg sched.Algorithm, gen Generator, base Baseline, trials int, seed int64) (Summary, error) {
+	if trials < 1 {
+		return Summary{}, fmt.Errorf("ratio: need at least one trial")
+	}
+	ratios := make([]float64, 0, trials)
+	worstSeed := seed
+	worst := 0.0
+	for trial := 0; trial < trials; trial++ {
+		trialSeed := seed + int64(trial)
+		rng := rand.New(rand.NewSource(trialSeed))
+		inst := gen(rng)
+		if err := inst.Validate(); err != nil {
+			return Summary{}, fmt.Errorf("ratio: generator produced invalid instance: %w", err)
+		}
+		s, err := alg.Run(inst)
+		if err != nil {
+			return Summary{}, fmt.Errorf("ratio: %s: %w", alg.Name(), err)
+		}
+		ref, err := base(inst)
+		if err != nil {
+			return Summary{}, fmt.Errorf("ratio: baseline: %w", err)
+		}
+		if ref <= 0 {
+			return Summary{}, fmt.Errorf("ratio: baseline returned %v (undefined ratio)", ref)
+		}
+		r := float64(s.MaxFlow() / ref)
+		ratios = append(ratios, r)
+		if r > worst {
+			worst, worstSeed = r, trialSeed
+		}
+	}
+	return Summary{
+		Trials:    trials,
+		Worst:     worst,
+		Mean:      stats.Mean(ratios),
+		P95:       stats.Quantile(ratios, 0.95),
+		WorstSeed: worstSeed,
+	}, nil
+}
+
+// BruteForceBaseline returns the exact optimal Fmax (instances must stay
+// within offline.MaxBruteForceTasks).
+func BruteForceBaseline() Baseline {
+	return func(inst *core.Instance) (core.Time, error) {
+		s, err := offline.BruteForce(inst)
+		if err != nil {
+			return 0, err
+		}
+		return s.MaxFlow(), nil
+	}
+}
+
+// LowerBoundBaseline returns the certified lower bound; ratios measured
+// against it are upper estimates of the true competitive ratio.
+func LowerBoundBaseline() Baseline {
+	return func(inst *core.Instance) (core.Time, error) {
+		return offline.LowerBound(inst), nil
+	}
+}
+
+// UniformGenerator draws unrestricted instances: n tasks, Poisson-ish
+// releases over [0, horizon), processing times uniform in (0, pmax].
+func UniformGenerator(m, n int, horizon, pmax core.Time) Generator {
+	return func(rng *rand.Rand) *core.Instance {
+		tasks := make([]core.Task, n)
+		for i := range tasks {
+			tasks[i] = core.Task{
+				Release: core.Time(rng.Float64()) * horizon,
+				Proc:    core.Time(rng.Float64())*pmax + pmax*1e-3,
+			}
+		}
+		return core.NewInstance(m, tasks)
+	}
+}
+
+// DisjointGenerator draws instances on blocks of k machines (×blocks),
+// every task restricted to one block — the Corollary 1 setting.
+func DisjointGenerator(k, blocks, n int, horizon, pmax core.Time) Generator {
+	return func(rng *rand.Rand) *core.Instance {
+		tasks := make([]core.Task, n)
+		for i := range tasks {
+			b := rng.Intn(blocks)
+			tasks[i] = core.Task{
+				Release: core.Time(rng.Float64()) * horizon,
+				Proc:    core.Time(rng.Float64())*pmax + pmax*1e-3,
+				Set:     core.Interval(b*k, b*k+k-1),
+			}
+		}
+		return core.NewInstance(k*blocks, tasks)
+	}
+}

@@ -1,0 +1,115 @@
+package ratio
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowsched/internal/core"
+	"flowsched/internal/sched"
+)
+
+func TestMeasureTheorem1(t *testing.T) {
+	for _, m := range []int{1, 2, 3} {
+		sum, err := Measure(
+			sched.NewEFT(sched.MinTie{}),
+			UniformGenerator(m, 8, 4, 2),
+			BruteForceBaseline(),
+			60, 1,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 3 - 2/float64(m)
+		if sum.Worst > bound+1e-9 {
+			t.Errorf("m=%d: worst ratio %v exceeds 3-2/m = %v (seed %d)",
+				m, sum.Worst, bound, sum.WorstSeed)
+		}
+		if sum.Worst < 1-1e-9 || sum.Mean < 1-1e-9 {
+			t.Errorf("m=%d: ratios below 1: %+v", m, sum)
+		}
+		if sum.P95 > sum.Worst+1e-12 {
+			t.Errorf("p95 %v above worst %v", sum.P95, sum.Worst)
+		}
+	}
+}
+
+func TestMeasureCorollary1(t *testing.T) {
+	k := 3
+	sum, err := Measure(
+		sched.NewEFT(sched.MinTie{}),
+		DisjointGenerator(k, 2, 8, 3, 2),
+		BruteForceBaseline(),
+		50, 2,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound := 3 - 2/float64(k); sum.Worst > bound+1e-9 {
+		t.Errorf("worst ratio %v exceeds 3-2/k = %v", sum.Worst, bound)
+	}
+}
+
+func TestMeasureAgainstLowerBound(t *testing.T) {
+	// Ratios vs the lower bound are ≥ ratios vs OPT but still finite and
+	// ≥ 1 is NOT guaranteed (LB ≤ OPT ≤ alg, so ratio ≥ 1 actually holds).
+	sum, err := Measure(
+		sched.NewEFT(sched.MinTie{}),
+		UniformGenerator(2, 10, 5, 2),
+		LowerBoundBaseline(),
+		40, 3,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Worst < 1-1e-9 {
+		t.Errorf("algorithm beat its own lower bound: %+v", sum)
+	}
+}
+
+func TestMeasureWorstSeedReproduces(t *testing.T) {
+	gen := UniformGenerator(2, 8, 4, 2)
+	alg := sched.NewEFT(sched.MinTie{})
+	base := BruteForceBaseline()
+	sum, err := Measure(alg, gen, base, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-derive the worst instance from its seed and confirm the ratio.
+	rng := rand.New(rand.NewSource(sum.WorstSeed))
+	inst := gen(rng)
+	s, err := alg.Run(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := base(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(s.MaxFlow() / ref); got != sum.Worst {
+		t.Fatalf("worst seed reproduces ratio %v, summary says %v", got, sum.Worst)
+	}
+}
+
+func TestMeasureErrors(t *testing.T) {
+	gen := UniformGenerator(2, 4, 2, 1)
+	if _, err := Measure(sched.NewEFT(nil), gen, BruteForceBaseline(), 0, 1); err == nil {
+		t.Errorf("zero trials accepted")
+	}
+	// Baseline returning zero.
+	zero := func(*core.Instance) (core.Time, error) { return 0, nil }
+	if _, err := Measure(sched.NewEFT(nil), gen, zero, 3, 1); err == nil {
+		t.Errorf("zero baseline accepted")
+	}
+	// FIFO on restricted instances errors through.
+	restricted := DisjointGenerator(2, 2, 5, 2, 1)
+	if _, err := Measure(&sched.FIFO{}, restricted, BruteForceBaseline(), 3, 1); err == nil {
+		t.Errorf("FIFO on restricted should error")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Trials: 5, Worst: 1.5, Mean: 1.2, P95: 1.4, WorstSeed: 9}
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}

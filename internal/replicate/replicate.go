@@ -1,0 +1,155 @@
+// Package replicate implements the replication strategies of Section 7.2:
+// given the primary machine u of a key (the only holder without
+// replication), a Strategy produces the processing set M'_i = I_k(u) of
+// every task requesting that key.
+//
+// The paper studies two strategies — Overlapping ring intervals
+// (Dynamo/Cassandra style) and Disjoint blocks — plus no replication. Two
+// extensions (RandomK and OffsetDisjoint) are provided for the ablation
+// experiments around the paper's open question (Section 8).
+package replicate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flowsched/internal/core"
+)
+
+// Strategy maps a primary machine to the processing set of its keys on a
+// cluster of m machines.
+type Strategy interface {
+	Name() string
+	// Set returns the processing set I_k(u) for primary machine u (0-based)
+	// on m machines. Implementations must return a set containing u.
+	Set(u, m int) core.ProcSet
+}
+
+// None is the no-replication strategy: |M_i| = 1.
+type None struct{}
+
+// Name implements Strategy.
+func (None) Name() string { return "none" }
+
+// Set implements Strategy.
+func (None) Set(u, m int) core.ProcSet { return core.NewProcSet(u) }
+
+// Overlapping replicates each key on the K-1 clockwise successors of its
+// primary on the machine ring:
+//
+//	I_k(u) = { M_j : j = (j'-1) mod m + 1 for u ≤ j' ≤ u+k-1 }.
+//
+// This is the standard key-value store scheme (Dynamo, Cassandra).
+type Overlapping struct{ K int }
+
+// Name implements Strategy.
+func (o Overlapping) Name() string { return fmt.Sprintf("overlapping(k=%d)", o.K) }
+
+// Set implements Strategy.
+func (o Overlapping) Set(u, m int) core.ProcSet {
+	checkK(o.K, m)
+	return core.RingInterval(u, o.K, m)
+}
+
+// Disjoint divides the cluster into ⌈m/K⌉ consecutive blocks of size K (the
+// last block may be shorter):
+//
+//	I_k(u) = { M_j : u'+1 ≤ j ≤ min(m, u'+k) },  u' = k⌊(u-1)/k⌋.
+type Disjoint struct{ K int }
+
+// Name implements Strategy.
+func (d Disjoint) Name() string { return fmt.Sprintf("disjoint(k=%d)", d.K) }
+
+// Set implements Strategy.
+func (d Disjoint) Set(u, m int) core.ProcSet {
+	checkK(d.K, m)
+	lo := (u / d.K) * d.K
+	hi := lo + d.K - 1
+	if hi >= m {
+		hi = m - 1
+	}
+	return core.Interval(lo, hi)
+}
+
+// OffsetDisjoint is Disjoint with the block boundaries rotated by Offset
+// machines on the ring, an ablation for how partition alignment interacts
+// with a popularity bias. Offset = 0 reduces to Disjoint on a ring.
+type OffsetDisjoint struct {
+	K      int
+	Offset int
+}
+
+// Name implements Strategy.
+func (d OffsetDisjoint) Name() string {
+	return fmt.Sprintf("offset-disjoint(k=%d,off=%d)", d.K, d.Offset)
+}
+
+// Set implements Strategy.
+func (d OffsetDisjoint) Set(u, m int) core.ProcSet {
+	checkK(d.K, m)
+	shift := ((u-d.Offset)%m + m) % m
+	lo := (shift / d.K) * d.K
+	hi := lo + d.K - 1
+	if hi >= m {
+		hi = m - 1
+	}
+	ids := make([]int, 0, hi-lo+1)
+	for j := lo; j <= hi; j++ {
+		ids = append(ids, ((j+d.Offset)%m+m)%m)
+	}
+	return core.NewProcSet(ids...)
+}
+
+// RandomK replicates each primary on K-1 additional machines drawn once,
+// uniformly without replacement, from the remaining cluster (an unstructured
+// baseline: the resulting family generally has none of the paper's
+// structures). The assignment is memoized per primary so that all tasks for
+// the same key share the same processing set, as in a real store.
+type RandomK struct {
+	K   int
+	Rng *rand.Rand
+
+	memo map[int]core.ProcSet
+}
+
+// NewRandomK builds a RandomK strategy with its own memo table.
+func NewRandomK(k int, rng *rand.Rand) *RandomK {
+	return &RandomK{K: k, Rng: rng, memo: make(map[int]core.ProcSet)}
+}
+
+// Name implements Strategy.
+func (r *RandomK) Name() string { return fmt.Sprintf("random(k=%d)", r.K) }
+
+// Set implements Strategy.
+func (r *RandomK) Set(u, m int) core.ProcSet {
+	checkK(r.K, m)
+	if s, ok := r.memo[u]; ok {
+		return s
+	}
+	ids := []int{u}
+	perm := r.Rng.Perm(m)
+	for _, j := range perm {
+		if len(ids) == r.K {
+			break
+		}
+		if j != u {
+			ids = append(ids, j)
+		}
+	}
+	s := core.NewProcSet(ids...)
+	r.memo[u] = s
+	return s
+}
+
+func checkK(k, m int) {
+	if k < 1 || k > m {
+		panic(fmt.Sprintf("replicate: k=%d out of range for m=%d machines", k, m))
+	}
+}
+
+// Transferable reports, for analysis code, whether work originally owned by
+// primary u may be processed by machine j under the strategy — the condition
+// M_i ∈ I_k(j) of constraint (15d), expressed from the primary's viewpoint.
+func Transferable(s Strategy, u, j, m int) bool {
+	return s.Set(u, m).Contains(j)
+}

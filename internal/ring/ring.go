@@ -1,0 +1,204 @@
+// Package ring implements the consistent-hashing placement layer of
+// Dynamo-style key-value stores (DeCandia et al., SOSP 2007), the system
+// context of the paper: keys hash onto a circular token space, each
+// physical machine owns one or more virtual nodes (tokens), and a key's
+// primary is the machine owning the first token clockwise from the key's
+// position. Replication on the "k−1 clockwise successors" of the primary
+// is exactly the paper's overlapping interval strategy when every machine
+// has one token and tokens are in machine order.
+//
+// The implementation is deterministic (FNV-1a hashing) and stdlib-only.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"flowsched/internal/core"
+)
+
+// Ring is a consistent-hash ring over m machines.
+type Ring struct {
+	m      int
+	tokens []token // sorted by position
+}
+
+type token struct {
+	pos     uint64
+	machine int
+}
+
+// hashString hashes an arbitrary key to a ring position: FNV-1a followed
+// by a splitmix64 finalizer. Plain FNV-1a of short, similar keys
+// ("key-1", "key-2", …) is visibly non-uniform in the high bits that the
+// ring partitions on; the finalizer restores avalanche.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// KeyPosition returns the ring position of a key — exposed so callers can
+// pre-hash keys once and use the *At methods afterwards.
+func KeyPosition(key string) uint64 { return hashString(key) }
+
+// mix64 is the splitmix64 finalizer (Steele et al.).
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New builds a ring for m machines with vnodes virtual nodes per machine.
+// Token positions are derived by hashing "machine/replicaIndex", as real
+// systems do; collisions (astronomically unlikely with 64-bit FNV) are
+// resolved by machine index.
+func New(m, vnodes int) (*Ring, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("ring: need at least one machine")
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("ring: need at least one virtual node per machine")
+	}
+	r := &Ring{m: m}
+	for j := 0; j < m; j++ {
+		for v := 0; v < vnodes; v++ {
+			r.tokens = append(r.tokens, token{
+				pos:     hashString(fmt.Sprintf("node-%d/vnode-%d", j, v)),
+				machine: j,
+			})
+		}
+	}
+	sort.Slice(r.tokens, func(a, b int) bool {
+		if r.tokens[a].pos != r.tokens[b].pos {
+			return r.tokens[a].pos < r.tokens[b].pos
+		}
+		return r.tokens[a].machine < r.tokens[b].machine
+	})
+	return r, nil
+}
+
+// NewOrdered builds the idealized ring of the paper: one token per machine,
+// in machine order, equally spaced. Key positions then map to primaries
+// uniformly and the successor lists are exactly the machine ring
+// M_{u}, M_{u+1}, ..., so ReplicaSet coincides with the paper's I_k(u).
+func NewOrdered(m int) (*Ring, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("ring: need at least one machine")
+	}
+	r := &Ring{m: m}
+	step := ^uint64(0) / uint64(m)
+	for j := 0; j < m; j++ {
+		r.tokens = append(r.tokens, token{pos: uint64(j) * step, machine: j})
+	}
+	return r, nil
+}
+
+// M returns the number of machines.
+func (r *Ring) M() int { return r.m }
+
+// NumTokens returns the number of virtual nodes on the ring.
+func (r *Ring) NumTokens() int { return len(r.tokens) }
+
+// successorIndex returns the index of the first token at or after pos,
+// wrapping around.
+func (r *Ring) successorIndex(pos uint64) int {
+	i := sort.Search(len(r.tokens), func(i int) bool { return r.tokens[i].pos >= pos })
+	if i == len(r.tokens) {
+		return 0
+	}
+	return i
+}
+
+// Primary returns the machine owning the key.
+func (r *Ring) Primary(key string) int {
+	return r.tokens[r.successorIndex(hashString(key))].machine
+}
+
+// PrimaryAt returns the machine owning an explicit ring position (used by
+// tests and by callers that pre-hash keys).
+func (r *Ring) PrimaryAt(pos uint64) int {
+	return r.tokens[r.successorIndex(pos)].machine
+}
+
+// ReplicaSet returns the k distinct machines holding the key: the primary
+// plus the owners of the next tokens clockwise, skipping machines already
+// in the set (Dynamo's preference list). It panics if k exceeds the number
+// of machines.
+func (r *Ring) ReplicaSet(key string, k int) core.ProcSet {
+	return r.ReplicaSetAt(hashString(key), k)
+}
+
+// ReplicaSetAt is ReplicaSet for an explicit ring position.
+func (r *Ring) ReplicaSetAt(pos uint64, k int) core.ProcSet {
+	if k < 1 || k > r.m {
+		panic(fmt.Sprintf("ring: k=%d out of range for m=%d machines", k, r.m))
+	}
+	seen := make(map[int]bool, k)
+	var out []int
+	i := r.successorIndex(pos)
+	for len(out) < k {
+		mach := r.tokens[i].machine
+		if !seen[mach] {
+			seen[mach] = true
+			out = append(out, mach)
+		}
+		i++
+		if i == len(r.tokens) {
+			i = 0
+		}
+	}
+	return core.NewProcSet(out...)
+}
+
+// OwnershipFractions returns, per machine, the fraction of the token space
+// whose primary it is — the expected share of uniformly hashed keys. With
+// many virtual nodes the shares concentrate around 1/m.
+func (r *Ring) OwnershipFractions() []float64 {
+	out := make([]float64, r.m)
+	n := len(r.tokens)
+	if n == 1 {
+		// A single token owns the whole circle; the general arc formula
+		// would overflow (the full circle, 2^64, is not a uint64).
+		out[r.tokens[0].machine] = 1
+		return out
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		cur := r.tokens[i]
+		// Arc from this token to the next, clockwise; uint64 subtraction
+		// wraps correctly for the last→first arc.
+		arc := r.tokens[(i+1)%n].pos - cur.pos
+		// The arc after token i is owned by the NEXT token's machine (keys
+		// map to their clockwise successor); equivalently, token i's
+		// machine owns the arc that precedes it. Attribute arcs that way.
+		f := float64(arc) / float64(^uint64(0))
+		next := r.tokens[(i+1)%n]
+		out[next.machine] += f
+		total += f
+	}
+	// Normalize tiny rounding drift.
+	if total > 0 {
+		for j := range out {
+			out[j] /= total
+		}
+	}
+	return out
+}
+
+// MachineWeights converts key popularity into machine popularity: given a
+// popularity weight for every key (by ring position), it accumulates each
+// key's weight onto its primary. This is how the paper's machine-level
+// P(E_j) emerges from key-level popularity.
+func (r *Ring) MachineWeights(keyPos []uint64, keyWeight []float64) ([]float64, error) {
+	if len(keyPos) != len(keyWeight) {
+		return nil, fmt.Errorf("ring: %d positions vs %d weights", len(keyPos), len(keyWeight))
+	}
+	out := make([]float64, r.m)
+	for i, pos := range keyPos {
+		out[r.PrimaryAt(pos)] += keyWeight[i]
+	}
+	return out, nil
+}

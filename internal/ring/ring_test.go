@@ -1,0 +1,252 @@
+package ring
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowsched/internal/core"
+	"flowsched/internal/psets"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Errorf("m=0 should fail")
+	}
+	if _, err := New(3, 0); err == nil {
+		t.Errorf("vnodes=0 should fail")
+	}
+	if _, err := NewOrdered(0); err == nil {
+		t.Errorf("ordered m=0 should fail")
+	}
+}
+
+func TestOrderedRingMatchesPaperIntervals(t *testing.T) {
+	// On the idealized ring, the replica set of any key is exactly the
+	// paper's I_k(u) for the key's primary u.
+	for _, m := range []int{3, 6, 15} {
+		r, err := NewOrdered(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= m; k++ {
+			for trial := 0; trial < 50; trial++ {
+				key := fmt.Sprintf("key-%d-%d", k, trial)
+				u := r.Primary(key)
+				got := r.ReplicaSet(key, k)
+				want := core.RingInterval(u, k, m)
+				if !got.Equal(want) {
+					t.Fatalf("m=%d k=%d key %q primary %d: %v != %v", m, k, key, u, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPrimaryDeterministic(t *testing.T) {
+	r, err := New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("user:%d", i)
+		if r.Primary(key) != r.Primary(key) {
+			t.Fatalf("Primary not deterministic for %q", key)
+		}
+	}
+}
+
+func TestReplicaSetProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(14)
+		vn := 1 + rng.Intn(32)
+		r, err := New(m, vn)
+		if err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(m)
+		for trial := 0; trial < 20; trial++ {
+			key := fmt.Sprintf("k%d", rng.Int63())
+			set := r.ReplicaSet(key, k)
+			// Exactly k distinct machines, includes the primary.
+			if set.Len() != k || !set.Contains(r.Primary(key)) {
+				return false
+			}
+			if set.Min() < 0 || set.Max() >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicaSetPanicsOnBadK(t *testing.T) {
+	r, _ := New(3, 4)
+	for _, k := range []int{0, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d should panic", k)
+				}
+			}()
+			r.ReplicaSet("x", k)
+		}()
+	}
+}
+
+func TestOwnershipFractionsSumToOne(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(12)
+		vn := 1 + rng.Intn(64)
+		r, err := New(m, vn)
+		if err != nil {
+			return false
+		}
+		fr := r.OwnershipFractions()
+		sum := 0.0
+		for _, f := range fr {
+			if f < 0 {
+				return false
+			}
+			sum += f
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualNodesBalanceOwnership(t *testing.T) {
+	// More virtual nodes concentrate ownership around 1/m: compare the
+	// worst-case share with 1 vs 128 vnodes.
+	m := 10
+	spread := func(vn int) float64 {
+		r, err := New(m, vn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr := r.OwnershipFractions()
+		worst := 0.0
+		for _, f := range fr {
+			if d := math.Abs(f - 1.0/float64(m)); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	one, many := spread(1), spread(128)
+	if many >= one {
+		t.Fatalf("128 vnodes (spread %v) should balance better than 1 (spread %v)", many, one)
+	}
+	if many > 0.05 {
+		t.Fatalf("128 vnodes spread %v still far from uniform", many)
+	}
+}
+
+func TestOwnershipMatchesEmpiricalKeys(t *testing.T) {
+	// The analytic ownership fractions predict the empirical distribution
+	// of uniformly hashed keys.
+	r, err := New(6, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := r.OwnershipFractions()
+	const n = 200000
+	counts := make([]float64, 6)
+	for i := 0; i < n; i++ {
+		counts[r.Primary(fmt.Sprintf("key-%d", i))]++
+	}
+	for j := range counts {
+		got := counts[j] / n
+		if math.Abs(got-fr[j]) > 0.01 {
+			t.Fatalf("machine %d: empirical %v vs analytic %v", j, got, fr[j])
+		}
+	}
+}
+
+func TestOrderedRingUniformOwnership(t *testing.T) {
+	r, err := NewOrdered(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, f := range r.OwnershipFractions() {
+		if math.Abs(f-0.125) > 1e-9 {
+			t.Fatalf("machine %d owns %v, want 1/8", j, f)
+		}
+	}
+}
+
+func TestMachineWeights(t *testing.T) {
+	r, err := NewOrdered(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two keys, positions chosen to land on machines 0 and 2.
+	step := ^uint64(0) / 4
+	pos := []uint64{0, 2 * step}
+	w := []float64{0.7, 0.3}
+	mw, err := r.MachineWeights(pos, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mw[0] != 0.7 || mw[2] != 0.3 || mw[1] != 0 || mw[3] != 0 {
+		t.Fatalf("MachineWeights = %v", mw)
+	}
+	if _, err := r.MachineWeights(pos, w[:1]); err == nil {
+		t.Fatalf("length mismatch should fail")
+	}
+}
+
+// TestReplicaFamilyIsIntervalOnOrderedRing checks that the family of
+// replica sets on the idealized ring is an interval family of uniform size
+// (the structure Theorems 8-10 attack).
+func TestReplicaFamilyIsIntervalOnOrderedRing(t *testing.T) {
+	m, k := 12, 4
+	r, err := NewOrdered(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sets []core.ProcSet
+	for i := 0; i < 100; i++ {
+		sets = append(sets, r.ReplicaSet(fmt.Sprintf("key%d", i), k))
+	}
+	fam := psets.NewFamily(m, sets...)
+	if !fam.IsInterval() {
+		t.Fatalf("ordered-ring replica sets must be circular intervals")
+	}
+	if got, ok := fam.UniformSize(); !ok || got != k {
+		t.Fatalf("uniform size = %d %v", got, ok)
+	}
+}
+
+func TestOwnershipSingleToken(t *testing.T) {
+	// Regression: a single-token ring owns the full circle (the general
+	// arc formula would overflow 2^64 and report zero ownership).
+	r, err := New(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := r.OwnershipFractions()
+	if len(fr) != 1 || fr[0] != 1 {
+		t.Fatalf("single-token ownership = %v, want [1]", fr)
+	}
+	// Ordered single-machine ring likewise.
+	ro, err := NewOrdered(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ro.OwnershipFractions(); got[0] != 1 {
+		t.Fatalf("ordered single-machine ownership = %v", got)
+	}
+	if ro.Primary("anything") != 0 {
+		t.Fatalf("single machine must own every key")
+	}
+}

@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"fmt"
+
+	"flowsched/internal/core"
+	"flowsched/internal/psets"
+)
+
+// PerSetAdapter is the Theorem 6 construction: given any scheduler for the
+// unrestricted problem P|online-r_i|Fmax, it builds a scheduler for
+// disjoint processing sets by running an independent copy of the inner
+// algorithm on each block (each distinct processing set), with machine
+// indices remapped into the block. If the inner algorithm is
+// f(m)-competitive, the adapted algorithm is max_i f(|M_i|)-competitive.
+//
+// The instance's processing sets must form a disjoint family; Run rejects
+// anything else. Unrestricted (nil-set) tasks form their own full-cluster
+// block, which then must not intersect any restricted set.
+type PerSetAdapter struct {
+	// NewInner creates a fresh inner scheduler for a block of m machines.
+	NewInner func() Online
+	// InnerName labels the adapter ("per-set(<InnerName>)").
+	InnerName string
+
+	blocks []blockState
+}
+
+type blockState struct {
+	set   core.ProcSet // block machines, sorted (global indices)
+	inner Online
+}
+
+// NewPerSetAdapter wraps a constructor of unrestricted schedulers.
+func NewPerSetAdapter(name string, newInner func() Online) *PerSetAdapter {
+	return &PerSetAdapter{NewInner: newInner, InnerName: name}
+}
+
+// Name implements Online.
+func (a *PerSetAdapter) Name() string { return fmt.Sprintf("per-set(%s)", a.InnerName) }
+
+// Reset implements Online. Blocks are created lazily as their sets appear.
+func (a *PerSetAdapter) Reset(m int) { a.blocks = nil }
+
+// Dispatch implements Online. It panics if a task's set properly overlaps
+// an earlier block (non-disjoint family) — Run validates first, so this
+// only triggers on misuse of the raw Online interface.
+func (a *PerSetAdapter) Dispatch(t core.Task) Decision {
+	set := t.Set
+	bi := -1
+	for i := range a.blocks {
+		if a.blocks[i].set.Equal(set) || (set == nil && a.blocks[i].set == nil) {
+			bi = i
+			break
+		}
+		if set.Intersects(a.blocks[i].set) {
+			panic(fmt.Sprintf("sched.PerSetAdapter: set %v overlaps existing block %v", set, a.blocks[i].set))
+		}
+	}
+	if bi == -1 {
+		inner := a.NewInner()
+		if set == nil {
+			panic("sched.PerSetAdapter: unrestricted tasks need a resolved set; use Run")
+		}
+		inner.Reset(set.Len())
+		a.blocks = append(a.blocks, blockState{set: set.Clone(), inner: inner})
+		bi = len(a.blocks) - 1
+	}
+	b := &a.blocks[bi]
+	// The inner scheduler sees local machine indices 0..|set|-1.
+	local := b.inner.Dispatch(core.Task{
+		ID:      t.ID,
+		Release: t.Release,
+		Proc:    t.Proc,
+		Key:     t.Key,
+	})
+	return Decision{Machine: b.set[local.Machine], Start: local.Start}
+}
+
+// Run implements Algorithm, validating disjointness first and resolving
+// unrestricted sets to the full cluster.
+func (a *PerSetAdapter) Run(inst *core.Instance) (*core.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name(), err)
+	}
+	fam := psets.FromInstance(inst)
+	if !fam.IsDisjoint() {
+		return nil, fmt.Errorf("%s: processing sets are not a disjoint family (Theorem 6 does not apply)", a.Name())
+	}
+	a.Reset(inst.M)
+	s := core.NewSchedule(inst)
+	for i, t := range inst.Tasks {
+		t.Set = t.Set.Resolve(inst.M)
+		d := a.Dispatch(t)
+		s.Assign(i, d.Machine, d.Start)
+	}
+	return s, nil
+}

@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"fmt"
+
+	"flowsched/internal/core"
+)
+
+// EFT is the Earliest Finish Time immediate-dispatch scheduler (Algorithm 2):
+// each released task T_i goes to the machine of its processing set M_i that
+// can finish it the earliest, i.e. a machine of
+//
+//	U'_i = { M_j ∈ M_i : C_{j,i-1} ≤ t'_min,i },
+//	t'_min,i = max(r_i, min_{M_j ∈ M_i} C_{j,i-1}),
+//
+// with ties broken by the configured TieBreak policy (Equation (2)).
+// The zero value with a nil Tie uses EFT-Min. EFT is clairvoyant: it relies
+// on exact processing times to maintain machine completion times.
+type EFT struct {
+	Tie TieBreak
+
+	completion []core.Time
+	candidates []int // scratch buffer for the tie set
+}
+
+// NewEFT returns an EFT scheduler with the given tie-break (nil means Min).
+func NewEFT(tie TieBreak) *EFT { return &EFT{Tie: tie} }
+
+// Name implements Online.
+func (e *EFT) Name() string {
+	if e.Tie == nil {
+		return "EFT-Min"
+	}
+	return "EFT-" + e.Tie.Name()
+}
+
+// Reset implements Online.
+func (e *EFT) Reset(m int) {
+	e.completion = make([]core.Time, m)
+	e.candidates = make([]int, 0, m)
+}
+
+// Completion returns machine j's current completion time C_{j,i-1}.
+func (e *EFT) Completion(j int) core.Time { return e.completion[j] }
+
+// Completions returns a copy of all machine completion times.
+func (e *EFT) Completions() []core.Time {
+	out := make([]core.Time, len(e.completion))
+	copy(out, e.completion)
+	return out
+}
+
+// WaitingWork returns w_t(j) = max(0, C_j - t) for every machine: the work
+// allocated and not yet processed at time t (the paper's schedule profile).
+func (e *EFT) WaitingWork(t core.Time) []core.Time {
+	out := make([]core.Time, len(e.completion))
+	for j, c := range e.completion {
+		if c > t {
+			out[j] = c - t
+		}
+	}
+	return out
+}
+
+// TieSet returns the candidate machines U'_i for a task released at r with
+// processing set set, i.e. the eligible machines whose completion time is at
+// most t'_min = max(r, min over the set). The returned slice is valid until
+// the next call.
+func (e *EFT) TieSet(r core.Time, set core.ProcSet) []int {
+	m := len(e.completion)
+	tmin := core.Time(0)
+	first := true
+	forEach := func(f func(j int)) {
+		if set == nil {
+			for j := 0; j < m; j++ {
+				f(j)
+			}
+		} else {
+			for _, j := range set {
+				f(j)
+			}
+		}
+	}
+	forEach(func(j int) {
+		if first || e.completion[j] < tmin {
+			tmin = e.completion[j]
+			first = false
+		}
+	})
+	if r > tmin {
+		tmin = r
+	}
+	e.candidates = e.candidates[:0]
+	forEach(func(j int) {
+		if e.completion[j] <= tmin {
+			e.candidates = append(e.candidates, j)
+		}
+	})
+	return e.candidates
+}
+
+// Dispatch implements Online.
+func (e *EFT) Dispatch(t core.Task) Decision {
+	u := e.TieSet(t.Release, t.Set)
+	tie := e.Tie
+	if tie == nil {
+		tie = MinTie{}
+	}
+	j := tie.Pick(u)
+	start := e.completion[j]
+	if t.Release > start {
+		start = t.Release
+	}
+	e.completion[j] = start + t.Proc
+	return Decision{Machine: j, Start: start}
+}
+
+// Run implements Algorithm.
+func (e *EFT) Run(inst *core.Instance) (*core.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", e.Name(), err)
+	}
+	return RunOnline(e, inst), nil
+}

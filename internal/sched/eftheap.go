@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"fmt"
+
+	"flowsched/internal/core"
+	"flowsched/internal/eventq"
+)
+
+// EFTHeap is an O(log m)-per-task EFT scheduler for the unrestricted
+// problem P|online-r_i|Fmax: machine completion times live in an indexed
+// min-heap, so dispatch does not scan all machines. Its tie-break picks the
+// machine with the lexicographically smallest (completion time, index) pair,
+// which differs from EFT-Min only in which machine of the tie set runs the
+// task: every start time — hence every flow time and Fmax — is identical to
+// EFT-Min's (both start at t'_min,i). It exists for large-m workloads and as
+// the ablation counterpart of the linear-scan EFT (see bench_test.go).
+//
+// Restricted tasks are rejected: with processing sets the tie set must be
+// computed within M_i and the heap gives no advantage.
+type EFTHeap struct {
+	heap *eventq.MachineHeap
+}
+
+// NewEFTHeap returns a heap-indexed EFT-Min scheduler.
+func NewEFTHeap() *EFTHeap { return &EFTHeap{} }
+
+// Name implements Online.
+func (e *EFTHeap) Name() string { return "EFT(heap)" }
+
+// Reset implements Online.
+func (e *EFTHeap) Reset(m int) { e.heap = eventq.NewMachineHeap(m) }
+
+// Dispatch implements Online. It panics if the task carries a processing set
+// restriction; use EFT for restricted instances.
+func (e *EFTHeap) Dispatch(t core.Task) Decision {
+	if t.Set != nil {
+		panic("sched.EFTHeap: restricted task; use EFT")
+	}
+	j, c := e.heap.MinMachine()
+	start := c
+	if t.Release > start {
+		start = t.Release
+	}
+	e.heap.Update(j, start+t.Proc)
+	return Decision{Machine: j, Start: start}
+}
+
+// Run implements Algorithm.
+func (e *EFTHeap) Run(inst *core.Instance) (*core.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", e.Name(), err)
+	}
+	for _, t := range inst.Tasks {
+		if t.Set != nil {
+			return nil, fmt.Errorf("%s: task %d is restricted; use EFT", e.Name(), t.ID)
+		}
+	}
+	return RunOnline(e, inst), nil
+}

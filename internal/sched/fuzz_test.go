@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"testing"
+
+	"flowsched/internal/core"
+)
+
+// FuzzEFTDispatch decodes raw bytes into a small instance and checks that
+// every scheduler produces a feasible schedule: EFT never assigns outside
+// the processing set, before the release, or overlapping, no matter how the
+// instance is shaped.
+func FuzzEFTDispatch(f *testing.F) {
+	f.Add([]byte{3, 5, 0, 1, 7, 2, 2, 9, 1, 4})
+	f.Add([]byte{1, 1, 0, 0})
+	f.Add([]byte{8, 200, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		m := 1 + int(data[0])%8
+		n := int(data[1]) % 24
+		data = data[2:]
+		byteAt := func(i int) byte {
+			if len(data) == 0 {
+				return 0
+			}
+			return data[i%len(data)]
+		}
+		tasks := make([]core.Task, 0, n)
+		for i := 0; i < n; i++ {
+			release := float64(byteAt(3*i) % 16)
+			proc := 0.25 * float64(1+byteAt(3*i+1)%16)
+			var set core.ProcSet
+			mask := byteAt(3*i + 2)
+			if mask != 0 {
+				var ids []int
+				for j := 0; j < m && j < 8; j++ {
+					if mask&(1<<uint(j)) != 0 {
+						ids = append(ids, j)
+					}
+				}
+				if len(ids) == 0 {
+					ids = []int{int(mask) % m}
+				}
+				set = core.NewProcSet(ids...)
+			}
+			tasks = append(tasks, core.Task{Release: release, Proc: proc, Set: set})
+		}
+		inst := core.NewInstance(m, tasks)
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("generated instance invalid: %v", err)
+		}
+		for _, alg := range []Algorithm{
+			NewEFT(MinTie{}),
+			NewEFT(MaxTie{}),
+			NewJSQ(),
+		} {
+			s, err := alg.Run(inst)
+			if err != nil {
+				t.Fatalf("%s: %v", alg.Name(), err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s produced infeasible schedule: %v", alg.Name(), err)
+			}
+		}
+	})
+}

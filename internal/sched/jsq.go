@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"fmt"
+
+	"flowsched/internal/core"
+)
+
+// JSQ (join shortest queue) is a non-clairvoyant immediate-dispatch baseline
+// used in the extension experiments: each released task goes to the eligible
+// machine currently holding the fewest unfinished tasks, ties broken by the
+// smallest index. Unlike EFT it never inspects processing times when
+// choosing, which is what a real key-value store router can actually
+// observe; the schedule's start times are still simulated exactly.
+type JSQ struct {
+	completion []core.Time
+	// pending[j] holds the completion times of j's unfinished tasks; entries
+	// with completion ≤ now are dropped lazily.
+	pending [][]core.Time
+}
+
+// NewJSQ returns a join-shortest-queue scheduler.
+func NewJSQ() *JSQ { return &JSQ{} }
+
+// Name implements Online.
+func (q *JSQ) Name() string { return "JSQ" }
+
+// Reset implements Online.
+func (q *JSQ) Reset(m int) {
+	q.completion = make([]core.Time, m)
+	q.pending = make([][]core.Time, m)
+}
+
+// queueLen returns the number of unfinished tasks on machine j at time now.
+func (q *JSQ) queueLen(j int, now core.Time) int {
+	p := q.pending[j]
+	keep := p[:0]
+	for _, c := range p {
+		if c > now {
+			keep = append(keep, c)
+		}
+	}
+	q.pending[j] = keep
+	return len(keep)
+}
+
+// Dispatch implements Online.
+func (q *JSQ) Dispatch(t core.Task) Decision {
+	m := len(q.completion)
+	best, bestLen := -1, 0
+	consider := func(j int) {
+		l := q.queueLen(j, t.Release)
+		if best == -1 || l < bestLen {
+			best, bestLen = j, l
+		}
+	}
+	if t.Set == nil {
+		for j := 0; j < m; j++ {
+			consider(j)
+		}
+	} else {
+		for _, j := range t.Set {
+			consider(j)
+		}
+	}
+	start := q.completion[best]
+	if t.Release > start {
+		start = t.Release
+	}
+	q.completion[best] = start + t.Proc
+	q.pending[best] = append(q.pending[best], q.completion[best])
+	return Decision{Machine: best, Start: start}
+}
+
+// Run implements Algorithm.
+func (q *JSQ) Run(inst *core.Instance) (*core.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", q.Name(), err)
+	}
+	return RunOnline(q, inst), nil
+}

@@ -1,0 +1,44 @@
+package sched
+
+import "math/rand"
+
+// TieBreak selects one machine among the tie set U_i of machines that may
+// finish a task at the earliest time (Equation (1)/(2) of the paper). The
+// candidate slice is sorted by increasing machine index and never empty.
+type TieBreak interface {
+	Name() string
+	Pick(candidates []int) int
+}
+
+// MinTie is the paper's Min policy: the candidate with the smallest index
+// (EFT-Min, Algorithm 3).
+type MinTie struct{}
+
+// Name implements TieBreak.
+func (MinTie) Name() string { return "Min" }
+
+// Pick implements TieBreak.
+func (MinTie) Pick(candidates []int) int { return candidates[0] }
+
+// MaxTie selects the candidate with the largest index (EFT-Max,
+// Section 7.4).
+type MaxTie struct{}
+
+// Name implements TieBreak.
+func (MaxTie) Name() string { return "Max" }
+
+// Pick implements TieBreak.
+func (MaxTie) Pick(candidates []int) int { return candidates[len(candidates)-1] }
+
+// RandTie selects a candidate uniformly at random (EFT-Rand, Algorithm 4).
+// Every candidate has positive probability, as required by Theorem 9's class
+// of randomized tie-breaks.
+type RandTie struct{ Rng *rand.Rand }
+
+// Name implements TieBreak.
+func (RandTie) Name() string { return "Rand" }
+
+// Pick implements TieBreak.
+func (r RandTie) Pick(candidates []int) int {
+	return candidates[r.Rng.Intn(len(candidates))]
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"sort"
+
+	"flowsched/internal/core"
+	"flowsched/internal/stats"
+)
+
+// KeyStats summarizes the response times of one key's requests — the
+// hot-key breakdown operators of key-value stores look at.
+type KeyStats struct {
+	Key      int
+	Requests int
+	MeanFlow core.Time
+	MaxFlow  core.Time
+	P99      core.Time
+}
+
+// FlowsByKey groups a run's flow times by the originating key (Task.Key)
+// and returns per-key summaries sorted by descending request count (the
+// hottest keys first). Tasks with Key < 0 are skipped.
+func FlowsByKey(inst *core.Instance, m *Metrics) []KeyStats {
+	groups := make(map[int][]core.Time)
+	for i, t := range inst.Tasks {
+		if t.Key < 0 {
+			continue
+		}
+		groups[t.Key] = append(groups[t.Key], m.Flows[i])
+	}
+	out := make([]KeyStats, 0, len(groups))
+	for key, flows := range groups {
+		out = append(out, KeyStats{
+			Key:      key,
+			Requests: len(flows),
+			MeanFlow: stats.Mean(flows),
+			MaxFlow:  stats.Max(flows),
+			P99:      stats.Quantile(flows, 0.99),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Requests != out[b].Requests {
+			return out[a].Requests > out[b].Requests
+		}
+		return out[a].Key < out[b].Key
+	})
+	return out
+}
+
+// HotKeyPenalty compares the mean response time of the hottest keys (top
+// fraction of request volume) against everyone else, returning
+// (hotMean, coldMean). It quantifies whether popular data suffers worse
+// latency — the motivation for popularity-aware replication.
+func HotKeyPenalty(inst *core.Instance, m *Metrics, topFraction float64) (core.Time, core.Time) {
+	byKey := FlowsByKey(inst, m)
+	if len(byKey) == 0 {
+		return 0, 0
+	}
+	total := 0
+	for _, ks := range byKey {
+		total += ks.Requests
+	}
+	cut := int(topFraction * float64(total))
+	var hotSum, coldSum core.Time
+	hotN, coldN := 0, 0
+	seen := 0
+	for _, ks := range byKey {
+		if seen < cut {
+			hotSum += ks.MeanFlow * core.Time(ks.Requests)
+			hotN += ks.Requests
+		} else {
+			coldSum += ks.MeanFlow * core.Time(ks.Requests)
+			coldN += ks.Requests
+		}
+		seen += ks.Requests
+	}
+	var hot, cold core.Time
+	if hotN > 0 {
+		hot = hotSum / core.Time(hotN)
+	}
+	if coldN > 0 {
+		cold = coldSum / core.Time(coldN)
+	}
+	return hot, cold
+}

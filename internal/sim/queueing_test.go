@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flowsched/internal/stats"
+	"flowsched/internal/workload"
+)
+
+// These tests validate the discrete-event simulator against closed-form
+// queueing theory: with Poisson arrivals, exponential service and the EFT
+// router on unrestricted tasks (≡ central-queue FCFS by Proposition 1), the
+// cluster is an M/M/m queue.
+
+// erlangC returns the M/M/m probability of waiting (Erlang C formula) for
+// arrival rate lambda, service rate mu and m servers.
+func erlangC(m int, lambda, mu float64) float64 {
+	a := lambda / mu // offered load
+	rho := a / float64(m)
+	if rho >= 1 {
+		return 1
+	}
+	// Σ_{k<m} a^k/k! and a^m/m!.
+	sum := 0.0
+	term := 1.0
+	for k := 0; k < m; k++ {
+		if k > 0 {
+			term *= a / float64(k)
+		}
+		sum += term
+	}
+	top := term * a / float64(m) // a^m/m!
+	top = top / (1 - rho)
+	return top / (sum + top)
+}
+
+func runMMm(t *testing.T, m int, lambda float64, n int, seed int64) *Metrics {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inst, err := workload.Generate(workload.Config{
+		M: m, N: n, Rate: lambda,
+		Proc: 1, Dist: workload.ProcExponential,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the processing sets ({primary} singletons from the default
+	// no-replication strategy) to get the unrestricted M/M/m system.
+	for i := range inst.Tasks {
+		inst.Tasks[i].Set = nil
+	}
+	_, metrics, err := Run(inst, EFTRouter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return metrics
+}
+
+func TestMM1MeanSojourn(t *testing.T) {
+	// M/M/1 with λ=0.7, μ=1: W = 1/(μ−λ) = 10/3.
+	const lambda, mu = 0.7, 1.0
+	metrics := runMMm(t, 1, lambda, 400000, 1)
+	want := 1 / (mu - lambda)
+	got := float64(metrics.MeanFlow())
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("M/M/1 mean sojourn %v, theory %v", got, want)
+	}
+}
+
+func TestMMmMeanSojourn(t *testing.T) {
+	// M/M/3 with λ=2.1, μ=1 (ρ=0.7): W = C(m,a)/(mμ−λ) + 1/μ.
+	const lambda, mu = 2.1, 1.0
+	const m = 3
+	metrics := runMMm(t, m, lambda, 400000, 2)
+	want := erlangC(m, lambda, mu)/(float64(m)*mu-lambda) + 1/mu
+	got := float64(metrics.MeanFlow())
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("M/M/%d mean sojourn %v, theory %v", m, got, want)
+	}
+}
+
+func TestMM1SojournDistributionIsExponential(t *testing.T) {
+	// In M/M/1-FCFS the sojourn time is exponential with rate μ−λ, so the
+	// q-quantile is −ln(1−q)/(μ−λ).
+	const lambda, mu = 0.5, 1.0
+	metrics := runMMm(t, 1, lambda, 400000, 3)
+	rate := mu - lambda
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := -math.Log(1-q) / rate
+		got := float64(metrics.FlowQuantile(q))
+		if math.Abs(got-want)/want > 0.08 {
+			t.Fatalf("M/M/1 p%v sojourn %v, theory %v", q*100, got, want)
+		}
+	}
+}
+
+func TestUtilizationMatchesLoad(t *testing.T) {
+	// Long-run utilization approaches ρ = λ/(mμ).
+	const lambda = 2.1
+	const m = 3
+	metrics := runMMm(t, m, lambda, 200000, 4)
+	got := metrics.Utilization()
+	if math.Abs(got-0.7) > 0.03 {
+		t.Fatalf("utilization %v, want ≈ 0.7", got)
+	}
+}
+
+func TestSteadyState(t *testing.T) {
+	// The paper's protocol: 10 000 unit tasks are enough to reach steady
+	// state. Check that the second half of a run behaves like the second
+	// half of a much longer run (medians of per-run steady-state Fmax agree
+	// within noise).
+	const m, k, load = 15, 3, 0.8
+	measure := func(n int, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		inst, err := workload.Generate(workload.Config{
+			M: m, N: n, Rate: load * m,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range inst.Tasks {
+			inst.Tasks[i].Set = nil
+		}
+		_, metrics, err := Run(inst, EFTRouter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(metrics.SteadyStateMaxFlow(0.5))
+	}
+	var short, long []float64
+	for rep := int64(0); rep < 8; rep++ {
+		short = append(short, measure(10000, 10+rep))
+		long = append(long, measure(40000, 100+rep))
+	}
+	ms, ml := stats.Median(short), stats.Median(long)
+	// Fmax grows slowly (extreme statistic) with run length; steady state
+	// means the medians stay within a factor ~2.
+	if ml > 2.5*ms || ms > 2.5*ml {
+		t.Fatalf("steady-state medians diverge: 10k → %v, 40k → %v", ms, ml)
+	}
+}
+
+func TestStretchMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst, err := workload.Generate(workload.Config{
+		M: 4, N: 2000, Rate: 2.8, Proc: 1, Dist: workload.ProcUniform,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inst.Tasks {
+		inst.Tasks[i].Set = nil
+	}
+	_, metrics, err := Run(inst, EFTRouter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.MaxStretch() < 1 || metrics.MeanStretch() < 1 {
+		t.Fatalf("stretch must be at least 1: max %v mean %v",
+			metrics.MaxStretch(), metrics.MeanStretch())
+	}
+	if metrics.MeanStretch() > metrics.MaxStretch() {
+		t.Fatalf("mean stretch above max")
+	}
+}
+
+func TestMD1MeanSojourn(t *testing.T) {
+	// M/D/1 (deterministic unit service, the paper's task model) with
+	// λ=0.7: Pollaczek–Khinchine gives W = 1 + ρ/(2(1−ρ)).
+	const lambda = 0.7
+	rng := rand.New(rand.NewSource(11))
+	inst, err := workload.Generate(workload.Config{M: 1, N: 400000, Rate: lambda}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inst.Tasks {
+		inst.Tasks[i].Set = nil
+	}
+	_, metrics, err := Run(inst, EFTRouter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + lambda/(2*(1-lambda))
+	got := float64(metrics.MeanFlow())
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("M/D/1 mean sojourn %v, theory %v", got, want)
+	}
+}

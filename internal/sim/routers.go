@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"math/rand"
+
+	"flowsched/internal/core"
+	"flowsched/internal/sched"
+)
+
+// EFTRouter is the clairvoyant Earliest-Finish-Time router: it sends each
+// request to the eligible server finishing it earliest, breaking ties with
+// the configured policy (nil = Min). It is the simulator-side twin of
+// sched.EFT (tests assert the schedules coincide).
+type EFTRouter struct {
+	Tie sched.TieBreak
+}
+
+// Name implements Router.
+func (r EFTRouter) Name() string {
+	if r.Tie == nil {
+		return "EFT-Min"
+	}
+	return "EFT-" + r.Tie.Name()
+}
+
+// Pick implements Router.
+func (r EFTRouter) Pick(st *State, t core.Task) int {
+	tie := r.Tie
+	if tie == nil {
+		tie = sched.MinTie{}
+	}
+	var candidates []int
+	tmin := core.Time(0)
+	first := true
+	forEach := func(f func(j int)) {
+		if t.Set == nil {
+			for j := 0; j < st.M; j++ {
+				f(j)
+			}
+		} else {
+			for _, j := range t.Set {
+				f(j)
+			}
+		}
+	}
+	forEach(func(j int) {
+		if first || st.Completion[j] < tmin {
+			tmin = st.Completion[j]
+			first = false
+		}
+	})
+	if t.Release > tmin {
+		tmin = t.Release
+	}
+	forEach(func(j int) {
+		if st.Completion[j] <= tmin {
+			candidates = append(candidates, j)
+		}
+	})
+	return tie.Pick(candidates)
+}
+
+// JSQRouter sends each request to the eligible server with the fewest
+// unfinished requests (join shortest queue), ties to the smallest index. It
+// is non-clairvoyant: it never reads completion times.
+type JSQRouter struct{}
+
+// Name implements Router.
+func (JSQRouter) Name() string { return "JSQ" }
+
+// Pick implements Router.
+func (JSQRouter) Pick(st *State, t core.Task) int {
+	best := -1
+	consider := func(j int) {
+		if best == -1 || st.QueueLen[j] < st.QueueLen[best] {
+			best = j
+		}
+	}
+	if t.Set == nil {
+		for j := 0; j < st.M; j++ {
+			consider(j)
+		}
+	} else {
+		for _, j := range t.Set {
+			consider(j)
+		}
+	}
+	return best
+}
+
+// RandomRouter sends each request to a uniformly random eligible server —
+// the weakest sensible baseline (what a stateless load balancer does).
+type RandomRouter struct{ Rng *rand.Rand }
+
+// Name implements Router.
+func (RandomRouter) Name() string { return "Random" }
+
+// Pick implements Router.
+func (r RandomRouter) Pick(st *State, t core.Task) int {
+	if t.Set == nil {
+		return r.Rng.Intn(st.M)
+	}
+	return t.Set[r.Rng.Intn(len(t.Set))]
+}

@@ -1,0 +1,174 @@
+// Package trace reconstructs event traces from schedules for debugging and
+// observability: per-task arrival/start/completion events in time order,
+// per-machine timelines, and queueing diagnostics (waiting counts over
+// time). Traces are derived from the schedule itself, so they apply to any
+// scheduler's output, not only the simulator's.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"flowsched/internal/core"
+)
+
+// Kind labels a trace event.
+type Kind int
+
+// Event kinds, in tie-break order at equal instants: completions first,
+// then arrivals, then starts (a freed machine can start the next task at
+// the same instant).
+const (
+	Completion Kind = iota
+	Arrival
+	Start
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Arrival:
+		return "arrival"
+	case Start:
+		return "start"
+	case Completion:
+		return "completion"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one trace record. Machine is -1 for arrivals (the task has not
+// been placed yet from the trace's point of view).
+type Event struct {
+	Time    core.Time
+	Kind    Kind
+	Task    int
+	Machine int
+}
+
+// FromSchedule derives the event trace of a schedule: an arrival at each
+// release, a start and a completion per task, sorted by time (kind, then
+// task ID break ties).
+func FromSchedule(s *core.Schedule) []Event {
+	var events []Event
+	for i, t := range s.Inst.Tasks {
+		events = append(events,
+			Event{Time: t.Release, Kind: Arrival, Task: i, Machine: -1},
+			Event{Time: s.Start[i], Kind: Start, Task: i, Machine: s.Machine[i]},
+			Event{Time: s.Completion(i), Kind: Completion, Task: i, Machine: s.Machine[i]},
+		)
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].Time != events[b].Time {
+			return events[a].Time < events[b].Time
+		}
+		if events[a].Kind != events[b].Kind {
+			return events[a].Kind < events[b].Kind
+		}
+		return events[a].Task < events[b].Task
+	})
+	return events
+}
+
+// Write renders the trace as one line per event.
+func Write(w io.Writer, events []Event) {
+	for _, e := range events {
+		switch e.Kind {
+		case Arrival:
+			fmt.Fprintf(w, "%10.4f  arrival     task %d\n", e.Time, e.Task)
+		case Start:
+			fmt.Fprintf(w, "%10.4f  start       task %-4d on M%d\n", e.Time, e.Task, e.Machine+1)
+		case Completion:
+			fmt.Fprintf(w, "%10.4f  completion  task %-4d on M%d\n", e.Time, e.Task, e.Machine+1)
+		}
+	}
+}
+
+// QueueSample is the number of released-but-unfinished tasks at an event
+// instant (sampled immediately after the event).
+type QueueSample struct {
+	Time    core.Time
+	Waiting int // released, not started
+	Running int // started, not completed
+}
+
+// QueueProfile walks the trace and reports the waiting/running counts after
+// every event — the system's backlog trajectory.
+func QueueProfile(events []Event) []QueueSample {
+	var out []QueueSample
+	waiting, running := 0, 0
+	for _, e := range events {
+		switch e.Kind {
+		case Arrival:
+			waiting++
+		case Start:
+			waiting--
+			running++
+		case Completion:
+			running--
+		}
+		out = append(out, QueueSample{Time: e.Time, Waiting: waiting, Running: running})
+	}
+	return out
+}
+
+// PeakBacklog returns the maximum number of released-but-unfinished tasks
+// over the run and the time it occurs.
+func PeakBacklog(events []Event) (int, core.Time) {
+	peak, at := 0, core.Time(0)
+	for _, s := range QueueProfile(events) {
+		if b := s.Waiting + s.Running; b > peak {
+			peak, at = b, s.Time
+		}
+	}
+	return peak, at
+}
+
+// MachineTimeline renders machine j's busy periods as "[start end) task"
+// lines.
+func MachineTimeline(w io.Writer, s *core.Schedule, j int) {
+	ids := s.MachineTasks()[j]
+	fmt.Fprintf(w, "M%d:\n", j+1)
+	for _, i := range ids {
+		fmt.Fprintf(w, "  [%.4f, %.4f)  task %d (released %.4f, flow %.4f)\n",
+			s.Start[i], s.Completion(i), i, s.Inst.Tasks[i].Release, s.Flow(i))
+	}
+}
+
+// Validate checks the internal consistency of a trace: counts never go
+// negative, every task has exactly one event of each kind, and per task the
+// order is arrival ≤ start ≤ completion.
+func Validate(events []Event, n int) error {
+	seen := make(map[int][3]bool, n)
+	when := make(map[int][3]core.Time, n)
+	for _, e := range events {
+		k := int(e.Kind)
+		s := seen[e.Task]
+		if s[k] {
+			return fmt.Errorf("trace: duplicate %v for task %d", e.Kind, e.Task)
+		}
+		s[k] = true
+		seen[e.Task] = s
+		w := when[e.Task]
+		w[k] = e.Time
+		when[e.Task] = w
+	}
+	if len(seen) != n {
+		return fmt.Errorf("trace: %d tasks traced, want %d", len(seen), n)
+	}
+	for task, s := range seen {
+		if !s[0] || !s[1] || !s[2] {
+			return fmt.Errorf("trace: task %d missing events", task)
+		}
+		w := when[task]
+		if !(w[int(Arrival)] <= w[int(Start)] && w[int(Start)] <= w[int(Completion)]) {
+			return fmt.Errorf("trace: task %d events out of order", task)
+		}
+	}
+	for _, s := range QueueProfile(events) {
+		if s.Waiting < 0 || s.Running < 0 {
+			return fmt.Errorf("trace: negative counts at %v", s.Time)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"flowsched/internal/core"
+	"flowsched/internal/sched"
+)
+
+func smallSchedule(t *testing.T) *core.Schedule {
+	t.Helper()
+	inst := core.NewInstance(2, []core.Task{
+		{Release: 0, Proc: 2},
+		{Release: 0, Proc: 1},
+		{Release: 1, Proc: 1},
+	})
+	s, err := sched.NewEFT(sched.MinTie{}).Run(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFromScheduleOrdering(t *testing.T) {
+	s := smallSchedule(t)
+	events := FromSchedule(s)
+	if len(events) != 9 {
+		t.Fatalf("events = %d, want 9", len(events))
+	}
+	prev := core.Time(-1)
+	for _, e := range events {
+		if e.Time < prev {
+			t.Fatalf("events out of time order")
+		}
+		prev = e.Time
+	}
+	if err := Validate(events, s.Inst.N()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompletionBeforeArrivalAtTies(t *testing.T) {
+	// Task 1 completes at t=1, task 2 arrives at t=1: completion first.
+	s := smallSchedule(t)
+	events := FromSchedule(s)
+	for i := 1; i < len(events); i++ {
+		if events[i].Time == events[i-1].Time &&
+			events[i-1].Kind == Arrival && events[i].Kind == Completion {
+			t.Fatalf("completion should precede arrival at equal times")
+		}
+	}
+}
+
+func TestQueueProfileAndPeak(t *testing.T) {
+	s := smallSchedule(t)
+	events := FromSchedule(s)
+	peak, at := PeakBacklog(events)
+	// At t=0: tasks 0 and 1 both in system (both running). Task 2 arrives
+	// at 1 when task 1 completes → backlog 2 throughout.
+	if peak != 2 {
+		t.Fatalf("peak backlog = %d at %v, want 2", peak, at)
+	}
+	for _, sample := range QueueProfile(events) {
+		if sample.Waiting < 0 || sample.Running < 0 {
+			t.Fatalf("negative counts: %+v", sample)
+		}
+	}
+}
+
+func TestWriteAndTimeline(t *testing.T) {
+	s := smallSchedule(t)
+	var b strings.Builder
+	Write(&b, FromSchedule(s))
+	out := b.String()
+	for _, want := range []string{"arrival", "start", "completion", "on M1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	MachineTimeline(&b, s, 0)
+	if !strings.Contains(b.String(), "M1:") || !strings.Contains(b.String(), "task 0") {
+		t.Fatalf("timeline output incomplete:\n%s", b.String())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s := smallSchedule(t)
+	events := FromSchedule(s)
+	// Drop one event.
+	if err := Validate(events[:len(events)-1], s.Inst.N()); err == nil {
+		t.Fatalf("missing event accepted")
+	}
+	// Duplicate an event.
+	dup := append(append([]Event(nil), events...), events[0])
+	if err := Validate(dup, s.Inst.N()); err == nil {
+		t.Fatalf("duplicate event accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Arrival.String() != "arrival" || Start.String() != "start" || Completion.String() != "completion" {
+		t.Fatalf("kind names wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatalf("unknown kind name wrong")
+	}
+}
+
+// TestTracePropertyOnRandomSchedules: every EFT schedule yields a valid
+// trace whose peak backlog is at least the largest per-machine queue.
+func TestTracePropertyOnRandomSchedules(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(5)
+		n := 1 + rng.Intn(60)
+		tasks := make([]core.Task, n)
+		tm := 0.0
+		for i := range tasks {
+			tm += rng.ExpFloat64() / float64(m)
+			tasks[i] = core.Task{Release: tm, Proc: 0.2 + rng.Float64()*2}
+		}
+		inst := core.NewInstance(m, tasks)
+		s, err := sched.NewEFT(sched.MinTie{}).Run(inst)
+		if err != nil {
+			return false
+		}
+		events := FromSchedule(s)
+		if Validate(events, n) != nil {
+			return false
+		}
+		peak, _ := PeakBacklog(events)
+		return peak >= 1 && peak <= n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package viz renders schedules and experiment grids as standalone SVG
+// documents (stdlib only) — the publication-style counterparts of the
+// ASCII Gantt charts and heat maps: a colored Gantt per machine row for
+// schedules, and a continuous-shade matrix for the Figure 10 sweeps.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"flowsched/internal/core"
+)
+
+// palette holds distinguishable task fill colors (cycled by task ID).
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// GanttSVG writes an SVG Gantt chart of the schedule: one row per machine,
+// one rectangle per task colored by task ID, release markers as thin ticks.
+// pxPerUnit scales time to pixels (≤ 0 chooses a scale that fits ~900px).
+func GanttSVG(w io.Writer, s *core.Schedule, pxPerUnit float64) error {
+	const (
+		rowH   = 26
+		rowGap = 6
+		left   = 48
+		top    = 24
+	)
+	horizon := s.Makespan()
+	if horizon <= 0 {
+		horizon = 1
+	}
+	if pxPerUnit <= 0 {
+		pxPerUnit = 900 / horizon
+	}
+	width := left + int(horizon*pxPerUnit) + 24
+	height := top + s.Inst.M*(rowH+rowGap) + 32
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+
+	// Machine rows.
+	for j := 0; j < s.Inst.M; j++ {
+		y := top + j*(rowH+rowGap)
+		fmt.Fprintf(&b, `<text x="8" y="%d">M%d</text>`+"\n", y+rowH/2+4, j+1)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.1f" height="%d" fill="#f4f4f4"/>`+"\n",
+			left, y, horizon*pxPerUnit, rowH)
+	}
+	// Task rectangles with release ticks.
+	for i := range s.Inst.Tasks {
+		j := s.Machine[i]
+		if j < 0 {
+			continue
+		}
+		y := top + j*(rowH+rowGap)
+		x := left + s.Start[i]*pxPerUnit
+		wpx := s.Inst.Tasks[i].Proc * pxPerUnit
+		color := palette[i%len(palette)]
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" stroke="#333" stroke-width="0.5"><title>task %d: r=%.3g p=%.3g flow=%.3g on M%d</title></rect>`+"\n",
+			x, y+2, math.Max(wpx, 1), rowH-4, color, i, s.Inst.Tasks[i].Release, s.Inst.Tasks[i].Proc, s.Flow(i), j+1)
+		if wpx > 14 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="white">%d</text>`+"\n", x+3, y+rowH/2+4, i)
+		}
+		rx := left + s.Inst.Tasks[i].Release*pxPerUnit
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="1" stroke-dasharray="2,2"/>`+"\n",
+			rx, y, rx, y+rowH, color)
+	}
+	// Time axis.
+	axisY := top + s.Inst.M*(rowH+rowGap) + 8
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%.1f" y2="%d" stroke="#333"/>`+"\n",
+		left, axisY, float64(left)+horizon*pxPerUnit, axisY)
+	step := niceStep(horizon)
+	for t := 0.0; t <= horizon+1e-9; t += step {
+		x := float64(left) + t*pxPerUnit
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#333"/>`+"\n", x, axisY, x, axisY+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%g</text>`+"\n", x, axisY+16, t)
+	}
+	fmt.Fprintln(&b, `</svg>`)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// niceStep picks a readable axis tick interval for a horizon.
+func niceStep(horizon float64) float64 {
+	raw := horizon / 10
+	mag := math.Pow(10, math.Floor(math.Log10(math.Max(raw, 1e-9))))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if raw <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// HeatmapSVG writes an SVG heat map of a matrix with row/column labels,
+// values linearly mapped between lo and hi onto a white→blue ramp (lo ≥ hi
+// auto-scales).
+func HeatmapSVG(w io.Writer, rows, cols []string, values [][]float64, lo, hi float64, title string) error {
+	const (
+		cell = 22
+		left = 56
+		top  = 40
+	)
+	if lo >= hi {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, row := range values {
+			for _, v := range row {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		if !(lo < hi) {
+			hi = lo + 1
+		}
+	}
+	width := left + len(cols)*cell + 24
+	height := top + len(rows)*cell + 40
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="10">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13">%s</text>`+"\n", left, escape(title))
+	for cj, c := range cols {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+			left+cj*cell+cell/2, top-6, escape(c))
+	}
+	for ri, r := range rows {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%s</text>`+"\n",
+			left-6, top+ri*cell+cell/2+4, escape(r))
+		for cj := range cols {
+			v := values[ri][cj]
+			x := (v - lo) / (hi - lo)
+			if x < 0 {
+				x = 0
+			}
+			if x > 1 {
+				x = 1
+			}
+			// White (low) → deep blue (high).
+			rC := int(255 - 205*x)
+			gC := int(255 - 155*x)
+			bC := 255
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,%d)" stroke="#ddd" stroke-width="0.5"><title>%s / %s: %.4g</title></rect>`+"\n",
+				left+cj*cell, top+ri*cell, cell, cell, rC, gC, bC, escape(r), escape(cols[cj]), v)
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d">scale: %.4g (white) … %.4g (blue)</text>`+"\n",
+		left, top+len(rows)*cell+20, lo, hi)
+	fmt.Fprintln(&b, `</svg>`)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

@@ -1,0 +1,109 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"flowsched/internal/core"
+	"flowsched/internal/sched"
+)
+
+func sampleSchedule(t *testing.T) *core.Schedule {
+	t.Helper()
+	inst := core.NewInstance(3, []core.Task{
+		{Release: 0, Proc: 2, Set: core.Interval(0, 1)},
+		{Release: 0, Proc: 1},
+		{Release: 1, Proc: 1.5, Set: core.NewProcSet(2)},
+	})
+	s, err := sched.NewEFT(sched.MinTie{}).Run(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGanttSVGWellFormed(t *testing.T) {
+	var b strings.Builder
+	if err := GanttSVG(&b, sampleSchedule(t), 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg ") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatalf("not a complete SVG document")
+	}
+	// One background row per machine plus one rect per task plus the page.
+	if got := strings.Count(out, "<rect "); got < 3+3+1 {
+		t.Fatalf("too few rects: %d", got)
+	}
+	for _, want := range []string{"M1", "M2", "M3", "task 0", "flow="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	// Balanced tags.
+	if strings.Count(out, "<svg") != strings.Count(out, "</svg>") {
+		t.Fatalf("unbalanced svg tags")
+	}
+}
+
+func TestGanttSVGEmpty(t *testing.T) {
+	inst := core.NewInstance(2, nil)
+	s := core.NewSchedule(inst)
+	var b strings.Builder
+	if err := GanttSVG(&b, s, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "M2") {
+		t.Fatalf("empty schedule should still render machine rows")
+	}
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	var b strings.Builder
+	err := HeatmapSVG(&b,
+		[]string{"0.0", "1.0"},
+		[]string{"k=1", "k=2"},
+		[][]float64{{0, 50}, {100, 100}},
+		0, 100, "max load % <test & check>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "rgb(255,255,255)") { // value 0 → white
+		t.Fatalf("low cell not white")
+	}
+	if !strings.Contains(out, "rgb(50,100,255)") { // value 100 → deep blue
+		t.Fatalf("high cell not deep blue")
+	}
+	if !strings.Contains(out, "&lt;test &amp; check&gt;") {
+		t.Fatalf("title not escaped: %s", out[:200])
+	}
+	if strings.Count(out, "<rect ") != 1+4 { // page + 4 cells
+		t.Fatalf("cell count wrong")
+	}
+}
+
+func TestHeatmapSVGAutoScale(t *testing.T) {
+	var b strings.Builder
+	if err := HeatmapSVG(&b, []string{"a"}, []string{"x"}, [][]float64{{7}}, 1, 0, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "scale: 7") {
+		t.Fatalf("auto scale legend wrong:\n%s", b.String())
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := map[float64]float64{
+		10:   1,
+		35:   5,
+		100:  10,
+		7:    1,
+		1000: 100,
+	}
+	for horizon, want := range cases {
+		if got := niceStep(horizon); got != want {
+			t.Errorf("niceStep(%v) = %v, want %v", horizon, got, want)
+		}
+	}
+}

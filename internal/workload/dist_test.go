@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flowsched/internal/stats"
+)
+
+func drawProcs(t *testing.T, dist Dist, mean float64, n int) []float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	inst, err := Generate(Config{M: 2, N: n, Rate: 1, Proc: mean, Dist: dist}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, n)
+	for i, task := range inst.Tasks {
+		out[i] = task.Proc
+	}
+	return out
+}
+
+func TestProcConstant(t *testing.T) {
+	for _, p := range drawProcs(t, ProcConstant, 2.5, 100) {
+		if p != 2.5 {
+			t.Fatalf("constant dist drew %v", p)
+		}
+	}
+}
+
+func TestProcExponentialMoments(t *testing.T) {
+	ps := drawProcs(t, ProcExponential, 2, 200000)
+	mean := stats.Mean(ps)
+	if math.Abs(mean-2)/2 > 0.02 {
+		t.Fatalf("exponential mean %v, want 2", mean)
+	}
+	// Exponential: sd = mean.
+	sd := stats.StdDev(ps)
+	if math.Abs(sd-2)/2 > 0.03 {
+		t.Fatalf("exponential sd %v, want 2", sd)
+	}
+	for _, p := range ps {
+		if p <= 0 {
+			t.Fatalf("non-positive processing time %v", p)
+		}
+	}
+}
+
+func TestProcUniformMoments(t *testing.T) {
+	ps := drawProcs(t, ProcUniform, 3, 200000)
+	mean := stats.Mean(ps)
+	if math.Abs(mean-3)/3 > 0.02 {
+		t.Fatalf("uniform mean %v, want 3", mean)
+	}
+	mx := stats.Max(ps)
+	if mx > 6 {
+		t.Fatalf("uniform max %v exceeds 2·mean", mx)
+	}
+	// Uniform(0,6): sd = 6/√12.
+	sd := stats.StdDev(ps)
+	want := 6 / math.Sqrt(12)
+	if math.Abs(sd-want)/want > 0.03 {
+		t.Fatalf("uniform sd %v, want %v", sd, want)
+	}
+}
+
+func TestGenerateDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	inst, err := GenerateDrift(DriftConfig{
+		M: 8, N: 4000, Rate: 5, SBias: 1.5, Segments: 4,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.N() != 4000 {
+		t.Fatalf("n = %d", inst.N())
+	}
+	// The hot machine should move across segments: compare the modal
+	// primary of the first and last quarter.
+	mode := func(from, to int) int {
+		counts := make(map[int]int)
+		for _, task := range inst.Tasks[from:to] {
+			counts[task.Key]++
+		}
+		best, bestN := -1, 0
+		for k, n := range counts {
+			if n > bestN {
+				best, bestN = k, n
+			}
+		}
+		return best
+	}
+	first := mode(0, 1000)
+	last := mode(3000, 4000)
+	if first == last {
+		// A 1/8 chance per pair of segments; with bias 1.5 and this seed it
+		// should differ — if not, the shuffle is broken.
+		t.Fatalf("hot machine did not move across segments (both M%d)", first+1)
+	}
+}
+
+func TestGenerateDriftValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	bad := []DriftConfig{
+		{M: 0, N: 1, Rate: 1, Segments: 1},
+		{M: 2, N: -1, Rate: 1, Segments: 1},
+		{M: 2, N: 1, Rate: 0, Segments: 1},
+		{M: 2, N: 1, Rate: 1, Segments: 0},
+		{M: 2, N: 1, Rate: 1, Segments: 1, SBias: -1},
+		{M: 2, N: 1, Rate: 1, Segments: 1, Proc: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateDrift(cfg, rng); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowsched/internal/psets"
+	"flowsched/internal/sched"
+)
+
+func TestGenerateKeysBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	kw, err := GenerateKeys(KeyConfig{
+		M: 9, N: 500, Rate: 5, NumKeys: 100, KeyBias: 1, K: 3,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kw.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if kw.Inst.N() != 500 || !kw.Inst.UnitTasks() {
+		t.Fatalf("n=%d unit=%v", kw.Inst.N(), kw.Inst.UnitTasks())
+	}
+	for _, task := range kw.Inst.Tasks {
+		if task.Key < 0 || task.Key >= 100 {
+			t.Fatalf("key %d out of range", task.Key)
+		}
+		if task.Set.Len() != 3 {
+			t.Fatalf("replica set %v has wrong size", task.Set)
+		}
+		// The set matches the ring's replica set for the key.
+		want := kw.Ring.ReplicaSetAt(kw.KeyPos[task.Key], 3)
+		if !task.Set.Equal(want) {
+			t.Fatalf("set %v != ring set %v", task.Set, want)
+		}
+	}
+}
+
+func TestGenerateKeysOrderedRingIsIntervalFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	kw, err := GenerateKeys(KeyConfig{
+		M: 12, N: 300, Rate: 6, NumKeys: 200, KeyBias: 0.8, K: 4,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := psets.FromInstance(kw.Inst)
+	if !fam.IsInterval() {
+		t.Fatalf("ordered-ring workload must have interval structure, got %v", fam.Classify())
+	}
+	if k, ok := fam.UniformSize(); !ok || k != 4 {
+		t.Fatalf("uniform size = %d %v", k, ok)
+	}
+}
+
+func TestGenerateKeysMachineWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	kw, err := GenerateKeys(KeyConfig{
+		M: 6, N: 50000, Rate: 10, NumKeys: 500, KeyBias: 1.2, K: 2,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := kw.MachineWeights()
+	sum := 0.0
+	for _, w := range mw {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("machine weights sum to %v", sum)
+	}
+	// Empirical primary frequencies track the analytic machine weights.
+	counts := make([]float64, 6)
+	for _, task := range kw.Inst.Tasks {
+		counts[kw.Ring.PrimaryAt(kw.KeyPos[task.Key])]++
+	}
+	for j := range counts {
+		got := counts[j] / float64(kw.Inst.N())
+		if math.Abs(got-mw[j]) > 0.02 {
+			t.Fatalf("machine %d: empirical %v vs analytic %v", j, got, mw[j])
+		}
+	}
+}
+
+func TestGenerateKeysValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bad := []KeyConfig{
+		{M: 0, N: 1, Rate: 1, NumKeys: 1, K: 1},
+		{M: 2, N: 1, Rate: 1, NumKeys: 0, K: 1},
+		{M: 2, N: -1, Rate: 1, NumKeys: 1, K: 1},
+		{M: 2, N: 1, Rate: 0, NumKeys: 1, K: 1},
+		{M: 2, N: 1, Rate: 1, NumKeys: 1, K: 3},
+		{M: 2, N: 1, Rate: 1, NumKeys: 1, K: 0},
+		{M: 2, N: 1, Rate: 1, NumKeys: 1, K: 1, KeyBias: -1},
+		{M: 2, N: 1, Rate: 1, NumKeys: 1, K: 1, Proc: -2},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateKeys(cfg, rng); err == nil {
+			t.Errorf("config %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateKeysVirtualNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	kw, err := GenerateKeys(KeyConfig{
+		M: 8, N: 200, Rate: 4, NumKeys: 64, KeyBias: 0.5, K: 3, VNodes: 16,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kw.Ring.NumTokens() != 8*16 {
+		t.Fatalf("tokens = %d", kw.Ring.NumTokens())
+	}
+	if err := kw.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// With vnodes the replica family is generally NOT an interval family
+	// of the machine numbering — that is the point of the comparison.
+	// (We only require validity here; structure depends on the hash.)
+}
+
+// TestKeyWorkloadSchedulable runs EFT end to end on key workloads.
+func TestKeyWorkloadSchedulable(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + rng.Intn(10)
+		k := 1 + rng.Intn(m)
+		vn := rng.Intn(3) * 8 // 0, 8, 16
+		kw, err := GenerateKeys(KeyConfig{
+			M: m, N: 200, Rate: 0.7 * float64(m),
+			NumKeys: 50 + rng.Intn(200), KeyBias: rng.Float64() * 2,
+			K: k, VNodes: vn,
+		}, rng)
+		if err != nil {
+			return false
+		}
+		s, err := sched.NewEFT(sched.MinTie{}).Run(kw.Inst)
+		return err == nil && s.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

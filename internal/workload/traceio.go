@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flowsched/internal/core"
+	"flowsched/internal/replicate"
+)
+
+// FromTrace builds an instance from a request trace in the simple
+// CSV/whitespace format used by key-value store benchmarks:
+//
+//	<arrival-time> <key> [<processing-time>]
+//
+// one request per line, '#' comments and blank lines ignored, fields
+// separated by commas or whitespace. Keys are arbitrary strings; distinct
+// keys are assigned primaries round-robin by first appearance order hashed
+// onto machines via the key index modulo m (a trace replays the same
+// placement every time). The processing time defaults to 1 when the third
+// field is absent. The strategy derives each request's processing set from
+// its key's primary.
+func FromTrace(r io.Reader, m int, strategy replicate.Strategy) (*core.Instance, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("workload: need at least one machine")
+	}
+	if strategy == nil {
+		strategy = replicate.None{}
+	}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	keyIndex := make(map[string]int)
+	var tasks []core.Task
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t'
+		})
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("workload: trace line %d: need <time> <key> [<proc>], got %q", lineNo, line)
+		}
+		at, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad arrival time %q", lineNo, fields[0])
+		}
+		key := fields[1]
+		proc := 1.0
+		if len(fields) >= 3 {
+			proc, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil || proc <= 0 {
+				return nil, fmt.Errorf("workload: trace line %d: bad processing time %q", lineNo, fields[2])
+			}
+		}
+		idx, ok := keyIndex[key]
+		if !ok {
+			idx = len(keyIndex)
+			keyIndex[key] = idx
+		}
+		primary := idx % m
+		tasks = append(tasks, core.Task{
+			Release: at,
+			Proc:    proc,
+			Set:     strategy.Set(primary, m),
+			Key:     idx,
+		})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	sort.SliceStable(tasks, func(a, b int) bool { return tasks[a].Release < tasks[b].Release })
+	inst := core.NewInstance(m, tasks)
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: invalid trace: %w", err)
+	}
+	return inst, nil
+}
+
+// WriteTrace writes an instance back out in the FromTrace format (keys are
+// emitted as key-<id>).
+func WriteTrace(w io.Writer, inst *core.Instance) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# arrival-time key processing-time")
+	for _, t := range inst.Tasks {
+		if _, err := fmt.Fprintf(bw, "%g key-%d %g\n", t.Release, t.Key, t.Proc); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

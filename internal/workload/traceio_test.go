@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flowsched/internal/replicate"
+)
+
+func TestFromTraceBasic(t *testing.T) {
+	src := `# a comment
+0.5 user:alice 2
+0.0, user:bob
+1.5	user:alice	1
+
+2.0 user:carol 0.5
+`
+	inst, err := FromTrace(strings.NewReader(src), 4, replicate.Overlapping{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.N() != 4 {
+		t.Fatalf("n = %d, want 4", inst.N())
+	}
+	// Sorted by arrival: bob(0.0), alice(0.5), alice(1.5), carol(2.0).
+	if inst.Tasks[0].Release != 0 || inst.Tasks[1].Release != 0.5 {
+		t.Fatalf("order wrong: %v", inst.Tasks)
+	}
+	// Default proc = 1 for bob.
+	if inst.Tasks[0].Proc != 1 {
+		t.Fatalf("default proc = %v", inst.Tasks[0].Proc)
+	}
+	// Same key → same processing set.
+	if !inst.Tasks[1].Set.Equal(inst.Tasks[2].Set) {
+		t.Fatalf("alice's two requests have different sets: %v vs %v",
+			inst.Tasks[1].Set, inst.Tasks[2].Set)
+	}
+	// Sets have size k=2.
+	for _, task := range inst.Tasks {
+		if task.Set.Len() != 2 {
+			t.Fatalf("set size = %d", task.Set.Len())
+		}
+	}
+}
+
+func TestFromTraceErrors(t *testing.T) {
+	cases := []string{
+		"not-a-number key",
+		"1.0",          // missing key
+		"-1 key",       // negative time
+		"1.0 key zero", // bad proc
+		"1.0 key 0",    // non-positive proc
+	}
+	for i, src := range cases {
+		if _, err := FromTrace(strings.NewReader(src), 2, nil); err == nil {
+			t.Errorf("case %d accepted: %q", i, src)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	orig, err := Generate(Config{M: 5, N: 200, Rate: 3, Strategy: replicate.Disjoint{K: 2}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteTrace(&b, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromTrace(strings.NewReader(b.String()), 5, replicate.Disjoint{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != orig.N() {
+		t.Fatalf("n changed: %d vs %d", back.N(), orig.N())
+	}
+	for i := range orig.Tasks {
+		a, bt := orig.Tasks[i], back.Tasks[i]
+		if a.Release != bt.Release || a.Proc != bt.Proc {
+			t.Fatalf("task %d changed: %+v vs %+v", i, a, bt)
+		}
+	}
+}
+
+func TestFromTraceUnknownStrategyDefaultsToNone(t *testing.T) {
+	inst, err := FromTrace(strings.NewReader("0 k1\n1 k2\n"), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range inst.Tasks {
+		if task.Set.Len() != 1 {
+			t.Fatalf("no-replication set size = %d", task.Set.Len())
+		}
+	}
+	// Distinct keys get distinct primaries (round-robin).
+	if inst.Tasks[0].Set.Equal(inst.Tasks[1].Set) {
+		t.Fatalf("two keys mapped to the same primary unexpectedly")
+	}
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowsched/internal/replicate"
+	"flowsched/internal/sched"
+)
+
+func TestGenerateMixedAllReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst, err := GenerateMixed(MixedConfig{
+		M: 6, N: 200, Rate: 3, WriteFraction: 0,
+		Strategy: replicate.Overlapping{K: 3},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.N() != 200 {
+		t.Fatalf("all-read workload should have N tasks, got %d", inst.N())
+	}
+	for _, task := range inst.Tasks {
+		if task.Set.Len() != 3 {
+			t.Fatalf("read set size = %d", task.Set.Len())
+		}
+	}
+}
+
+func TestGenerateMixedAllWrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst, err := GenerateMixed(MixedConfig{
+		M: 6, N: 100, Rate: 3, WriteFraction: 1,
+		Strategy: replicate.Overlapping{K: 3},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.N() != 300 {
+		t.Fatalf("all-write workload should fan out to N·k tasks, got %d", inst.N())
+	}
+	for _, task := range inst.Tasks {
+		if task.Set.Len() != 1 {
+			t.Fatalf("write replica task must be pinned, set = %v", task.Set)
+		}
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateMixedWriteGroups(t *testing.T) {
+	// Each write's k pinned tasks share the release time and key, and their
+	// machines reconstruct the replica set.
+	rng := rand.New(rand.NewSource(3))
+	inst, err := GenerateMixed(MixedConfig{
+		M: 6, N: 50, Rate: 2, WriteFraction: 1,
+		Strategy: replicate.Overlapping{K: 3},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRelease := make(map[float64][]int)
+	for i, task := range inst.Tasks {
+		byRelease[task.Release] = append(byRelease[task.Release], i)
+	}
+	for rel, ids := range byRelease {
+		if len(ids) != 3 {
+			t.Fatalf("write at %v has %d replica tasks", rel, len(ids))
+		}
+		key := inst.Tasks[ids[0]].Key
+		var machines []int
+		for _, i := range ids {
+			if inst.Tasks[i].Key != key {
+				t.Fatalf("write group keys differ")
+			}
+			machines = append(machines, inst.Tasks[i].Set[0])
+		}
+		want := replicate.Overlapping{K: 3}.Set(key, 6)
+		got := machines
+		for _, j := range got {
+			if !want.Contains(j) {
+				t.Fatalf("write replica on M%d outside %v", j+1, want)
+			}
+		}
+	}
+}
+
+func TestGenerateMixedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bad := []MixedConfig{
+		{M: 0, N: 1, Rate: 1},
+		{M: 2, N: -1, Rate: 1},
+		{M: 2, N: 1, Rate: 0},
+		{M: 2, N: 1, Rate: 1, WriteFraction: -0.1},
+		{M: 2, N: 1, Rate: 1, WriteFraction: 1.1},
+		{M: 2, N: 1, Rate: 1, Proc: -1},
+		{M: 2, N: 1, Rate: 1, Weights: []float64{1}},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateMixed(cfg, rng); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestEffectiveLoad(t *testing.T) {
+	// Uniform weights, overlapping k=3, 30% writes at rate λ:
+	// per-request cost = 0.7 + 0.3·3 = 1.6; load = λ·1.6/m.
+	cfg := MixedConfig{
+		M: 6, Rate: 3, WriteFraction: 0.3,
+		Strategy: replicate.Overlapping{K: 3},
+	}
+	want := 3 * 1.6 / 6
+	if got := EffectiveLoad(cfg); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("EffectiveLoad = %v, want %v", got, want)
+	}
+	// No writes, no replication: load = λ/m.
+	cfg2 := MixedConfig{M: 4, Rate: 2}
+	if got := EffectiveLoad(cfg2); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("EffectiveLoad = %v, want 0.5", got)
+	}
+}
+
+// TestMixedWorkloadSchedulable: EFT schedules mixed workloads feasibly, and
+// more writes means more total work at the same request rate.
+func TestMixedWorkloadSchedulable(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + rng.Intn(8)
+		k := 1 + rng.Intn(m)
+		wf := rng.Float64()
+		inst, err := GenerateMixed(MixedConfig{
+			M: m, N: 100, Rate: 0.4 * float64(m), WriteFraction: wf,
+			Strategy: replicate.Overlapping{K: k},
+		}, rng)
+		if err != nil {
+			return false
+		}
+		s, err := sched.NewEFT(sched.MinTie{}).Run(inst)
+		return err == nil && s.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

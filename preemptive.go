@@ -1,0 +1,91 @@
+package flowsched
+
+import (
+	"io"
+	"math/rand"
+
+	"flowsched/internal/core"
+	"flowsched/internal/preempt"
+	"flowsched/internal/ring"
+	"flowsched/internal/workload"
+)
+
+// Preemptive scheduling (the preemptive rows of Table 1) and the
+// consistent-hashing placement substrate.
+
+// PreemptiveSchedule is a preemptive schedule: per-task lists of
+// (machine, start, end) pieces with full feasibility validation.
+type PreemptiveSchedule = preempt.Schedule
+
+// PreemptiveFeasible reports whether every task of the instance can finish
+// with flow at most F when preemption (and migration) is allowed.
+func PreemptiveFeasible(inst *Instance, F Time) bool { return preempt.Feasible(inst, F) }
+
+// PreemptiveOptimalFmax returns the optimal preemptive maximum flow time of
+// P|r_i,M_i,pmtn|Fmax to within tol (0 = 1e-6), by deadline bisection over
+// a max-flow feasibility oracle.
+func PreemptiveOptimalFmax(inst *Instance, tol Time) (Time, error) {
+	return preempt.OptimalFmax(inst, 0, 0, tol)
+}
+
+// PreemptiveMcNaughton builds an explicit preemptive schedule achieving
+// flow F for an unrestricted instance (McNaughton's wrap-around rule per
+// release/deadline window).
+func PreemptiveMcNaughton(inst *Instance, F Time) (*PreemptiveSchedule, error) {
+	return preempt.McNaughton(inst, F)
+}
+
+// PreemptiveFeasibleDeadlines reports whether every task can meet its
+// absolute deadline under preemption (deadlines indexed by task ID).
+func PreemptiveFeasibleDeadlines(inst *Instance, deadlines []Time) bool {
+	return preempt.FeasibleDeadlines(inst, deadlines)
+}
+
+// PreemptiveOptimalLmax returns the optimal preemptive maximum lateness
+// max_i (C_i − d_i) for the given due dates; Fmax is the special case
+// d_i = r_i noted in the paper.
+func PreemptiveOptimalLmax(inst *Instance, dueDates []Time, tol Time) (Time, error) {
+	return preempt.OptimalLmax(inst, dueDates, tol)
+}
+
+// Ring is a consistent-hash ring: the Dynamo-style placement layer mapping
+// keys to primary machines and preference lists.
+type Ring = ring.Ring
+
+// NewRing builds a hashed ring with vnodes virtual nodes per machine.
+func NewRing(m, vnodes int) (*Ring, error) { return ring.New(m, vnodes) }
+
+// NewOrderedRing builds the idealized one-token-per-machine ring of the
+// paper, on which replica sets coincide with the overlapping intervals
+// I_k(u).
+func NewOrderedRing(m int) (*Ring, error) { return ring.NewOrdered(m) }
+
+// KeyWorkloadConfig describes a key-level workload: Zipf-popular keys
+// placed by a consistent-hash ring, which induces primaries and processing
+// sets.
+type KeyWorkloadConfig = workload.KeyConfig
+
+// KeyWorkload is a generated key-level workload plus its placement
+// metadata (ring, key positions, key popularity).
+type KeyWorkload = workload.KeyWorkload
+
+// GenerateKeyWorkload draws a key-level workload (see KeyWorkloadConfig).
+func GenerateKeyWorkload(cfg KeyWorkloadConfig, rng *rand.Rand) (*KeyWorkload, error) {
+	return workload.GenerateKeys(cfg, rng)
+}
+
+// Serialization.
+
+// WriteInstanceJSON writes the instance in the library's JSON schema.
+func WriteInstanceJSON(w io.Writer, inst *Instance) error { return inst.WriteJSON(w) }
+
+// ReadInstanceJSON reads and validates an instance in the library's JSON
+// schema.
+func ReadInstanceJSON(r io.Reader) (*Instance, error) { return core.ReadInstanceJSON(r) }
+
+// WriteScheduleJSON writes a schedule (with its instance embedded).
+func WriteScheduleJSON(w io.Writer, s *Schedule) error { return s.WriteJSON(w) }
+
+// ReadScheduleJSON reads and validates a schedule written by
+// WriteScheduleJSON.
+func ReadScheduleJSON(r io.Reader) (*Schedule, error) { return core.ReadScheduleJSON(r) }

@@ -1,0 +1,46 @@
+package flowsched
+
+import (
+	"io"
+
+	"flowsched/internal/trace"
+	"flowsched/internal/viz"
+)
+
+// Observability: event traces derived from schedules.
+
+// TraceEvent is one arrival/start/completion record of a schedule's trace.
+type TraceEvent = trace.Event
+
+// Trace kinds.
+const (
+	TraceCompletion = trace.Completion
+	TraceArrival    = trace.Arrival
+	TraceStart      = trace.Start
+)
+
+// Trace derives the time-ordered event trace of a schedule (arrivals,
+// starts, completions).
+func Trace(s *Schedule) []TraceEvent { return trace.FromSchedule(s) }
+
+// WriteTrace renders a trace one event per line.
+func WriteTrace(w io.Writer, events []TraceEvent) { trace.Write(w, events) }
+
+// PeakBacklog returns the maximum number of released-but-unfinished tasks
+// over a trace and when it occurs.
+func PeakBacklog(events []TraceEvent) (int, Time) { return trace.PeakBacklog(events) }
+
+// WriteMachineTimeline renders machine j's busy periods from a schedule.
+func WriteMachineTimeline(w io.Writer, s *Schedule, j int) { trace.MachineTimeline(w, s, j) }
+
+// WriteGanttSVG renders a schedule as a standalone SVG Gantt chart
+// (pxPerUnit ≤ 0 auto-fits to ~900px).
+func WriteGanttSVG(w io.Writer, s *Schedule, pxPerUnit float64) error {
+	return viz.GanttSVG(w, s, pxPerUnit)
+}
+
+// WriteHeatmapSVG renders a labeled matrix as an SVG heat map (lo ≥ hi
+// auto-scales to the data range).
+func WriteHeatmapSVG(w io.Writer, rows, cols []string, values [][]float64, lo, hi float64, title string) error {
+	return viz.HeatmapSVG(w, rows, cols, values, lo, hi, title)
+}
