@@ -2,13 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments quick fuzz cover clean
+.PHONY: all build check test race bench experiments quick fuzz cover clean
 
-all: build test
+all: build check
 
 build:
 	$(GO) build ./...
+
+# check is the default verify path: static analysis plus the full test
+# suite under the race detector.
+check:
 	$(GO) vet ./...
+	$(GO) test -race ./...
 
 test:
 	$(GO) test ./...
@@ -32,6 +37,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzEFTDispatch -fuzztime=30s ./internal/sched/
 	$(GO) test -fuzz=FuzzReadInstanceJSON -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzReadScheduleJSON -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzReadPlanJSON -fuzztime=30s ./internal/faults/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1

@@ -19,6 +19,7 @@
 //	experiments convergence         Theorem 8 convergence time vs the m³ bound
 //	experiments writes              write fan-out extension (Fmax vs write fraction)
 //	experiments drift               popularity-drift extension (moving hot spots)
+//	experiments faults              fault injection (strategies under server failures)
 //	experiments all                 everything above
 //
 // Flags select sizes; defaults follow the paper (m=15, k=3, 10 000 tasks,
@@ -48,7 +49,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|fig1|fig2|fig3|fig4|fig5-6|fig7|fig8|fig9|fig10a|fig10b|fig11|extension|robustness|convergence|writes|all>")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|fig1|fig2|fig3|fig4|fig5-6|fig7|fig8|fig9|fig10a|fig10b|fig11|extension|robustness|convergence|writes|drift|faults|all>")
 		os.Exit(2)
 	}
 
@@ -138,6 +139,15 @@ func main() {
 			cfg.M, cfg.K, cfg.N, cfg.Seed = *m, *k, *n, *seed
 			_, err := experiments.PopularityDrift(w, cfg)
 			return err
+		case "faults":
+			cfg := experiments.DefaultFaultTolerance()
+			cfg.M, cfg.K, cfg.N, cfg.Seed = *m, *k, *n, *seed
+			if *quick {
+				cfg.Reps = 2
+				cfg.MTBFs = []float64{0, 500, 250}
+			}
+			_, err := experiments.FaultTolerance(w, cfg)
+			return err
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -146,7 +156,7 @@ func main() {
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {
 		names = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5-6", "fig7",
-			"fig8", "fig9", "fig10a", "fig10b", "fig11", "extension", "robustness", "convergence", "writes", "drift"}
+			"fig8", "fig9", "fig10a", "fig10b", "fig11", "extension", "robustness", "convergence", "writes", "drift", "faults"}
 	}
 	for i, name := range names {
 		if i > 0 {

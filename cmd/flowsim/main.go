@@ -6,6 +6,13 @@
 //	flowsim -m 15 -k 3 -n 10000 -load 0.8 -s 1 -case shuffled
 //	flowsim ... -dump run.json        # also save the overlapping instance
 //	flowsim -replay run.json          # re-simulate a saved instance
+//
+// Fault injection (server crashes + failover):
+//
+//	flowsim -m 15 -k 3 -mtbf 500 -mttr 50 -retries 3   # random MTBF/MTTR outages
+//	flowsim ... -faults plan.json                      # replay a scripted fault plan
+//	flowsim ... -mtbf 500 -dump run.json               # saves run.json + run.json.faults.json
+//	flowsim -replay run.json                           # replays faults too when present
 package main
 
 import (
@@ -27,18 +34,27 @@ func main() {
 	s := flag.Float64("s", 1, "Zipf popularity bias")
 	caseName := flag.String("case", "shuffled", "popularity case: uniform|worst|shuffled")
 	seed := flag.Int64("seed", 1, "random seed")
-	dump := flag.String("dump", "", "write the generated overlapping-strategy instance to this JSON file")
+	dump := flag.String("dump", "", "write the generated overlapping-strategy instance (and fault plan, if any) to this JSON file")
 	replay := flag.String("replay", "", "re-simulate a saved instance JSON instead of generating one")
-	timeline := flag.Int("timeline", -1, "after a -replay run, print this machine's busy timeline (1-based; 0 = full event trace)")
-	svg := flag.String("svg", "", "after a -replay run, write the EFT-Min schedule as an SVG Gantt chart to this file")
+	timeline := flag.Int("timeline", -1, "after a fault-free -replay run, print this machine's busy timeline (1-based; 0 = full event trace)")
+	svg := flag.String("svg", "", "after a fault-free -replay run, write the EFT-Min schedule as an SVG Gantt chart to this file")
+	mtbf := flag.Float64("mtbf", 0, "mean time between failures per server (0 = no random faults)")
+	mttr := flag.Float64("mttr", 50, "mean time to repair an outage (with -mtbf)")
+	faultsPath := flag.String("faults", "", "simulate under this fault plan JSON instead of generating one")
+	retries := flag.Int("retries", 0, "max dispatch attempts per request before dropping (0 = unlimited)")
+	timeout := flag.Float64("timeout", 0, "drop a request older than this at failover (0 = never)")
+	backoff := flag.Float64("backoff", 0, "base failover backoff, doubling per extra attempt (0 = immediate)")
 	flag.Parse()
-	svgFlag = *svg
 
-	_ = timeline // used by simulateSaved via the package-level flag value below
-	timelineFlag = *timeline
+	policy := flowsched.RetryPolicy{
+		MaxAttempts:   *retries,
+		Backoff:       *backoff,
+		BackoffFactor: 2,
+		Timeout:       *timeout,
+	}
 
 	if *replay != "" {
-		if err := simulateSaved(*replay); err != nil {
+		if err := simulateSaved(*replay, *timeline, *svg, *faultsPath, policy); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -59,6 +75,26 @@ func main() {
 
 	rng := rand.New(rand.NewSource(*seed))
 	weights := flowsched.PopularityWeights(pcase, *m, *s, rng)
+	rate := flowsched.RateForLoad(*loadFrac, *m)
+
+	// Fault mode: a scripted plan, or random outages drawn over the
+	// expected horizon n/λ. The same plan is replayed against every
+	// strategy×router cell so the comparison is fair.
+	var plan *flowsched.FaultPlan
+	switch {
+	case *faultsPath != "":
+		var err error
+		plan, err = readFaultPlan(*faultsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if plan.M != *m {
+			log.Fatalf("flowsim: fault plan is for %d servers, -m is %d", plan.M, *m)
+		}
+	case *mtbf > 0:
+		horizon := float64(*n) / rate
+		plan = flowsched.GenerateFaultPlan(*m, horizon, *mtbf, *mttr, rand.New(rand.NewSource(*seed+101)))
+	}
 
 	strategies := []flowsched.ReplicationStrategy{
 		flowsched.NoReplication(),
@@ -74,65 +110,113 @@ func main() {
 		{"JSQ", flowsched.JSQRouter()},
 	}
 
-	fmt.Printf("flowsim: m=%d k=%d n=%d load=%.0f%% case=%s s=%v seed=%d\n\n",
+	fmt.Printf("flowsim: m=%d k=%d n=%d load=%.0f%% case=%s s=%v seed=%d",
 		*m, *k, *n, *loadFrac*100, pcase, *s, *seed)
-	out := table.New("strategy", "router", "max load %", "Fmax", "mean flow", "p99", "utilization")
+	if plan != nil {
+		fmt.Printf(" faults=%d outages (availability %.2f%%) retries=%d timeout=%v",
+			len(plan.Outages), plan.Availability(float64(*n)/rate)*100, *retries, *timeout)
+	}
+	fmt.Printf("\n\n")
+
+	var out *table.Table
+	if plan == nil {
+		out = table.New("strategy", "router", "max load %", "Fmax", "mean flow", "p99", "utilization")
+	} else {
+		out = table.New("strategy", "router", "avail %", "Fmax", "mean flow", "p99",
+			"spike Fmax", "retries", "drop %", "parked")
+	}
 	for _, strat := range strategies {
 		maxLoad := flowsched.MaxLoadPercent(flowsched.MaxLoad(weights, strat), *m)
 		inst, err := flowsched.GenerateWorkload(flowsched.WorkloadConfig{
-			M: *m, N: *n, Rate: flowsched.RateForLoad(*loadFrac, *m),
+			M: *m, N: *n, Rate: rate,
 			Weights: weights, Strategy: strat,
 		}, rand.New(rand.NewSource(*seed)))
 		if err != nil {
 			log.Fatal(err)
 		}
-		if *dump != "" {
-			if _, ok := strat.(interface{ Name() string }); ok && strat.Name() == flowsched.OverlappingReplication(*k).Name() {
-				if err := dumpInstance(*dump, inst); err != nil {
-					log.Fatal(err)
-				}
+		if *dump != "" && strat.Name() == flowsched.OverlappingReplication(*k).Name() {
+			if err := dumpInstance(*dump, inst, plan); err != nil {
+				log.Fatal(err)
 			}
 		}
 		for _, rt := range routers {
-			sched, metrics, err := flowsched.Simulate(inst, rt.r)
+			if plan == nil {
+				sched, metrics, err := flowsched.Simulate(inst, rt.r)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := sched.Validate(); err != nil {
+					log.Fatalf("invalid schedule from %s: %v", rt.name, err)
+				}
+				out.AddRow(strat.Name(), rt.name,
+					fmt.Sprintf("%.0f", maxLoad),
+					float64(metrics.MaxFlow()),
+					float64(metrics.MeanFlow()),
+					float64(metrics.FlowQuantile(0.99)),
+					fmt.Sprintf("%.2f", metrics.Utilization()))
+				continue
+			}
+			_, fm, err := flowsched.SimulateFaulty(inst, rt.r, plan, policy)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if err := sched.Validate(); err != nil {
-				log.Fatalf("invalid schedule from %s: %v", rt.name, err)
-			}
 			out.AddRow(strat.Name(), rt.name,
-				fmt.Sprintf("%.0f", maxLoad),
-				float64(metrics.MaxFlow()),
-				float64(metrics.MeanFlow()),
-				float64(metrics.FlowQuantile(0.99)),
-				fmt.Sprintf("%.2f", metrics.Utilization()))
+				fmt.Sprintf("%.2f", fm.Availability()*100),
+				float64(fm.MaxFlow()),
+				float64(fm.MeanFlow()),
+				float64(fm.FlowQuantile(0.99)),
+				float64(fm.RecoverySpike()),
+				fm.TotalRetries(),
+				fmt.Sprintf("%.2f", fm.DropRate()*100),
+				fm.ParkedCount())
 		}
 	}
 	out.Render(os.Stdout)
 	if *dump != "" {
 		fmt.Printf("\noverlapping-strategy instance written to %s\n", *dump)
+		if plan != nil {
+			fmt.Printf("fault plan written to %s\n", faultPlanPath(*dump))
+		}
 	}
 }
 
-func dumpInstance(path string, inst *flowsched.Instance) error {
+// faultPlanPath is where the fault plan rides along with a dumped instance.
+func faultPlanPath(instancePath string) string { return instancePath + ".faults.json" }
+
+func dumpInstance(path string, inst *flowsched.Instance, plan *flowsched.FaultPlan) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return flowsched.WriteInstanceJSON(f, inst)
+	if err := flowsched.WriteInstanceJSON(f, inst); err != nil {
+		return err
+	}
+	if plan == nil {
+		return nil
+	}
+	pf, err := os.Create(faultPlanPath(path))
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	return plan.WriteJSON(pf)
 }
 
-// timelineFlag and svgFlag mirror the -timeline and -svg flags for
-// simulateSaved.
-var (
-	timelineFlag = -1
-	svgFlag      string
-)
+func readFaultPlan(path string) (*flowsched.FaultPlan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return flowsched.ReadFaultPlanJSON(f)
+}
 
-// simulateSaved replays a saved instance under every router.
-func simulateSaved(path string) error {
+// simulateSaved replays a saved instance under every router. A fault plan
+// is replayed alongside when one is given via -faults or found next to the
+// instance (instance path + ".faults.json"); timeline and svgPath apply to
+// the fault-free EFT-Min schedule only.
+func simulateSaved(path string, timeline int, svgPath, faultsPath string, policy flowsched.RetryPolicy) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -142,18 +226,64 @@ func simulateSaved(path string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("flowsim: replaying %s (m=%d, n=%d, structures %v)\n\n",
+
+	var plan *flowsched.FaultPlan
+	if faultsPath == "" {
+		if _, serr := os.Stat(faultPlanPath(path)); serr == nil {
+			faultsPath = faultPlanPath(path)
+		}
+	}
+	if faultsPath != "" {
+		plan, err = readFaultPlan(faultsPath)
+		if err != nil {
+			return err
+		}
+		if plan.M != inst.M {
+			return fmt.Errorf("flowsim: fault plan is for %d servers, instance has %d", plan.M, inst.M)
+		}
+	}
+
+	fmt.Printf("flowsim: replaying %s (m=%d, n=%d, structures %v)\n",
 		path, inst.M, inst.N(), flowsched.Structures(inst))
-	out := table.New("router", "Fmax", "mean flow", "p99", "utilization")
-	var eftSched *flowsched.Schedule
-	for _, rt := range []struct {
+	if plan != nil {
+		fmt.Printf("         with fault plan %s (%d outages)\n", faultsPath, len(plan.Outages))
+	}
+	fmt.Println()
+
+	routers := []struct {
 		name string
 		r    flowsched.Router
 	}{
 		{"EFT-Min", flowsched.EFTRouter(flowsched.TieMin)},
 		{"EFT-Max", flowsched.EFTRouter(flowsched.TieMax)},
 		{"JSQ", flowsched.JSQRouter()},
-	} {
+	}
+
+	if plan != nil {
+		out := table.New("router", "avail %", "Fmax", "mean flow", "p99",
+			"spike Fmax", "retries", "drop %", "parked")
+		for _, rt := range routers {
+			_, fm, err := flowsched.SimulateFaulty(inst, rt.r, plan, policy)
+			if err != nil {
+				return err
+			}
+			out.AddRow(rt.name,
+				fmt.Sprintf("%.2f", fm.Availability()*100),
+				float64(fm.MaxFlow()),
+				float64(fm.MeanFlow()),
+				float64(fm.FlowQuantile(0.99)),
+				float64(fm.RecoverySpike()),
+				fm.TotalRetries(),
+				fmt.Sprintf("%.2f", fm.DropRate()*100),
+				fm.ParkedCount())
+		}
+		out.Render(os.Stdout)
+		return nil
+	}
+
+	out := table.New("router", "Fmax", "mean flow", "p99", "utilization")
+	var eftSched *flowsched.Schedule
+	for _, rt := range routers {
 		s, metrics, err := flowsched.Simulate(inst, rt.r)
 		if err != nil {
 			return err
@@ -169,8 +299,8 @@ func simulateSaved(path string) error {
 	}
 	out.Render(os.Stdout)
 
-	if svgFlag != "" {
-		f, err := os.Create(svgFlag)
+	if svgPath != "" {
+		f, err := os.Create(svgPath)
 		if err != nil {
 			return err
 		}
@@ -181,16 +311,16 @@ func simulateSaved(path string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("\nSVG Gantt written to %s\n", svgFlag)
+		fmt.Printf("\nSVG Gantt written to %s\n", svgPath)
 	}
 
 	switch {
-	case timelineFlag == 0:
+	case timeline == 0:
 		fmt.Println("\nEFT-Min event trace:")
 		flowsched.WriteTrace(os.Stdout, flowsched.Trace(eftSched))
-	case timelineFlag > 0 && timelineFlag <= inst.M:
+	case timeline > 0 && timeline <= inst.M:
 		fmt.Println()
-		flowsched.WriteMachineTimeline(os.Stdout, eftSched, timelineFlag-1)
+		flowsched.WriteMachineTimeline(os.Stdout, eftSched, timeline-1)
 	}
 	return nil
 }

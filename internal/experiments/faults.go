@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"flowsched/internal/faults"
+	"flowsched/internal/popularity"
+	"flowsched/internal/replicate"
+	"flowsched/internal/sim"
+	"flowsched/internal/stats"
+	"flowsched/internal/table"
+	"flowsched/internal/workload"
+)
+
+// FaultToleranceConfig controls the fault-injection sweep: the robustness
+// analogue of the Figure 8–11 protocol. Replication strategies are
+// compared as the failure intensity rises (MTBF falls at fixed MTTR).
+type FaultToleranceConfig struct {
+	M, K  int
+	N     int
+	Reps  int
+	SBias float64
+	Load  float64
+	Seed  int64
+	MTTR  float64         // mean repair time, in task service units
+	MTBFs []float64       // mean time between failures per server; 0 = healthy
+	Pol   sim.RetryPolicy // failover policy applied to every run
+}
+
+// DefaultFaultTolerance returns the default sweep: paper-sized cluster,
+// MTTR of 50 service units and failure intensities from healthy to one
+// crash per 250 service units per server.
+func DefaultFaultTolerance() FaultToleranceConfig {
+	return FaultToleranceConfig{
+		M: 15, K: 3, N: 10000, Reps: 5, SBias: 1, Load: 0.6, Seed: 1,
+		MTTR:  50,
+		MTBFs: []float64{0, 2000, 1000, 500, 250},
+		Pol:   sim.RetryPolicy{MaxAttempts: 3},
+	}
+}
+
+// FaultToleranceRow is one strategy×router×intensity cell (medians over
+// repetitions).
+type FaultToleranceRow struct {
+	Strategy     string
+	Router       string
+	MTBF         float64
+	Availability float64
+	Fmax         float64
+	MeanFlow     float64
+	SpikeFmax    float64
+	Retries      float64 // median total failovers per run
+	DropPct      float64 // median drop rate, percent
+	ParkedPct    float64 // median parked rate, percent
+}
+
+// FaultTolerance sweeps failure intensity for each replication strategy
+// under the clairvoyant EFT-Min router and the non-clairvoyant JSQ router.
+// Replication is the paper's answer to failures; this experiment measures
+// what each placement buys when failures actually happen: how max flow
+// degrades, how many requests retry, park, or drop, and how big the
+// post-recovery flow spike is.
+func FaultTolerance(w io.Writer, cfg FaultToleranceConfig) ([]FaultToleranceRow, error) {
+	if cfg.MTTR <= 0 {
+		cfg.MTTR = 50
+	}
+	if len(cfg.MTBFs) == 0 {
+		cfg.MTBFs = DefaultFaultTolerance().MTBFs
+	}
+	strategies := []replicate.Strategy{
+		replicate.None{},
+		replicate.Disjoint{K: cfg.K},
+		replicate.Overlapping{K: cfg.K},
+	}
+	routers := []struct {
+		name string
+		mk   func() sim.Router
+	}{
+		{"EFT-Min", func() sim.Router { return sim.EFTRouter{} }},
+		{"JSQ", func() sim.Router { return sim.JSQRouter{} }},
+	}
+
+	fmt.Fprintf(w, "Fault injection — replication strategies under server failures\n")
+	fmt.Fprintf(w, "m=%d k=%d n=%d load=%.0f%% mttr=%v retry=%d attempts; medians over %d reps\n\n",
+		cfg.M, cfg.K, cfg.N, cfg.Load*100, cfg.MTTR, cfg.Pol.MaxAttempts, cfg.Reps)
+
+	out := table.New("strategy", "router", "MTBF", "avail %", "Fmax", "mean flow",
+		"spike Fmax", "retries", "drop %", "parked %")
+	var rows []FaultToleranceRow
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, strat := range strategies {
+		for _, rt := range routers {
+			for _, mtbf := range cfg.MTBFs {
+				var avail, fmax, mean, spike, retries, drop, park []float64
+				for rep := 0; rep < cfg.Reps; rep++ {
+					repSeed := cfg.Seed + int64(rep)*9973
+					inst, err := workload.Generate(workload.Config{
+						M: cfg.M, N: cfg.N, Rate: workload.RateForLoad(cfg.Load, cfg.M),
+						Weights:  shuffledWeights(cfg.M, cfg.SBias, rng),
+						Strategy: strat,
+					}, rand.New(rand.NewSource(repSeed)))
+					if err != nil {
+						return nil, err
+					}
+					horizon := inst.Tasks[inst.N()-1].Release
+					plan := faults.Generate(cfg.M, horizon, mtbf, cfg.MTTR,
+						rand.New(rand.NewSource(repSeed+1)))
+					_, fm, err := sim.RunFaulty(inst, rt.mk(), plan, cfg.Pol)
+					if err != nil {
+						return nil, err
+					}
+					avail = append(avail, fm.Availability()*100)
+					fmax = append(fmax, fm.MaxFlow())
+					mean = append(mean, fm.MeanFlow())
+					spike = append(spike, fm.RecoverySpikeMaxFlow(cfg.MTTR))
+					retries = append(retries, float64(fm.TotalRetries()))
+					drop = append(drop, fm.DropRate()*100)
+					park = append(park, float64(fm.ParkedCount())/float64(inst.N())*100)
+				}
+				row := FaultToleranceRow{
+					Strategy:     strat.Name(),
+					Router:       rt.name,
+					MTBF:         mtbf,
+					Availability: stats.Median(avail),
+					Fmax:         stats.Median(fmax),
+					MeanFlow:     stats.Median(mean),
+					SpikeFmax:    stats.Median(spike),
+					Retries:      stats.Median(retries),
+					DropPct:      stats.Median(drop),
+					ParkedPct:    stats.Median(park),
+				}
+				rows = append(rows, row)
+				mtbfLabel := "∞ (healthy)"
+				if mtbf > 0 {
+					mtbfLabel = fmt.Sprintf("%.0f", mtbf)
+				}
+				out.AddRow(row.Strategy, row.Router, mtbfLabel,
+					fmt.Sprintf("%.2f", row.Availability),
+					row.Fmax, row.MeanFlow, row.SpikeFmax,
+					row.Retries,
+					fmt.Sprintf("%.2f", row.DropPct),
+					fmt.Sprintf("%.2f", row.ParkedPct))
+			}
+		}
+	}
+	out.Render(w)
+	fmt.Fprintln(w, "\nReading: without replication every crash parks its keys' requests until")
+	fmt.Fprintln(w, "recovery (parked % tracks downtime); with k replicas requests fail over and")
+	fmt.Fprintln(w, "the damage shows up as a bounded recovery spike instead of drops.")
+	return rows, nil
+}
+
+// shuffledWeights draws one Shuffled-case popularity vector.
+func shuffledWeights(m int, s float64, rng *rand.Rand) []float64 {
+	return popularity.Weights(popularity.Shuffled, m, s, rng)
+}

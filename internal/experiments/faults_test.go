@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"flowsched/internal/sim"
+)
+
+func smallFaultTolerance() FaultToleranceConfig {
+	return FaultToleranceConfig{
+		M: 8, K: 3, N: 800, Reps: 2, SBias: 1, Load: 0.5, Seed: 1,
+		MTTR:  20,
+		MTBFs: []float64{0, 200},
+		Pol:   sim.RetryPolicy{MaxAttempts: 3},
+	}
+}
+
+func TestFaultToleranceSweep(t *testing.T) {
+	rows, err := FaultTolerance(io.Discard, smallFaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 strategies × 2 routers × 2 intensities.
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	byKey := map[string]FaultToleranceRow{}
+	for _, r := range rows {
+		byKey[r.Strategy+"|"+r.Router+"|"+fmtMTBF(r.MTBF)] = r
+		if r.Availability < 0 || r.Availability > 100 {
+			t.Errorf("%s/%s: availability %v out of range", r.Strategy, r.Router, r.Availability)
+		}
+		if r.MTBF == 0 {
+			if r.Availability != 100 || r.Retries != 0 || r.DropPct != 0 || r.ParkedPct != 0 {
+				t.Errorf("%s/%s healthy row reports fault activity: %+v", r.Strategy, r.Router, r)
+			}
+			if r.SpikeFmax != 0 {
+				t.Errorf("%s/%s healthy row has a recovery spike", r.Strategy, r.Router)
+			}
+		} else if r.Availability >= 100 {
+			t.Errorf("%s/%s mtbf=%v: no downtime recorded", r.Strategy, r.Router, r.MTBF)
+		}
+	}
+	// Without replication, crashes must park requests (|M_i| = 1 means no
+	// failover target); with replication, almost all requests fail over.
+	none := byKey["none|EFT-Min|200"]
+	if none.ParkedPct <= 0 {
+		t.Errorf("no-replication run parked nothing under faults: %+v", none)
+	}
+	for _, strat := range []string{"disjoint(k=3)", "overlapping(k=3)"} {
+		r := byKey[strat+"|EFT-Min|200"]
+		if r.ParkedPct > none.ParkedPct {
+			t.Errorf("%s parks more than no replication: %v > %v", strat, r.ParkedPct, none.ParkedPct)
+		}
+	}
+}
+
+func fmtMTBF(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	return "200"
+}
+
+func TestFaultToleranceRendersTable(t *testing.T) {
+	var sb strings.Builder
+	if _, err := FaultTolerance(&sb, smallFaultTolerance()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"avail %", "spike Fmax", "drop %", "overlapping(k=3)"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}

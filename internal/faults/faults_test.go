@@ -1,0 +1,184 @@
+package faults
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		ok   bool
+	}{
+		{"empty", Empty(3), true},
+		{"scripted", Empty(3).Down(1, 10, 20), true},
+		{"overlapping same server", Empty(3).Down(1, 10, 20).Down(1, 15, 30), true},
+		{"no servers", &Plan{M: 0}, false},
+		{"server out of range", Empty(3).Down(3, 0, 1), false},
+		{"negative server", Empty(3).Down(-1, 0, 1), false},
+		{"negative from", Empty(3).Down(0, -1, 1), false},
+		{"until before from", Empty(3).Down(0, 5, 5), false},
+		{"infinite outage", Empty(3).Down(0, 0, inf()), false},
+	}
+	for _, c := range cases {
+		if err := c.plan.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func inf() float64 { return math.Inf(1) }
+
+func TestNormalizeMergesAndSorts(t *testing.T) {
+	p := Empty(4).Down(2, 10, 20).Down(2, 15, 25).Down(2, 25, 30).Down(1, 5, 8).Down(2, 40, 45)
+	n := p.Normalize()
+	want := []Outage{{1, 5, 8}, {2, 10, 30}, {2, 40, 45}}
+	if len(n.Outages) != len(want) {
+		t.Fatalf("normalized to %v, want %v", n.Outages, want)
+	}
+	for i, o := range n.Outages {
+		if o != want[i] {
+			t.Fatalf("normalized to %v, want %v", n.Outages, want)
+		}
+	}
+	if len(p.Outages) != 5 {
+		t.Fatal("Normalize modified its receiver")
+	}
+}
+
+func TestDownAtAndAvailability(t *testing.T) {
+	p := Empty(2).Down(0, 10, 20)
+	for _, c := range []struct {
+		t    float64
+		down bool
+	}{{9.9, false}, {10, true}, {19.9, true}, {20, false}} {
+		if got := p.DownAt(0, c.t); got != c.down {
+			t.Errorf("DownAt(0, %v) = %v, want %v", c.t, got, c.down)
+		}
+	}
+	if p.DownAt(1, 15) {
+		t.Error("server 1 never fails")
+	}
+	if !p.AnyDownAt(15) || p.AnyDownAt(25) {
+		t.Error("AnyDownAt wrong")
+	}
+	down := p.Downtime(100)
+	if down[0] != 10 || down[1] != 0 {
+		t.Errorf("Downtime = %v, want [10 0]", down)
+	}
+	// Horizon 15 clips the outage to [10, 15).
+	if d := p.Downtime(15)[0]; d != 5 {
+		t.Errorf("clipped downtime = %v, want 5", d)
+	}
+	if got, want := p.Availability(100), 1-10.0/200; got != want {
+		t.Errorf("Availability = %v, want %v", got, want)
+	}
+	if a := Empty(2).Availability(100); a != 1 {
+		t.Errorf("healthy availability = %v, want 1", a)
+	}
+}
+
+func TestMeanRepairTimeAndEnd(t *testing.T) {
+	p := Empty(3).Down(0, 0, 10).Down(1, 5, 25)
+	if got := p.MeanRepairTime(); got != 15 {
+		t.Errorf("MeanRepairTime = %v, want 15", got)
+	}
+	if got := p.End(); got != 25 {
+		t.Errorf("End = %v, want 25", got)
+	}
+	if Empty(3).MeanRepairTime() != 0 || Empty(3).End() != 0 {
+		t.Error("healthy plan should have zero MTTR and end")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := Empty(5).Down(0, 1.5, 2.25).Down(4, 10, 11)
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPlanJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.M != p.M || len(back.Outages) != len(p.Outages) {
+		t.Fatalf("round trip changed shape: %+v", back)
+	}
+	for i := range p.Outages {
+		if back.Outages[i] != p.Outages[i] {
+			t.Fatalf("outage %d changed: %+v vs %+v", i, back.Outages[i], p.Outages[i])
+		}
+	}
+}
+
+func TestReadPlanJSONRejectsInvalid(t *testing.T) {
+	for _, s := range []string{
+		`{`,
+		`{"m":0}`,
+		`{"m":2,"outages":[{"server":5,"from":0,"until":1}]}`,
+		`{"m":2,"outages":[{"server":0,"from":3,"until":2}]}`,
+		`{"m":2,"unknown":true}`,
+	} {
+		if _, err := ReadPlanJSON(bytes.NewReader([]byte(s))); err == nil {
+			t.Errorf("accepted invalid plan %s", s)
+		}
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := Generate(10, 1000, 100, 20, rng)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	if len(p.Outages) == 0 {
+		t.Fatal("mtbf=100 over horizon 1000 on 10 servers should produce outages")
+	}
+	for _, o := range p.Outages {
+		if o.From >= 1000 {
+			t.Errorf("outage starts beyond horizon: %+v", o)
+		}
+		if o.Until > 2000 {
+			t.Errorf("outage ends beyond 2x horizon: %+v", o)
+		}
+	}
+	// Availability should be in the ballpark of mtbf/(mtbf+mttr) ≈ 0.83.
+	if a := p.Availability(1000); a < 0.6 || a > 0.98 {
+		t.Errorf("availability %v far from steady-state %v", a, 100.0/120)
+	}
+	// Degenerate parameters give the healthy plan.
+	for _, q := range []*Plan{
+		Generate(10, 1000, 0, 20, rng),
+		Generate(10, 1000, 100, 0, rng),
+		Generate(10, 0, 100, 20, rng),
+	} {
+		if !q.IsEmpty() {
+			t.Error("degenerate Generate should be empty")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(5, 500, 50, 10, rand.New(rand.NewSource(3)))
+	b := Generate(5, 500, 50, 10, rand.New(rand.NewSource(3)))
+	if len(a.Outages) != len(b.Outages) {
+		t.Fatal("same seed produced different plans")
+	}
+	for i := range a.Outages {
+		if a.Outages[i] != b.Outages[i] {
+			t.Fatal("same seed produced different plans")
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := Empty(3).Down(1, 1, 2)
+	q := p.Clone()
+	q.Outages[0].Server = 2
+	if p.Outages[0].Server != 1 {
+		t.Fatal("Clone shares outage storage")
+	}
+}

@@ -1,0 +1,55 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadPlanJSON checks that arbitrary input never panics the decoder
+// and that every plan it accepts validates, normalizes without losing
+// downtime, and round-trips through WriteJSON (the dump/replay path of
+// cmd/flowsim).
+func FuzzReadPlanJSON(f *testing.F) {
+	f.Add([]byte(`{"m":3,"outages":[{"server":0,"from":1,"until":2}]}`))
+	f.Add([]byte(`{"m":1}`))
+	f.Add([]byte(`{"m":2,"outages":[{"server":1,"from":0,"until":1},{"server":1,"from":0.5,"until":3}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"m":-4,"outages":[]}`))
+	f.Add([]byte(`{"m":3,"outages":[{"server":2,"from":1e300,"until":1e301}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadPlanJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted plan fails validation: %v", verr)
+		}
+		n := p.Normalize()
+		if nerr := n.Validate(); nerr != nil {
+			t.Fatalf("normalized plan fails validation: %v", nerr)
+		}
+		if len(n.Outages) > len(p.Outages) {
+			t.Fatalf("normalization grew the plan: %d -> %d", len(p.Outages), len(n.Outages))
+		}
+		if p.M <= 1<<12 { // Downtime allocates per server; skip absurd m
+			horizon := p.End()
+			pd, nd := p.Downtime(horizon), n.Downtime(horizon)
+			for j := range pd {
+				if diff := pd[j] - nd[j]; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("normalization changed server %d downtime: %v vs %v", j, pd[j], nd[j])
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if werr := p.WriteJSON(&buf); werr != nil {
+			t.Fatalf("re-encoding accepted plan: %v", werr)
+		}
+		back, rerr := ReadPlanJSON(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip rejected: %v", rerr)
+		}
+		if back.M != p.M || len(back.Outages) != len(p.Outages) {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the plan in the stable on-disk schema:
+//
+//	{"m": 15, "outages": [{"server": 3, "from": 120, "until": 170}, …]}
+func (p *Plan) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadPlanJSON deserializes and validates a plan written by WriteJSON (or
+// authored by hand in the same schema).
+func ReadPlanJSON(r io.Reader) (*Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("faults: decoding plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("faults: invalid plan: %w", err)
+	}
+	return &p, nil
+}

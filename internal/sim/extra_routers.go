@@ -42,6 +42,10 @@ type RoundRobinRouter struct{ next int }
 // Name implements Router.
 func (*RoundRobinRouter) Name() string { return "RR" }
 
+// Reset implements Resettable: it rewinds the cursor so the router can be
+// reused across runs (Run/RunFaulty call this automatically).
+func (r *RoundRobinRouter) Reset() { r.next = 0 }
+
 // Pick implements Router.
 func (r *RoundRobinRouter) Pick(st *State, t core.Task) int {
 	for probe := 0; probe < st.M; probe++ {
@@ -59,8 +63,8 @@ func (r *RoundRobinRouter) Pick(st *State, t core.Task) int {
 // uniformly from [1−RelErr, 1+RelErr], and it tracks machine completion
 // times using those estimates. The paper points out that EFT "implies that
 // one must know the processing time of arriving tasks with precision"; this
-// router quantifies what happens when one does not. A fresh router must be
-// used per run (it accumulates estimated state).
+// router quantifies what happens when one does not. It accumulates
+// estimated state during a run; Run/RunFaulty reset it automatically.
 type NoisyEFTRouter struct {
 	Tie    sched.TieBreak
 	RelErr float64
@@ -71,6 +75,11 @@ type NoisyEFTRouter struct {
 
 // Name implements Router.
 func (r *NoisyEFTRouter) Name() string { return "EFT-noisy" }
+
+// Reset implements Resettable: it clears the accumulated completion-time
+// beliefs so the router can be reused across runs (Run/RunFaulty call this
+// automatically).
+func (r *NoisyEFTRouter) Reset() { r.est = nil }
 
 // Pick implements Router.
 func (r *NoisyEFTRouter) Pick(st *State, t core.Task) int {

@@ -1,0 +1,462 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"flowsched/internal/core"
+	"flowsched/internal/eventq"
+	"flowsched/internal/faults"
+	"flowsched/internal/stats"
+)
+
+// RetryPolicy governs what happens to a request whose server fails while
+// the request is queued or running there. The zero value retries forever,
+// immediately, with no timeout — every request eventually completes as
+// long as plans are finite.
+type RetryPolicy struct {
+	// MaxAttempts caps the total number of dispatch attempts per request;
+	// a request aborted on its MaxAttempts-th attempt is dropped. 0 means
+	// unlimited.
+	MaxAttempts int
+	// Backoff delays the re-dispatch of an aborted request: attempt a+1 is
+	// scheduled Backoff·BackoffFactor^(a-1) after the abort. 0 fails over
+	// immediately.
+	Backoff core.Time
+	// BackoffFactor is the multiplier applied per additional attempt
+	// (exponential backoff). Values ≤ 0 and 1 mean constant backoff.
+	BackoffFactor float64
+	// Timeout drops a request when its age (time since release) would
+	// exceed this at the next re-dispatch instant. 0 means no timeout.
+	Timeout core.Time
+}
+
+// delay returns the backoff before attempt attempts+1, given attempts
+// completed so far (≥ 1).
+func (p RetryPolicy) delay(attempts int) core.Time {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	f := p.BackoffFactor
+	if f <= 0 {
+		f = 1
+	}
+	d := p.Backoff
+	for a := 1; a < attempts; a++ {
+		d *= f
+	}
+	return d
+}
+
+// FaultMetrics extends Metrics with the robustness observables of a faulty
+// run. Flows/Stretches of a dropped request measure the time from release
+// until the drop decision (the latency of the failure response), not a
+// completion.
+type FaultMetrics struct {
+	Metrics
+	Attempts []int       // per-request dispatch attempts (≥ 1 unless parked forever)
+	Dropped  []bool      // per-request: gave up (attempt cap or timeout)
+	Parked   []bool      // per-request: waited at least once with its whole set down
+	Downtime []core.Time // per-server down time within [0, Horizon)
+	Horizon  core.Time   // observation horizon (makespan, or plan end when longer)
+
+	plan     *faults.Plan
+	releases []core.Time
+}
+
+// DroppedCount returns the number of requests that were dropped.
+func (m *FaultMetrics) DroppedCount() int { return countTrue(m.Dropped) }
+
+// ParkedCount returns the number of requests that were parked at least
+// once (their entire processing set was down on arrival or failover).
+func (m *FaultMetrics) ParkedCount() int { return countTrue(m.Parked) }
+
+// DropRate returns the fraction of requests dropped.
+func (m *FaultMetrics) DropRate() float64 {
+	if len(m.Dropped) == 0 {
+		return 0
+	}
+	return float64(m.DroppedCount()) / float64(len(m.Dropped))
+}
+
+// TotalRetries returns Σ_i max(Attempts_i − 1, 0): the number of extra
+// dispatches caused by failures.
+func (m *FaultMetrics) TotalRetries() int {
+	total := 0
+	for _, a := range m.Attempts {
+		if a > 1 {
+			total += a - 1
+		}
+	}
+	return total
+}
+
+// MeanAttempts returns the average number of dispatch attempts per request.
+func (m *FaultMetrics) MeanAttempts() float64 {
+	if len(m.Attempts) == 0 {
+		return 0
+	}
+	total := 0
+	for _, a := range m.Attempts {
+		total += a
+	}
+	return float64(total) / float64(len(m.Attempts))
+}
+
+// Availability returns the fraction of server·time the cluster was up over
+// the run's horizon.
+func (m *FaultMetrics) Availability() float64 { return m.plan.Availability(m.Horizon) }
+
+// RecoverySpikeMaxFlow returns the maximum flow among requests released
+// while a server was down or within window after a recovery — the
+// transient the paper's steady-state Fmax protocol cannot see. It returns
+// 0 when no request falls in a spike window. Dropped requests are
+// excluded (their pseudo-flow is reported through DropRate instead).
+func (m *FaultMetrics) RecoverySpikeMaxFlow(window core.Time) core.Time {
+	var mx core.Time
+	outages := m.plan.Normalize().Outages
+	inSpike := func(r core.Time) bool {
+		for _, o := range outages {
+			if r >= o.From && r < o.Until+window {
+				return true
+			}
+		}
+		return false
+	}
+	for i, r := range m.releases {
+		if m.Dropped[i] || !inSpike(r) {
+			continue
+		}
+		if m.Flows[i] > mx {
+			mx = m.Flows[i]
+		}
+	}
+	return mx
+}
+
+// RecoverySpike returns RecoverySpikeMaxFlow with the plan's empirical
+// mean repair time as the window.
+func (m *FaultMetrics) RecoverySpike() core.Time {
+	return m.RecoverySpikeMaxFlow(m.plan.MeanRepairTime())
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// faultEvent is a non-arrival event of the faulty simulation.
+type faultEvent struct {
+	kind   int // evDown | evUp | evRetry
+	server int // evDown/evUp
+	task   int // evRetry
+}
+
+const (
+	evDown = iota
+	evUp
+	evRetry
+)
+
+// compEvent is a queued completion; gen invalidates completions of aborted
+// attempts.
+type compEvent struct {
+	server, task, gen int
+}
+
+// RunFaulty simulates the instance under the router while replaying the
+// fault plan: servers go down and up at the plan's instants, a failing
+// server loses all queued and running requests (non-preemptive restart —
+// partial work is wasted), and lost requests fail over to a live replica
+// under the retry policy. Requests whose whole processing set is down are
+// parked until the first replica recovers. A nil or empty plan reproduces
+// Run exactly — identical schedules and metrics (asserted by
+// TestRunFaultyEmptyPlanEquivalence).
+//
+// Routers see the live cluster only: an arriving (or failing-over) request
+// is presented with its processing set shrunk to the live replicas, so
+// every Router implementation works unchanged; picking a dead server is
+// reported as an error. Dropped requests are left unassigned in the
+// returned schedule (Machine −1), so core.Schedule.Validate only applies
+// to runs without drops.
+func RunFaulty(inst *core.Instance, router Router, plan *faults.Plan, policy RetryPolicy) (*core.Schedule, *FaultMetrics, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("sim: %w", err)
+	}
+	if plan == nil {
+		plan = faults.Empty(inst.M)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("sim: %w", err)
+	}
+	if plan.M != inst.M {
+		return nil, nil, fmt.Errorf("sim: fault plan for %d servers, instance has %d", plan.M, inst.M)
+	}
+	plan = plan.Normalize()
+	if r, ok := router.(Resettable); ok {
+		r.Reset()
+	}
+
+	m := inst.M
+	n := inst.N()
+	st := &State{
+		M:          m,
+		Completion: make([]core.Time, m),
+		QueueLen:   make([]int, m),
+	}
+	sched := core.NewSchedule(inst)
+	metrics := &FaultMetrics{
+		Metrics: Metrics{
+			Flows:     make([]core.Time, n),
+			Stretches: make([]core.Time, n),
+			Busy:      make([]core.Time, m),
+		},
+		Attempts: make([]int, n),
+		Dropped:  make([]bool, n),
+		Parked:   make([]bool, n),
+		plan:     plan,
+		releases: make([]core.Time, n),
+	}
+	for i, t := range inst.Tasks {
+		metrics.releases[i] = t.Release
+	}
+
+	live := make([]bool, m)
+	for j := range live {
+		live[j] = true
+	}
+	downCount := 0
+	pending := make([][]int, m)      // per-server FIFO of unfinished request IDs
+	gen := make([]int, n)            // attempt generation, invalidates stale completions
+	curStart := make([]core.Time, n) // start of the current attempt
+	curEnd := make([]core.Time, n)   // end of the current attempt
+	var parked []int                 // requests waiting for any replica to recover
+	var completions eventq.Queue[compEvent]
+	var events eventq.Queue[faultEvent]
+	for _, o := range plan.Outages {
+		events.Push(o.From, faultEvent{kind: evDown, server: o.Server})
+		events.Push(o.Until, faultEvent{kind: evUp, server: o.Server})
+	}
+
+	drain := func(upTo core.Time) {
+		for completions.Len() > 0 {
+			when, c := completions.Peek()
+			if when > upTo {
+				return
+			}
+			completions.Pop()
+			if c.gen != gen[c.task] {
+				continue // stale: that attempt was aborted
+			}
+			st.QueueLen[c.server]--
+			q := pending[c.server]
+			if len(q) > 0 && q[0] == c.task {
+				pending[c.server] = q[1:]
+			} else { // defensive; FIFO service should make this unreachable
+				for x, id := range q {
+					if id == c.task {
+						pending[c.server] = append(q[:x:x], q[x+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+
+	drop := func(id int, now core.Time) {
+		metrics.Dropped[id] = true
+		metrics.Flows[id] = now - inst.Tasks[id].Release
+		metrics.Stretches[id] = stretchOf(metrics.Flows[id], inst.Tasks[id].Proc)
+		sched.Assign(id, -1, math.NaN())
+	}
+
+	liveSubset := func(set core.ProcSet) core.ProcSet {
+		out := make(core.ProcSet, 0, m)
+		if set == nil {
+			for j := 0; j < m; j++ {
+				if live[j] {
+					out = append(out, j)
+				}
+			}
+		} else {
+			for _, j := range set {
+				if live[j] {
+					out = append(out, j)
+				}
+			}
+		}
+		return out
+	}
+
+	// dispatch routes request id at instant now (its release, a failover
+	// instant, or a recovery instant). The arithmetic mirrors Run exactly
+	// so an empty plan reproduces it bit for bit.
+	dispatch := func(id int, now core.Time) error {
+		task := inst.Tasks[id]
+		view := task
+		if downCount > 0 {
+			eff := liveSubset(task.Set)
+			if len(eff) == 0 {
+				metrics.Parked[id] = true
+				parked = append(parked, id)
+				return nil
+			}
+			view.Set = eff
+		}
+		view.Release = now // failover re-dispatches cannot start before now
+		metrics.Attempts[id]++
+		j := router.Pick(st, view)
+		if j < 0 || j >= m || !view.Eligible(j) {
+			return fmt.Errorf("sim: router %s picked invalid server M%d for task %d (live set %v)",
+				router.Name(), j+1, id, view.Set)
+		}
+		if !live[j] {
+			return fmt.Errorf("sim: router %s picked dead server M%d for task %d at t=%v",
+				router.Name(), j+1, id, now)
+		}
+		start := st.Completion[j]
+		if now > start {
+			start = now
+		}
+		end := start + task.Proc
+		st.Completion[j] = end
+		st.QueueLen[j]++
+		completions.Push(end, compEvent{server: j, task: id, gen: gen[id]})
+		pending[j] = append(pending[j], id)
+		curStart[id], curEnd[id] = start, end
+		sched.Assign(id, j, start)
+		metrics.Flows[id] = end - task.Release
+		metrics.Stretches[id] = stretchOf(end-task.Release, task.Proc)
+		metrics.Busy[j] += task.Proc
+		return nil
+	}
+
+	// requeue decides the fate of request id aborted at instant now.
+	requeue := func(id int, now core.Time) {
+		if policy.MaxAttempts > 0 && metrics.Attempts[id] >= policy.MaxAttempts {
+			drop(id, now)
+			return
+		}
+		next := now + policy.delay(metrics.Attempts[id])
+		if policy.Timeout > 0 && next-inst.Tasks[id].Release > policy.Timeout {
+			drop(id, now)
+			return
+		}
+		events.Push(next, faultEvent{kind: evRetry, task: id})
+	}
+
+	fail := func(j int, now core.Time) {
+		live[j] = false
+		downCount++
+		lost := pending[j]
+		pending[j] = nil
+		st.QueueLen[j] -= len(lost)
+		st.Completion[j] = now
+		for _, id := range lost {
+			gen[id]++ // invalidate the queued completion
+			executed := core.Time(0)
+			if curStart[id] < now {
+				executed = now - curStart[id] // the running request's wasted partial work
+			}
+			metrics.Busy[j] -= inst.Tasks[id].Proc - executed
+			requeue(id, now)
+		}
+	}
+
+	restore := func(j int, now core.Time) error {
+		live[j] = true
+		downCount--
+		still := parked[:0]
+		var wake []int
+		for _, id := range parked {
+			if inst.Tasks[id].Eligible(j) {
+				wake = append(wake, id)
+			} else {
+				still = append(still, id)
+			}
+		}
+		parked = still
+		for _, id := range wake {
+			if policy.Timeout > 0 && now-inst.Tasks[id].Release > policy.Timeout {
+				drop(id, now)
+				continue
+			}
+			if err := dispatch(id, now); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	next := 0 // next arrival index
+	for next < n || events.Len() > 0 {
+		if events.Len() > 0 {
+			when, _ := events.Peek()
+			if next >= n || when <= inst.Tasks[next].Release {
+				when, ev := events.Pop()
+				st.Now = when
+				drain(when)
+				switch ev.kind {
+				case evDown:
+					fail(ev.server, when)
+				case evUp:
+					if err := restore(ev.server, when); err != nil {
+						return nil, nil, err
+					}
+				case evRetry:
+					if err := dispatch(ev.task, when); err != nil {
+						return nil, nil, err
+					}
+				}
+				continue
+			}
+		}
+		task := inst.Tasks[next]
+		st.Now = task.Release
+		drain(st.Now)
+		if err := dispatch(next, task.Release); err != nil {
+			return nil, nil, err
+		}
+		next++
+	}
+
+	for id := 0; id < n; id++ {
+		if metrics.Dropped[id] {
+			continue
+		}
+		if curEnd[id] > metrics.Makespan {
+			metrics.Makespan = curEnd[id]
+		}
+	}
+	drain(metrics.Makespan)
+	metrics.Horizon = metrics.Makespan
+	if end := plan.End(); end > metrics.Horizon {
+		metrics.Horizon = end
+	}
+	metrics.Downtime = plan.Downtime(metrics.Horizon)
+	return sched, metrics, nil
+}
+
+// SpikeQuantile returns the q-quantile of flows among non-dropped requests
+// released inside outage/recovery windows (window after each recovery).
+func (m *FaultMetrics) SpikeQuantile(window core.Time, q float64) core.Time {
+	outages := m.plan.Normalize().Outages
+	var spike []core.Time
+	for i, r := range m.releases {
+		if m.Dropped[i] {
+			continue
+		}
+		for _, o := range outages {
+			if r >= o.From && r < o.Until+window {
+				spike = append(spike, m.Flows[i])
+				break
+			}
+		}
+	}
+	return stats.Quantile(spike, q)
+}

@@ -34,6 +34,13 @@ type Router interface {
 	Pick(st *State, t core.Task) int
 }
 
+// Resettable is implemented by stateful routers (round-robin cursor, noisy
+// EFT beliefs). Run and RunFaulty reset such routers at the start of every
+// run, so one router value can be reused across runs safely.
+type Resettable interface {
+	Reset()
+}
+
 // Metrics aggregates a simulation run.
 type Metrics struct {
 	Flows     []core.Time // per-request flow time, indexed by task ID
@@ -85,11 +92,24 @@ func (m *Metrics) Utilization() float64 {
 	return total / (m.Makespan * core.Time(len(m.Busy)))
 }
 
+// stretchOf returns flow/proc, the stretch of a request. Zero-proc tasks
+// (e.g. trace-derived writes) have undefined stretch; it is reported as 0
+// instead of poisoning MeanStretch with ±Inf/NaN.
+func stretchOf(flow, proc core.Time) core.Time {
+	if proc <= 0 {
+		return 0
+	}
+	return flow / proc
+}
+
 // Run simulates the instance under the router and returns the resulting
 // schedule (validated against the model invariants by tests) and metrics.
 func Run(inst *core.Instance, router Router) (*core.Schedule, *Metrics, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("sim: %w", err)
+	}
+	if r, ok := router.(Resettable); ok {
+		r.Reset()
 	}
 	m := inst.M
 	st := &State{
@@ -138,7 +158,7 @@ func Run(inst *core.Instance, router Router) (*core.Schedule, *Metrics, error) {
 		completions.Push(end, j)
 		sched.Assign(i, j, start)
 		metrics.Flows[i] = end - task.Release
-		metrics.Stretches[i] = (end - task.Release) / task.Proc
+		metrics.Stretches[i] = stretchOf(end-task.Release, task.Proc)
 		metrics.Busy[j] += task.Proc
 		if end > metrics.Makespan {
 			metrics.Makespan = end

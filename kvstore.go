@@ -4,6 +4,7 @@ import (
 	"io"
 	"math/rand"
 
+	"flowsched/internal/faults"
 	"flowsched/internal/popularity"
 	"flowsched/internal/replicate"
 	"flowsched/internal/sim"
@@ -136,13 +137,14 @@ func RandomRouter(rng *rand.Rand) Router { return sim.RandomRouter{Rng: rng} }
 // eligible servers, pick the shorter queue.
 func PowerOfTwoRouter(rng *rand.Rand) Router { return sim.PowerOfTwoRouter{Rng: rng} }
 
-// RoundRobinRouter returns the load-oblivious round-robin baseline. Use a
-// fresh router per run (it keeps a cursor).
+// RoundRobinRouter returns the load-oblivious round-robin baseline. Its
+// cursor is reset automatically at the start of every run.
 func RoundRobinRouter() Router { return &sim.RoundRobinRouter{} }
 
 // NoisyEFTRouter returns EFT with imperfect clairvoyance: processing times
 // are known only up to a multiplicative error uniform in [1−relErr,
-// 1+relErr]. Use a fresh router per run (it accumulates believed state).
+// 1+relErr]. Its believed state is reset automatically at the start of
+// every run.
 func NoisyEFTRouter(tie TieBreak, relErr float64, rng *rand.Rand) Router {
 	return &sim.NoisyEFTRouter{Tie: tie, RelErr: relErr, Rng: rng}
 }
@@ -163,4 +165,43 @@ func HotKeyPenalty(inst *Instance, m *SimMetrics, topFraction float64) (Time, Ti
 // a router and returns the resulting schedule and metrics.
 func Simulate(inst *Instance, router Router) (*Schedule, *SimMetrics, error) {
 	return sim.Run(inst, router)
+}
+
+// Fault injection (internal/faults + internal/sim.RunFaulty).
+type (
+	// FaultPlan scripts server outages for a faulty simulation; it
+	// validates, normalizes and round-trips through JSON like instances.
+	FaultPlan = faults.Plan
+	// Outage marks one server down on [From, Until).
+	Outage = faults.Outage
+	// RetryPolicy governs failover of requests lost to a server crash:
+	// attempt cap, (exponential) backoff and per-request timeout. The zero
+	// value retries immediately and forever.
+	RetryPolicy = sim.RetryPolicy
+	// FaultMetrics extends SimMetrics with robustness observables:
+	// attempts, drops, parked requests, per-server downtime, availability
+	// and recovery-spike max flow.
+	FaultMetrics = sim.FaultMetrics
+)
+
+// EmptyFaultPlan returns the healthy plan for m servers; simulating under
+// it reproduces Simulate exactly.
+func EmptyFaultPlan(m int) *FaultPlan { return faults.Empty(m) }
+
+// GenerateFaultPlan draws outages from a per-server MTBF/MTTR renewal
+// process (exponential up and down periods) over [0, horizon).
+func GenerateFaultPlan(m int, horizon Time, mtbf, mttr float64, rng *rand.Rand) *FaultPlan {
+	return faults.Generate(m, horizon, mtbf, mttr, rng)
+}
+
+// ReadFaultPlanJSON deserializes and validates a fault plan.
+func ReadFaultPlanJSON(r io.Reader) (*FaultPlan, error) { return faults.ReadPlanJSON(r) }
+
+// SimulateFaulty runs the cluster simulation while replaying the fault
+// plan: failing servers lose their queued and running requests, which fail
+// over to live replicas under the retry policy (requests whose whole
+// processing set is down park until the first replica recovers). A nil or
+// empty plan reproduces Simulate exactly.
+func SimulateFaulty(inst *Instance, router Router, plan *FaultPlan, policy RetryPolicy) (*Schedule, *FaultMetrics, error) {
+	return sim.RunFaulty(inst, router, plan, policy)
 }
