@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race bench experiments quick fuzz cover clean
+.PHONY: all build check test race bench bench-update bench-go experiments quick fuzz cover clean
 
 all: build check
 
@@ -21,7 +21,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench is the regression gate: it runs the registered suite (cmd/bench,
+# internal/benchreg) and exits non-zero if any benchmark's ns/op regressed
+# more than 15% against the newest checked-in BENCH_<n>.json. It is kept
+# out of `check` (tier-1): wall-clock measurements are machine-dependent.
 bench:
+	$(GO) run ./cmd/bench
+
+# bench-update additionally records the run as the next BENCH_<n>.json.
+bench-update:
+	$(GO) run ./cmd/bench -update
+
+# bench-go runs the full go test benchmark inventory (bench_test.go).
+bench-go:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table and figure at paper sizes (m=15, 10k tasks,

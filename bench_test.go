@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"flowsched"
+	"flowsched/internal/benchreg"
 	"flowsched/internal/experiments"
 	"flowsched/internal/loadlp"
 	"flowsched/internal/popularity"
@@ -467,3 +468,27 @@ func BenchmarkPopularityDrift(b *testing.B) {
 		}
 	}
 }
+
+// --- Hot-path suite (internal/benchreg) ------------------------------------
+//
+// The benchmark-regression harness (cmd/bench, `make bench`) owns the
+// hot-path suite; these wrappers expose it to `go test -bench` so both
+// entry points measure the same code. See DESIGN.md §7.
+
+func benchregWrap(b *testing.B, name string) {
+	fn := benchreg.Get(name)
+	if fn == nil {
+		b.Fatalf("benchreg suite has no benchmark %q", name)
+	}
+	fn(b)
+}
+
+func BenchmarkRouterEFTPick(b *testing.B)        { benchregWrap(b, "RouterEFTPick") }
+func BenchmarkRouterEFTPickFullSet(b *testing.B) { benchregWrap(b, "RouterEFTPickFullSet") }
+func BenchmarkRouterJSQPick(b *testing.B)        { benchregWrap(b, "RouterJSQPick") }
+func BenchmarkSimRunEFT(b *testing.B)            { benchregWrap(b, "SimRunEFT") }
+func BenchmarkSimRunEFTMinFullSet(b *testing.B)  { benchregWrap(b, "SimRunEFTMinFullSet") }
+func BenchmarkSimRunJSQ(b *testing.B)            { benchregWrap(b, "SimRunJSQ") }
+func BenchmarkSchedFIFORun(b *testing.B)         { benchregWrap(b, "SchedFIFORun") }
+func BenchmarkStatsSummarize(b *testing.B)       { benchregWrap(b, "StatsSummarize") }
+func BenchmarkEventqEFTMinDispatch(b *testing.B) { benchregWrap(b, "EventqEFTMinDispatch") }

@@ -1,0 +1,108 @@
+// Command bench runs the registered benchmark suite (internal/benchreg)
+// and compares it against the newest checked-in BENCH_<n>.json baseline.
+//
+// Default mode is the regression gate used by `make bench`: run the suite,
+// print a baseline comparison, and exit non-zero if any benchmark's ns/op
+// grew past the threshold. With -update the run is also written as the
+// next BENCH_<n>.json baseline (or to -out).
+//
+//	go run ./cmd/bench                 # regression check vs newest baseline
+//	go run ./cmd/bench -update         # ...and write the next baseline
+//	go run ./cmd/bench -bench Router   # only the router microbenchmarks
+//	go run ./cmd/bench -list           # show suite names and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"flowsched/internal/benchreg"
+)
+
+func main() {
+	testing.Init() // registers -test.* flags so benchtime is settable
+	var (
+		dir       = flag.String("dir", ".", "directory holding BENCH_<n>.json baselines")
+		out       = flag.String("out", "", "explicit output path (implies -update)")
+		update    = flag.Bool("update", false, "write the run as the next BENCH_<n>.json baseline")
+		threshold = flag.Float64("threshold", benchreg.DefaultThreshold,
+			"relative ns/op growth tolerated before failing")
+		benchtime = flag.String("benchtime", "0.25s", "per-benchmark measurement time (test.benchtime)")
+		pattern   = flag.String("bench", "", "regexp selecting benchmarks to run (default all)")
+		list      = flag.Bool("list", false, "list registered benchmarks and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, name := range benchreg.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fatal(err)
+	}
+
+	entries, err := benchreg.RunMatching(*pattern, func(name string) {
+		fmt.Fprintf(os.Stderr, "bench: running %s\n", name)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if len(entries) == 0 {
+		fatal(fmt.Errorf("no benchmarks match -bench %q", *pattern))
+	}
+	report := benchreg.NewReport(entries)
+	for _, e := range entries {
+		fmt.Printf("%-24s %12.1f ns/op %10d B/op %8d allocs/op\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+
+	baseline, err := benchreg.LatestBaseline(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	regressed := false
+	if baseline == "" {
+		fmt.Println("\nno BENCH_<n>.json baseline found; skipping comparison")
+	} else {
+		base, err := benchreg.ReadFile(baseline)
+		if err != nil {
+			fatal(err)
+		}
+		deltas := benchreg.Compare(base, report, *threshold)
+		fmt.Printf("\nvs %s (threshold %+.0f%% ns/op):\n", baseline, *threshold*100)
+		for _, d := range deltas {
+			mark := "ok"
+			if d.Regress {
+				mark = "REGRESSION"
+				regressed = true
+			}
+			fmt.Printf("%-24s %12.1f -> %10.1f ns/op  %+6.1f%%  %s\n",
+				d.Name, d.BaseNs, d.CurNs, (d.Ratio-1)*100, mark)
+		}
+	}
+
+	if *update || *out != "" {
+		path := *out
+		if path == "" {
+			if path, err = benchreg.NextPath(*dir); err != nil {
+				fatal(err)
+			}
+		}
+		if err := report.WriteFile(path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d entries)\n", path, len(entries))
+	}
+	if regressed {
+		fmt.Fprintln(os.Stderr, "bench: ns/op regression detected")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,178 @@
+package benchreg
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowsched/internal/core"
+	"flowsched/internal/eventq"
+	"flowsched/internal/popularity"
+	"flowsched/internal/replicate"
+	"flowsched/internal/sched"
+	"flowsched/internal/sim"
+	"flowsched/internal/stats"
+	"flowsched/internal/workload"
+)
+
+// The registered suite: the simulator hot paths (router Pick, Run variants,
+// FIFO dispatch) plus the supporting stats and eventq kernels. Every entry
+// lands in BENCH_<n>.json; the Pick entries are additionally pinned to
+// 0 allocs/op by TestRouterPickAllocs in internal/sim.
+
+func init() {
+	Register("RouterEFTPick", benchRouterEFTPick)
+	Register("RouterEFTPickFullSet", benchRouterEFTPickFullSet)
+	Register("RouterJSQPick", benchRouterJSQPick)
+	Register("SimRunEFT", benchSimRunEFT)
+	Register("SimRunEFTMinFullSet", benchSimRunEFTMinFullSet)
+	Register("SimRunJSQ", benchSimRunJSQ)
+	Register("SchedEFTRun", benchSchedEFTRun)
+	Register("SchedFIFORun", benchSchedFIFORun)
+	Register("StatsSummarize", benchStatsSummarize)
+	Register("EventqEFTMinDispatch", benchEventqEFTMinDispatch)
+}
+
+// pickTasks builds a ring of release-ordered tasks with interval processing
+// sets of size k on m machines (nil sets when k <= 0).
+func pickTasks(m, k, n int) []core.Task {
+	tasks := make([]core.Task, n)
+	tm := 0.0
+	for i := range tasks {
+		tm += 0.07
+		tasks[i] = core.Task{ID: i, Release: tm, Proc: 1}
+		if k > 0 {
+			lo := i % (m - k + 1)
+			tasks[i].Set = core.Interval(lo, lo+k-1)
+		}
+	}
+	return tasks
+}
+
+func pickState(m int) *sim.State {
+	st := &sim.State{M: m, Completion: make([]core.Time, m), QueueLen: make([]int, m)}
+	rng := rand.New(rand.NewSource(1))
+	for j := 0; j < m; j++ {
+		st.Completion[j] = core.Time(rng.Float64() * 10)
+		st.QueueLen[j] = rng.Intn(4)
+	}
+	return st
+}
+
+// benchPick drives one router Pick per iteration, advancing the picked
+// server's clock so the candidate structure keeps changing.
+func benchPick(b *testing.B, router sim.Router, m, k int) {
+	tasks := pickTasks(m, k, 1024)
+	st := pickState(m)
+	router.Pick(st, tasks[0]) // warm the scratch buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := tasks[i%len(tasks)]
+		j := router.Pick(st, t)
+		st.Completion[j] += t.Proc
+		st.QueueLen[j]++
+		st.QueueLen[(j+1)%m] = 0
+	}
+}
+
+func benchRouterEFTPick(b *testing.B)        { benchPick(b, sim.EFTRouter{}, 15, 3) }
+func benchRouterEFTPickFullSet(b *testing.B) { benchPick(b, sim.EFTRouter{}, 256, 0) }
+func benchRouterJSQPick(b *testing.B)        { benchPick(b, sim.JSQRouter{}, 15, 3) }
+
+// restrictedInstance is the paper-shaped workload (Zipf popularity,
+// overlapping replication) at reduced size.
+func restrictedInstance(m, k, n int) *core.Instance {
+	rng := rand.New(rand.NewSource(7))
+	inst, err := workload.Generate(workload.Config{
+		M: m, N: n, Rate: 0.8 * float64(m),
+		Weights:  popularity.Weights(popularity.Shuffled, m, 1, rng),
+		Strategy: replicate.Overlapping{K: k},
+	}, rng)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// fullSetInstance has nil processing sets: the EFT-Min fast-path shape.
+func fullSetInstance(m, n int) *core.Instance {
+	rng := rand.New(rand.NewSource(7))
+	tasks := make([]core.Task, n)
+	tm := 0.0
+	for i := range tasks {
+		tm += rng.ExpFloat64() / (0.9 * float64(m))
+		tasks[i] = core.Task{Release: tm, Proc: 1}
+	}
+	return core.NewInstance(m, tasks)
+}
+
+func benchSimRun(b *testing.B, inst *core.Instance, router sim.Router) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sim.Run(inst, router); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSimRunEFT(b *testing.B) {
+	benchSimRun(b, restrictedInstance(15, 3, 5000), sim.EFTRouter{})
+}
+
+func benchSimRunEFTMinFullSet(b *testing.B) {
+	benchSimRun(b, fullSetInstance(256, 5000), sim.EFTRouter{})
+}
+
+func benchSimRunJSQ(b *testing.B) {
+	benchSimRun(b, restrictedInstance(15, 3, 5000), sim.JSQRouter{})
+}
+
+func benchSchedEFTRun(b *testing.B) {
+	inst := restrictedInstance(15, 3, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.NewEFT(sched.MinTie{}).Run(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSchedFIFORun(b *testing.B) {
+	inst := fullSetInstance(64, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&sched.FIFO{}).Run(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchStatsSummarize(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := stats.Summarize(xs); s.N != len(xs) {
+			b.Fatal("bad summary")
+		}
+	}
+}
+
+func benchEventqEFTMinDispatch(b *testing.B) {
+	const m = 256
+	picker := eventq.NewEFTMinPicker(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	release := 0.0
+	for i := 0; i < b.N; i++ {
+		release += 1.0 / m
+		picker.Dispatch(release, 1)
+	}
+}

@@ -1,0 +1,193 @@
+// Package benchreg is the benchmark-regression harness behind cmd/bench
+// and `make bench`. It runs a registered suite of named benchmarks with the
+// standard testing machinery, serializes the results to a machine-readable
+// BENCH_<n>.json report (schema documented in DESIGN.md §7), and compares
+// a fresh run against the newest checked-in baseline with a configurable
+// ns/op regression threshold.
+package benchreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schema identifies the report layout; bump when fields change meaning.
+const Schema = "flowsched-bench/v1"
+
+// DefaultThreshold is the relative ns/op slowdown tolerated before a
+// comparison counts as a regression (15%).
+const DefaultThreshold = 0.15
+
+// Entry is one benchmark's measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Host records where a report was produced; comparisons across different
+// hosts are still reported but the threshold is only meaningful on the
+// same hardware.
+type Host struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+}
+
+// Report is the top-level JSON document of a BENCH_<n>.json file.
+type Report struct {
+	Schema    string  `json:"schema"`
+	CreatedAt string  `json:"created_at"` // RFC 3339
+	Host      Host    `json:"host"`
+	Entries   []Entry `json:"entries"`
+}
+
+// NewReport wraps entries in a report stamped with the current host and
+// time.
+func NewReport(entries []Entry) *Report {
+	return &Report{
+		Schema:    Schema,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Host: Host{
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+			GoVersion: runtime.Version(),
+		},
+		Entries: entries,
+	}
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a report and checks its schema tag.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchreg: %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("benchreg: %s: unknown schema %q (want %q)", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// baselineIndex extracts n from a BENCH_<n>.json basename, or -1.
+func baselineIndex(name string) int {
+	if !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+		return -1
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_"), ".json"))
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// LatestBaseline returns the path of the BENCH_<n>.json file with the
+// highest n in dir, or "" if none exists.
+func LatestBaseline(dir string) (string, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestIdx := "", -1
+	for _, e := range names {
+		if e.IsDir() {
+			continue
+		}
+		if n := baselineIndex(e.Name()); n > bestIdx {
+			best, bestIdx = e.Name(), n
+		}
+	}
+	if bestIdx < 0 {
+		return "", nil
+	}
+	return filepath.Join(dir, best), nil
+}
+
+// NextPath returns the path a new baseline should be written to: one past
+// the highest existing index (BENCH_1.json when dir has none).
+func NextPath(dir string) (string, error) {
+	latest, err := LatestBaseline(dir)
+	if err != nil {
+		return "", err
+	}
+	idx := 0
+	if latest != "" {
+		idx = baselineIndex(filepath.Base(latest))
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", idx+1)), nil
+}
+
+// Delta is one benchmark's baseline-vs-current comparison.
+type Delta struct {
+	Name    string
+	BaseNs  float64
+	CurNs   float64
+	Ratio   float64 // CurNs / BaseNs
+	Regress bool    // Ratio > 1 + threshold
+}
+
+// Compare matches current entries against the baseline by name and flags
+// every entry whose ns/op grew by more than the threshold (≤ 0 means
+// DefaultThreshold). Entries present on only one side are skipped: new
+// benchmarks have no baseline and deleted ones no measurement.
+func Compare(base, cur *Report, threshold float64) []Delta {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	baseline := make(map[string]Entry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseline[e.Name] = e
+	}
+	var deltas []Delta
+	for _, e := range cur.Entries {
+		b, ok := baseline[e.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := e.NsPerOp / b.NsPerOp
+		deltas = append(deltas, Delta{
+			Name:    e.Name,
+			BaseNs:  b.NsPerOp,
+			CurNs:   e.NsPerOp,
+			Ratio:   ratio,
+			Regress: ratio > 1+threshold,
+		})
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas
+}
+
+// Regressions filters a comparison down to the regressed entries.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regress {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package benchreg
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rep := NewReport([]Entry{
+		{Name: "A", Iterations: 100, NsPerOp: 123.4, BytesPerOp: 8, AllocsPerOp: 1},
+		{Name: "B", Iterations: 10, NsPerOp: 5000, BytesPerOp: 0, AllocsPerOp: 0},
+	})
+	path := filepath.Join(dir, "BENCH_1.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Entries) != 2 || got.Entries[0] != rep.Entries[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Host.GoVersion == "" || got.CreatedAt == "" {
+		t.Fatalf("missing host/time metadata: %+v", got)
+	}
+}
+
+func TestReadFileRejectsUnknownSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("unknown schema should be rejected")
+	}
+}
+
+func TestLatestBaselineAndNextPath(t *testing.T) {
+	dir := t.TempDir()
+	latest, err := LatestBaseline(dir)
+	if err != nil || latest != "" {
+		t.Fatalf("empty dir: latest=%q err=%v", latest, err)
+	}
+	next, err := NextPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_1.json" {
+		t.Fatalf("empty dir: next=%q err=%v", next, err)
+	}
+	// Numeric ordering, not lexicographic: 10 > 9 > 2.
+	for _, name := range []string{"BENCH_2.json", "BENCH_10.json", "BENCH_9.json", "BENCH_x.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	latest, err = LatestBaseline(dir)
+	if err != nil || filepath.Base(latest) != "BENCH_10.json" {
+		t.Fatalf("latest=%q err=%v", latest, err)
+	}
+	next, err = NextPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_11.json" {
+		t.Fatalf("next=%q err=%v", next, err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Report{Schema: Schema, Entries: []Entry{
+		{Name: "fast", NsPerOp: 100},
+		{Name: "slow", NsPerOp: 1000},
+		{Name: "gone", NsPerOp: 42},
+	}}
+	cur := &Report{Schema: Schema, Entries: []Entry{
+		{Name: "fast", NsPerOp: 110},  // +10%: within the 15% default
+		{Name: "slow", NsPerOp: 1200}, // +20%: regression
+		{Name: "new", NsPerOp: 7},     // no baseline: skipped
+	}}
+	deltas := Compare(base, cur, 0) // 0 → DefaultThreshold
+	if len(deltas) != 2 {
+		t.Fatalf("want 2 comparable deltas, got %+v", deltas)
+	}
+	reg := Regressions(deltas)
+	if len(reg) != 1 || reg[0].Name != "slow" {
+		t.Fatalf("want one regression (slow), got %+v", reg)
+	}
+	// A tighter threshold flags both.
+	if got := Regressions(Compare(base, cur, 0.05)); len(got) != 2 {
+		t.Fatalf("5%% threshold should flag both, got %+v", got)
+	}
+	// A looser one flags none.
+	if got := Regressions(Compare(base, cur, 0.5)); len(got) != 0 {
+		t.Fatalf("50%% threshold should flag none, got %+v", got)
+	}
+}
+
+// TestSuiteRuns smoke-tests the registered suite end to end with the
+// shortest possible measurement (one iteration per benchmark).
+func TestSuiteRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every registered benchmark")
+	}
+	if err := flag.Set("test.benchtime", "1x"); err != nil {
+		t.Fatal(err)
+	}
+	defer flag.Set("test.benchtime", "1s")
+	var ran []string
+	entries, err := RunMatching("", func(name string) { ran = append(ran, name) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 8 {
+		t.Fatalf("suite has %d entries, want >= 8 (ISSUE acceptance)", len(entries))
+	}
+	if len(ran) != len(entries) {
+		t.Fatalf("progress calls %d != entries %d", len(ran), len(entries))
+	}
+	for _, e := range entries {
+		if e.Iterations < 1 || e.NsPerOp <= 0 {
+			t.Errorf("%s: implausible measurement %+v", e.Name, e)
+		}
+	}
+	// Pattern filtering.
+	routers, err := RunMatching("^Router", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routers) != 3 {
+		t.Fatalf("want 3 Router benches, got %+v", routers)
+	}
+	if _, err := RunMatching("(", nil); err == nil {
+		t.Fatal("bad pattern should error")
+	}
+}

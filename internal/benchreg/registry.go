@@ -1,0 +1,68 @@
+package benchreg
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// registry maps benchmark names to their bodies. Registration happens in
+// this package's init (benches.go) so cmd/bench and tests see one suite.
+var registry = map[string]func(b *testing.B){}
+
+// Register adds a named benchmark to the suite. Duplicate names panic:
+// they would silently shadow a measurement.
+func Register(name string, fn func(b *testing.B)) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("benchreg: duplicate benchmark %q", name))
+	}
+	registry[name] = fn
+}
+
+// Get returns the registered benchmark body, or nil. bench_test.go wraps
+// the suite through it so `go test -bench` and cmd/bench measure the same
+// code.
+func Get(name string) func(b *testing.B) { return registry[name] }
+
+// Names returns the registered benchmark names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunMatching runs every registered benchmark whose name matches the
+// pattern ("" = all) via testing.Benchmark and returns one Entry per
+// benchmark, sorted by name. The caller controls the measurement length
+// through the standard -test.benchtime flag (see cmd/bench).
+func RunMatching(pattern string, progress func(name string)) ([]Entry, error) {
+	var re *regexp.Regexp
+	if pattern != "" {
+		var err error
+		if re, err = regexp.Compile(pattern); err != nil {
+			return nil, fmt.Errorf("benchreg: bad pattern %q: %w", pattern, err)
+		}
+	}
+	var entries []Entry
+	for _, name := range Names() {
+		if re != nil && !re.MatchString(name) {
+			continue
+		}
+		if progress != nil {
+			progress(name)
+		}
+		res := testing.Benchmark(registry[name])
+		entries = append(entries, Entry{
+			Name:        name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		})
+	}
+	return entries, nil
+}

@@ -1,0 +1,106 @@
+package eventq
+
+import "math"
+
+// EFTMinPicker answers EFT-Min dispatch queries over unrestricted tasks in
+// amortized O(log m) per task, replacing the O(m) scan over machine
+// completion times. It is byte-identical to the linear EFT-Min rule
+// (Algorithm 3): a task released at r goes to the smallest-indexed machine
+// of the tie set U = { j : C_j ≤ max(r, min_j C_j) }.
+//
+// Internally it keeps two structures in sync:
+//
+//   - a MachineHeap over busy machines, keyed by completion time with ties
+//     to the smallest index (idle machines are parked at key +Inf);
+//   - a plain min-heap of idle machine indices.
+//
+// At each dispatch, machines whose completion time has passed the release
+// migrate busy → idle (each machine migrates at most once per assignment, so
+// the work is amortized constant heap operations per task). If any machine
+// is idle the tie set is exactly the idle set and the smallest idle index
+// wins; otherwise the tie set is the busy machines at the minimum completion
+// time and the MachineHeap's (key, index) order yields the smallest index.
+type EFTMinPicker struct {
+	busy *MachineHeap
+	idle []int // min-heap of idle machine indices
+}
+
+// NewEFTMinPicker builds a picker over machines 0..m-1, all idle at time 0.
+func NewEFTMinPicker(m int) *EFTMinPicker {
+	p := &EFTMinPicker{busy: NewMachineHeap(m), idle: make([]int, 0, m)}
+	for j := 0; j < m; j++ {
+		p.busy.Update(j, math.Inf(1))
+		p.idlePush(j)
+	}
+	return p
+}
+
+// Dispatch assigns a task with the given release and processing time to the
+// machine EFT-Min would choose and returns that machine and the task's start
+// time (max of the release and the machine's completion time).
+func (p *EFTMinPicker) Dispatch(release, proc float64) (j int, start float64) {
+	// Retire machines that have drained by the release instant.
+	for {
+		jm, c := p.busy.MinMachine()
+		if c > release {
+			break
+		}
+		p.busy.Update(jm, math.Inf(1))
+		p.idlePush(jm)
+	}
+	if len(p.idle) > 0 {
+		// Some machine is idle: the tie set is the idle machines and the
+		// task starts at its release.
+		j, start = p.idlePop(), release
+	} else {
+		// All machines busy: the tie set is the machines at the minimum
+		// completion time; the heap's (completion, index) order picks the
+		// smallest index among them.
+		j, start = p.busy.MinMachine()
+	}
+	p.busy.Update(j, start+proc)
+	return j, start
+}
+
+// Completion returns machine j's completion time (+Inf while it is idle and
+// has never run a task; idle machines otherwise report +Inf as well, since
+// their real completion time is in the past and irrelevant to EFT-Min).
+func (p *EFTMinPicker) Completion(j int) float64 { return p.busy.Key(j) }
+
+func (p *EFTMinPicker) idlePush(j int) {
+	p.idle = append(p.idle, j)
+	i := len(p.idle) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if p.idle[parent] <= p.idle[i] {
+			break
+		}
+		p.idle[i], p.idle[parent] = p.idle[parent], p.idle[i]
+		i = parent
+	}
+}
+
+func (p *EFTMinPicker) idlePop() int {
+	h := p.idle
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	p.idle = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h[l] < h[smallest] {
+			smallest = l
+		}
+		if r < n && h[r] < h[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
+}

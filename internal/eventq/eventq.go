@@ -1,10 +1,8 @@
 // Package eventq provides the priority queues used across the simulator and
 // schedulers: a generic min-heap ordered by time with FIFO tie-breaking, and
 // an indexed min-heap over machine completion times supporting decrease/
-// increase-key, built on container/heap.
+// increase-key.
 package eventq
-
-import "container/heap"
 
 // Item is an element of Queue: a payload scheduled at a time instant.
 type Item[T any] struct {
@@ -13,23 +11,46 @@ type Item[T any] struct {
 	seq     uint64
 }
 
+// itemHeap implements the sift operations directly instead of going through
+// container/heap, whose interface-typed Push/Pop box every Item — two heap
+// allocations per simulated event (see BenchmarkSimRunEFT in benchreg).
 type itemHeap[T any] []Item[T]
 
-func (h itemHeap[T]) Len() int { return len(h) }
-func (h itemHeap[T]) Less(i, j int) bool {
+func (h itemHeap[T]) less(i, j int) bool {
 	if h[i].Time != h[j].Time {
 		return h[i].Time < h[j].Time
 	}
 	return h[i].seq < h[j].seq // FIFO among simultaneous events
 }
-func (h itemHeap[T]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap[T]) Push(x interface{}) { *h = append(*h, x.(Item[T])) }
-func (h *itemHeap[T]) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h itemHeap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h itemHeap[T]) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
 }
 
 // Queue is a time-ordered min-heap of events. Events with equal times are
@@ -43,16 +64,38 @@ type Queue[T any] struct {
 // Len reports the number of queued events.
 func (q *Queue[T]) Len() int { return len(q.h) }
 
-// Push enqueues payload at the given time.
-func (q *Queue[T]) Push(time float64, payload T) {
-	q.seq++
-	heap.Push(&q.h, Item[T]{Time: time, Payload: payload, seq: q.seq})
+// Reserve grows the queue's backing array to hold at least n events without
+// further allocation. Simulation hot loops call it once up front so that
+// steady-state Push/Pop cycles stay allocation-free.
+func (q *Queue[T]) Reserve(n int) {
+	if cap(q.h) >= n {
+		return
+	}
+	h := make(itemHeap[T], len(q.h), n)
+	copy(h, q.h)
+	q.h = h
 }
 
-// Pop dequeues the earliest event. It panics on an empty queue; check Len
-// first.
+// Push enqueues payload at the given time. Within reserved capacity it is
+// allocation-free.
+func (q *Queue[T]) Push(time float64, payload T) {
+	q.seq++
+	q.h = append(q.h, Item[T]{Time: time, Payload: payload, seq: q.seq})
+	q.h.up(len(q.h) - 1)
+}
+
+// Pop dequeues the earliest event. It is allocation-free. It panics on an
+// empty queue; check Len first.
 func (q *Queue[T]) Pop() (float64, T) {
-	it := heap.Pop(&q.h).(Item[T])
+	it := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	var zero Item[T]
+	q.h[n] = zero // release payload references for GC
+	q.h = q.h[:n]
+	if n > 0 {
+		q.h.down(0)
+	}
 	return it.Time, it.Payload
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"flowsched/internal/parallel"
 	"flowsched/internal/replicate"
 	"flowsched/internal/sim"
 	"flowsched/internal/stats"
@@ -53,21 +54,26 @@ func PopularityDrift(w io.Writer, cfg DriftConfig) ([]DriftRow, error) {
 	for _, segs := range cfg.Segments {
 		row := DriftRow{Segments: segs}
 		for name, strat := range strategies {
-			var fmaxes []float64
-			for rep := 0; rep < cfg.Reps; rep++ {
+			segs, strat := segs, strat
+			// Per-rep seeds make the parallel fan-out byte-identical to the
+			// sequential loop.
+			fmaxes, err := parallel.MapErr(cfg.Reps, 0, func(rep int) (float64, error) {
 				rng := subRng(cfg.Seed, 12, int64(rep), int64(segs))
 				inst, err := workload.GenerateDrift(workload.DriftConfig{
 					M: cfg.M, N: cfg.N, Rate: workload.RateForLoad(cfg.Load, cfg.M),
 					SBias: cfg.SBias, Segments: segs, Strategy: strat,
 				}, rng)
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 				_, metrics, err := sim.Run(inst, sim.EFTRouter{})
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
-				fmaxes = append(fmaxes, float64(metrics.MaxFlow()))
+				return float64(metrics.MaxFlow()), nil
+			})
+			if err != nil {
+				return nil, err
 			}
 			if name == "overlapping" {
 				row.FmaxOv = stats.Median(fmaxes)

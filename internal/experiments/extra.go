@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"flowsched/internal/adversary"
+	"flowsched/internal/parallel"
 	"flowsched/internal/popularity"
 	"flowsched/internal/replicate"
 	"flowsched/internal/sched"
@@ -47,8 +48,10 @@ type RobustnessRow struct {
 // baselines at the same load.
 func Robustness(w io.Writer, cfg RobustnessConfig) ([]RobustnessRow, error) {
 	run := func(router func(rep int) sim.Router) ([]float64, []float64, error) {
-		var fmaxes, means []float64
-		for rep := 0; rep < cfg.Reps; rep++ {
+		// Each repetition builds its own router and rng from the rep index,
+		// so the parallel fan-out is byte-identical to the sequential loop.
+		type repFlows struct{ fmax, mean float64 }
+		reps, err := parallel.MapErr(cfg.Reps, 0, func(rep int) (repFlows, error) {
 			rng := subRng(cfg.Seed, 7, int64(rep))
 			weights := popularity.Weights(popularity.Shuffled, cfg.M, cfg.SBias, rng)
 			inst, err := workload.Generate(workload.Config{
@@ -57,14 +60,22 @@ func Robustness(w io.Writer, cfg RobustnessConfig) ([]RobustnessRow, error) {
 				Weights: weights, Strategy: replicate.Overlapping{K: cfg.K},
 			}, rng)
 			if err != nil {
-				return nil, nil, err
+				return repFlows{}, err
 			}
 			_, metrics, err := sim.Run(inst, router(rep))
 			if err != nil {
-				return nil, nil, err
+				return repFlows{}, err
 			}
-			fmaxes = append(fmaxes, float64(metrics.MaxFlow()))
-			means = append(means, float64(metrics.MeanFlow()))
+			return repFlows{float64(metrics.MaxFlow()), float64(metrics.MeanFlow())}, nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		fmaxes := make([]float64, len(reps))
+		means := make([]float64, len(reps))
+		for i, r := range reps {
+			fmaxes[i] = r.fmax
+			means[i] = r.mean
 		}
 		return fmaxes, means, nil
 	}
@@ -97,7 +108,7 @@ func Robustness(w io.Writer, cfg RobustnessConfig) ([]RobustnessRow, error) {
 			return sim.PowerOfTwoRouter{Rng: subRng(cfg.Seed, 9, int64(rep))}
 		}},
 		{"Random", func(rep int) sim.Router {
-			return sim.RandomRouter{Rng: subRng(cfg.Seed, 10, int64(rep))}
+			return &sim.RandomRouter{Rng: subRng(cfg.Seed, 10, int64(rep))}
 		}},
 	} {
 		fmaxes, means, err := run(base.mk)

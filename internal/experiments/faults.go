@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"flowsched/internal/faults"
+	"flowsched/internal/parallel"
 	"flowsched/internal/popularity"
 	"flowsched/internal/replicate"
 	"flowsched/internal/sim"
@@ -89,35 +90,56 @@ func FaultTolerance(w io.Writer, cfg FaultToleranceConfig) ([]FaultToleranceRow,
 	out := table.New("strategy", "router", "MTBF", "avail %", "Fmax", "mean flow",
 		"spike Fmax", "retries", "drop %", "parked %")
 	var rows []FaultToleranceRow
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for _, strat := range strategies {
-		for _, rt := range routers {
-			for _, mtbf := range cfg.MTBFs {
-				var avail, fmax, mean, spike, retries, drop, park []float64
-				for rep := 0; rep < cfg.Reps; rep++ {
-					repSeed := cfg.Seed + int64(rep)*9973
+	for si, strat := range strategies {
+		for ri, rt := range routers {
+			for mi, mtbf := range cfg.MTBFs {
+				si, ri, mi, mtbf, strat, rt := si, ri, mi, mtbf, strat, rt
+				// Repetitions are independent faulty runs; they fan out on
+				// the worker pool with randomness derived from the cell and
+				// repetition coordinates, so results do not depend on
+				// scheduling order.
+				type repStats struct {
+					avail, fmax, mean, spike, retries, drop, park float64
+				}
+				reps, err := parallel.MapErr(cfg.Reps, 0, func(rep int) (repStats, error) {
 					inst, err := workload.Generate(workload.Config{
 						M: cfg.M, N: cfg.N, Rate: workload.RateForLoad(cfg.Load, cfg.M),
-						Weights:  shuffledWeights(cfg.M, cfg.SBias, rng),
+						Weights: shuffledWeights(cfg.M, cfg.SBias,
+							subRng(cfg.Seed, 13, int64(si), int64(ri), int64(mi), int64(rep))),
 						Strategy: strat,
-					}, rand.New(rand.NewSource(repSeed)))
+					}, subRng(cfg.Seed, 14, int64(rep)))
 					if err != nil {
-						return nil, err
+						return repStats{}, err
 					}
 					horizon := inst.Tasks[inst.N()-1].Release
 					plan := faults.Generate(cfg.M, horizon, mtbf, cfg.MTTR,
-						rand.New(rand.NewSource(repSeed+1)))
+						subRng(cfg.Seed, 15, int64(mi), int64(rep)))
 					_, fm, err := sim.RunFaulty(inst, rt.mk(), plan, cfg.Pol)
 					if err != nil {
-						return nil, err
+						return repStats{}, err
 					}
-					avail = append(avail, fm.Availability()*100)
-					fmax = append(fmax, fm.MaxFlow())
-					mean = append(mean, fm.MeanFlow())
-					spike = append(spike, fm.RecoverySpikeMaxFlow(cfg.MTTR))
-					retries = append(retries, float64(fm.TotalRetries()))
-					drop = append(drop, fm.DropRate()*100)
-					park = append(park, float64(fm.ParkedCount())/float64(inst.N())*100)
+					return repStats{
+						avail:   fm.Availability() * 100,
+						fmax:    fm.MaxFlow(),
+						mean:    fm.MeanFlow(),
+						spike:   fm.RecoverySpikeMaxFlow(cfg.MTTR),
+						retries: float64(fm.TotalRetries()),
+						drop:    fm.DropRate() * 100,
+						park:    float64(fm.ParkedCount()) / float64(inst.N()) * 100,
+					}, nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				var avail, fmax, mean, spike, retries, drop, park []float64
+				for _, r := range reps {
+					avail = append(avail, r.avail)
+					fmax = append(fmax, r.fmax)
+					mean = append(mean, r.mean)
+					spike = append(spike, r.spike)
+					retries = append(retries, r.retries)
+					drop = append(drop, r.drop)
+					park = append(park, r.park)
 				}
 				row := FaultToleranceRow{
 					Strategy:     strat.Name(),

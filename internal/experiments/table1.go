@@ -7,10 +7,10 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"flowsched/internal/core"
 	"flowsched/internal/offline"
+	"flowsched/internal/parallel"
 	"flowsched/internal/preempt"
 	"flowsched/internal/sched"
 	"flowsched/internal/table"
@@ -22,6 +22,10 @@ type Table1Config struct {
 	N      int   // tasks per random instance (≤ offline.MaxBruteForceTasks)
 	Trials int   // random instances per machine count
 	Seed   int64
+	// Workers bounds the parallel fan-out over trials (0 = GOMAXPROCS).
+	// Results are identical for any worker count: every trial derives its
+	// randomness from (Seed, m, trial).
+	Workers int
 }
 
 // DefaultTable1 returns the default configuration.
@@ -64,10 +68,13 @@ func Table1(w io.Writer, cfg Table1Config) ([]Table1Row, error) {
 	fmt.Fprintln(w, "(the preemptive column checks Mastrolilli [12]: FIFO stays within 3-2/m even of the PREEMPTIVE optimum)")
 	rows := make([]Table1Row, 0, len(cfg.Ms))
 	out := table.New("m", "bound 3-2/m", "worst EFT/OPT", "worst EFT/preemptive-OPT", "holds")
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	for _, m := range cfg.Ms {
-		worst, worstP := 0.0, 0.0
-		for trial := 0; trial < cfg.Trials; trial++ {
+		m := m
+		// Trials are independent brute-force solves — the slow part of this
+		// table — so they fan out on the worker pool with per-trial seeds.
+		type trialRatios struct{ r, rp float64 }
+		ratios, err := parallel.MapErr(cfg.Trials, cfg.Workers, func(trial int) (trialRatios, error) {
+			rng := subRng(cfg.Seed, int64(m), int64(trial))
 			tasks := make([]core.Task, cfg.N)
 			for i := range tasks {
 				tasks[i] = core.Task{
@@ -78,21 +85,31 @@ func Table1(w io.Writer, cfg Table1Config) ([]Table1Row, error) {
 			inst := core.NewInstance(m, tasks)
 			eft, err := sched.NewEFT(sched.MinTie{}).Run(inst)
 			if err != nil {
-				return nil, err
+				return trialRatios{}, err
 			}
 			opt, err := offline.BruteForce(inst)
 			if err != nil {
-				return nil, err
-			}
-			if r := float64(eft.MaxFlow() / opt.MaxFlow()); r > worst {
-				worst = r
+				return trialRatios{}, err
 			}
 			pOpt, err := preempt.OptimalFmax(inst, 0, 0, 1e-8)
 			if err != nil {
-				return nil, err
+				return trialRatios{}, err
 			}
-			if r := float64(eft.MaxFlow()) / pOpt; r > worstP {
-				worstP = r
+			return trialRatios{
+				r:  float64(eft.MaxFlow() / opt.MaxFlow()),
+				rp: float64(eft.MaxFlow()) / pOpt,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		worst, worstP := 0.0, 0.0
+		for _, tr := range ratios {
+			if tr.r > worst {
+				worst = tr.r
+			}
+			if tr.rp > worstP {
+				worstP = tr.rp
 			}
 		}
 		bound := 3 - 2/float64(m)

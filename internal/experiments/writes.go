@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"flowsched/internal/parallel"
 	"flowsched/internal/popularity"
 	"flowsched/internal/replicate"
 	"flowsched/internal/sim"
@@ -56,8 +57,11 @@ func WriteFanout(w io.Writer, cfg WritesConfig) ([]WritesRow, error) {
 	for _, wf := range cfg.Fractions {
 		row := WritesRow{WriteFraction: wf}
 		for name, strat := range strategies {
-			var fmaxes []float64
-			for rep := 0; rep < cfg.Reps; rep++ {
+			wf, strat := wf, strat
+			// Repetitions fan out on the worker pool; each derives its
+			// randomness from (Seed, rep, wf), so the parallel sweep is
+			// byte-identical to the sequential one.
+			fmaxes, err := parallel.MapErr(cfg.Reps, 0, func(rep int) (float64, error) {
 				rng := subRng(cfg.Seed, 11, int64(rep), int64(wf*1000))
 				weights := popularity.Weights(popularity.Shuffled, cfg.M, cfg.SBias, rng)
 				mcfg := workload.MixedConfig{
@@ -66,13 +70,16 @@ func WriteFanout(w io.Writer, cfg WritesConfig) ([]WritesRow, error) {
 				}
 				inst, err := workload.GenerateMixed(mcfg, rng)
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 				_, metrics, err := sim.Run(inst, sim.EFTRouter{})
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
-				fmaxes = append(fmaxes, float64(metrics.MaxFlow()))
+				return float64(metrics.MaxFlow()), nil
+			})
+			if err != nil {
+				return nil, err
 			}
 			med := stats.Median(fmaxes)
 			eff := 100 * workload.EffectiveLoad(workload.MixedConfig{

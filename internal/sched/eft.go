@@ -65,37 +65,48 @@ func (e *EFT) WaitingWork(t core.Time) []core.Time {
 // TieSet returns the candidate machines U'_i for a task released at r with
 // processing set set, i.e. the eligible machines whose completion time is at
 // most t'_min = max(r, min over the set). The returned slice is valid until
-// the next call.
+// the next call; building it allocates nothing.
 func (e *EFT) TieSet(r core.Time, set core.ProcSet) []int {
 	m := len(e.completion)
-	tmin := core.Time(0)
-	first := true
-	forEach := func(f func(j int)) {
-		if set == nil {
-			for j := 0; j < m; j++ {
-				f(j)
+	var tmin core.Time
+	if set == nil {
+		if m == 0 {
+			return e.candidates[:0]
+		}
+		tmin = e.completion[0]
+		for _, c := range e.completion[1:] {
+			if c < tmin {
+				tmin = c
 			}
-		} else {
-			for _, j := range set {
-				f(j)
+		}
+	} else {
+		if len(set) == 0 {
+			return e.candidates[:0]
+		}
+		tmin = e.completion[set[0]]
+		for _, j := range set[1:] {
+			if c := e.completion[j]; c < tmin {
+				tmin = c
 			}
 		}
 	}
-	forEach(func(j int) {
-		if first || e.completion[j] < tmin {
-			tmin = e.completion[j]
-			first = false
-		}
-	})
 	if r > tmin {
 		tmin = r
 	}
 	e.candidates = e.candidates[:0]
-	forEach(func(j int) {
-		if e.completion[j] <= tmin {
-			e.candidates = append(e.candidates, j)
+	if set == nil {
+		for j := 0; j < m; j++ {
+			if e.completion[j] <= tmin {
+				e.candidates = append(e.candidates, j)
+			}
 		}
-	})
+	} else {
+		for _, j := range set {
+			if e.completion[j] <= tmin {
+				e.candidates = append(e.candidates, j)
+			}
+		}
+	}
 	return e.candidates
 }
 

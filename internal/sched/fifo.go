@@ -46,11 +46,14 @@ func (f *FIFO) Run(inst *core.Instance) (*core.Schedule, error) {
 
 	s := core.NewSchedule(inst)
 	completion := make([]core.Time, inst.M)
+	scratch := make([]int, 0, inst.M) // reused idle-set buffer: the dispatch loop allocates nothing
 
 	// Event times at which the dispatcher wakes up: task releases and
 	// machine completions. At each wake-up it pulls queue heads while some
-	// machine is idle.
+	// machine is idle. Reserving 2n up front (n releases + at most n
+	// completions) keeps the inner loop allocation-free.
 	var events eventq.Queue[struct{}]
+	events.Reserve(2 * inst.N())
 	for _, t := range inst.Tasks {
 		events.Push(t.Release, struct{}{})
 	}
@@ -65,7 +68,7 @@ func (f *FIFO) Run(inst *core.Instance) (*core.Schedule, error) {
 		// Pull as many tasks as idle machines allow at this instant. The
 		// selected machine "runs first", i.e. pulls are sequential.
 		for released(now) {
-			idle := idleMachines(completion, now)
+			idle := idleMachinesInto(scratch, completion, now)
 			if len(idle) == 0 {
 				break
 			}
@@ -83,10 +86,11 @@ func (f *FIFO) Run(inst *core.Instance) (*core.Schedule, error) {
 	return s, nil
 }
 
-// idleMachines returns the sorted indices of machines with no remaining work
-// at time t.
-func idleMachines(completion []core.Time, t core.Time) []int {
-	var idle []int
+// idleMachinesInto appends the sorted indices of machines with no remaining
+// work at time t into dst[:0] and returns the result. dst must have capacity
+// for every machine so the append never reallocates.
+func idleMachinesInto(dst []int, completion []core.Time, t core.Time) []int {
+	idle := dst[:0]
 	for j, c := range completion {
 		if c <= t {
 			idle = append(idle, j)

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"flowsched/internal/core"
+	"flowsched/internal/eventq"
+)
+
+// seedFIFORun is the pre-optimization FIFO dispatch loop: a fresh idle
+// slice per pull and an unreserved event queue. It is the oracle for the
+// equivalence tests — the optimized Run must schedule byte-identically.
+func seedFIFORun(tie TieBreak, inst *core.Instance) (*core.Schedule, error) {
+	s := core.NewSchedule(inst)
+	completion := make([]core.Time, inst.M)
+	var events eventq.Queue[struct{}]
+	for _, t := range inst.Tasks {
+		events.Push(t.Release, struct{}{})
+	}
+	next := 0
+	released := func(t core.Time) bool {
+		return next < inst.N() && inst.Tasks[next].Release <= t
+	}
+	for events.Len() > 0 {
+		now, _ := events.Pop()
+		for released(now) {
+			var idle []int
+			for j, c := range completion {
+				if c <= now {
+					idle = append(idle, j)
+				}
+			}
+			if len(idle) == 0 {
+				break
+			}
+			j := tie.Pick(idle)
+			task := inst.Tasks[next]
+			s.Assign(task.ID, j, now)
+			completion[j] = now + task.Proc
+			events.Push(completion[j], struct{}{})
+			next++
+		}
+	}
+	return s, nil
+}
+
+func fifoInstance(m, n int, rng *rand.Rand) *core.Instance {
+	tasks := make([]core.Task, n)
+	tm := 0.0
+	for i := range tasks {
+		tm += rng.ExpFloat64() / float64(m)
+		if rng.Intn(25) == 0 {
+			tm += 10 // idle gaps: all machines drain
+		}
+		tasks[i] = core.Task{Release: tm, Proc: 0.2 + rng.Float64()*2}
+	}
+	return core.NewInstance(m, tasks)
+}
+
+// TestFIFOEquivalenceWithSeed pins the scratch-buffer FIFO loop to the
+// seed implementation across tie-break policies.
+func TestFIFOEquivalenceWithSeed(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inst := fifoInstance(1+rng.Intn(8), 300, rng)
+		for _, tie := range []TieBreak{MinTie{}, MaxTie{}} {
+			got, err := (&FIFO{Tie: tie}).Run(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := seedFIFORun(tie, inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Machine, want.Machine) || !reflect.DeepEqual(got.Start, want.Start) {
+				t.Fatalf("seed %d, tie %s: optimized FIFO diverged from seed implementation", seed, tie.Name())
+			}
+		}
+	}
+}
+
+// TestFIFOAllocsConstant asserts the dispatch inner loop allocates nothing:
+// total allocations per Run stay far below one per task.
+func TestFIFOAllocsConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst := fifoInstance(8, 2000, rng)
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := (&FIFO{}).Run(inst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 64 {
+		t.Errorf("%v allocs per FIFO.Run of %d tasks: the dispatch loop allocates", avg, inst.N())
+	}
+}
+
+// TestEFTAllocsConstant gives sched.EFT (the TieSet rewrite) the same
+// guard.
+func TestEFTAllocsConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst := fifoInstance(8, 2000, rng)
+	e := NewEFT(MinTie{})
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := e.Run(inst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 64 {
+		t.Errorf("%v allocs per EFT.Run of %d tasks: TieSet allocates", avg, inst.N())
+	}
+}

@@ -90,34 +90,10 @@ func (r *NoisyEFTRouter) Pick(st *State, t core.Task) int {
 	if tie == nil {
 		tie = sched.MinTie{}
 	}
-	var candidates []int
-	tmin := core.Time(0)
-	first := true
-	forEach := func(f func(j int)) {
-		if t.Set == nil {
-			for j := 0; j < st.M; j++ {
-				f(j)
-			}
-		} else {
-			for _, j := range t.Set {
-				f(j)
-			}
-		}
+	candidates := eftTieSet(st, t, r.est)
+	if len(candidates) == 0 {
+		return -1
 	}
-	forEach(func(j int) {
-		if first || r.est[j] < tmin {
-			tmin = r.est[j]
-			first = false
-		}
-	})
-	if t.Release > tmin {
-		tmin = t.Release
-	}
-	forEach(func(j int) {
-		if r.est[j] <= tmin {
-			candidates = append(candidates, j)
-		}
-	})
 	j := tie.Pick(candidates)
 	// Update the belief with the noisy processing-time estimate.
 	noisy := t.Proc * core.Time(1+r.RelErr*(2*r.Rng.Float64()-1))

@@ -28,7 +28,7 @@ func TestPowerOfTwoBeatsRandom(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, rnd, err := Run(inst, RandomRouter{Rng: rand.New(rand.NewSource(1))})
+	_, rnd, err := Run(inst, &RandomRouter{Rng: rand.New(rand.NewSource(1))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestNoisyEFTDegradesGracefully(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, rnd, err := Run(inst, RandomRouter{Rng: rand.New(rand.NewSource(3))})
+	_, rnd, err := Run(inst, &RandomRouter{Rng: rand.New(rand.NewSource(3))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestRouterNames(t *testing.T) {
 		(EFTRouter{}).Name() != "EFT-Min" ||
 		(EFTRouter{Tie: sched.MaxTie{}}).Name() != "EFT-Max" ||
 		(JSQRouter{}).Name() != "JSQ" ||
-		(RandomRouter{}).Name() != "Random" {
+		(&RandomRouter{}).Name() != "Random" {
 		t.Fatalf("router names wrong")
 	}
 }
@@ -152,7 +152,7 @@ func TestUnrestrictedRouterPaths(t *testing.T) {
 		PowerOfTwoRouter{Rng: rand.New(rand.NewSource(1))},
 		&RoundRobinRouter{},
 		&NoisyEFTRouter{RelErr: 0.2, Rng: rand.New(rand.NewSource(2))},
-		RandomRouter{Rng: rand.New(rand.NewSource(3))},
+		&RandomRouter{Rng: rand.New(rand.NewSource(3))},
 		JSQRouter{},
 	} {
 		s, _, err := Run(inst, r)

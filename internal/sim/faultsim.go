@@ -238,6 +238,8 @@ func RunFaulty(inst *core.Instance, router Router, plan *faults.Plan, policy Ret
 	var parked []int                 // requests waiting for any replica to recover
 	var completions eventq.Queue[compEvent]
 	var events eventq.Queue[faultEvent]
+	completions.Reserve(reserveFor(n))
+	events.Reserve(2 * len(plan.Outages))
 	for _, o := range plan.Outages {
 		events.Push(o.From, faultEvent{kind: evDown, server: o.Server})
 		events.Push(o.Until, faultEvent{kind: evUp, server: o.Server})
@@ -275,8 +277,11 @@ func RunFaulty(inst *core.Instance, router Router, plan *faults.Plan, policy Ret
 		sched.Assign(id, -1, math.NaN())
 	}
 
+	// liveBuf is reused across dispatches: the live view handed to the
+	// router is only read within the Pick call, never retained.
+	liveBuf := make(core.ProcSet, 0, m)
 	liveSubset := func(set core.ProcSet) core.ProcSet {
-		out := make(core.ProcSet, 0, m)
+		out := liveBuf[:0]
 		if set == nil {
 			for j := 0; j < m; j++ {
 				if live[j] {

@@ -47,7 +47,7 @@ func routerPair(kind string, seed int64) (Router, Router) {
 		case "JSQ":
 			return JSQRouter{}
 		case "Random":
-			return RandomRouter{Rng: rand.New(rand.NewSource(seed))}
+			return &RandomRouter{Rng: rand.New(rand.NewSource(seed))}
 		case "Po2":
 			return PowerOfTwoRouter{Rng: rand.New(rand.NewSource(seed))}
 		case "RR":
@@ -374,6 +374,23 @@ func TestRouterReuseAcrossRuns(t *testing.T) {
 		}
 		if !reflect.DeepEqual(s1.Machine, s2.Machine) {
 			t.Fatal("reused RoundRobinRouter diverged: stale cursor not reset")
+		}
+	})
+	t.Run("Random", func(t *testing.T) {
+		// Before Seed+Reset existed, a reused seeded RandomRouter kept
+		// consuming its stream and the second run silently diverged (and the
+		// zero value panicked on a nil Rng).
+		r := &RandomRouter{Seed: 3}
+		s1, _, err := Run(inst, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, _, err := Run(inst, r) // reused, stale stream position
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(s1.Machine, s2.Machine) {
+			t.Fatal("reused RandomRouter diverged: stream not rewound to Seed")
 		}
 	})
 	t.Run("NoisyEFT", func(t *testing.T) {

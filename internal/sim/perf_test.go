@@ -1,0 +1,379 @@
+package sim
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"flowsched/internal/core"
+	"flowsched/internal/sched"
+)
+
+// --- Reference (pre-optimization) routers ---------------------------------
+//
+// These are the seed implementations the allocation-free rewrites replaced:
+// closure-based scans building a fresh candidate slice per Pick. They are
+// the oracles for the equivalence tests below — the optimized routers must
+// make byte-identical decisions.
+
+type refEFTRouter struct{ Tie sched.TieBreak }
+
+func (refEFTRouter) Name() string { return "refEFT" }
+
+func (r refEFTRouter) Pick(st *State, t core.Task) int {
+	tie := r.Tie
+	if tie == nil {
+		tie = sched.MinTie{}
+	}
+	var candidates []int
+	tmin := core.Time(0)
+	first := true
+	forEach := func(f func(j int)) {
+		if t.Set == nil {
+			for j := 0; j < st.M; j++ {
+				f(j)
+			}
+		} else {
+			for _, j := range t.Set {
+				f(j)
+			}
+		}
+	}
+	forEach(func(j int) {
+		if first || st.Completion[j] < tmin {
+			tmin = st.Completion[j]
+			first = false
+		}
+	})
+	if t.Release > tmin {
+		tmin = t.Release
+	}
+	forEach(func(j int) {
+		if st.Completion[j] <= tmin {
+			candidates = append(candidates, j)
+		}
+	})
+	if len(candidates) == 0 {
+		return -1
+	}
+	return tie.Pick(candidates)
+}
+
+type refJSQRouter struct{}
+
+func (refJSQRouter) Name() string { return "refJSQ" }
+
+func (refJSQRouter) Pick(st *State, t core.Task) int {
+	best := -1
+	consider := func(j int) {
+		if best == -1 || st.QueueLen[j] < st.QueueLen[best] {
+			best = j
+		}
+	}
+	if t.Set == nil {
+		for j := 0; j < st.M; j++ {
+			consider(j)
+		}
+	} else {
+		for _, j := range t.Set {
+			consider(j)
+		}
+	}
+	return best
+}
+
+func sameSchedule(t *testing.T, label string, a, b *core.Schedule) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Machine, b.Machine) {
+		t.Fatalf("%s: machine assignments diverge", label)
+	}
+	if !reflect.DeepEqual(a.Start, b.Start) {
+		t.Fatalf("%s: start times diverge", label)
+	}
+}
+
+func sameMetrics(t *testing.T, label string, a, b *Metrics) {
+	t.Helper()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: metrics diverge:\n%+v\n%+v", label, a, b)
+	}
+}
+
+// TestRouterEquivalence pins the scratch-buffer routers to the seed
+// implementations on random restricted instances.
+func TestRouterEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(1+rng.Intn(8), 200, rng)
+		sOpt, mOpt, err := Run(inst, EFTRouter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sRef, mRef, err := Run(inst, refEFTRouter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSchedule(t, "EFT", sOpt, sRef)
+		sameMetrics(t, "EFT", mOpt, mRef)
+
+		sOpt, mOpt, err = Run(inst, JSQRouter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sRef, mRef, err = Run(inst, refJSQRouter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSchedule(t, "JSQ", sOpt, sRef)
+		sameMetrics(t, "JSQ", mOpt, mRef)
+	}
+}
+
+// TestEFTMinFastPathEquivalence pins the O(log m) EFTMinPicker fast path
+// (full-set instances under EFT-Min) to the generic completion-scan loop,
+// which refEFTRouter forces Run through.
+func TestEFTMinFastPathEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(16)
+		n := 100 + rng.Intn(400)
+		tasks := make([]core.Task, n)
+		tm := 0.0
+		for i := range tasks {
+			tm += rng.ExpFloat64() / float64(m)
+			if rng.Intn(30) == 0 {
+				tm += 20 // idle gaps: exercise the all-idle dispatch case
+			}
+			tasks[i] = core.Task{Release: tm, Proc: 0.1 + rng.Float64()*2}
+		}
+		inst := core.NewInstance(m, tasks)
+		sFast, mFast, err := Run(inst, EFTRouter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sRef, mRef, err := Run(inst, refEFTRouter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSchedule(t, "fast path", sFast, sRef)
+		sameMetrics(t, "fast path", mFast, mRef)
+	}
+}
+
+// TestFastPathGate: the EFTMinPicker shortcut must engage exactly for
+// EFT-Min (explicit or default tie) on full-set instances.
+func TestFastPathGate(t *testing.T) {
+	if !isEFTMin(EFTRouter{}) || !isEFTMin(EFTRouter{Tie: sched.MinTie{}}) {
+		t.Error("EFT with nil/Min tie should take the fast path")
+	}
+	if isEFTMin(EFTRouter{Tie: sched.MaxTie{}}) || isEFTMin(JSQRouter{}) {
+		t.Error("non-Min ties and other routers must not take the fast path")
+	}
+	full := core.NewInstance(2, []core.Task{{Release: 0, Proc: 1}})
+	if !unrestricted(full) {
+		t.Error("nil-set instance should count as unrestricted")
+	}
+	restricted := core.NewInstance(2, []core.Task{{Release: 0, Proc: 1, Set: core.Interval(0, 1)}})
+	if unrestricted(restricted) {
+		t.Error("a full Interval set is still a restriction marker: the generic path must validate eligibility")
+	}
+}
+
+// FuzzRouterEquivalence drives the optimized and reference routers over
+// fuzz-shaped instances and requires byte-identical schedules.
+func FuzzRouterEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(50))
+	f.Add(int64(7), uint8(1), uint8(10))
+	f.Add(int64(42), uint8(12), uint8(200))
+	f.Fuzz(func(t *testing.T, seed int64, m8, n8 uint8) {
+		m := 1 + int(m8)%16
+		n := 1 + int(n8)
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(m, n, rng)
+		for _, pair := range []struct {
+			label    string
+			opt, ref Router
+		}{
+			{"EFT", EFTRouter{}, refEFTRouter{}},
+			{"EFT-Max", EFTRouter{Tie: sched.MaxTie{}}, refEFTRouter{Tie: sched.MaxTie{}}},
+			{"JSQ", JSQRouter{}, refJSQRouter{}},
+		} {
+			sOpt, mOpt, err := Run(inst, pair.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sRef, mRef, err := Run(inst, pair.ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSchedule(t, pair.label, sOpt, sRef)
+			sameMetrics(t, pair.label, mOpt, mRef)
+		}
+	})
+}
+
+// --- Allocation guards ----------------------------------------------------
+
+// TestRouterPickAllocs pins the hot-path contract from DESIGN.md §7:
+// router Pick allocates nothing once the State's scratch buffer is warm.
+func TestRouterPickAllocs(t *testing.T) {
+	const m = 15
+	st := &State{M: m, Completion: make([]core.Time, m), QueueLen: make([]int, m)}
+	restricted := core.Task{Release: 1, Proc: 1, Set: core.Interval(2, 6)}
+	full := core.Task{Release: 1, Proc: 1}
+	cases := []struct {
+		name   string
+		router Router
+		task   core.Task
+	}{
+		{"EFTRouter.Pick/set", EFTRouter{}, restricted},
+		{"EFTRouter.Pick/full", EFTRouter{}, full},
+		{"EFTRouter.Pick/maxTie", EFTRouter{Tie: sched.MaxTie{}}, restricted},
+		{"JSQRouter.Pick/set", JSQRouter{}, restricted},
+		{"JSQRouter.Pick/full", JSQRouter{}, full},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.router.Pick(st, tc.task) // warm the scratch buffer
+			avg := testing.AllocsPerRun(200, func() {
+				j := tc.router.Pick(st, tc.task)
+				st.Completion[j] += 0.1
+				st.QueueLen[j]++
+			})
+			if avg != 0 {
+				t.Errorf("%s allocates %v per call, want 0", tc.name, avg)
+			}
+		})
+	}
+}
+
+// TestRunAllocsConstant asserts the per-task dispatch loop of Run is
+// allocation-free: total allocations per Run must not scale with n (they
+// would exceed n if any per-task path allocated).
+func TestRunAllocsConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := randomInstance(8, 2000, rng)
+	for _, router := range []Router{EFTRouter{}, JSQRouter{}} {
+		avg := testing.AllocsPerRun(5, func() {
+			if _, _, err := Run(inst, router); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// Setup allocations (schedule, metrics, state, reserved queue) are
+		// O(1) in count; 64 is far below one alloc per task.
+		if avg > 64 {
+			t.Errorf("%s: %v allocs per Run of %d tasks: per-task dispatch allocates", router.Name(), avg, inst.N())
+		}
+	}
+}
+
+// --- Bugfix satellites ----------------------------------------------------
+
+// TestEmptySetError: a non-nil empty Set means "no eligible server". Every
+// router's Pick reports it as -1 instead of panicking (the RandomRouter
+// used to crash in rand.Intn(0), EFT in the tie-break), and Run — whose
+// Validate normally screens such instances out — turns a -1 from a task
+// that really has no eligible server into a clear error rather than
+// blaming the router for an invalid pick.
+func TestEmptySetError(t *testing.T) {
+	st := &State{M: 2, Completion: make([]core.Time, 2), QueueLen: make([]int, 2)}
+	empty := core.Task{Release: 0, Proc: 1, Set: core.ProcSet{}}
+	for _, router := range []Router{EFTRouter{}, JSQRouter{}, &RandomRouter{}, &NoisyEFTRouter{}, &RoundRobinRouter{}} {
+		if r, ok := router.(Resettable); ok {
+			r.Reset()
+		}
+		if j := router.Pick(st, empty); j != -1 {
+			t.Errorf("%s.Pick on empty set = %d, want -1", router.Name(), j)
+		}
+	}
+	// Run screens empty-set tasks out at validation with a clear error.
+	inst := core.NewInstance(2, []core.Task{
+		{Release: 0, Proc: 1},
+		{Release: 1, Proc: 1, Set: core.ProcSet{}},
+	})
+	if _, _, err := Run(inst, EFTRouter{}); err == nil || !containsStr(err.Error(), "empty processing set") {
+		t.Errorf("Run error = %v, should reject the empty processing set", err)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRandomRouterReplay: the zero value lazily seeds itself, Reset rewinds
+// the stream, and a reused router replays identical schedules run to run.
+func TestRandomRouterReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := randomInstance(4, 80, rng)
+
+	r := &RandomRouter{} // zero value: must not panic (the seed bug)
+	s1, _, err := Run(inst, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := Run(inst, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSchedule(t, "reused zero-value RandomRouter", s1, s2)
+
+	// Distinct seeds give distinct streams; same seed on a fresh value
+	// replays the first run.
+	s3, _, err := Run(inst, &RandomRouter{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(s1.Machine, s3.Machine) {
+		t.Fatal("seed 0 and seed 99 produced identical schedules: Seed is ignored")
+	}
+	s4, _, err := Run(inst, &RandomRouter{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSchedule(t, "same-seed fresh RandomRouter", s3, s4)
+
+	// Pick without a prior Reset lazily seeds (direct router use, no Run).
+	lazy := &RandomRouter{Seed: 7}
+	st := &State{M: 3, Completion: make([]core.Time, 3), QueueLen: make([]int, 3)}
+	if j := lazy.Pick(st, core.Task{}); j < 0 || j >= 3 {
+		t.Fatalf("lazy Pick = %d", j)
+	}
+
+	// Empty sets are reported as no-pick, not a panic.
+	if j := lazy.Pick(st, core.Task{Set: core.ProcSet{}}); j != -1 {
+		t.Fatalf("empty set Pick = %d, want -1", j)
+	}
+}
+
+// TestMetricsEmptyRun: aggregates of an empty run are zeros (not ±Inf, the
+// stats.Min/Max regression) and the metrics marshal cleanly.
+func TestMetricsEmptyRun(t *testing.T) {
+	m := &Metrics{}
+	if m.MaxFlow() != 0 || m.MaxStretch() != 0 || m.SteadyStateMaxFlow(0.5) != 0 {
+		t.Errorf("empty-run maxima = %v %v %v, want zeros",
+			m.MaxFlow(), m.MaxStretch(), m.SteadyStateMaxFlow(0.5))
+	}
+	if m.MeanFlow() != 0 || m.Utilization() != 0 {
+		t.Errorf("empty-run means = %v %v, want zeros", m.MeanFlow(), m.Utilization())
+	}
+	data, err := json.Marshal(struct {
+		MaxFlow, MaxStretch core.Time
+	}{m.MaxFlow(), m.MaxStretch()})
+	if err != nil {
+		t.Fatalf("empty-run metrics not marshalable: %v", err)
+	}
+	var round struct{ MaxFlow, MaxStretch float64 }
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(round.MaxFlow, 0) || math.IsInf(round.MaxStretch, 0) {
+		t.Errorf("empty-run metrics round-tripped to ±Inf")
+	}
+}

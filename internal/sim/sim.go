@@ -16,6 +16,7 @@ import (
 
 	"flowsched/internal/core"
 	"flowsched/internal/eventq"
+	"flowsched/internal/sched"
 	"flowsched/internal/stats"
 )
 
@@ -25,7 +26,29 @@ type State struct {
 	M          int
 	Completion []core.Time // per-server time at which its queue drains
 	QueueLen   []int       // per-server number of unfinished requests
+
+	scratch []int // reusable candidate buffer, see Candidates
 }
+
+// Candidates returns an empty reusable buffer with capacity for at least
+// max(M, setLen) server indices. Routers build per-request candidate sets in
+// it instead of allocating; the returned slice (and anything appended to it
+// within capacity) is only valid until the next Pick on the same State —
+// the scratch-buffer contract documented in DESIGN.md §7. Callers that grow
+// the buffer should hand it back via keepScratch so the growth is kept.
+func (st *State) Candidates(setLen int) []int {
+	need := st.M
+	if setLen > need {
+		need = setLen
+	}
+	if cap(st.scratch) < need {
+		st.scratch = make([]int, 0, need)
+	}
+	return st.scratch[:0]
+}
+
+// keepScratch retains a (possibly re-grown) candidate buffer for reuse.
+func (st *State) keepScratch(buf []int) { st.scratch = buf[:0] }
 
 // Router decides, immediately at arrival, which eligible server runs a
 // request.
@@ -104,6 +127,11 @@ func stretchOf(flow, proc core.Time) core.Time {
 
 // Run simulates the instance under the router and returns the resulting
 // schedule (validated against the model invariants by tests) and metrics.
+//
+// Full-set instances routed by EFT-Min skip the O(m) completion scan
+// entirely: dispatch goes through an eventq.EFTMinPicker in O(log m) per
+// request, producing a byte-identical schedule (property-tested against the
+// scan path by TestEFTMinFastPathEquivalence and FuzzRouterEquivalence).
 func Run(inst *core.Instance, router Router) (*core.Schedule, *Metrics, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("sim: %w", err)
@@ -112,22 +140,27 @@ func Run(inst *core.Instance, router Router) (*core.Schedule, *Metrics, error) {
 		r.Reset()
 	}
 	m := inst.M
-	st := &State{
-		M:          m,
-		Completion: make([]core.Time, m),
-		QueueLen:   make([]int, m),
-	}
 	sched := core.NewSchedule(inst)
 	metrics := &Metrics{
 		Flows:     make([]core.Time, inst.N()),
 		Stretches: make([]core.Time, inst.N()),
 		Busy:      make([]core.Time, m),
 	}
+	if isEFTMin(router) && unrestricted(inst) {
+		runEFTMinFast(inst, sched, metrics)
+		return sched, metrics, nil
+	}
+	st := &State{
+		M:          m,
+		Completion: make([]core.Time, m),
+		QueueLen:   make([]int, m),
+	}
 
 	// Completion events decrement queue lengths; they are drained up to each
 	// arrival instant before the router runs, so same-instant completions
 	// are visible to the router (completion-before-arrival ordering).
 	var completions eventq.Queue[int] // payload: server index
+	completions.Reserve(reserveFor(inst.N()))
 
 	drain := func(upTo core.Time) {
 		for completions.Len() > 0 {
@@ -145,6 +178,9 @@ func Run(inst *core.Instance, router Router) (*core.Schedule, *Metrics, error) {
 		drain(st.Now)
 		j := router.Pick(st, task)
 		if j < 0 || j >= m || !task.Eligible(j) {
+			if task.Set != nil && len(task.Set) == 0 {
+				return nil, nil, fmt.Errorf("sim: task %d has an empty processing set: no eligible server", i)
+			}
 			return nil, nil, fmt.Errorf("sim: router %s picked invalid server M%d for task %d (set %v)",
 				router.Name(), j+1, i, task.Set)
 		}
@@ -166,4 +202,59 @@ func Run(inst *core.Instance, router Router) (*core.Schedule, *Metrics, error) {
 	}
 	drain(metrics.Makespan)
 	return sched, metrics, nil
+}
+
+// reserveFor sizes the completion queue's initial capacity: enough that
+// small and mid-sized runs never reallocate, without reserving O(n) memory
+// for multi-million-request instances (the heap then grows amortized).
+func reserveFor(n int) int {
+	const max = 4096
+	if n < max {
+		return n
+	}
+	return max
+}
+
+// isEFTMin reports whether the router is the EFT router with the Min
+// tie-break (explicitly or by default), the combination with a dedicated
+// O(log m) dispatch structure.
+func isEFTMin(router Router) bool {
+	r, ok := router.(EFTRouter)
+	if !ok {
+		return false
+	}
+	if r.Tie == nil {
+		return true
+	}
+	_, isMin := r.Tie.(sched.MinTie)
+	return isMin
+}
+
+// unrestricted reports whether every task may run on every server.
+func unrestricted(inst *core.Instance) bool {
+	for _, t := range inst.Tasks {
+		if t.Set != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// runEFTMinFast is the O(n log m) dispatch loop for full-set instances under
+// EFT-Min. Queue lengths are irrelevant (EFT never reads them), so the
+// completion event queue is skipped entirely; the schedule and metrics are
+// byte-identical to the generic loop's.
+func runEFTMinFast(inst *core.Instance, sched *core.Schedule, metrics *Metrics) {
+	picker := eventq.NewEFTMinPicker(inst.M)
+	for i, task := range inst.Tasks {
+		j, start := picker.Dispatch(task.Release, task.Proc)
+		end := start + task.Proc
+		sched.Assign(i, j, start)
+		metrics.Flows[i] = end - task.Release
+		metrics.Stretches[i] = stretchOf(end-task.Release, task.Proc)
+		metrics.Busy[j] += task.Proc
+		if end > metrics.Makespan {
+			metrics.Makespan = end
+		}
+	}
 }

@@ -104,7 +104,7 @@ func TestJSQRouterRespectsSets(t *testing.T) {
 func TestRandomRouterRespectsSets(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	inst := genInstance(9, 6, 200, 3)
-	s, _, err := Run(inst, RandomRouter{Rng: rng})
+	s, _, err := Run(inst, &RandomRouter{Rng: rng})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestEFTBeatsRandomUnderLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, rnd, err := Run(inst, RandomRouter{Rng: rng})
+	_, rnd, err := Run(inst, &RandomRouter{Rng: rng})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,15 +35,22 @@ func Quantile(xs []float64, q float64) float64 {
 	if n == 0 {
 		return 0
 	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is Quantile on an already-sorted non-empty sample; callers
+// needing several quantiles sort once and share the copy.
+func quantileSorted(sorted []float64, q float64) float64 {
 	if q < 0 {
 		q = 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	sorted := make([]float64, n)
-	copy(sorted, xs)
-	sort.Float64s(sorted)
+	n := len(sorted)
 	if n == 1 {
 		return sorted[0]
 	}
@@ -57,10 +64,16 @@ func Quantile(xs []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
-// Min returns the minimum of xs (+Inf for an empty slice).
+// Min returns the minimum of xs. An empty sample has no minimum; it is
+// reported as 0, never ±Inf, so downstream aggregates (and json.Marshal,
+// which rejects infinities) stay well-defined on empty or fully-skipped
+// runs.
 func Min(xs []float64) float64 {
-	m := math.Inf(1)
-	for _, x := range xs {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
 		if x < m {
 			m = x
 		}
@@ -68,10 +81,14 @@ func Min(xs []float64) float64 {
 	return m
 }
 
-// Max returns the maximum of xs (-Inf for an empty slice).
+// Max returns the maximum of xs (0 for an empty slice, for the same reason
+// as Min).
 func Max(xs []float64) float64 {
-	m := math.Inf(-1)
-	for _, x := range xs {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
 		if x > m {
 			m = x
 		}
@@ -113,17 +130,26 @@ type Summary struct {
 	P90, P99     float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs. The sample is copied and sorted once;
+// every order statistic (median, min, max, p90, p99) reads the shared sorted
+// copy instead of re-sorting per quantile.
 func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
 	return Summary{
-		N:      len(xs),
+		N:      n,
 		Mean:   Mean(xs),
-		Median: Median(xs),
-		Min:    Min(xs),
-		Max:    Max(xs),
+		Median: quantileSorted(sorted, 0.5),
+		Min:    sorted[0],
+		Max:    sorted[n-1],
 		StdDev: StdDev(xs),
-		P90:    Quantile(xs, 0.90),
-		P99:    Quantile(xs, 0.99),
+		P90:    quantileSorted(sorted, 0.90),
+		P99:    quantileSorted(sorted, 0.99),
 	}
 }
 

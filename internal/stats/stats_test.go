@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"sort"
@@ -64,8 +65,42 @@ func TestMinMax(t *testing.T) {
 	if Min(xs) != -1 || Max(xs) != 3 {
 		t.Errorf("Min/Max wrong")
 	}
-	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
-		t.Errorf("empty Min/Max should be infinite")
+	// Regression: empty samples used to report ±Inf, which poisoned the
+	// sim metrics of empty runs and made json.Marshal reject them.
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Errorf("empty Min/Max should be 0, got %v/%v", Min(nil), Max(nil))
+	}
+	if _, err := json.Marshal([]float64{Min(nil), Max(nil)}); err != nil {
+		t.Errorf("empty Min/Max not JSON-marshalable: %v", err)
+	}
+}
+
+// TestSummarizeMatchesQuantile pins the single-sort Summarize against the
+// direct per-statistic computations it replaced.
+func TestSummarizeMatchesQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 17, 1000} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(xs)
+		want := Summary{
+			N:      n,
+			Mean:   Mean(xs),
+			Median: Quantile(xs, 0.5),
+			Min:    Min(xs),
+			Max:    Max(xs),
+			StdDev: StdDev(xs),
+			P90:    Quantile(xs, 0.90),
+			P99:    Quantile(xs, 0.99),
+		}
+		if s != want {
+			t.Errorf("n=%d: Summarize %+v != direct %+v", n, s, want)
+		}
+	}
+	if (Summarize(nil) != Summary{}) {
+		t.Errorf("empty Summarize should be the zero Summary, got %+v", Summarize(nil))
 	}
 }
 

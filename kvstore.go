@@ -131,7 +131,7 @@ func EFTRouter(tie TieBreak) Router { return sim.EFTRouter{Tie: tie} }
 func JSQRouter() Router { return sim.JSQRouter{} }
 
 // RandomRouter returns the uniform random router baseline.
-func RandomRouter(rng *rand.Rand) Router { return sim.RandomRouter{Rng: rng} }
+func RandomRouter(rng *rand.Rand) Router { return &sim.RandomRouter{Rng: rng} }
 
 // PowerOfTwoRouter returns the power-of-two-choices router: sample two
 // eligible servers, pick the shorter queue.
