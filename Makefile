@@ -2,18 +2,33 @@
 
 GO ?= go
 
-.PHONY: all build check test race bench bench-update bench-go experiments quick fuzz cover clean
+.PHONY: all build check lint-determinism test race bench bench-update bench-go experiments quick profile fuzz cover clean
 
 all: build check
 
 build:
 	$(GO) build ./...
 
-# check is the default verify path: static analysis plus the full test
-# suite under the race detector.
-check:
+# check is the default verify path: static analysis, the determinism lint,
+# and the full test suite under the race detector.
+check: lint-determinism
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# lint-determinism guards the replayable core: non-test files in
+# internal/sim and internal/obs must not read wall-clock time or the
+# global math/rand stream. Seeded generators (rand.New(rand.NewSource(...)),
+# *rand.Rand parameters) are allowed — the grep strips constructor/type
+# mentions, then fails on any remaining time.Now() or rand.<Func> hit.
+lint-determinism:
+	@bad=$$(grep -nE 'time\.Now\(|\brand\.[A-Z]' \
+		$$(find internal/sim internal/obs -name '*.go' ! -name '*_test.go') \
+		| grep -vE 'rand\.(New|NewSource|Rand|Source)' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "determinism lint: wall clock / global rand in simulator core:"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@echo "determinism lint: ok"
 
 test:
 	$(GO) test ./...
@@ -45,6 +60,14 @@ experiments:
 quick:
 	$(GO) run ./cmd/experiments -quick all
 
+# profile captures CPU and heap profiles of a representative simulation
+# sweep (flowsim with the observability probes attached). Inspect with
+# `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+profile:
+	$(GO) run ./cmd/flowsim -m 15 -k 3 -n 20000 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "profiles written: cpu.pprof mem.pprof (go tool pprof <file>)"
+
 fuzz:
 	$(GO) test -fuzz=FuzzEFTDispatch -fuzztime=30s ./internal/sched/
 	$(GO) test -fuzz=FuzzReadInstanceJSON -fuzztime=30s ./internal/core/
@@ -55,4 +78,4 @@ cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt cpu.pprof mem.pprof

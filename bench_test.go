@@ -489,6 +489,8 @@ func BenchmarkRouterJSQPick(b *testing.B)        { benchregWrap(b, "RouterJSQPic
 func BenchmarkSimRunEFT(b *testing.B)            { benchregWrap(b, "SimRunEFT") }
 func BenchmarkSimRunEFTMinFullSet(b *testing.B)  { benchregWrap(b, "SimRunEFTMinFullSet") }
 func BenchmarkSimRunJSQ(b *testing.B)            { benchregWrap(b, "SimRunJSQ") }
+func BenchmarkProbeOverheadSimOff(b *testing.B)  { benchregWrap(b, "ProbeOverheadSimOff") }
+func BenchmarkProbeOverheadSimHist(b *testing.B) { benchregWrap(b, "ProbeOverheadSimHist") }
 func BenchmarkSchedFIFORun(b *testing.B)         { benchregWrap(b, "SchedFIFORun") }
 func BenchmarkStatsSummarize(b *testing.B)       { benchregWrap(b, "StatsSummarize") }
 func BenchmarkEventqEFTMinDispatch(b *testing.B) { benchregWrap(b, "EventqEFTMinDispatch") }

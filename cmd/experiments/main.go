@@ -35,6 +35,7 @@ import (
 
 	"flowsched"
 	"flowsched/internal/experiments"
+	"flowsched/internal/parallel"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func main() {
 	perms := flag.Int("perms", 100, "permutations per cell (fig10)")
 	seed := flag.Int64("seed", 1, "random seed")
 	csvDir := flag.String("csvdir", "", "also write fig10/fig11 data as CSV files into this directory")
+	progress := flag.Bool("progress", false, "report per-trial progress of the parallel sweeps (table1, fig11) on stderr")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -63,6 +65,7 @@ func main() {
 		case "table1":
 			cfg := experiments.DefaultTable1()
 			cfg.Seed = *seed
+			cfg.Progress = progressReporter(*progress, "table1 trials")
 			_, err := experiments.Table1(w, cfg)
 			return err
 		case "table2":
@@ -110,6 +113,7 @@ func main() {
 		case "fig11":
 			cfg := experiments.DefaultFig11()
 			cfg.M, cfg.K, cfg.N, cfg.Reps, cfg.Seed = *m, *k, *n, *reps, *seed
+			cfg.Progress = progressReporter(*progress, "fig11 cells")
 			data, err := experiments.Figure11(w, cfg)
 			if err != nil {
 				return err
@@ -170,6 +174,22 @@ func main() {
 }
 
 const divider = "================================================================"
+
+// progressReporter builds a stderr progress line for a parallel sweep
+// (nil when -progress is off, which disables reporting entirely). The
+// carriage-return line is erased by the final newline at completion, so
+// stdout tables stay clean.
+func progressReporter(enabled bool, label string) parallel.Progress {
+	if !enabled {
+		return nil
+	}
+	return func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d", label, done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
 
 func ksUpTo(m int) []int {
 	ks := make([]int, m)

@@ -13,6 +13,14 @@
 //	flowsim ... -faults plan.json                      # replay a scripted fault plan
 //	flowsim ... -mtbf 500 -dump run.json               # saves run.json + run.json.faults.json
 //	flowsim -replay run.json                           # replays faults too when present
+//
+// Observability (probes on the overlapping-strategy × EFT-Min cell, the
+// same cell -dump saves; all combinable):
+//
+//	flowsim ... -events run.jsonl          # JSONL event stream of the run
+//	flowsim ... -metrics metrics.prom      # Prometheus text exposition
+//	flowsim ... -sample 5 -samplesvg q.svg # queue/backlog time series every 5 units
+//	flowsim ... -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -21,6 +29,8 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"flowsched"
 	"flowsched/internal/table"
@@ -44,7 +54,23 @@ func main() {
 	retries := flag.Int("retries", 0, "max dispatch attempts per request before dropping (0 = unlimited)")
 	timeout := flag.Float64("timeout", 0, "drop a request older than this at failover (0 = never)")
 	backoff := flag.Float64("backoff", 0, "base failover backoff, doubling per extra attempt (0 = immediate)")
+	var ob obsFlags
+	flag.StringVar(&ob.events, "events", "", "write the observed cell's JSONL event stream to this file")
+	flag.StringVar(&ob.metrics, "metrics", "", "write Prometheus-style counters and flow/stretch quantiles to this file")
+	flag.Float64Var(&ob.sample, "sample", 0, "record queue/backlog/watermark samples at this interval (0 = off)")
+	flag.StringVar(&ob.sampleSVG, "samplesvg", "", "with -sample, render the time series as an SVG chart to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	stopProf, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
+	if ob.sampleSVG != "" && ob.sample <= 0 {
+		log.Fatal("flowsim: -samplesvg needs a positive -sample interval")
+	}
 
 	policy := flowsched.RetryPolicy{
 		MaxAttempts:   *retries,
@@ -54,7 +80,7 @@ func main() {
 	}
 
 	if *replay != "" {
-		if err := simulateSaved(*replay, *timeline, *svg, *faultsPath, policy); err != nil {
+		if err := simulateSaved(*replay, *timeline, *svg, *faultsPath, policy, &ob); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -140,13 +166,25 @@ func main() {
 			}
 		}
 		for _, rt := range routers {
+			// Probes ride on the overlapping-strategy × EFT-Min cell, the
+			// same cell -dump saves.
+			var cell *cellObserver
+			if ob.active() && strat.Name() == flowsched.OverlappingReplication(*k).Name() && rt.name == "EFT-Min" {
+				var err error
+				if cell, err = ob.attach(*m); err != nil {
+					log.Fatal(err)
+				}
+			}
 			if plan == nil {
-				sched, metrics, err := flowsched.Simulate(inst, rt.r)
+				sched, metrics, err := flowsched.Observe(inst, rt.r, cell.probeOrNil())
 				if err != nil {
 					log.Fatal(err)
 				}
 				if err := sched.Validate(); err != nil {
 					log.Fatalf("invalid schedule from %s: %v", rt.name, err)
+				}
+				if err := cell.finish(); err != nil {
+					log.Fatal(err)
 				}
 				out.AddRow(strat.Name(), rt.name,
 					fmt.Sprintf("%.0f", maxLoad),
@@ -156,8 +194,11 @@ func main() {
 					fmt.Sprintf("%.2f", metrics.Utilization()))
 				continue
 			}
-			_, fm, err := flowsched.SimulateFaulty(inst, rt.r, plan, policy)
+			_, fm, err := flowsched.ObserveFaulty(inst, rt.r, plan, policy, cell.probeOrNil())
 			if err != nil {
+				log.Fatal(err)
+			}
+			if err := cell.finish(); err != nil {
 				log.Fatal(err)
 			}
 			out.AddRow(strat.Name(), rt.name,
@@ -215,8 +256,9 @@ func readFaultPlan(path string) (*flowsched.FaultPlan, error) {
 // simulateSaved replays a saved instance under every router. A fault plan
 // is replayed alongside when one is given via -faults or found next to the
 // instance (instance path + ".faults.json"); timeline and svgPath apply to
-// the fault-free EFT-Min schedule only.
-func simulateSaved(path string, timeline int, svgPath, faultsPath string, policy flowsched.RetryPolicy) error {
+// the fault-free EFT-Min schedule only, and observability probes (-events,
+// -metrics, -sample) attach to the EFT-Min run.
+func simulateSaved(path string, timeline int, svgPath, faultsPath string, policy flowsched.RetryPolicy, ob *obsFlags) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -263,8 +305,15 @@ func simulateSaved(path string, timeline int, svgPath, faultsPath string, policy
 		out := table.New("router", "avail %", "Fmax", "mean flow", "p99",
 			"spike Fmax", "retries", "drop %", "parked")
 		for _, rt := range routers {
-			_, fm, err := flowsched.SimulateFaulty(inst, rt.r, plan, policy)
+			cell, err := attachIf(ob, rt.name == "EFT-Min", inst.M)
 			if err != nil {
+				return err
+			}
+			_, fm, err := flowsched.ObserveFaulty(inst, rt.r, plan, policy, cell.probeOrNil())
+			if err != nil {
+				return err
+			}
+			if err := cell.finish(); err != nil {
 				return err
 			}
 			out.AddRow(rt.name,
@@ -284,8 +333,15 @@ func simulateSaved(path string, timeline int, svgPath, faultsPath string, policy
 	out := table.New("router", "Fmax", "mean flow", "p99", "utilization")
 	var eftSched *flowsched.Schedule
 	for _, rt := range routers {
-		s, metrics, err := flowsched.Simulate(inst, rt.r)
+		cell, err := attachIf(ob, rt.name == "EFT-Min", inst.M)
 		if err != nil {
+			return err
+		}
+		s, metrics, err := flowsched.Observe(inst, rt.r, cell.probeOrNil())
+		if err != nil {
+			return err
+		}
+		if err := cell.finish(); err != nil {
 			return err
 		}
 		if eftSched == nil {
@@ -323,4 +379,171 @@ func simulateSaved(path string, timeline int, svgPath, faultsPath string, policy
 		flowsched.WriteMachineTimeline(os.Stdout, eftSched, timeline-1)
 	}
 	return nil
+}
+
+// --- Observability plumbing ------------------------------------------------
+
+// obsFlags collects the probe-related flags.
+type obsFlags struct {
+	events    string  // JSONL event stream path
+	metrics   string  // Prometheus exposition path
+	sampleSVG string  // time-series SVG path
+	sample    float64 // sampling interval (0 = off)
+}
+
+// active reports whether any probe output was requested.
+func (o *obsFlags) active() bool {
+	return o.events != "" || o.metrics != "" || o.sample > 0
+}
+
+// attachIf builds the probe set when the flags are active and this is the
+// observed cell; otherwise it returns nil (a nil *cellObserver is inert).
+func attachIf(o *obsFlags, observed bool, m int) (*cellObserver, error) {
+	if o == nil || !o.active() || !observed {
+		return nil, nil
+	}
+	return o.attach(m)
+}
+
+// cellObserver is the probe set attached to the observed cell plus the
+// output plumbing to drain it after the run.
+type cellObserver struct {
+	flags    *obsFlags
+	counters *flowsched.ProbeCounters
+	hist     *flowsched.HistogramProbe
+	series   *flowsched.TimeSeries
+	sink     *flowsched.JSONLSink
+	eventsF  *os.File
+	probe    flowsched.Probe
+}
+
+// attach opens the outputs and builds the fan-out probe.
+func (o *obsFlags) attach(m int) (*cellObserver, error) {
+	c := &cellObserver{
+		flags:    o,
+		counters: &flowsched.ProbeCounters{},
+		hist:     flowsched.NewHistogramProbe(),
+	}
+	probes := []flowsched.Probe{c.counters, c.hist}
+	if o.sample > 0 {
+		series, err := flowsched.NewTimeSeries(m, o.sample)
+		if err != nil {
+			return nil, err
+		}
+		c.series = series
+		probes = append(probes, series)
+	}
+	if o.events != "" {
+		f, err := os.Create(o.events)
+		if err != nil {
+			return nil, err
+		}
+		c.eventsF = f
+		c.sink = flowsched.NewJSONLSink(f)
+		probes = append(probes, c.sink)
+	}
+	c.probe = flowsched.MultiProbe(probes...)
+	return c, nil
+}
+
+// probeOrNil lets an unobserved cell (nil receiver) run unprobed.
+func (c *cellObserver) probeOrNil() flowsched.Probe {
+	if c == nil {
+		return nil
+	}
+	return c.probe
+}
+
+// finish drains the probes into the requested outputs.
+func (c *cellObserver) finish() error {
+	if c == nil {
+		return nil
+	}
+	if c.sink != nil {
+		if err := c.sink.Flush(); err != nil {
+			return fmt.Errorf("flowsim: writing %s: %w", c.flags.events, err)
+		}
+		if err := c.eventsF.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("event stream written to %s\n", c.flags.events)
+	}
+	if c.flags.metrics != "" {
+		f, err := os.Create(c.flags.metrics)
+		if err != nil {
+			return err
+		}
+		if err := c.counters.WriteProm(f); err == nil {
+			err = c.hist.Flow.WriteProm(f, "flowsched_flow_time")
+		} else {
+			f.Close()
+			return err
+		}
+		if err := c.hist.Stretch.WriteProm(f, "flowsched_stretch"); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written to %s\n", c.flags.metrics)
+	}
+	if c.series != nil && c.flags.sampleSVG != "" {
+		f, err := os.Create(c.flags.sampleSVG)
+		if err != nil {
+			return err
+		}
+		if err := flowsched.WriteTimeSeriesSVG(f, c.series.Samples(), "observed cell: queue profile"); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("time-series SVG written to %s\n", c.flags.sampleSVG)
+	}
+	if c.series != nil {
+		peak, at := c.series.PeakBacklog()
+		wm, wmAt := c.series.PeakMaxAge()
+		fmt.Printf("observed cell: peak backlog %d at t=%.4g, max-flow watermark %.4g at t=%.4g (%d samples)\n",
+			peak, at, wm, wmAt, len(c.series.Samples()))
+	}
+	return nil
+}
+
+// startProfiles wires runtime/pprof: a CPU profile over the whole process
+// and a heap profile at exit. The returned stop function is safe to call
+// once on the normal exit path.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+			fmt.Printf("CPU profile written to %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				log.Printf("flowsim: heap profile: %v", err)
+				return
+			}
+			runtime.GC() // up-to-date allocation data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("flowsim: heap profile: %v", err)
+			}
+			f.Close()
+			fmt.Printf("heap profile written to %s\n", memPath)
+		}
+	}, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"flowsched/internal/core"
 	"flowsched/internal/eventq"
+	"flowsched/internal/obs"
 	"flowsched/internal/popularity"
 	"flowsched/internal/replicate"
 	"flowsched/internal/sched"
@@ -26,6 +27,8 @@ func init() {
 	Register("SimRunEFT", benchSimRunEFT)
 	Register("SimRunEFTMinFullSet", benchSimRunEFTMinFullSet)
 	Register("SimRunJSQ", benchSimRunJSQ)
+	Register("ProbeOverheadSimOff", benchProbeOverheadSimOff)
+	Register("ProbeOverheadSimHist", benchProbeOverheadSimHist)
 	Register("SchedEFTRun", benchSchedEFTRun)
 	Register("SchedFIFORun", benchSchedFIFORun)
 	Register("StatsSummarize", benchStatsSummarize)
@@ -126,6 +129,27 @@ func benchSimRunEFTMinFullSet(b *testing.B) {
 
 func benchSimRunJSQ(b *testing.B) {
 	benchSimRun(b, restrictedInstance(15, 3, 5000), sim.JSQRouter{})
+}
+
+// The probe-overhead pair brackets the observability cost on the same
+// workload as SimRunEFT: Off drives RunProbed with a nil probe (must match
+// SimRunEFT — the disabled path is pure branch-not-taken, 0 extra allocs),
+// Hist attaches the streaming flow/stretch histogram probe.
+func benchProbeOverhead(b *testing.B, probe obs.Probe) {
+	inst := restrictedInstance(15, 3, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sim.RunProbed(inst, sim.EFTRouter{}, probe); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchProbeOverheadSimOff(b *testing.B) { benchProbeOverhead(b, nil) }
+
+func benchProbeOverheadSimHist(b *testing.B) {
+	benchProbeOverhead(b, obs.NewHistogramProbe())
 }
 
 func benchSchedEFTRun(b *testing.B) {

@@ -30,6 +30,10 @@ type Fig11Config struct {
 	// (0 = GOMAXPROCS). Results are identical for any worker count: every
 	// cell derives its randomness from (Seed, case, load, repetition).
 	Workers int
+	// Progress, when set, receives completed-cell counts while the sweep
+	// runs (calls are serialized; counts only — completion order is
+	// scheduling-dependent).
+	Progress parallel.Progress
 }
 
 // DefaultFig11 returns the paper's configuration.
@@ -119,7 +123,7 @@ func SweepFig11(cfg Fig11Config) (*Fig11Data, error) {
 	type cellResult struct {
 		points []Fig11Point
 	}
-	results, err := parallel.MapErr(len(cells), cfg.Workers, func(x int) (cellResult, error) {
+	results, err := parallel.MapErrProgress(len(cells), cfg.Workers, cfg.Progress, func(x int) (cellResult, error) {
 		ci, li := cells[x].ci, cells[x].li
 		c := cases[ci]
 		load := cfg.Loads[li]

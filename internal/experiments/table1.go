@@ -26,6 +26,9 @@ type Table1Config struct {
 	// Results are identical for any worker count: every trial derives its
 	// randomness from (Seed, m, trial).
 	Workers int
+	// Progress, when set, receives completed-trial counts over the whole
+	// table (all machine counts; calls are serialized).
+	Progress parallel.Progress
 }
 
 // DefaultTable1 returns the default configuration.
@@ -68,12 +71,19 @@ func Table1(w io.Writer, cfg Table1Config) ([]Table1Row, error) {
 	fmt.Fprintln(w, "(the preemptive column checks Mastrolilli [12]: FIFO stays within 3-2/m even of the PREEMPTIVE optimum)")
 	rows := make([]Table1Row, 0, len(cfg.Ms))
 	out := table.New("m", "bound 3-2/m", "worst EFT/OPT", "worst EFT/preemptive-OPT", "holds")
+	// Progress counts trials across all machine-count blocks.
+	trialsDone := 0
 	for _, m := range cfg.Ms {
 		m := m
+		var report parallel.Progress
+		if cfg.Progress != nil {
+			base := trialsDone
+			report = func(done, _ int) { cfg.Progress(base+done, len(cfg.Ms)*cfg.Trials) }
+		}
 		// Trials are independent brute-force solves — the slow part of this
 		// table — so they fan out on the worker pool with per-trial seeds.
 		type trialRatios struct{ r, rp float64 }
-		ratios, err := parallel.MapErr(cfg.Trials, cfg.Workers, func(trial int) (trialRatios, error) {
+		ratios, err := parallel.MapErrProgress(cfg.Trials, cfg.Workers, report, func(trial int) (trialRatios, error) {
 			rng := subRng(cfg.Seed, int64(m), int64(trial))
 			tasks := make([]core.Task, cfg.N)
 			for i := range tasks {
@@ -115,6 +125,7 @@ func Table1(w io.Writer, cfg Table1Config) ([]Table1Row, error) {
 		bound := 3 - 2/float64(m)
 		rows = append(rows, Table1Row{M: m, Bound: bound, WorstMeasured: worst, WorstVsPreemptive: worstP})
 		out.AddRow(m, bound, worst, worstP, worst <= bound+1e-9 && worstP <= bound+1e-4)
+		trialsDone += cfg.Trials
 	}
 	out.Render(w)
 	return rows, nil

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"flowsched/internal/core"
+)
+
+// Counters is a Probe that tallies the run's event totals — the counter set
+// a production scheduler would export. WriteProm renders them in the
+// Prometheus text exposition format.
+type Counters struct {
+	BaseProbe
+	Arrivals    int64 // requests released
+	Dispatches  int64 // dispatch attempts (> Arrivals under failover)
+	Completions int64 // final completions
+	Retries     int64 // re-dispatches scheduled after a crash
+	Drops       int64 // requests given up (attempt cap or timeout)
+	Failovers   int64 // server crashes observed
+	Lost        int64 // queued-or-running requests lost to crashes
+}
+
+// OnArrival implements Probe.
+func (c *Counters) OnArrival(task int, release core.Time) { c.Arrivals++ }
+
+// OnDispatch implements Probe.
+func (c *Counters) OnDispatch(task, server int, at, start, end core.Time) { c.Dispatches++ }
+
+// OnComplete implements Probe.
+func (c *Counters) OnComplete(task, server int, release, proc, end core.Time) { c.Completions++ }
+
+// OnDrop implements Probe.
+func (c *Counters) OnDrop(task int, release, at core.Time) { c.Drops++ }
+
+// OnRetry implements Probe.
+func (c *Counters) OnRetry(task, attempt int, at core.Time) { c.Retries++ }
+
+// OnFailover implements Probe.
+func (c *Counters) OnFailover(server int, at core.Time, lost int) {
+	c.Failovers++
+	c.Lost += int64(lost)
+}
+
+// WriteProm writes the counters in the Prometheus text exposition format
+// under the flowsched_ namespace.
+func (c *Counters) WriteProm(w io.Writer) error {
+	for _, row := range []struct {
+		name, help string
+		value      int64
+	}{
+		{"flowsched_arrivals_total", "Requests released.", c.Arrivals},
+		{"flowsched_dispatches_total", "Dispatch attempts (failover re-dispatches included).", c.Dispatches},
+		{"flowsched_completions_total", "Requests completed.", c.Completions},
+		{"flowsched_retries_total", "Failover re-dispatches scheduled after a crash.", c.Retries},
+		{"flowsched_drops_total", "Requests dropped by the retry policy.", c.Drops},
+		{"flowsched_failovers_total", "Server crashes observed.", c.Failovers},
+		{"flowsched_lost_tasks_total", "Queued-or-running requests lost to crashes.", c.Lost},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			row.name, row.help, row.name, row.name, row.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"flowsched/internal/core"
+)
+
+// DefaultGrowth is the default per-bucket growth factor of a Histogram:
+// 2^(1/8) ≈ 1.0905, eight buckets per doubling (≈ 4.4% worst-case quantile
+// error, see Quantile).
+var DefaultGrowth = math.Pow(2, 0.125)
+
+// Histogram is a streaming log-bucketed (HDR-style) histogram: bucket i
+// counts observations in [base·g^i, base·g^(i+1)), so memory is
+// O(log_g(max/min)) regardless of how many values are observed — huge runs
+// no longer need the full Metrics.Flows slice retained to answer quantile
+// queries. Observations ≤ 0 land in a dedicated zero bucket.
+//
+// The zero value is not usable; construct with NewHistogram or
+// NewHistogramGrowth.
+type Histogram struct {
+	growth  float64
+	logG    float64
+	logBase float64
+
+	counts []uint64 // counts[i] is bucket lo+i
+	lo     int      // bucket index of counts[0]
+	zeros  uint64   // observations ≤ 0
+
+	count    uint64
+	sum      float64
+	minSeen  float64
+	maxSeen  float64
+	observed bool
+}
+
+// histBase is the lower edge of bucket 0; values this small are far below
+// any meaningful flow time, so the bucket index of real observations stays
+// moderate.
+const histBase = 1e-12
+
+// NewHistogram returns a histogram with the DefaultGrowth bucket scheme.
+func NewHistogram() *Histogram {
+	h, _ := NewHistogramGrowth(DefaultGrowth)
+	return h
+}
+
+// NewHistogramGrowth returns a histogram whose buckets grow by the given
+// factor (must exceed 1). Smaller factors mean finer quantiles and more
+// buckets: relative quantile error is at most √growth − 1.
+func NewHistogramGrowth(growth float64) (*Histogram, error) {
+	if !(growth > 1) || math.IsInf(growth, 0) {
+		return nil, fmt.Errorf("obs: histogram growth factor must be > 1, got %v", growth)
+	}
+	return &Histogram{
+		growth:  growth,
+		logG:    math.Log(growth),
+		logBase: math.Log(histBase),
+	}, nil
+}
+
+// Growth returns the per-bucket growth factor.
+func (h *Histogram) Growth() float64 { return h.growth }
+
+// RelativeError returns the documented worst-case relative error of
+// Quantile: √growth − 1.
+func (h *Histogram) RelativeError() float64 { return math.Sqrt(h.growth) - 1 }
+
+// bucketOf returns the bucket index of a positive value.
+func (h *Histogram) bucketOf(v float64) int {
+	return int(math.Floor((math.Log(v) - h.logBase) / h.logG))
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.count++
+	h.sum += v
+	if !h.observed || v < h.minSeen {
+		h.minSeen = v
+	}
+	if !h.observed || v > h.maxSeen {
+		h.maxSeen = v
+	}
+	h.observed = true
+	if v <= 0 || math.IsNaN(v) {
+		h.zeros++
+		return
+	}
+	idx := h.bucketOf(v)
+	if h.counts == nil {
+		h.counts = make([]uint64, 1, 64)
+		h.lo = idx
+	}
+	switch {
+	case idx < h.lo:
+		grown := make([]uint64, len(h.counts)+(h.lo-idx))
+		copy(grown[h.lo-idx:], h.counts)
+		h.counts, h.lo = grown, idx
+	case idx >= h.lo+len(h.counts):
+		for idx >= h.lo+len(h.counts) {
+			h.counts = append(h.counts, 0)
+		}
+	}
+	h.counts[idx-h.lo]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int { return int(h.count) }
+
+// Sum returns the exact running sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the exact mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the exact smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	if !h.observed {
+		return 0
+	}
+	return h.minSeen
+}
+
+// Max returns the exact largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if !h.observed {
+		return 0
+	}
+	return h.maxSeen
+}
+
+// Buckets returns the number of allocated buckets — the memory bound.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Quantile returns an approximation of the q-quantile (q clamped to [0,1];
+// 0 when empty): the log-bucket representative — the geometric midpoint of
+// the bucket's edges, clamped to the observed [Min, Max] — of the order
+// statistic of rank ⌊q·(Count−1)⌋. The representative is within a factor
+// √growth of every value in its bucket, so the result is within relative
+// error √growth − 1 of that order statistic; the exact (interpolated)
+// quantile lies between ranks ⌊q·(Count−1)⌋ and ⌈q·(Count−1)⌉, one
+// log-bucket's error away (property-tested against stats.Quantile in
+// internal/sim).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Floor(q * float64(h.count-1))) // 0-based order statistic
+	if rank < h.zeros {
+		return h.clamp(0)
+	}
+	cum := h.zeros
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			rep := math.Exp(h.logBase + (float64(h.lo+i)+0.5)*h.logG)
+			return h.clamp(rep)
+		}
+	}
+	return h.maxSeen // unreachable unless counts drifted; fail toward the max
+}
+
+// clamp bounds a bucket representative by the exactly-tracked extremes.
+func (h *Histogram) clamp(v float64) float64 {
+	if v < h.minSeen {
+		return h.minSeen
+	}
+	if v > h.maxSeen {
+		return h.maxSeen
+	}
+	return v
+}
+
+// WriteProm writes the histogram as a Prometheus summary: quantile gauges
+// plus _sum and _count.
+func (h *Histogram) WriteProm(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s Streaming log-bucketed distribution (max relative error %.3g).\n# TYPE %s summary\n",
+		name, h.RelativeError(), name); err != nil {
+		return err
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, fmt.Sprintf("%g", q), h.Quantile(q)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.sum, name, h.count)
+	return err
+}
+
+// HistogramProbe streams completed requests' flow times and stretches into
+// two histograms.
+type HistogramProbe struct {
+	BaseProbe
+	Flow    *Histogram // flow time C_i − r_i
+	Stretch *Histogram // stretch (C_i − r_i) / p_i
+}
+
+// NewHistogramProbe returns a probe with DefaultGrowth histograms.
+func NewHistogramProbe() *HistogramProbe {
+	return &HistogramProbe{Flow: NewHistogram(), Stretch: NewHistogram()}
+}
+
+// OnComplete implements Probe.
+func (p *HistogramProbe) OnComplete(task, server int, release, proc, end core.Time) {
+	flow := end - release
+	p.Flow.Observe(flow)
+	if proc > 0 {
+		p.Stretch.Observe(flow / proc)
+	} else {
+		p.Stretch.Observe(0) // mirrors sim.stretchOf: zero-proc stretch is 0
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"flowsched/internal/core"
+)
+
+type countingProbe struct {
+	BaseProbe
+	events []string
+}
+
+func (p *countingProbe) OnArrival(task int, release core.Time) { p.events = append(p.events, "arr") }
+func (p *countingProbe) OnDone(makespan core.Time)             { p.events = append(p.events, "done") }
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() != nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) != nil")
+	}
+	single := &countingProbe{}
+	if Multi(nil, single) != Probe(single) {
+		t.Error("Multi with one live probe should return it unwrapped")
+	}
+	a, b := &countingProbe{}, &countingProbe{}
+	m := Multi(a, nil, b)
+	m.OnArrival(0, 0)
+	m.OnDispatch(0, 0, 0, 0, 1)
+	m.OnComplete(0, 0, 0, 1, 1)
+	m.OnDrop(1, 0, 1)
+	m.OnRetry(2, 1, 1)
+	m.OnFailover(0, 1, 3)
+	m.OnDone(1)
+	for _, p := range []*countingProbe{a, b} {
+		if len(p.events) != 2 || p.events[0] != "arr" || p.events[1] != "done" {
+			t.Errorf("fan-out events = %v", p.events)
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	c.OnArrival(0, 0)
+	c.OnArrival(1, 1)
+	c.OnDispatch(0, 0, 0, 0, 1)
+	c.OnDispatch(1, 1, 1, 1, 2)
+	c.OnDispatch(1, 0, 3, 3, 4) // failover re-dispatch
+	c.OnComplete(0, 0, 0, 1, 1)
+	c.OnFailover(1, 2, 1)
+	c.OnRetry(1, 1, 2)
+	c.OnComplete(1, 0, 1, 1, 4)
+	if c.Arrivals != 2 || c.Dispatches != 3 || c.Completions != 2 ||
+		c.Retries != 1 || c.Failovers != 1 || c.Lost != 1 || c.Drops != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+	var b strings.Builder
+	if err := c.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE flowsched_arrivals_total counter",
+		"flowsched_arrivals_total 2",
+		"flowsched_dispatches_total 3",
+		"flowsched_completions_total 2",
+		"flowsched_retries_total 1",
+		"flowsched_failovers_total 1",
+		"flowsched_lost_tasks_total 1",
+		"flowsched_drops_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"fmt"
+
+	"flowsched/internal/core"
+	"flowsched/internal/eventq"
+)
+
+// Sample is one instant of the time series: the cluster state after every
+// event at Time ≤ the sample instant has been applied.
+type Sample struct {
+	Time    core.Time
+	Queue   []int     // per-server unfinished requests (queued + running)
+	Backlog int       // total released-but-unfinished requests (Σ queues + parked/failing-over)
+	MaxAge  core.Time // age of the oldest in-flight request — the max-flow watermark
+	Busy    int       // servers with a non-empty queue
+}
+
+// Utilization returns the instantaneous fraction of busy servers.
+func (s Sample) Utilization() float64 {
+	if len(s.Queue) == 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(len(s.Queue))
+}
+
+// Sampler is a Probe recording the cluster state at a fixed interval dt:
+// per-server queue lengths, the total backlog, the in-flight max-flow
+// watermark (age of the oldest unfinished request — the live counterpart of
+// Fmax) and utilization. Over the stable adversarial prefixes of the
+// paper's Section 6, the recorded queue profile is exactly the stable
+// profile w_τ(j) = min(m − j, m − k) driven by Theorems 8–10; under fault
+// plans it shows the PR 1 failover spikes as they happen.
+//
+// Samples are taken at t = 0, dt, 2dt, …, makespan; a sample at instant b
+// reflects every event with time ≤ b. The fault-free simulator reports
+// completions eagerly at dispatch (see Probe), so the sampler reorders them
+// through an internal pending-completion heap.
+type Sampler struct {
+	dt      core.Time
+	m       int
+	samples []Sample
+
+	next    core.Time // next sample boundary to emit
+	queue   []int     // per-server unfinished requests
+	backlog int
+
+	pending eventq.Queue[sampDone] // future completions, keyed by end time
+
+	releases  []core.Time // arrival order ⇒ non-decreasing
+	arrived   []int       // task ids in arrival order
+	finished  []bool      // indexed like arrived (by arrival position)
+	posOf     map[int]int // task id → arrival position
+	oldest    int         // arrival position of the oldest in-flight candidate
+	inFlight  int
+	clockMax  core.Time
+	doneEmits bool
+}
+
+type sampDone struct{ task, server int }
+
+// NewSampler returns a sampler for m servers at interval dt. dt ≤ 0 and
+// m ≤ 0 are rejected: a non-positive interval would make the sample
+// boundary sequence ill-defined.
+func NewSampler(m int, dt core.Time) (*Sampler, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("obs: sampler needs at least one server, got m=%d", m)
+	}
+	if !(dt > 0) {
+		return nil, fmt.Errorf("obs: sampling interval must be positive, got dt=%v", dt)
+	}
+	return &Sampler{
+		dt:    dt,
+		m:     m,
+		queue: make([]int, m),
+		posOf: make(map[int]int),
+	}, nil
+}
+
+// Interval returns the sampling interval dt.
+func (s *Sampler) Interval() core.Time { return s.dt }
+
+// Samples returns the recorded time series (valid after OnDone).
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// PeakBacklog returns the largest sampled backlog and the sample instant it
+// was recorded at.
+func (s *Sampler) PeakBacklog() (int, core.Time) {
+	peak, at := 0, core.Time(0)
+	for _, sm := range s.samples {
+		if sm.Backlog > peak {
+			peak, at = sm.Backlog, sm.Time
+		}
+	}
+	return peak, at
+}
+
+// PeakMaxAge returns the largest sampled in-flight watermark and its sample
+// instant — a lower bound on the run's Fmax observable mid-run.
+func (s *Sampler) PeakMaxAge() (core.Time, core.Time) {
+	peak, at := core.Time(0), core.Time(0)
+	for _, sm := range s.samples {
+		if sm.MaxAge > peak {
+			peak, at = sm.MaxAge, sm.Time
+		}
+	}
+	return peak, at
+}
+
+// record captures the current state as the sample at instant at.
+func (s *Sampler) record(at core.Time) {
+	q := make([]int, s.m)
+	copy(q, s.queue)
+	busy := 0
+	for _, n := range q {
+		if n > 0 {
+			busy++
+		}
+	}
+	age := core.Time(0)
+	if pos := s.oldestInFlight(); pos >= 0 {
+		age = at - s.releases[pos]
+	}
+	s.samples = append(s.samples, Sample{Time: at, Queue: q, Backlog: s.backlog, MaxAge: age, Busy: busy})
+}
+
+// oldestInFlight advances past finished arrivals and returns the arrival
+// position of the oldest unfinished request, or -1.
+func (s *Sampler) oldestInFlight() int {
+	for s.oldest < len(s.arrived) && s.finished[s.oldest] {
+		s.oldest++
+	}
+	if s.oldest >= len(s.arrived) || s.inFlight == 0 {
+		return -1
+	}
+	return s.oldest
+}
+
+// advance applies pending completions up to instant to, emitting sample
+// boundaries strictly before each applied event and before to, so a sample
+// at boundary b sees every event with time ≤ b.
+func (s *Sampler) advance(to core.Time) {
+	for s.pending.Len() > 0 {
+		when, _ := s.pending.Peek()
+		if when > to {
+			break
+		}
+		_, c := s.pending.Pop()
+		s.emitBefore(when)
+		s.applyComplete(c.task, c.server)
+	}
+	s.emitBefore(to)
+	if to > s.clockMax {
+		s.clockMax = to
+	}
+}
+
+// emitBefore records every unemitted boundary strictly before instant t.
+func (s *Sampler) emitBefore(t core.Time) {
+	for s.next < t {
+		s.record(s.next)
+		s.next += s.dt
+	}
+}
+
+func (s *Sampler) applyComplete(task, server int) {
+	if server >= 0 && server < s.m && s.queue[server] > 0 {
+		s.queue[server]--
+	}
+	s.markFinished(task)
+}
+
+func (s *Sampler) markFinished(task int) {
+	if pos, ok := s.posOf[task]; ok && !s.finished[pos] {
+		s.finished[pos] = true
+		s.inFlight--
+		s.backlog--
+	}
+}
+
+// OnArrival implements Probe.
+func (s *Sampler) OnArrival(task int, release core.Time) {
+	s.advance(release)
+	s.posOf[task] = len(s.arrived)
+	s.arrived = append(s.arrived, task)
+	s.releases = append(s.releases, release)
+	s.finished = append(s.finished, false)
+	s.inFlight++
+	s.backlog++
+}
+
+// OnDispatch implements Probe.
+func (s *Sampler) OnDispatch(task, server int, at, start, end core.Time) {
+	s.advance(at)
+	if server >= 0 && server < s.m {
+		s.queue[server]++
+	}
+}
+
+// OnComplete implements Probe.
+func (s *Sampler) OnComplete(task, server int, release, proc, end core.Time) {
+	// The fault-free simulator reports completions at dispatch with a
+	// future end; buffer and apply in time order.
+	s.pending.Push(end, sampDone{task: task, server: server})
+}
+
+// OnDrop implements Probe.
+func (s *Sampler) OnDrop(task int, release, at core.Time) {
+	s.advance(at)
+	s.markFinished(task)
+}
+
+// OnRetry implements Probe.
+func (s *Sampler) OnRetry(task, attempt int, at core.Time) { s.advance(at) }
+
+// OnFailover implements Probe: a crashing server loses its whole queue.
+func (s *Sampler) OnFailover(server int, at core.Time, lost int) {
+	s.advance(at)
+	if server >= 0 && server < s.m {
+		s.queue[server] = 0
+	}
+}
+
+// OnDone implements Probe: it flushes pending completions and emits every
+// remaining boundary up to and including the makespan.
+func (s *Sampler) OnDone(makespan core.Time) {
+	if s.doneEmits {
+		return
+	}
+	s.doneEmits = true
+	s.advance(makespan)
+	for s.next <= makespan {
+		s.record(s.next)
+		s.next += s.dt
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"testing"
+
+	"flowsched/internal/core"
+)
+
+func TestNewSamplerValidation(t *testing.T) {
+	if _, err := NewSampler(0, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewSampler(-2, 1); err == nil {
+		t.Error("m=-2 accepted")
+	}
+	for _, dt := range []core.Time{0, -1, core.Time(nan())} {
+		if _, err := NewSampler(2, dt); err == nil {
+			t.Errorf("dt=%v accepted", dt)
+		}
+	}
+	s, err := NewSampler(3, 0.5)
+	if err != nil || s.Interval() != 0.5 {
+		t.Fatalf("NewSampler(3, 0.5) = %v, %v", s, err)
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+// TestSamplerHandRun drives the sampler with the eager completion reporting
+// of the fault-free simulator and checks every boundary sample: two servers,
+// task 0 on M1 over [0,2), task 1 on M2 over [1,3), dt = 1.
+func TestSamplerHandRun(t *testing.T) {
+	s, err := NewSampler(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.OnArrival(0, 0)
+	s.OnDispatch(0, 0, 0, 0, 2)
+	s.OnComplete(0, 0, 0, 2, 2) // eager: end is in the future
+	s.OnArrival(1, 1)
+	s.OnDispatch(1, 1, 1, 1, 3)
+	s.OnComplete(1, 1, 1, 2, 3)
+	s.OnDone(3)
+
+	want := []Sample{
+		{Time: 0, Queue: []int{1, 0}, Backlog: 1, MaxAge: 0, Busy: 1},
+		{Time: 1, Queue: []int{1, 1}, Backlog: 2, MaxAge: 1, Busy: 2},
+		{Time: 2, Queue: []int{0, 1}, Backlog: 1, MaxAge: 1, Busy: 1},
+		{Time: 3, Queue: []int{0, 0}, Backlog: 0, MaxAge: 0, Busy: 0},
+	}
+	got := s.Samples()
+	if len(got) != len(want) {
+		t.Fatalf("got %d samples %v, want %d", len(got), got, len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Time != w.Time || g.Backlog != w.Backlog || g.MaxAge != w.MaxAge || g.Busy != w.Busy {
+			t.Errorf("sample %d = %+v, want %+v", i, g, w)
+		}
+		for j := range w.Queue {
+			if g.Queue[j] != w.Queue[j] {
+				t.Errorf("sample %d queue = %v, want %v", i, g.Queue, w.Queue)
+			}
+		}
+	}
+	if pb, at := s.PeakBacklog(); pb != 2 || at != 1 {
+		t.Errorf("PeakBacklog = %d@%v, want 2@1", pb, at)
+	}
+	if pa, at := s.PeakMaxAge(); pa != 1 || at != 1 {
+		t.Errorf("PeakMaxAge = %v@%v, want 1@1", pa, at)
+	}
+	if u := got[1].Utilization(); u != 1 {
+		t.Errorf("utilization at t=1 = %v, want 1", u)
+	}
+}
+
+// TestSamplerCoarseInterval: dt greater than the makespan still yields the
+// t = 0 sample (and only it).
+func TestSamplerCoarseInterval(t *testing.T) {
+	s, err := NewSampler(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.OnArrival(0, 0)
+	s.OnDispatch(0, 0, 0, 0, 1)
+	s.OnComplete(0, 0, 0, 1, 1)
+	s.OnDone(1)
+	got := s.Samples()
+	if len(got) != 1 || got[0].Time != 0 || got[0].Backlog != 1 || got[0].Busy != 1 {
+		t.Fatalf("samples = %+v, want single t=0 sample with backlog 1", got)
+	}
+	// OnDone must be idempotent — the facade may call it defensively.
+	s.OnDone(1)
+	if len(s.Samples()) != 1 {
+		t.Errorf("second OnDone appended samples: %+v", s.Samples())
+	}
+}
+
+// TestSamplerFailover: a crash zeroes the server's queue; the lost request
+// re-enters via retry and the backlog watermark tracks it throughout.
+func TestSamplerFailover(t *testing.T) {
+	s, err := NewSampler(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.OnArrival(0, 0)
+	s.OnDispatch(0, 0, 0, 0, 5)
+	// Faulty runs report completions only when final: none here. Server 0
+	// crashes at t = 2 losing the request, which retries onto server 1.
+	s.OnFailover(0, 2, 1)
+	s.OnRetry(0, 1, 2)
+	s.OnDispatch(0, 1, 2, 2, 7)
+	s.OnComplete(0, 1, 0, 5, 7)
+	s.OnDone(7)
+
+	got := s.Samples()
+	// t=0,1: queued on M1. t=2..6: queued on M2. t=7: done.
+	if len(got) != 8 {
+		t.Fatalf("got %d samples: %+v", len(got), got)
+	}
+	for _, g := range got {
+		switch {
+		case g.Time < 2:
+			if g.Queue[0] != 1 || g.Queue[1] != 0 || g.Backlog != 1 {
+				t.Errorf("pre-crash sample %+v", g)
+			}
+		case g.Time < 7:
+			if g.Queue[0] != 0 || g.Queue[1] != 1 || g.Backlog != 1 {
+				t.Errorf("post-failover sample %+v", g)
+			}
+		default:
+			if g.Backlog != 0 || g.Busy != 0 {
+				t.Errorf("final sample %+v", g)
+			}
+		}
+	}
+	// The watermark keeps aging across the failover: at t=6 the request has
+	// been in flight since t=0.
+	if got[6].MaxAge != 6 {
+		t.Errorf("MaxAge at t=6 = %v, want 6", got[6].MaxAge)
+	}
+}
+
+// TestSamplerDrop: a dropped request leaves the backlog without a completion.
+func TestSamplerDrop(t *testing.T) {
+	s, err := NewSampler(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.OnArrival(0, 0)
+	s.OnDispatch(0, 0, 0, 0, 4)
+	s.OnFailover(0, 1, 1)
+	s.OnDrop(0, 0, 1)
+	s.OnDone(2)
+	got := s.Samples()
+	if len(got) != 3 {
+		t.Fatalf("got %d samples: %+v", len(got), got)
+	}
+	if got[1].Backlog != 0 || got[1].MaxAge != 0 {
+		t.Errorf("post-drop sample %+v, want empty backlog", got[1])
+	}
+}

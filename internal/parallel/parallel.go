@@ -79,3 +79,43 @@ func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	return out, nil
 }
+
+// Progress receives completion counts while a fan-out runs: done jobs out of
+// total. Calls are serialized (never concurrent with each other) and done is
+// strictly increasing, ending at total — so a reporter can write progress
+// lines without its own locking. Completion order is scheduling-dependent;
+// only the counts are deterministic.
+type Progress func(done, total int)
+
+// ForEachProgress is ForEach with a progress callback after every completed
+// job. A nil report is exactly ForEach.
+func ForEachProgress(n, workers int, report Progress, fn func(i int)) {
+	if report == nil {
+		ForEach(n, workers, fn)
+		return
+	}
+	var mu sync.Mutex
+	done := 0
+	ForEach(n, workers, func(i int) {
+		fn(i)
+		mu.Lock()
+		done++
+		d := done
+		report(d, n)
+		mu.Unlock()
+	})
+}
+
+// MapErrProgress is MapErr with a progress callback after every completed
+// job (counted even when the job errors; the fan-out still runs every job).
+func MapErrProgress[T any](n, workers int, report Progress, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEachProgress(n, workers, report, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

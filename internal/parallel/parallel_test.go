@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -87,3 +88,66 @@ func TestDeterministicResults(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestForEachProgressCounts: the progress callback sees a strictly
+// increasing done count ending at n, regardless of worker count.
+func TestForEachProgressCounts(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		var seen []int
+		ran := make([]bool, 50)
+		ForEachProgress(50, workers, func(done, total int) {
+			if total != 50 {
+				t.Errorf("total = %d, want 50", total)
+			}
+			mu.Lock()
+			seen = append(seen, done)
+			mu.Unlock()
+		}, func(i int) { ran[i] = true })
+		if len(seen) != 50 {
+			t.Fatalf("workers=%d: %d progress calls, want 50", workers, len(seen))
+		}
+		for i, d := range seen {
+			if d != i+1 {
+				t.Fatalf("workers=%d: progress %v not strictly increasing", workers, seen)
+			}
+		}
+		for i, ok := range ran {
+			if !ok {
+				t.Fatalf("workers=%d: job %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+// TestForEachProgressNilReport: a nil reporter degrades to plain ForEach.
+func TestForEachProgressNilReport(t *testing.T) {
+	count := 0
+	ForEachProgress(10, 1, nil, func(i int) { count++ })
+	if count != 10 {
+		t.Fatalf("ran %d jobs, want 10", count)
+	}
+}
+
+// TestMapErrProgress: results stay index-ordered and errored jobs still
+// count toward progress.
+func TestMapErrProgress(t *testing.T) {
+	calls := 0
+	out, err := MapErrProgress(20, 4, func(done, total int) { calls++ }, func(i int) (int, error) {
+		if i == 7 {
+			return 0, errBoom
+		}
+		return i * i, nil
+	})
+	if err != errBoom {
+		t.Fatalf("err = %v, want errBoom", err)
+	}
+	if calls != 20 {
+		t.Fatalf("progress calls = %d, want 20", calls)
+	}
+	if out[6] != 36 || out[19] != 361 {
+		t.Fatalf("results out of order: %v", out)
+	}
+}
+
+var errBoom = errors.New("boom")

@@ -7,6 +7,7 @@ import (
 	"flowsched/internal/core"
 	"flowsched/internal/eventq"
 	"flowsched/internal/faults"
+	"flowsched/internal/obs"
 	"flowsched/internal/stats"
 )
 
@@ -185,6 +186,16 @@ type compEvent struct {
 // returned schedule (Machine −1), so core.Schedule.Validate only applies
 // to runs without drops.
 func RunFaulty(inst *core.Instance, router Router, plan *faults.Plan, policy RetryPolicy) (*core.Schedule, *FaultMetrics, error) {
+	return RunFaultyProbed(inst, router, plan, policy, nil)
+}
+
+// RunFaultyProbed is RunFaulty with an observability probe attached. Unlike
+// the fault-free simulator, completions are reported only when they become
+// final (crash-invalidated attempts never complete), in time order; crashes
+// surface as OnFailover followed by OnRetry/OnDrop for each lost request.
+// A nil probe is exactly RunFaulty — every hook sits behind a nil guard, so
+// the unobserved path allocates nothing extra (TestProbeNilRunFaultyAllocs).
+func RunFaultyProbed(inst *core.Instance, router Router, plan *faults.Plan, policy RetryPolicy, probe obs.Probe) (*core.Schedule, *FaultMetrics, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("sim: %w", err)
 	}
@@ -255,6 +266,10 @@ func RunFaulty(inst *core.Instance, router Router, plan *faults.Plan, policy Ret
 			if c.gen != gen[c.task] {
 				continue // stale: that attempt was aborted
 			}
+			if probe != nil {
+				t := inst.Tasks[c.task]
+				probe.OnComplete(c.task, c.server, t.Release, t.Proc, when)
+			}
 			st.QueueLen[c.server]--
 			q := pending[c.server]
 			if len(q) > 0 && q[0] == c.task {
@@ -275,6 +290,9 @@ func RunFaulty(inst *core.Instance, router Router, plan *faults.Plan, policy Ret
 		metrics.Flows[id] = now - inst.Tasks[id].Release
 		metrics.Stretches[id] = stretchOf(metrics.Flows[id], inst.Tasks[id].Proc)
 		sched.Assign(id, -1, math.NaN())
+		if probe != nil {
+			probe.OnDrop(id, inst.Tasks[id].Release, now)
+		}
 	}
 
 	// liveBuf is reused across dispatches: the live view handed to the
@@ -338,6 +356,9 @@ func RunFaulty(inst *core.Instance, router Router, plan *faults.Plan, policy Ret
 		metrics.Flows[id] = end - task.Release
 		metrics.Stretches[id] = stretchOf(end-task.Release, task.Proc)
 		metrics.Busy[j] += task.Proc
+		if probe != nil {
+			probe.OnDispatch(id, j, now, start, end)
+		}
 		return nil
 	}
 
@@ -353,6 +374,9 @@ func RunFaulty(inst *core.Instance, router Router, plan *faults.Plan, policy Ret
 			return
 		}
 		events.Push(next, faultEvent{kind: evRetry, task: id})
+		if probe != nil {
+			probe.OnRetry(id, metrics.Attempts[id], now)
+		}
 	}
 
 	fail := func(j int, now core.Time) {
@@ -362,6 +386,9 @@ func RunFaulty(inst *core.Instance, router Router, plan *faults.Plan, policy Ret
 		pending[j] = nil
 		st.QueueLen[j] -= len(lost)
 		st.Completion[j] = now
+		if probe != nil {
+			probe.OnFailover(j, now, len(lost))
+		}
 		for _, id := range lost {
 			gen[id]++ // invalidate the queued completion
 			executed := core.Time(0)
@@ -424,6 +451,9 @@ func RunFaulty(inst *core.Instance, router Router, plan *faults.Plan, policy Ret
 		task := inst.Tasks[next]
 		st.Now = task.Release
 		drain(st.Now)
+		if probe != nil {
+			probe.OnArrival(next, task.Release)
+		}
 		if err := dispatch(next, task.Release); err != nil {
 			return nil, nil, err
 		}
@@ -444,6 +474,9 @@ func RunFaulty(inst *core.Instance, router Router, plan *faults.Plan, policy Ret
 		metrics.Horizon = end
 	}
 	metrics.Downtime = plan.Downtime(metrics.Horizon)
+	if probe != nil {
+		probe.OnDone(metrics.Makespan)
+	}
 	return sched, metrics, nil
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"flowsched/internal/core"
 	"flowsched/internal/eventq"
+	"flowsched/internal/obs"
 	"flowsched/internal/sched"
 	"flowsched/internal/stats"
 )
@@ -133,6 +134,17 @@ func stretchOf(flow, proc core.Time) core.Time {
 // request, producing a byte-identical schedule (property-tested against the
 // scan path by TestEFTMinFastPathEquivalence and FuzzRouterEquivalence).
 func Run(inst *core.Instance, router Router) (*core.Schedule, *Metrics, error) {
+	return RunProbed(inst, router, nil)
+}
+
+// RunProbed is Run with an observability probe attached: the probe receives
+// OnArrival/OnDispatch/OnComplete for every request plus a final OnDone
+// (see obs.Probe for the event-time contract — completions are reported
+// eagerly at dispatch, where they become final in the fault-free model).
+// A nil probe is exactly Run: every hook sits behind a nil guard, so the
+// unobserved hot path stays allocation-free (TestProbeNilRunAllocs, the
+// ProbeOverheadSim benchreg pair).
+func RunProbed(inst *core.Instance, router Router, probe obs.Probe) (*core.Schedule, *Metrics, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("sim: %w", err)
 	}
@@ -147,7 +159,7 @@ func Run(inst *core.Instance, router Router) (*core.Schedule, *Metrics, error) {
 		Busy:      make([]core.Time, m),
 	}
 	if isEFTMin(router) && unrestricted(inst) {
-		runEFTMinFast(inst, sched, metrics)
+		runEFTMinFast(inst, sched, metrics, probe)
 		return sched, metrics, nil
 	}
 	st := &State{
@@ -176,6 +188,9 @@ func Run(inst *core.Instance, router Router) (*core.Schedule, *Metrics, error) {
 	for i, task := range inst.Tasks {
 		st.Now = task.Release
 		drain(st.Now)
+		if probe != nil {
+			probe.OnArrival(i, task.Release)
+		}
 		j := router.Pick(st, task)
 		if j < 0 || j >= m || !task.Eligible(j) {
 			if task.Set != nil && len(task.Set) == 0 {
@@ -199,8 +214,15 @@ func Run(inst *core.Instance, router Router) (*core.Schedule, *Metrics, error) {
 		if end > metrics.Makespan {
 			metrics.Makespan = end
 		}
+		if probe != nil {
+			probe.OnDispatch(i, j, task.Release, start, end)
+			probe.OnComplete(i, j, task.Release, task.Proc, end)
+		}
 	}
 	drain(metrics.Makespan)
+	if probe != nil {
+		probe.OnDone(metrics.Makespan)
+	}
 	return sched, metrics, nil
 }
 
@@ -243,10 +265,14 @@ func unrestricted(inst *core.Instance) bool {
 // runEFTMinFast is the O(n log m) dispatch loop for full-set instances under
 // EFT-Min. Queue lengths are irrelevant (EFT never reads them), so the
 // completion event queue is skipped entirely; the schedule and metrics are
-// byte-identical to the generic loop's.
-func runEFTMinFast(inst *core.Instance, sched *core.Schedule, metrics *Metrics) {
+// byte-identical to the generic loop's. Probe hooks fire exactly as in the
+// generic loop, behind the same nil guard.
+func runEFTMinFast(inst *core.Instance, sched *core.Schedule, metrics *Metrics, probe obs.Probe) {
 	picker := eventq.NewEFTMinPicker(inst.M)
 	for i, task := range inst.Tasks {
+		if probe != nil {
+			probe.OnArrival(i, task.Release)
+		}
 		j, start := picker.Dispatch(task.Release, task.Proc)
 		end := start + task.Proc
 		sched.Assign(i, j, start)
@@ -256,5 +282,12 @@ func runEFTMinFast(inst *core.Instance, sched *core.Schedule, metrics *Metrics) 
 		if end > metrics.Makespan {
 			metrics.Makespan = end
 		}
+		if probe != nil {
+			probe.OnDispatch(i, j, task.Release, start, end)
+			probe.OnComplete(i, j, task.Release, task.Proc, end)
+		}
+	}
+	if probe != nil {
+		probe.OnDone(metrics.Makespan)
 	}
 }

@@ -139,3 +139,46 @@ func TestTracePropertyOnRandomSchedules(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- Observability-PR edge cases ------------------------------------------
+
+// TestQueueProfileEmpty: nil and empty event slices yield an empty profile
+// and a zero peak, not a panic.
+func TestQueueProfileEmpty(t *testing.T) {
+	for _, events := range [][]Event{nil, {}} {
+		if got := QueueProfile(events); len(got) != 0 {
+			t.Errorf("QueueProfile(%v) = %v, want empty", events, got)
+		}
+		peak, at := PeakBacklog(events)
+		if peak != 0 || at != 0 {
+			t.Errorf("PeakBacklog(%v) = %d@%v, want 0@0", events, peak, at)
+		}
+	}
+}
+
+// TestPeakBacklogEqualInstantTie: a completion and an arrival at the same
+// instant must not double-count — the completion is applied first (the
+// simulator's completion-before-arrival ordering), so a back-to-back
+// handoff keeps the backlog at 1.
+func TestPeakBacklogEqualInstantTie(t *testing.T) {
+	events := []Event{
+		{Time: 0, Kind: Arrival, Task: 0, Machine: -1},
+		{Time: 0, Kind: Start, Task: 0, Machine: 0},
+		{Time: 1, Kind: Completion, Task: 0, Machine: 0},
+		{Time: 1, Kind: Arrival, Task: 1, Machine: -1},
+		{Time: 1, Kind: Start, Task: 1, Machine: 0},
+		{Time: 2, Kind: Completion, Task: 1, Machine: 0},
+	}
+	peak, _ := PeakBacklog(events)
+	if peak != 1 {
+		t.Fatalf("peak = %d, want 1: the t=1 handoff double-counted", peak)
+	}
+	// The same events deliberately mis-ordered (arrival before the equal-
+	// instant completion) would read 2 — FromSchedule's ordering is what
+	// keeps the profile exact.
+	swapped := append([]Event(nil), events...)
+	swapped[2], swapped[3] = swapped[3], swapped[2]
+	if peak, _ := PeakBacklog(swapped); peak != 2 {
+		t.Fatalf("mis-ordered peak = %d, want 2 (ordering sensitivity lost)", peak)
+	}
+}

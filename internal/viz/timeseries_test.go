@@ -1,0 +1,63 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"flowsched/internal/obs"
+)
+
+func TestTimeSeriesSVGWellFormed(t *testing.T) {
+	samples := []obs.Sample{
+		{Time: 0, Queue: []int{1, 0}, Backlog: 1, MaxAge: 0, Busy: 1},
+		{Time: 1, Queue: []int{2, 1}, Backlog: 3, MaxAge: 1, Busy: 2},
+		{Time: 2, Queue: []int{1, 1}, Backlog: 2, MaxAge: 1.5, Busy: 2},
+		{Time: 3, Queue: []int{0, 0}, Backlog: 0, MaxAge: 0, Busy: 0},
+	}
+	var b strings.Builder
+	if err := TimeSeriesSVG(&b, samples, "queue profile <EFT>"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg ") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	for _, want := range []string{
+		"queue profile &lt;EFT&gt;", // title escaped
+		"backlog",                   // area tooltip
+		"M1 queue", "M2 queue",      // one line per server
+		"max-flow watermark",
+		"stroke-dasharray",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Backlog area + 2 server lines + watermark.
+	if got := strings.Count(out, "<path "); got != 4 {
+		t.Errorf("paths = %d, want 4", got)
+	}
+	if strings.Contains(out, "%!") {
+		t.Errorf("stray format verb in output:\n%s", out)
+	}
+}
+
+func TestTimeSeriesSVGEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := TimeSeriesSVG(&b, nil, "empty"); err == nil {
+		t.Fatal("empty sample series accepted")
+	}
+}
+
+// TestTimeSeriesSVGSingleSample: a dt beyond the makespan leaves exactly one
+// sample; the chart must still render (degenerate horizon).
+func TestTimeSeriesSVGSingleSample(t *testing.T) {
+	samples := []obs.Sample{{Time: 0, Queue: []int{1}, Backlog: 1, MaxAge: 0, Busy: 1}}
+	var b strings.Builder
+	if err := TimeSeriesSVG(&b, samples, "one sample"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "</svg>") {
+		t.Fatal("incomplete SVG")
+	}
+}

@@ -3,6 +3,8 @@ package flowsched
 import (
 	"io"
 
+	"flowsched/internal/obs"
+	"flowsched/internal/sim"
 	"flowsched/internal/trace"
 	"flowsched/internal/viz"
 )
@@ -43,4 +45,73 @@ func WriteGanttSVG(w io.Writer, s *Schedule, pxPerUnit float64) error {
 // auto-scales to the data range).
 func WriteHeatmapSVG(w io.Writer, rows, cols []string, values [][]float64, lo, hi float64, title string) error {
 	return viz.HeatmapSVG(w, rows, cols, values, lo, hi, title)
+}
+
+// In-flight observability (internal/obs): probes that watch a simulation
+// while it runs, instead of post-processing the finished schedule.
+type (
+	// Probe observes a simulation run in flight; see internal/obs.Probe
+	// for the hook set and event-time contract.
+	Probe = obs.Probe
+	// BaseProbe is a no-op Probe for embedding in custom probes.
+	BaseProbe = obs.BaseProbe
+	// Histogram is a streaming log-bucketed distribution with bounded
+	// memory and quantile queries (max relative error √growth − 1).
+	Histogram = obs.Histogram
+	// HistogramProbe streams completed requests' flow times and stretches
+	// into two Histograms.
+	HistogramProbe = obs.HistogramProbe
+	// TimeSeries records per-server queue lengths, the backlog, the
+	// in-flight max-flow watermark and utilization at a fixed interval.
+	TimeSeries = obs.Sampler
+	// TimeSeriesSample is one instant of a TimeSeries.
+	TimeSeriesSample = obs.Sample
+	// JSONLSink streams the run's events as newline-delimited JSON.
+	JSONLSink = obs.JSONLSink
+	// ProbeCounters tallies the run's event totals with Prometheus-style
+	// text exposition.
+	ProbeCounters = obs.Counters
+)
+
+// NewHistogram returns a streaming histogram with the default bucket scheme
+// (eight buckets per doubling).
+func NewHistogram() *Histogram { return obs.NewHistogram() }
+
+// NewHistogramProbe returns a probe streaming flow times and stretches into
+// fresh default histograms.
+func NewHistogramProbe() *HistogramProbe { return obs.NewHistogramProbe() }
+
+// NewTimeSeries returns a sampler for m servers at interval dt (dt must be
+// positive).
+func NewTimeSeries(m int, dt Time) (*TimeSeries, error) { return obs.NewSampler(m, dt) }
+
+// NewJSONLSink returns a probe writing one JSON event per line to w
+// (buffered; flushed at OnDone, or call Flush).
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// ReplayJSONL reconstructs the trace of a run from its JSONL event stream;
+// for a fault-free run it equals Trace of the run's schedule exactly.
+func ReplayJSONL(r io.Reader) ([]TraceEvent, error) { return obs.ReplayTrace(r) }
+
+// MultiProbe fans one event stream out to several probes in order (nil
+// entries are skipped; all-nil yields nil, which simulates unobserved).
+func MultiProbe(probes ...Probe) Probe { return obs.Multi(probes...) }
+
+// Observe is Simulate with a probe attached. A nil probe is exactly
+// Simulate: the hooks are nil-guarded, so the unobserved hot path stays
+// allocation-free.
+func Observe(inst *Instance, router Router, probe Probe) (*Schedule, *SimMetrics, error) {
+	return sim.RunProbed(inst, router, probe)
+}
+
+// ObserveFaulty is SimulateFaulty with a probe attached (completions are
+// reported only when final; crashes surface as failover/retry/drop hooks).
+func ObserveFaulty(inst *Instance, router Router, plan *FaultPlan, policy RetryPolicy, probe Probe) (*Schedule, *FaultMetrics, error) {
+	return sim.RunFaultyProbed(inst, router, plan, policy, probe)
+}
+
+// WriteTimeSeriesSVG renders a sampled run as an SVG chart: backlog area,
+// per-server queue lines, max-flow watermark.
+func WriteTimeSeriesSVG(w io.Writer, samples []TimeSeriesSample, title string) error {
+	return viz.TimeSeriesSVG(w, samples, title)
 }
