@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check lint-determinism test race bench bench-update bench-go experiments quick profile fuzz cover clean
+.PHONY: all build check lint-determinism test race bench bench-update bench-go chaos chaos-short experiments quick profile fuzz cover clean
 
 all: build check
 
@@ -50,6 +50,19 @@ bench-update:
 # bench-go runs the full go test benchmark inventory (bench_test.go).
 bench-go:
 	$(GO) test -bench=. -benchmem ./...
+
+# chaos is the long soak: thousands of randomized workload × fault plan ×
+# router trials through the invariant auditor, with failing trials shrunk
+# to replayable repro files under chaos-repros/. A short deterministic-seed
+# smoke of the same harness already runs under the race detector in
+# `make check` (TestChaosSmoke in internal/chaos).
+chaos:
+	$(GO) run ./cmd/chaos -trials 5000 -maxm 16 -maxn 500 -repro chaos-repros
+
+# chaos-short is the 200-trial deterministic spot run (same seed as the
+# checked-in smoke test).
+chaos-short:
+	$(GO) run ./cmd/chaos -trials 200
 
 # Regenerate every table and figure at paper sizes (m=15, 10k tasks,
 # 100 permutations).

@@ -63,6 +63,41 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
+	// Validate the fault flags before doing any work: a negative -mtbf used
+	// to be silently ignored (the run came out fault-free with no warning),
+	// and nonsense retry parameters only blew up deep inside the simulator.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "flowsim: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if explicit["mtbf"] && *mtbf <= 0 {
+		usageErr("-mtbf must be positive, got %v", *mtbf)
+	}
+	if explicit["mttr"] && *mttr <= 0 {
+		usageErr("-mttr must be positive, got %v", *mttr)
+	}
+	if explicit["faults"] && explicit["mtbf"] {
+		usageErr("-faults and -mtbf are mutually exclusive: a scripted plan already fixes the outages")
+	}
+	if *retries < 0 {
+		usageErr("-retries must be non-negative, got %d", *retries)
+	}
+	if *timeout < 0 {
+		usageErr("-timeout must be non-negative, got %v", *timeout)
+	}
+	if *backoff < 0 {
+		usageErr("-backoff must be non-negative, got %v", *backoff)
+	}
+	if *faultsPath != "" && *replay == "" {
+		// Fail fast on an unreadable or invalid plan file (the replay path
+		// resolves its own plan next to the instance, so it parses later).
+		if _, err := readFaultPlan(*faultsPath); err != nil {
+			usageErr("-faults %s: %v", *faultsPath, err)
+		}
+	}
+
 	stopProf, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		log.Fatal(err)

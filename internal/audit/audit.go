@@ -1,0 +1,334 @@
+// Package audit is the machine-checkable definition of "this schedule is
+// correct": a single auditor that takes any (instance, schedule) pair — from
+// the online algorithms, the simulator, a faulty run, or a JSON replay — and
+// checks every structural invariant the paper's model imposes, returning
+// structured violations instead of a bool so randomized soak runs (see
+// internal/chaos) can shrink and report exactly what broke.
+//
+// Invariants checked, in order:
+//
+//	shape        instance/schedule/options arrays agree in length
+//	assignment   assigned tasks have a real machine and a finite start;
+//	             dropped tasks are unassigned (Machine −1)
+//	release      no task starts before its release (σ_i ≥ r_i)
+//	eligibility  every task runs on a machine of its processing set
+//	completion   completion = FinishTime(start, proc) under the plan's
+//	             gray-failure slowdowns (= start + proc when healthy), and
+//	             matches the observed completions when provided
+//	downtime     no execution interval overlaps a Down segment of the plan
+//	overlap      executions on one machine do not overlap
+//	lower-bound  Fmax ≥ offline.LowerBound — only when no task was dropped
+//	             (the bound assumes all work is done)
+//	fifo-equiv   FIFO ≡ EFT spot-check (Proposition 1) on unrestricted
+//	             instances: both algorithms must report the same Fmax
+package audit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"flowsched/internal/core"
+	"flowsched/internal/faults"
+	"flowsched/internal/offline"
+	"flowsched/internal/sched"
+)
+
+// Invariant names, one per check. Violation.Invariant always holds one of
+// these (or InvShape for structural mismatches that abort the audit).
+const (
+	InvShape      = "shape"
+	InvAssignment = "assignment"
+	InvRelease    = "release"
+	InvEligible   = "eligibility"
+	InvCompletion = "completion"
+	InvDowntime   = "downtime"
+	InvOverlap    = "overlap"
+	InvLowerBound = "lower-bound"
+	InvFIFOEquiv  = "fifo-equiv"
+)
+
+// Violation is one broken invariant. Task and Machine are −1 when the
+// violation is not specific to a task or machine.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Task      int    `json:"task"`
+	Machine   int    `json:"machine"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	var b strings.Builder
+	b.WriteString(v.Invariant)
+	if v.Task >= 0 {
+		fmt.Fprintf(&b, " task %d", v.Task)
+	}
+	if v.Machine >= 0 {
+		fmt.Fprintf(&b, " M%d", v.Machine+1)
+	}
+	b.WriteString(": ")
+	b.WriteString(v.Detail)
+	return b.String()
+}
+
+// Options configures an audit. The zero value checks a fault-free schedule
+// against every invariant.
+type Options struct {
+	// Plan is the fault plan the schedule was produced under; nil means
+	// fault-free. With a plan, completions are slowdown-adjusted via
+	// faults.FinishTime and executions must avoid Down segments.
+	Plan *faults.Plan
+	// Completions are observed completion instants (e.g. release + flow from
+	// simulator metrics) cross-checked against the recomputed ones. Optional.
+	Completions []core.Time
+	// Dropped marks tasks the simulator gave up on; they must be unassigned
+	// and are excluded from completion/flow reasoning. Optional.
+	Dropped []bool
+	// SkipLowerBound disables the Fmax ≥ offline.LowerBound check
+	// (O(n²·|sets|) — callers auditing very large instances may opt out).
+	SkipLowerBound bool
+	// SkipFIFOEquiv disables the Proposition 1 spot-check (it re-runs both
+	// FIFO and EFT over the instance).
+	SkipFIFOEquiv bool
+	// MaxViolations truncates the report; 0 means 64.
+	MaxViolations int
+}
+
+// Report is the audit outcome: empty Violations means every invariant held.
+type Report struct {
+	Violations []Violation `json:"violations"`
+	Truncated  bool        `json:"truncated,omitempty"`
+}
+
+// Ok reports whether the audit found no violations.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// Err returns nil for a clean report, or an error naming the first
+// violation and the total count.
+func (r *Report) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	return fmt.Errorf("audit: %d violation(s); first: %s", len(r.Violations), r.Violations[0])
+}
+
+func (r *Report) String() string {
+	if r.Ok() {
+		return "audit: ok"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d violation(s)", len(r.Violations))
+	if r.Truncated {
+		b.WriteString(" (truncated)")
+	}
+	for _, v := range r.Violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// tol is the audit tolerance: absolute for small values, relative for large
+// ones, matching the float64 arithmetic of the simulator.
+func tol(x core.Time) core.Time { return 1e-9 * (1 + math.Abs(x)) }
+
+// Audit checks every invariant of the schedule against the instance under
+// the given options and returns the structured report. It never modifies
+// its inputs.
+func Audit(inst *core.Instance, s *core.Schedule, opts Options) *Report {
+	r := &Report{}
+	limit := opts.MaxViolations
+	if limit <= 0 {
+		limit = 64
+	}
+	add := func(v Violation) bool {
+		if len(r.Violations) >= limit {
+			r.Truncated = true
+			return false
+		}
+		r.Violations = append(r.Violations, v)
+		return true
+	}
+
+	n := inst.N()
+	m := inst.M
+	if len(s.Machine) != n || len(s.Start) != n {
+		add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
+			Detail: fmt.Sprintf("schedule for %d/%d tasks, instance has %d", len(s.Machine), len(s.Start), n)})
+		return r
+	}
+	if opts.Completions != nil && len(opts.Completions) != n {
+		add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
+			Detail: fmt.Sprintf("%d observed completions for %d tasks", len(opts.Completions), n)})
+		return r
+	}
+	if opts.Dropped != nil && len(opts.Dropped) != n {
+		add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
+			Detail: fmt.Sprintf("%d dropped flags for %d tasks", len(opts.Dropped), n)})
+		return r
+	}
+
+	var segs [][]faults.Slowdown
+	var outages []faults.Outage
+	if opts.Plan != nil {
+		if opts.Plan.M != m {
+			add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
+				Detail: fmt.Sprintf("fault plan for %d servers, instance has %d machines", opts.Plan.M, m)})
+			return r
+		}
+		norm := opts.Plan.Normalize()
+		segs = norm.ServerSlowdowns()
+		outages = norm.Outages
+	}
+
+	dropped := func(i int) bool { return opts.Dropped != nil && opts.Dropped[i] }
+
+	// Per-task checks; executions collected for the per-machine overlap scan.
+	type exec struct {
+		id         int
+		start, end core.Time
+	}
+	perMachine := make([][]exec, m)
+	anyDropped := false
+	anyBroken := false // an unassigned/unfinishable task poisons Fmax reasoning
+	var fmax core.Time
+	for i := range inst.Tasks {
+		task := &inst.Tasks[i]
+		j := s.Machine[i]
+		if dropped(i) {
+			anyDropped = true
+			if j != -1 {
+				anyBroken = true
+				if !add(Violation{Invariant: InvAssignment, Task: i, Machine: j,
+					Detail: "dropped task is assigned to a machine"}) {
+					return r
+				}
+			}
+			continue
+		}
+		if j < 0 || j >= m {
+			anyBroken = true
+			if !add(Violation{Invariant: InvAssignment, Task: i, Machine: -1,
+				Detail: fmt.Sprintf("machine %d out of range [0,%d)", j, m)}) {
+				return r
+			}
+			continue
+		}
+		start := s.Start[i]
+		if math.IsNaN(start) || math.IsInf(start, 0) {
+			anyBroken = true
+			if !add(Violation{Invariant: InvAssignment, Task: i, Machine: j,
+				Detail: fmt.Sprintf("invalid start time %v", start)}) {
+				return r
+			}
+			continue
+		}
+		if start < task.Release-tol(task.Release) {
+			if !add(Violation{Invariant: InvRelease, Task: i, Machine: j,
+				Detail: fmt.Sprintf("starts at %v before release %v", start, task.Release)}) {
+				return r
+			}
+		}
+		if !task.Eligible(j) {
+			if !add(Violation{Invariant: InvEligible, Task: i, Machine: j,
+				Detail: fmt.Sprintf("machine not in processing set %v", task.Set)}) {
+				return r
+			}
+		}
+		var comp core.Time
+		if segs != nil {
+			comp = faults.FinishTime(segs[j], start, task.Proc)
+		} else {
+			comp = start + task.Proc
+		}
+		if opts.Completions != nil {
+			if obs := opts.Completions[i]; math.Abs(obs-comp) > tol(comp) {
+				if !add(Violation{Invariant: InvCompletion, Task: i, Machine: j,
+					Detail: fmt.Sprintf("observed completion %v, expected %v (start %v + proc %v%s)",
+						obs, comp, start, task.Proc, slowNote(segs, j))}) {
+					return r
+				}
+			}
+		}
+		for _, o := range outages {
+			if o.Server != j {
+				continue
+			}
+			if start < o.Until-tol(o.Until) && comp > o.From+tol(o.From) {
+				if !add(Violation{Invariant: InvDowntime, Task: i, Machine: j,
+					Detail: fmt.Sprintf("executes on [%v,%v) overlapping outage [%v,%v)", start, comp, o.From, o.Until)}) {
+					return r
+				}
+			}
+		}
+		if f := comp - task.Release; f > fmax {
+			fmax = f
+		}
+		perMachine[j] = append(perMachine[j], exec{id: i, start: start, end: comp})
+	}
+
+	for j, execs := range perMachine {
+		sort.Slice(execs, func(a, b int) bool { return execs[a].start < execs[b].start })
+		for x := 1; x < len(execs); x++ {
+			prev, cur := execs[x-1], execs[x]
+			if cur.start < prev.end-tol(prev.end) {
+				if !add(Violation{Invariant: InvOverlap, Task: cur.id, Machine: j,
+					Detail: fmt.Sprintf("starts at %v while task %d runs until %v", cur.start, prev.id, prev.end)}) {
+					return r
+				}
+			}
+		}
+	}
+
+	// Fmax ≥ LB holds for ANY feasible schedule that completes all work —
+	// faults only delay completions — so it is skipped only when tasks were
+	// dropped (work removed) or the schedule is structurally broken.
+	if !opts.SkipLowerBound && !anyDropped && !anyBroken && n > 0 {
+		lb := offline.LowerBound(inst)
+		if fmax < lb-tol(lb) {
+			add(Violation{Invariant: InvLowerBound, Task: -1, Machine: -1,
+				Detail: fmt.Sprintf("Fmax %v below offline lower bound %v", fmax, lb)})
+		}
+	}
+
+	// Proposition 1 spot-check: on unrestricted instances FIFO and EFT-Min
+	// must agree on Fmax. This audits the instance/algorithm pair rather
+	// than the given schedule — a canary that the equivalence the paper
+	// proves still holds on this workload shape.
+	if !opts.SkipFIFOEquiv && n > 0 && unrestricted(inst) {
+		es, err1 := sched.NewEFT(sched.MinTie{}).Run(inst)
+		fs, err2 := (&sched.FIFO{Tie: sched.MinTie{}}).Run(inst)
+		switch {
+		case err1 != nil || err2 != nil:
+			add(Violation{Invariant: InvFIFOEquiv, Task: -1, Machine: -1,
+				Detail: fmt.Sprintf("spot-check failed to run: eft=%v fifo=%v", err1, err2)})
+		default:
+			ef, ff := es.MaxFlow(), fs.MaxFlow()
+			if math.Abs(ef-ff) > tol(ef) {
+				add(Violation{Invariant: InvFIFOEquiv, Task: -1, Machine: -1,
+					Detail: fmt.Sprintf("EFT Fmax %v ≠ FIFO Fmax %v (Proposition 1)", ef, ff)})
+			}
+		}
+	}
+	return r
+}
+
+func slowNote(segs [][]faults.Slowdown, j int) string {
+	if segs == nil || len(segs[j]) == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", %d slowdown segment(s)", len(segs[j]))
+}
+
+// unrestricted reports whether every task may run anywhere — the domain of
+// the paper's FIFO algorithm (nil set or the full interval).
+func unrestricted(inst *core.Instance) bool {
+	full := core.Interval(0, inst.M-1)
+	for _, t := range inst.Tasks {
+		if t.Set != nil && !t.Set.Equal(full) {
+			return false
+		}
+	}
+	return true
+}

@@ -4,8 +4,10 @@ import (
 	"math/rand"
 	"testing"
 
+	"flowsched/internal/audit"
 	"flowsched/internal/core"
 	"flowsched/internal/eventq"
+	"flowsched/internal/faults"
 	"flowsched/internal/obs"
 	"flowsched/internal/popularity"
 	"flowsched/internal/replicate"
@@ -29,6 +31,10 @@ func init() {
 	Register("SimRunJSQ", benchSimRunJSQ)
 	Register("ProbeOverheadSimOff", benchProbeOverheadSimOff)
 	Register("ProbeOverheadSimHist", benchProbeOverheadSimHist)
+	Register("SimRunFaulty", benchSimRunFaulty)
+	Register("SimRunFaultySlowNoop", benchSimRunFaultySlowNoop)
+	Register("SimRunFaultyGray", benchSimRunFaultyGray)
+	Register("AuditSchedule", benchAuditSchedule)
 	Register("SchedEFTRun", benchSchedEFTRun)
 	Register("SchedFIFORun", benchSchedFIFORun)
 	Register("StatsSummarize", benchStatsSummarize)
@@ -150,6 +156,61 @@ func benchProbeOverheadSimOff(b *testing.B) { benchProbeOverhead(b, nil) }
 
 func benchProbeOverheadSimHist(b *testing.B) {
 	benchProbeOverhead(b, obs.NewHistogramProbe())
+}
+
+// The faulty-simulation trio brackets the gray-failure cost on the same
+// workload: SimRunFaulty is the crash-free healthy path, SlowNoop adds a
+// plan whose slowdown segments all have Factor 1 (the no-op normalization
+// must make it indistinguishable from SimRunFaulty), and Gray degrades a
+// third of the servers to quarter speed for most of the horizon.
+func benchSimRunFaultyPlan(b *testing.B, plan *faults.Plan) {
+	inst := restrictedInstance(15, 3, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sim.RunFaulty(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSimRunFaulty(b *testing.B) { benchSimRunFaultyPlan(b, faults.Empty(15)) }
+
+func benchSimRunFaultySlowNoop(b *testing.B) {
+	plan := faults.Empty(15)
+	for j := 0; j < 15; j++ {
+		plan.Slow(j, 0, 1e6, 1)
+	}
+	benchSimRunFaultyPlan(b, plan)
+}
+
+func benchSimRunFaultyGray(b *testing.B) {
+	plan := faults.Empty(15)
+	for j := 0; j < 15; j += 3 {
+		plan.Slow(j, 10, 1e6, 4)
+	}
+	benchSimRunFaultyPlan(b, plan)
+}
+
+// benchAuditSchedule pins the invariant auditor's overhead on a
+// paper-shaped 1000-task schedule (restricted sets, so the FIFO-equivalence
+// spot-check is skipped by shape). The certified lower-bound scan is
+// O(n²·sets) and dominates; n is kept at 1000 — chaos trials audit at most
+// a few hundred tasks — so the suite stays fast while regressions in the
+// per-task invariant checks still register.
+func benchAuditSchedule(b *testing.B) {
+	inst := restrictedInstance(15, 3, 1000)
+	s, _, err := sim.Run(inst, sim.EFTRouter{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := audit.Audit(inst, s, audit.Options{}); !rep.Ok() {
+			b.Fatal(rep)
+		}
+	}
 }
 
 func benchSchedEFTRun(b *testing.B) {

@@ -1,0 +1,357 @@
+// Package chaos is the randomized soak harness: it samples points of the
+// cross-product workload × replication strategy × fault plan × router ×
+// retry policy, simulates each one with sim.RunFaultyProbed, and runs every
+// resulting schedule through the internal/audit invariant auditor plus a
+// counting probe that cross-checks the simulator's own metrics. A trial
+// that violates any invariant is automatically shrunk (drop tasks, drop
+// fault segments, halve the cluster) to a minimal reproduction that can be
+// written out as replayable JSON.
+//
+// Everything is derived from Config.Seed: the same seed replays the same
+// trials, the same plans and the same router randomness, so a soak failure
+// in CI is reproducible locally from its printed trial seed alone.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flowsched/internal/audit"
+	"flowsched/internal/core"
+	"flowsched/internal/faults"
+	"flowsched/internal/parallel"
+	"flowsched/internal/replicate"
+	"flowsched/internal/sched"
+	"flowsched/internal/sim"
+	"flowsched/internal/workload"
+)
+
+// InvSimError is the pseudo-invariant reported when the simulator itself
+// rejects a trial (e.g. a router picking a server outside the processing
+// set): the run never produced a schedule to audit, which is just as much a
+// correctness failure and equally shrinkable.
+const InvSimError = "sim-error"
+
+// InvProbe is the pseudo-invariant for disagreements between the counting
+// probe's view of the run and the simulator's reported metrics.
+const InvProbe = "probe"
+
+// RouterSpec names a router kind and builds fresh instances of it; stateful
+// routers are rebuilt per simulation so replays see identical streams.
+type RouterSpec struct {
+	Name string
+	New  func(seed int64) sim.Router
+}
+
+// DefaultRouters returns every bundled router kind, deterministic ones
+// ignoring the seed.
+func DefaultRouters() []RouterSpec {
+	return []RouterSpec{
+		{Name: "EFT-Min", New: func(int64) sim.Router { return sim.EFTRouter{} }},
+		{Name: "EFT-Max", New: func(int64) sim.Router { return sim.EFTRouter{Tie: sched.MaxTie{}} }},
+		{Name: "JSQ", New: func(int64) sim.Router { return sim.JSQRouter{} }},
+		{Name: "RR", New: func(int64) sim.Router { return &sim.RoundRobinRouter{} }},
+		{Name: "Po2", New: func(seed int64) sim.Router {
+			return sim.PowerOfTwoRouter{Rng: rand.New(rand.NewSource(seed))}
+		}},
+		{Name: "Random", New: func(seed int64) sim.Router { return &sim.RandomRouter{Seed: seed} }},
+		{Name: "EFT-noisy", New: func(seed int64) sim.Router {
+			return &sim.NoisyEFTRouter{RelErr: 0.3, Rng: rand.New(rand.NewSource(seed))}
+		}},
+	}
+}
+
+// Config parameterizes a soak run. The zero value is completed by Run:
+// 200 trials, seed 1, m ≤ 12, n ≤ 300, all bundled routers.
+type Config struct {
+	Trials  int
+	Seed    int64
+	MaxM    int // largest cluster sampled (≥ 2)
+	MaxN    int // largest task count sampled (≥ 1)
+	Routers []RouterSpec
+	Workers int // parallelism of the trial loop; 0 = GOMAXPROCS
+	// ShrinkBudget caps the number of candidate simulations one shrink may
+	// run; 0 means 2000.
+	ShrinkBudget int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trials <= 0 {
+		c.Trials = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxM < 2 {
+		c.MaxM = 12
+	}
+	if c.MaxN < 1 {
+		c.MaxN = 300
+	}
+	if len(c.Routers) == 0 {
+		c.Routers = DefaultRouters()
+	}
+	if c.ShrinkBudget <= 0 {
+		c.ShrinkBudget = 2000
+	}
+	return c
+}
+
+// Params pins one sampled trial: everything needed to regenerate its
+// instance, fault plan, router and retry policy bit for bit.
+type Params struct {
+	Trial      int             `json:"trial"`
+	Seed       int64           `json:"seed"` // the trial's derived RNG seed
+	M          int             `json:"m"`
+	N          int             `json:"n"`
+	K          int             `json:"k"` // replication factor (where applicable)
+	Load       float64         `json:"load"`
+	Dist       string          `json:"dist"`     // constant | exponential | uniform
+	Strategy   string          `json:"strategy"` // none|overlapping|disjoint|offset|random|unrestricted
+	Router     string          `json:"router"`
+	RouterSeed int64           `json:"routerSeed"`
+	FaultMode  string          `json:"faultMode"` // none|crash|zones|gray|mixed
+	MTBF       float64         `json:"mtbf,omitempty"`
+	MTTR       float64         `json:"mttr,omitempty"`
+	Zones      int             `json:"zones,omitempty"`
+	Policy     sim.RetryPolicy `json:"policy"`
+}
+
+var faultModes = []string{"none", "crash", "zones", "gray", "mixed"}
+var distNames = []string{"constant", "exponential", "uniform"}
+var strategyNames = []string{"none", "overlapping", "disjoint", "offset", "random", "unrestricted"}
+
+// unrestricted is the no-processing-set strategy: every task may run on any
+// machine (the paper's P|online-r_i|Fmax setting), which is also the domain
+// of the auditor's FIFO ≡ EFT spot-check.
+type unrestricted struct{}
+
+func (unrestricted) Name() string              { return "unrestricted" }
+func (unrestricted) Set(u, m int) core.ProcSet { return nil }
+
+// trialSeed derives the per-trial RNG seed from the run seed; SplitMix64-ish
+// so neighboring trials share no low-bit structure.
+func trialSeed(seed int64, trial int) int64 {
+	z := uint64(seed) + uint64(trial+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// SampleParams draws the trial-th parameter point of the run.
+func SampleParams(cfg Config, trial int) Params {
+	cfg = cfg.withDefaults()
+	seed := trialSeed(cfg.Seed, trial)
+	rng := rand.New(rand.NewSource(seed))
+	p := Params{
+		Trial:      trial,
+		Seed:       seed,
+		M:          2 + rng.Intn(cfg.MaxM-1),
+		Load:       0.3 + rng.Float64()*0.85, // spans into overload
+		Dist:       distNames[rng.Intn(len(distNames))],
+		Strategy:   strategyNames[rng.Intn(len(strategyNames))],
+		FaultMode:  faultModes[rng.Intn(len(faultModes))],
+		RouterSeed: rng.Int63(),
+	}
+	p.N = 1 + rng.Intn(cfg.MaxN)
+	p.K = 1 + rng.Intn(p.M)
+	spec := cfg.Routers[rng.Intn(len(cfg.Routers))]
+	p.Router = spec.Name
+	if p.FaultMode != "none" {
+		p.MTBF = 1 + rng.Float64()*20
+		p.MTTR = 0.5 + rng.Float64()*5
+		p.Zones = 1 + rng.Intn(4)
+	}
+	switch rng.Intn(3) {
+	case 0: // zero value: retry forever, immediately
+	case 1:
+		p.Policy = sim.RetryPolicy{MaxAttempts: 2 + rng.Intn(5)}
+	default:
+		p.Policy = sim.RetryPolicy{
+			MaxAttempts:   2 + rng.Intn(8),
+			Backoff:       rng.Float64() * 0.5,
+			BackoffFactor: 1 + rng.Float64()*2,
+			Timeout:       5 + rng.Float64()*100,
+		}
+	}
+	return p
+}
+
+func (p Params) strategy(rng *rand.Rand) replicate.Strategy {
+	k := p.K
+	if k > p.M {
+		k = p.M
+	}
+	switch p.Strategy {
+	case "overlapping":
+		return replicate.Overlapping{K: k}
+	case "disjoint":
+		return replicate.Disjoint{K: k}
+	case "offset":
+		return replicate.OffsetDisjoint{K: k, Offset: rng.Intn(p.M)}
+	case "random":
+		return replicate.NewRandomK(k, rng)
+	case "unrestricted":
+		return unrestricted{}
+	default:
+		return replicate.None{}
+	}
+}
+
+func (p Params) dist() workload.Dist {
+	switch p.Dist {
+	case "exponential":
+		return workload.ProcExponential
+	case "uniform":
+		return workload.ProcUniform
+	default:
+		return workload.ProcConstant
+	}
+}
+
+// Build materializes the trial: its instance and fault plan, regenerated
+// deterministically from the params alone.
+func (p Params) Build() (*core.Instance, *faults.Plan, error) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	inst, err := workload.Generate(workload.Config{
+		M:        p.M,
+		N:        p.N,
+		Rate:     workload.RateForLoad(p.Load, p.M),
+		Dist:     p.dist(),
+		Strategy: p.strategy(rng),
+	}, rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chaos: trial %d: %w", p.Trial, err)
+	}
+	horizon := core.Time(1)
+	if n := inst.N(); n > 0 {
+		if last := inst.Tasks[n-1].Release; last > horizon {
+			horizon = last
+		}
+	}
+	var plan *faults.Plan
+	switch p.FaultMode {
+	case "crash":
+		plan = faults.Generate(p.M, horizon, p.MTBF, p.MTTR, rng)
+	case "zones":
+		plan = faults.GenerateCorrelated(p.M, horizon, faults.CorrelatedConfig{
+			Zones: p.Zones, MTBF: p.MTBF, MTTR: p.MTTR,
+		}, rng)
+	case "gray":
+		plan = faults.GenerateGray(p.M, horizon, faults.GrayConfig{MTBF: p.MTBF, MTTR: p.MTTR}, rng)
+	case "mixed":
+		crash := faults.Generate(p.M, horizon, p.MTBF, p.MTTR, rng)
+		gray := faults.GenerateGray(p.M, horizon, faults.GrayConfig{MTBF: p.MTBF, MTTR: p.MTTR}, rng)
+		plan = crash.Merge(gray)
+	}
+	return inst, plan, nil
+}
+
+// routerSpec resolves the params' router name against the configured specs.
+func (p Params) routerSpec(routers []RouterSpec) (RouterSpec, error) {
+	for _, spec := range routers {
+		if spec.Name == p.Router {
+			return spec, nil
+		}
+	}
+	return RouterSpec{}, fmt.Errorf("chaos: unknown router %q", p.Router)
+}
+
+// Check simulates (inst, plan) under the params' router and policy, audits
+// the outcome and cross-checks the counting probe. It returns the combined
+// violations (nil when the trial is clean).
+func Check(inst *core.Instance, plan *faults.Plan, spec RouterSpec, p Params) []audit.Violation {
+	router := spec.New(p.RouterSeed)
+	probe := newCountProbe(inst.N())
+	s, fm, err := sim.RunFaultyProbed(inst, router, plan, p.Policy, probe)
+	if err != nil {
+		return []audit.Violation{{Invariant: InvSimError, Task: -1, Machine: -1, Detail: err.Error()}}
+	}
+	comps := make([]core.Time, inst.N())
+	for i, task := range inst.Tasks {
+		comps[i] = task.Release + fm.Flows[i]
+	}
+	r := audit.Audit(inst, s, audit.Options{
+		Plan:        plan,
+		Completions: comps,
+		Dropped:     fm.Dropped,
+	})
+	return append(r.Violations, probe.crossCheck(inst, fm)...)
+}
+
+// Failure is one failing trial: its parameters, the violations of the
+// original run, and the shrunk minimal reproduction.
+type Failure struct {
+	Params     Params            `json:"params"`
+	Violations []audit.Violation `json:"violations"`
+	Repro      *Repro            `json:"repro,omitempty"`
+}
+
+// Summary is the outcome of a soak run.
+type Summary struct {
+	Trials   int
+	Failures []Failure
+}
+
+// Ok reports whether every trial audited clean.
+func (s *Summary) Ok() bool { return len(s.Failures) == 0 }
+
+// Run executes the soak: cfg.Trials independent trials in parallel, each
+// one sampled, built, simulated, audited and cross-checked. Failing trials
+// are then shrunk sequentially (shrinking is deterministic, so order does
+// not matter) and returned with their minimal repros. logf, when non-nil,
+// receives progress lines.
+func Run(cfg Config, logf func(format string, args ...any)) (*Summary, error) {
+	cfg = cfg.withDefaults()
+	say := func(format string, args ...any) {
+		if logf != nil {
+			logf(format, args...)
+		}
+	}
+	type outcome struct {
+		params     Params
+		violations []audit.Violation
+	}
+	results, err := parallel.MapErr(cfg.Trials, cfg.Workers, func(i int) (outcome, error) {
+		p := SampleParams(cfg, i)
+		inst, plan, err := p.Build()
+		if err != nil {
+			return outcome{}, err
+		}
+		spec, err := p.routerSpec(cfg.Routers)
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{params: p, violations: Check(inst, plan, spec, p)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sum := &Summary{Trials: cfg.Trials}
+	for _, res := range results {
+		if len(res.violations) == 0 {
+			continue
+		}
+		say("chaos: trial %d (seed %d, router %s, faults %s, m=%d n=%d): %d violation(s); first: %s",
+			res.params.Trial, res.params.Seed, res.params.Router, res.params.FaultMode,
+			res.params.M, res.params.N, len(res.violations), res.violations[0])
+		f := Failure{Params: res.params, Violations: res.violations}
+		if repro, err := ShrinkFailure(cfg, res.params); err != nil {
+			say("chaos: trial %d: shrink failed: %v", res.params.Trial, err)
+		} else {
+			f.Repro = repro
+			outages, slowdowns, m2 := 0, 0, res.params.M
+			if repro.Plan != nil {
+				outages, slowdowns = len(repro.Plan.Outages), len(repro.Plan.Slowdowns)
+			}
+			if inst, err := repro.Inst(); err == nil {
+				m2 = inst.M
+			}
+			say("chaos: trial %d: shrunk to n=%d, %d outage(s), %d slowdown(s), m=%d",
+				res.params.Trial, repro.N(), outages, slowdowns, m2)
+		}
+		sum.Failures = append(sum.Failures, f)
+	}
+	say("chaos: %d trials, %d failure(s)", sum.Trials, len(sum.Failures))
+	return sum, nil
+}

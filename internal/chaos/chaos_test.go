@@ -1,0 +1,262 @@
+package chaos
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"flowsched/internal/core"
+	"flowsched/internal/sim"
+)
+
+// TestChaosSmoke is the deterministic-seed soak wired into `make check`: a
+// full run of randomized trials across every router, strategy and fault
+// mode must produce zero violations. The seed is fixed so a failure here is
+// immediately reproducible.
+func TestChaosSmoke(t *testing.T) {
+	cfg := Config{Trials: 200, Seed: 1, MaxM: 10, MaxN: 150}
+	sum, err := Run(cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Trials != 200 {
+		t.Fatalf("ran %d trials, want 200", sum.Trials)
+	}
+	if !sum.Ok() {
+		for _, f := range sum.Failures {
+			t.Errorf("trial %d (%+v): %v", f.Params.Trial, f.Params, f.Violations[0])
+		}
+	}
+}
+
+func TestSampleParamsAndBuildDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42}
+	for trial := 0; trial < 20; trial++ {
+		a, b := SampleParams(cfg, trial), SampleParams(cfg, trial)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: params differ: %+v vs %+v", trial, a, b)
+		}
+		ia, pa, err := a.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ib, pb, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ia.Tasks, ib.Tasks) {
+			t.Fatalf("trial %d: instances differ", trial)
+		}
+		if !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("trial %d: plans differ", trial)
+		}
+	}
+}
+
+// corruptingRouter picks a valid server but rewinds its completion clock —
+// the kind of state corruption the simulator itself cannot notice (the pick
+// is eligible and live) but that yields overlapping executions only the
+// auditor catches.
+type corruptingRouter struct{}
+
+func (corruptingRouter) Name() string { return "corrupting" }
+
+func (corruptingRouter) Pick(st *sim.State, t core.Task) int {
+	j := 0
+	if t.Set != nil {
+		j = t.Set[0]
+	}
+	st.Completion[j] = 0
+	return j
+}
+
+// setIgnoringRouter routes everything to the last machine regardless of the
+// processing set — the simulator rejects the pick, surfacing as a sim-error
+// violation.
+type setIgnoringRouter struct{}
+
+func (setIgnoringRouter) Name() string { return "set-ignoring" }
+
+func (setIgnoringRouter) Pick(st *sim.State, t core.Task) int { return st.M - 1 }
+
+func brokenRouters() []RouterSpec {
+	return append(DefaultRouters(),
+		RouterSpec{Name: "corrupting", New: func(int64) sim.Router { return corruptingRouter{} }},
+		RouterSpec{Name: "set-ignoring", New: func(int64) sim.Router { return setIgnoringRouter{} }},
+	)
+}
+
+// TestCorruptingRouterCaughtAndShrunk is the acceptance scenario: a broken
+// router is caught by the auditor (overlap violations) and shrunk to a
+// repro of at most 5 tasks.
+func TestCorruptingRouterCaughtAndShrunk(t *testing.T) {
+	cfg := Config{Routers: brokenRouters()}
+	p := Params{
+		Trial: 0, Seed: 1234,
+		M: 4, N: 60, K: 1,
+		Load: 2, Dist: "constant", Strategy: "unrestricted",
+		Router: "corrupting", FaultMode: "none",
+	}
+	inst, plan, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := p.routerSpec(cfg.Routers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := Check(inst, plan, spec, p)
+	if len(vs) == 0 {
+		t.Fatal("corrupting router not caught")
+	}
+	overlap := false
+	for _, v := range vs {
+		if v.Invariant == "overlap" {
+			overlap = true
+		}
+	}
+	if !overlap {
+		t.Fatalf("want an overlap violation, got %v", vs)
+	}
+	repro, err := ShrinkFailure(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repro.N() > 5 {
+		t.Fatalf("shrunk repro has %d tasks, want ≤ 5", repro.N())
+	}
+	if len(repro.Violations) == 0 {
+		t.Fatal("shrunk repro carries no violations")
+	}
+	// The shrunk configuration must still reproduce on replay.
+	vs2, err := repro.Replay(cfg.Routers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs2) == 0 {
+		t.Fatal("shrunk repro does not replay")
+	}
+}
+
+// TestSetIgnoringRouterCaughtAndShrunk: a router that ignores processing
+// sets is rejected by the simulator; the harness converts that into a
+// shrinkable sim-error violation.
+func TestSetIgnoringRouterCaughtAndShrunk(t *testing.T) {
+	cfg := Config{Routers: brokenRouters()}
+	p := Params{
+		Trial: 1, Seed: 77,
+		M: 6, N: 40, K: 1,
+		Load: 0.8, Dist: "constant", Strategy: "none", // singleton sets
+		Router: "set-ignoring", FaultMode: "none",
+	}
+	inst, plan, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := p.routerSpec(cfg.Routers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := Check(inst, plan, spec, p)
+	if len(vs) != 1 || vs[0].Invariant != InvSimError {
+		t.Fatalf("want a single sim-error violation, got %v", vs)
+	}
+	repro, err := ShrinkFailure(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repro.N() > 5 {
+		t.Fatalf("shrunk repro has %d tasks, want ≤ 5", repro.N())
+	}
+	if repro.Violations[0].Invariant != InvSimError {
+		t.Fatalf("shrunk violation = %v, want %s", repro.Violations[0], InvSimError)
+	}
+}
+
+// TestShrinkDeterministic: shrinking the same failure twice produces the
+// same minimal repro.
+func TestShrinkDeterministic(t *testing.T) {
+	cfg := Config{Routers: brokenRouters()}
+	p := Params{
+		Trial: 2, Seed: 5151,
+		M: 5, N: 50, K: 1,
+		Load: 1.5, Dist: "uniform", Strategy: "unrestricted",
+		Router: "corrupting", FaultMode: "crash", MTBF: 5, MTTR: 2, Zones: 1,
+	}
+	a, err := ShrinkFailure(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ShrinkFailure(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, _ := a.Inst()
+	ib, _ := b.Inst()
+	if !reflect.DeepEqual(ia.Tasks, ib.Tasks) || ia.M != ib.M {
+		t.Fatal("shrink is not deterministic on the instance")
+	}
+	if !reflect.DeepEqual(a.Plan, b.Plan) {
+		t.Fatal("shrink is not deterministic on the plan")
+	}
+}
+
+// TestReproRoundTrip: a repro survives WriteJSON → ReadRepro with its
+// parameters, instance, plan and violations intact, and still replays.
+func TestReproRoundTrip(t *testing.T) {
+	cfg := Config{Routers: brokenRouters()}
+	p := Params{
+		Trial: 3, Seed: 99,
+		M: 3, N: 30, K: 1,
+		Load: 2, Dist: "constant", Strategy: "unrestricted",
+		Router: "corrupting", FaultMode: "gray", MTBF: 4, MTTR: 2, Zones: 1,
+	}
+	repro, err := ShrinkFailure(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := repro.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRepro(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Params, repro.Params) {
+		t.Fatalf("params changed: %+v vs %+v", back.Params, repro.Params)
+	}
+	if !reflect.DeepEqual(back.Plan, repro.Plan) {
+		t.Fatalf("plan changed: %+v vs %+v", back.Plan, repro.Plan)
+	}
+	bi, err := back.Inst()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, _ := repro.Inst()
+	if !reflect.DeepEqual(bi.Tasks, ri.Tasks) {
+		t.Fatal("instance changed in round trip")
+	}
+	vs, err := back.Replay(cfg.Routers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("round-tripped repro does not replay")
+	}
+}
+
+// TestReadReproRejectsInvalid: malformed repro files error instead of
+// producing a half-decoded repro.
+func TestReadReproRejectsInvalid(t *testing.T) {
+	for _, s := range []string{
+		`{`,
+		`{"params":{},"violations":[],"instance":{"m":0,"tasks":[]}}`,
+		`{"params":{},"violations":[],"instance":{"m":2,"tasks":[]},"plan":{"m":0}}`,
+		`{"unknown":1}`,
+	} {
+		if _, err := ReadRepro(bytes.NewReader([]byte(s))); err == nil {
+			t.Errorf("accepted invalid repro %s", s)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+
+	"flowsched/internal/audit"
+	"flowsched/internal/core"
+	"flowsched/internal/obs"
+	"flowsched/internal/sim"
+)
+
+// countProbe is the metrics cross-checker: it counts the simulator's event
+// stream independently and compares its totals against the FaultMetrics the
+// run reports. Any disagreement means the simulator's bookkeeping and its
+// event stream have diverged — a bug neither the schedule auditor nor the
+// metrics alone would catch.
+type countProbe struct {
+	obs.BaseProbe
+	arrivals   int
+	dispatches int
+	completes  int
+	drops      int
+	retries    int
+	ends       []core.Time // per-task final completion; NaN = never completed
+	makespan   core.Time
+	doneCalls  int
+}
+
+func newCountProbe(n int) *countProbe {
+	ends := make([]core.Time, n)
+	for i := range ends {
+		ends[i] = math.NaN()
+	}
+	return &countProbe{ends: ends}
+}
+
+func (c *countProbe) OnArrival(task int, release core.Time) { c.arrivals++ }
+
+func (c *countProbe) OnDispatch(task, server int, at, start, end core.Time) { c.dispatches++ }
+
+func (c *countProbe) OnComplete(task, server int, release, proc, end core.Time) {
+	c.completes++
+	if task >= 0 && task < len(c.ends) {
+		c.ends[task] = end
+	}
+}
+
+func (c *countProbe) OnDrop(task int, release, at core.Time) { c.drops++ }
+
+func (c *countProbe) OnRetry(task, attempt int, at core.Time) { c.retries++ }
+
+func (c *countProbe) OnDone(makespan core.Time) {
+	c.makespan = makespan
+	c.doneCalls++
+}
+
+// crossCheck compares the probe's event counts against the run's metrics
+// and returns one InvProbe violation per disagreement.
+func (c *countProbe) crossCheck(inst *core.Instance, fm *sim.FaultMetrics) []audit.Violation {
+	var vs []audit.Violation
+	bad := func(format string, args ...any) {
+		vs = append(vs, audit.Violation{Invariant: InvProbe, Task: -1, Machine: -1,
+			Detail: fmt.Sprintf(format, args...)})
+	}
+	n := inst.N()
+	if c.arrivals != n {
+		bad("probe saw %d arrivals for %d tasks", c.arrivals, n)
+	}
+	attempts := 0
+	for _, a := range fm.Attempts {
+		attempts += a
+	}
+	if c.dispatches != attempts {
+		bad("probe saw %d dispatches, metrics report %d attempts", c.dispatches, attempts)
+	}
+	if dropped := fm.DroppedCount(); c.drops != dropped {
+		bad("probe saw %d drops, metrics report %d", c.drops, dropped)
+	} else if c.completes != n-dropped {
+		bad("probe saw %d completions for %d non-dropped tasks", c.completes, n-dropped)
+	}
+	if c.doneCalls != 1 {
+		bad("OnDone fired %d times", c.doneCalls)
+	} else if c.makespan != fm.Makespan {
+		bad("probe makespan %v, metrics report %v", c.makespan, fm.Makespan)
+	}
+	for i, task := range inst.Tasks {
+		end := c.ends[i]
+		if fm.Dropped[i] {
+			if !math.IsNaN(end) {
+				bad("dropped task %d completed at %v", i, end)
+			}
+			continue
+		}
+		if math.IsNaN(end) {
+			bad("task %d never completed in the event stream", i)
+			continue
+		}
+		want := task.Release + fm.Flows[i]
+		if math.Abs(end-want) > 1e-9*(1+math.Abs(want)) {
+			bad("task %d completed at %v, metrics imply %v", i, end, want)
+		}
+	}
+	return vs
+}

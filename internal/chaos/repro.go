@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"flowsched/internal/audit"
+	"flowsched/internal/core"
+	"flowsched/internal/faults"
+)
+
+// Repro is a self-contained, replayable reproduction of a failing trial:
+// the sampled parameters (router, seed, retry policy), the shrunk instance
+// and fault plan, and the violations the configuration produces. Written as
+// JSON it can be replayed later — on another machine, after a fix — with
+// ReadRepro + Replay.
+type Repro struct {
+	Params     Params            `json:"params"`
+	Violations []audit.Violation `json:"violations"`
+	Instance   json.RawMessage   `json:"instance"`
+	Plan       *faults.Plan      `json:"plan,omitempty"`
+
+	inst *core.Instance // decoded lazily; populated eagerly by NewRepro
+}
+
+// NewRepro packages a shrunk failing configuration.
+func NewRepro(p Params, inst *core.Instance, plan *faults.Plan, violations []audit.Violation) (*Repro, error) {
+	var buf bytes.Buffer
+	if err := inst.WriteJSON(&buf); err != nil {
+		return nil, fmt.Errorf("chaos: serializing repro instance: %w", err)
+	}
+	return &Repro{
+		Params:     p,
+		Violations: violations,
+		Instance:   json.RawMessage(buf.Bytes()),
+		Plan:       plan,
+		inst:       inst,
+	}, nil
+}
+
+// Inst decodes (and caches) the repro's instance.
+func (r *Repro) Inst() (*core.Instance, error) {
+	if r.inst != nil {
+		return r.inst, nil
+	}
+	inst, err := core.ReadInstanceJSON(bytes.NewReader(r.Instance))
+	if err != nil {
+		return nil, fmt.Errorf("chaos: decoding repro instance: %w", err)
+	}
+	r.inst = inst
+	return inst, nil
+}
+
+// N returns the repro's task count (0 if the instance cannot be decoded).
+func (r *Repro) N() int {
+	inst, err := r.Inst()
+	if err != nil {
+		return 0
+	}
+	return inst.N()
+}
+
+// WriteJSON serializes the repro.
+func (r *Repro) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadRepro deserializes a repro written by WriteJSON and validates that
+// its instance and plan decode.
+func ReadRepro(rd io.Reader) (*Repro, error) {
+	var r Repro
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("chaos: decoding repro: %w", err)
+	}
+	if _, err := r.Inst(); err != nil {
+		return nil, err
+	}
+	if r.Plan != nil {
+		if err := r.Plan.Validate(); err != nil {
+			return nil, fmt.Errorf("chaos: repro plan: %w", err)
+		}
+	}
+	return &r, nil
+}
+
+// Replay re-runs the repro's configuration and returns the violations it
+// produces now (empty means the underlying bug no longer reproduces).
+func (r *Repro) Replay(routers []RouterSpec) ([]audit.Violation, error) {
+	if len(routers) == 0 {
+		routers = DefaultRouters()
+	}
+	inst, err := r.Inst()
+	if err != nil {
+		return nil, err
+	}
+	spec, err := r.Params.routerSpec(routers)
+	if err != nil {
+		return nil, err
+	}
+	return Check(inst, r.Plan, spec, r.Params), nil
+}

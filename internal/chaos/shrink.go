@@ -1,0 +1,186 @@
+package chaos
+
+import (
+	"fmt"
+
+	"flowsched/internal/core"
+	"flowsched/internal/faults"
+)
+
+// Shrink minimizes a failing configuration with a ddmin-style greedy loop:
+// it repeatedly tries to drop task chunks, drop outage and slowdown
+// segments, and halve the cluster, keeping any change under which failing
+// still reports a failure, until a full pass makes no progress. failing is
+// the oracle — typically a closure over Check with the trial's router and
+// policy; it must be deterministic for the result to be minimal and
+// reproducible.
+func Shrink(inst *core.Instance, plan *faults.Plan, failing func(*core.Instance, *faults.Plan) bool) (*core.Instance, *faults.Plan) {
+	cur, curPlan := inst, plan
+	for {
+		changed := false
+		if c, ok := shrinkTasks(cur, curPlan, failing); ok {
+			cur, changed = c, true
+		}
+		if p, ok := shrinkSegments(cur, curPlan, failing); ok {
+			curPlan, changed = p, true
+		}
+		if c, p, ok := shrinkMachines(cur, curPlan, failing); ok {
+			cur, curPlan, changed = c, p, true
+		}
+		if !changed {
+			return cur, curPlan
+		}
+	}
+}
+
+// shrinkTasks drops chunks of tasks, halving the chunk size down to single
+// tasks, keeping every removal that preserves the failure.
+func shrinkTasks(inst *core.Instance, plan *faults.Plan, failing func(*core.Instance, *faults.Plan) bool) (*core.Instance, bool) {
+	tasks := inst.Tasks
+	shrunk := false
+	for chunk := (len(tasks) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for i := 0; i < len(tasks); {
+			end := i + chunk
+			if end > len(tasks) {
+				end = len(tasks)
+			}
+			cand := make([]core.Task, 0, len(tasks)-(end-i))
+			cand = append(cand, tasks[:i]...)
+			cand = append(cand, tasks[end:]...)
+			ni := core.NewInstance(inst.M, cand)
+			if failing(ni, plan) {
+				tasks = ni.Tasks
+				shrunk = true
+				// Do not advance: the next chunk slid into position i.
+			} else {
+				i += chunk
+			}
+		}
+	}
+	if !shrunk {
+		return inst, false
+	}
+	return core.NewInstance(inst.M, tasks), true
+}
+
+// shrinkSegments drops outages and slowdowns from the plan one chunk at a
+// time, same policy as shrinkTasks.
+func shrinkSegments(inst *core.Instance, plan *faults.Plan, failing func(*core.Instance, *faults.Plan) bool) (*faults.Plan, bool) {
+	if plan.IsEmpty() {
+		return plan, false
+	}
+	cur := plan.Clone()
+	shrunk := false
+	for chunk := (len(cur.Outages) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for i := 0; i < len(cur.Outages); {
+			end := i + chunk
+			if end > len(cur.Outages) {
+				end = len(cur.Outages)
+			}
+			cand := cur.Clone()
+			cand.Outages = append(cand.Outages[:i], cand.Outages[end:]...)
+			if failing(inst, cand) {
+				cur = cand
+				shrunk = true
+			} else {
+				i += chunk
+			}
+		}
+	}
+	for chunk := (len(cur.Slowdowns) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for i := 0; i < len(cur.Slowdowns); {
+			end := i + chunk
+			if end > len(cur.Slowdowns) {
+				end = len(cur.Slowdowns)
+			}
+			cand := cur.Clone()
+			cand.Slowdowns = append(cand.Slowdowns[:i], cand.Slowdowns[end:]...)
+			if failing(inst, cand) {
+				cur = cand
+				shrunk = true
+			} else {
+				i += chunk
+			}
+		}
+	}
+	if !shrunk {
+		return plan, false
+	}
+	return cur, true
+}
+
+// shrinkMachines halves the cluster: tasks whose processing set does not
+// fit in the smaller cluster are dropped, fault segments on removed servers
+// are clipped. Repeats while the halved configuration still fails.
+func shrinkMachines(inst *core.Instance, plan *faults.Plan, failing func(*core.Instance, *faults.Plan) bool) (*core.Instance, *faults.Plan, bool) {
+	cur, curPlan := inst, plan
+	shrunk := false
+	for m2 := cur.M / 2; m2 >= 1; m2 /= 2 {
+		var cand []core.Task
+		for _, t := range cur.Tasks {
+			if t.Set == nil || t.Set.Max() < m2 {
+				cand = append(cand, t)
+			}
+		}
+		ni := core.NewInstance(m2, cand)
+		np := clipPlan(curPlan, m2)
+		if !failing(ni, np) {
+			break
+		}
+		cur, curPlan = ni, np
+		shrunk = true
+	}
+	return cur, curPlan, shrunk
+}
+
+// clipPlan restricts a plan to the first m2 servers (nil stays nil).
+func clipPlan(plan *faults.Plan, m2 int) *faults.Plan {
+	if plan == nil {
+		return nil
+	}
+	out := &faults.Plan{M: m2}
+	for _, o := range plan.Outages {
+		if o.Server < m2 {
+			out.Outages = append(out.Outages, o)
+		}
+	}
+	for _, s := range plan.Slowdowns {
+		if s.Server < m2 {
+			out.Slowdowns = append(out.Slowdowns, s)
+		}
+	}
+	return out
+}
+
+// ShrinkFailure rebuilds the failing trial from its params, shrinks it and
+// packages the result as a replayable repro. The shrink oracle re-runs the
+// full Check (simulate + audit + probe cross-check) under the trial's
+// router and policy, capped at cfg.ShrinkBudget candidate simulations.
+func ShrinkFailure(cfg Config, p Params) (*Repro, error) {
+	cfg = cfg.withDefaults()
+	inst, plan, err := p.Build()
+	if err != nil {
+		return nil, err
+	}
+	spec, err := p.routerSpec(cfg.Routers)
+	if err != nil {
+		return nil, err
+	}
+	budget := cfg.ShrinkBudget
+	failing := func(i *core.Instance, pl *faults.Plan) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return len(Check(i, pl, spec, p)) > 0
+	}
+	if !failing(inst, plan) {
+		return nil, fmt.Errorf("chaos: trial %d is not failing under its own params", p.Trial)
+	}
+	mi, mp := Shrink(inst, plan, failing)
+	violations := Check(mi, mp, spec, p)
+	if len(violations) == 0 {
+		return nil, fmt.Errorf("chaos: trial %d: shrunk configuration no longer fails", p.Trial)
+	}
+	return NewRepro(p, mi, mp, violations)
+}

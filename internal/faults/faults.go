@@ -32,11 +32,14 @@ type Outage struct {
 // Duration returns Until - From.
 func (o Outage) Duration() core.Time { return o.Until - o.From }
 
-// Plan is a fault schedule for a cluster of M servers. The zero Outages
-// slice is the healthy plan: no server ever fails.
+// Plan is a fault schedule for a cluster of M servers: binary outages
+// (crash failures) plus gray-failure slowdown segments (see gray.go). The
+// zero Outages/Slowdowns slices are the healthy plan: no server ever fails
+// or degrades.
 type Plan struct {
-	M       int      `json:"m"`
-	Outages []Outage `json:"outages,omitempty"`
+	M         int        `json:"m"`
+	Outages   []Outage   `json:"outages,omitempty"`
+	Slowdowns []Slowdown `json:"slowdowns,omitempty"`
 }
 
 // Empty returns the healthy plan for m servers (no outages). Simulating
@@ -51,8 +54,10 @@ func (p *Plan) Down(server int, from, until core.Time) *Plan {
 	return p
 }
 
-// IsEmpty reports whether the plan contains no outages.
-func (p *Plan) IsEmpty() bool { return p == nil || len(p.Outages) == 0 }
+// IsEmpty reports whether the plan contains no outages and no slowdowns.
+func (p *Plan) IsEmpty() bool {
+	return p == nil || (len(p.Outages) == 0 && len(p.Slowdowns) == 0)
+}
 
 // Validate checks the plan invariants: m ≥ 1, every outage on a server in
 // [0, m), finite non-negative From, finite Until strictly after From.
@@ -72,6 +77,33 @@ func (p *Plan) Validate() error {
 		}
 		if math.IsNaN(o.Until) || math.IsInf(o.Until, 0) || o.Until <= o.From {
 			return fmt.Errorf("faults: outage %d: invalid end %v (must be finite, after %v)", i, o.Until, o.From)
+		}
+	}
+	perServer := make(map[int][]Slowdown)
+	for i, s := range p.Slowdowns {
+		if s.Server < 0 || s.Server >= p.M {
+			return fmt.Errorf("faults: slowdown %d: server %d out of range [0,%d)", i, s.Server, p.M)
+		}
+		if s.From < 0 || math.IsNaN(s.From) || math.IsInf(s.From, 0) {
+			return fmt.Errorf("faults: slowdown %d: invalid start %v", i, s.From)
+		}
+		if math.IsNaN(s.Until) || math.IsInf(s.Until, 0) || s.Until <= s.From {
+			return fmt.Errorf("faults: slowdown %d: invalid end %v (must be finite, after %v)", i, s.Until, s.From)
+		}
+		if s.Factor <= 0 || math.IsNaN(s.Factor) || math.IsInf(s.Factor, 0) {
+			return fmt.Errorf("faults: slowdown %d: invalid factor %v (must be finite, positive)", i, s.Factor)
+		}
+		perServer[s.Server] = append(perServer[s.Server], s)
+	}
+	// Overlapping slowdowns on one server have no well-defined speed; unlike
+	// outages (where overlap just means "still down") they are rejected.
+	for j, ss := range perServer {
+		sort.Slice(ss, func(a, b int) bool { return ss[a].From < ss[b].From })
+		for i := 1; i < len(ss); i++ {
+			if ss[i].From < ss[i-1].Until && ss[i].Factor != ss[i-1].Factor {
+				return fmt.Errorf("faults: server %d: slowdowns [%v,%v)@%v and [%v,%v)@%v overlap with different factors",
+					j, ss[i-1].From, ss[i-1].Until, ss[i-1].Factor, ss[i].From, ss[i].Until, ss[i].Factor)
+			}
 		}
 	}
 	return nil
@@ -113,6 +145,7 @@ func (p *Plan) Normalize() *Plan {
 		}
 		return out.Outages[a].Server < out.Outages[b].Server
 	})
+	out.Slowdowns = p.normalizedSlowdowns()
 	return out
 }
 
@@ -182,12 +215,18 @@ func (p *Plan) MeanRepairTime() core.Time {
 	return sum / core.Time(len(n.Outages))
 }
 
-// End returns the last recovery instant of the plan (0 for a healthy plan).
+// End returns the last recovery instant of the plan — the end of its last
+// outage or slowdown segment (0 for a healthy plan).
 func (p *Plan) End() core.Time {
 	var end core.Time
 	for _, o := range p.Outages {
 		if o.Until > end {
 			end = o.Until
+		}
+	}
+	for _, s := range p.Slowdowns {
+		if s.Until > end {
+			end = s.Until
 		}
 	}
 	return end
@@ -197,6 +236,10 @@ func (p *Plan) End() core.Time {
 func (p *Plan) Clone() *Plan {
 	out := &Plan{M: p.M, Outages: make([]Outage, len(p.Outages))}
 	copy(out.Outages, p.Outages)
+	if len(p.Slowdowns) > 0 {
+		out.Slowdowns = make([]Slowdown, len(p.Slowdowns))
+		copy(out.Slowdowns, p.Slowdowns)
+	}
 	return out
 }
 

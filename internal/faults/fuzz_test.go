@@ -2,6 +2,7 @@ package faults
 
 import (
 	"bytes"
+	"math"
 	"testing"
 )
 
@@ -16,6 +17,10 @@ func FuzzReadPlanJSON(f *testing.F) {
 	f.Add([]byte(`{`))
 	f.Add([]byte(`{"m":-4,"outages":[]}`))
 	f.Add([]byte(`{"m":3,"outages":[{"server":2,"from":1e300,"until":1e301}]}`))
+	f.Add([]byte(`{"m":3,"slowdowns":[{"server":0,"from":1,"until":2,"factor":4}]}`))
+	f.Add([]byte(`{"m":2,"slowdowns":[{"server":1,"from":0,"until":5,"factor":1}]}`))
+	f.Add([]byte(`{"m":2,"outages":[{"server":0,"from":1,"until":2}],"slowdowns":[{"server":1,"from":0,"until":3,"factor":0.5},{"server":1,"from":3,"until":6,"factor":8}]}`))
+	f.Add([]byte(`{"m":2,"slowdowns":[{"server":0,"from":0,"until":10,"factor":2},{"server":0,"from":5,"until":15,"factor":3}]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := ReadPlanJSON(bytes.NewReader(data))
 		if err != nil {
@@ -30,6 +35,25 @@ func FuzzReadPlanJSON(f *testing.F) {
 		}
 		if len(n.Outages) > len(p.Outages) {
 			t.Fatalf("normalization grew the plan: %d -> %d", len(p.Outages), len(n.Outages))
+		}
+		if len(n.Slowdowns) > len(p.Slowdowns) {
+			t.Fatalf("normalization grew the slowdowns: %d -> %d", len(p.Slowdowns), len(n.Slowdowns))
+		}
+		if p.M <= 1<<12 {
+			for j, segs := range n.ServerSlowdowns() {
+				for i, s := range segs {
+					if s.Server != j || s.Factor == 1 {
+						t.Fatalf("server %d effective segment %d wrong: %+v", j, i, s)
+					}
+					if i > 0 && s.From < segs[i-1].Until {
+						t.Fatalf("server %d normalized segments overlap: %+v then %+v", j, segs[i-1], s)
+					}
+				}
+				end := FinishTime(segs, 0, 1)
+				if math.IsNaN(end) || end <= 0 {
+					t.Fatalf("server %d: FinishTime(_, 0, 1) = %v", j, end)
+				}
+			}
 		}
 		if p.M <= 1<<12 { // Downtime allocates per server; skip absurd m
 			horizon := p.End()
@@ -48,7 +72,7 @@ func FuzzReadPlanJSON(f *testing.F) {
 		if rerr != nil {
 			t.Fatalf("round trip rejected: %v", rerr)
 		}
-		if back.M != p.M || len(back.Outages) != len(p.Outages) {
+		if back.M != p.M || len(back.Outages) != len(p.Outages) || len(back.Slowdowns) != len(p.Slowdowns) {
 			t.Fatalf("round trip changed shape")
 		}
 	})

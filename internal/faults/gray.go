@@ -1,0 +1,262 @@
+package faults
+
+import (
+	"math/rand"
+	"sort"
+
+	"flowsched/internal/core"
+)
+
+// This file extends the binary up/down fault model with the two failure
+// shapes that dominate real key-value store incidents (DeCandia et al.,
+// SOSP 2007): gray failures — a server that keeps serving but slowly — and
+// correlated zone outages that take down a ring-contiguous interval of
+// machines at once, exactly the I_k(u) intervals the overlapping
+// replication strategy maps to processing sets.
+
+// Slowdown marks server Server as degraded on [From, Until): work on it
+// advances at rate 1/Factor, so one unit of processing takes Factor
+// wall-clock units inside the window (a gray failure when Factor > 1).
+// Factor == 1 is a no-op segment; Factor < 1 models a transient speedup.
+type Slowdown struct {
+	Server int       `json:"server"`
+	From   core.Time `json:"from"`
+	Until  core.Time `json:"until"`
+	Factor float64   `json:"factor"`
+}
+
+// Duration returns Until - From.
+func (s Slowdown) Duration() core.Time { return s.Until - s.From }
+
+// Slow appends a degradation segment for server on [from, until) with the
+// given speed factor and returns the plan for chaining.
+func (p *Plan) Slow(server int, from, until core.Time, factor float64) *Plan {
+	p.Slowdowns = append(p.Slowdowns, Slowdown{Server: server, From: from, Until: until, Factor: factor})
+	return p
+}
+
+// SlowdownAt returns the speed factor of server j at instant t (From
+// inclusive, Until exclusive); 1 when the server is at full speed.
+func (p *Plan) SlowdownAt(j int, t core.Time) float64 {
+	for _, s := range p.Slowdowns {
+		if s.Server == j && t >= s.From && t < s.Until {
+			return s.Factor
+		}
+	}
+	return 1
+}
+
+// ServerSlowdowns returns, for each server, its effective slowdown segments
+// sorted by start time, with no-op Factor == 1 segments dropped. The
+// simulator and the auditor both derive completion times from this view, so
+// they cannot disagree.
+func (p *Plan) ServerSlowdowns() [][]Slowdown {
+	out := make([][]Slowdown, p.M)
+	if len(p.Slowdowns) == 0 {
+		return out
+	}
+	for _, s := range p.normalizedSlowdowns() {
+		out[s.Server] = append(out[s.Server], s)
+	}
+	return out
+}
+
+// normalizedSlowdowns returns the plan's slowdowns sorted by (From, Server)
+// with Factor == 1 no-ops dropped and touching equal-factor segments of the
+// same server merged. Overlapping same-server segments with different
+// factors are rejected by Validate; here they are left as-is.
+func (p *Plan) normalizedSlowdowns() []Slowdown {
+	if len(p.Slowdowns) == 0 {
+		return nil
+	}
+	perServer := make(map[int][]Slowdown)
+	for _, s := range p.Slowdowns {
+		if s.Factor == 1 {
+			continue
+		}
+		perServer[s.Server] = append(perServer[s.Server], s)
+	}
+	var out []Slowdown
+	for j, ss := range perServer {
+		sort.Slice(ss, func(a, b int) bool { return ss[a].From < ss[b].From })
+		merged := []Slowdown{ss[0]}
+		for _, s := range ss[1:] {
+			last := &merged[len(merged)-1]
+			if s.From <= last.Until && s.Factor == last.Factor {
+				if s.Until > last.Until {
+					last.Until = s.Until
+				}
+			} else {
+				merged = append(merged, s)
+			}
+		}
+		for i := range merged {
+			merged[i].Server = j
+		}
+		out = append(out, merged...)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].From != out[b].From {
+			return out[a].From < out[b].From
+		}
+		return out[a].Server < out[b].Server
+	})
+	return out
+}
+
+// FinishTime returns the completion instant of proc units of work started at
+// start on a server with the given slowdown segments (as produced by
+// ServerSlowdowns: sorted by From, non-overlapping, Factor != 1): work
+// advances at rate 1/Factor inside a segment and at rate 1 outside. With no
+// segments the result is exactly start + proc, bit for bit — the healthy
+// arithmetic is never split, which is what keeps all-factors-1.0 plans
+// byte-identical to plain runs.
+func FinishTime(segs []Slowdown, start, proc core.Time) core.Time {
+	if len(segs) == 0 {
+		return start + proc
+	}
+	t, w := start, proc
+	for _, s := range segs {
+		if s.Until <= t {
+			continue
+		}
+		if t < s.From {
+			// Full-speed gap before the segment.
+			if t+w <= s.From {
+				return t + w
+			}
+			w -= s.From - t
+			t = s.From
+		}
+		span := s.Until - t
+		need := w * core.Time(s.Factor)
+		if need <= span {
+			return t + need
+		}
+		w -= span / core.Time(s.Factor)
+		t = s.Until
+	}
+	return t + w
+}
+
+// CorrelatedConfig parameterizes GenerateCorrelated.
+type CorrelatedConfig struct {
+	// Zones is the number of failure domains covering the machine ring
+	// (racks / availability zones). Zone z starts at machine ⌊z·m/Zones⌋.
+	Zones int
+	// ZoneSize is the number of ring-contiguous machines a zone outage
+	// takes down at once; 0 defaults to ⌈m/Zones⌉ (zones tile the ring).
+	ZoneSize int
+	// MTBF is the mean up time between outages of one zone; MTTR the mean
+	// outage duration (both exponential, a per-zone renewal process).
+	MTBF, MTTR float64
+}
+
+// GenerateCorrelated draws correlated zone outages over the horizon
+// [0, horizon): each zone is the ring-contiguous interval I_ZoneSize(start)
+// of core.RingInterval — the same intervals the overlapping replication
+// strategy uses as processing sets — and an outage downs every machine of
+// the interval simultaneously. This is the failure shape binary per-server
+// plans cannot express: it can eclipse an entire processing set at once.
+// Non-positive MTBF, MTTR, horizon or Zones yields the healthy plan.
+func GenerateCorrelated(m int, horizon core.Time, cfg CorrelatedConfig, rng *rand.Rand) *Plan {
+	p := &Plan{M: m}
+	if cfg.Zones < 1 || cfg.MTBF <= 0 || cfg.MTTR <= 0 || horizon <= 0 {
+		return p
+	}
+	size := cfg.ZoneSize
+	if size <= 0 {
+		size = (m + cfg.Zones - 1) / cfg.Zones
+	}
+	if size > m {
+		size = m
+	}
+	for z := 0; z < cfg.Zones; z++ {
+		zone := core.RingInterval(z*m/cfg.Zones, size, m)
+		t := core.Time(rng.ExpFloat64() * cfg.MTBF)
+		for t < horizon {
+			d := core.Time(rng.ExpFloat64() * cfg.MTTR)
+			until := t + d
+			if max := 2 * horizon; until > max {
+				until = max
+			}
+			if until > t {
+				for _, j := range zone {
+					p.Outages = append(p.Outages, Outage{Server: j, From: t, Until: until})
+				}
+			}
+			t = until + core.Time(rng.ExpFloat64()*cfg.MTBF)
+		}
+	}
+	return p.Normalize()
+}
+
+// GrayConfig parameterizes GenerateGray.
+type GrayConfig struct {
+	// MTBF is the mean healthy time between degradations of one server;
+	// MTTR the mean degradation duration (both exponential).
+	MTBF, MTTR float64
+	// MinFactor/MaxFactor bound the slowdown factor, drawn uniformly per
+	// segment. Zero values default to [2, 8]; factors are clamped to ≥ 1.
+	MinFactor, MaxFactor float64
+}
+
+// GenerateGray draws gray failures from a per-server renewal process over
+// [0, horizon): servers alternate exponentially distributed healthy periods
+// (mean MTBF) and degraded periods (mean MTTR) during which they process at
+// 1/Factor speed. Non-positive MTBF, MTTR or horizon yields the healthy
+// plan.
+func GenerateGray(m int, horizon core.Time, cfg GrayConfig, rng *rand.Rand) *Plan {
+	p := &Plan{M: m}
+	if cfg.MTBF <= 0 || cfg.MTTR <= 0 || horizon <= 0 {
+		return p
+	}
+	lo, hi := cfg.MinFactor, cfg.MaxFactor
+	if lo <= 0 {
+		lo = 2
+	}
+	if hi <= 0 {
+		hi = 8
+	}
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	for j := 0; j < m; j++ {
+		t := core.Time(rng.ExpFloat64() * cfg.MTBF)
+		for t < horizon {
+			d := core.Time(rng.ExpFloat64() * cfg.MTTR)
+			until := t + d
+			if max := 2 * horizon; until > max {
+				until = max
+			}
+			if until > t {
+				f := lo + rng.Float64()*(hi-lo)
+				p.Slowdowns = append(p.Slowdowns, Slowdown{Server: j, From: t, Until: until, Factor: f})
+			}
+			t = until + core.Time(rng.ExpFloat64()*cfg.MTBF)
+		}
+	}
+	return p.Normalize()
+}
+
+// Merge returns a new plan combining the outages and slowdowns of p and q
+// (both for the same cluster size; Merge panics otherwise). Used to compose
+// crash and gray failure plans into one mixed scenario.
+func (p *Plan) Merge(q *Plan) *Plan {
+	if q == nil {
+		return p.Clone()
+	}
+	if p.M != q.M {
+		panic("faults: merging plans for different cluster sizes")
+	}
+	out := p.Clone()
+	out.Outages = append(out.Outages, q.Outages...)
+	out.Slowdowns = append(out.Slowdowns, q.Slowdowns...)
+	return out
+}

@@ -1,0 +1,340 @@
+package faults
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"flowsched/internal/core"
+)
+
+func TestSlowdownValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		ok   bool
+	}{
+		{"single", Empty(3).Slow(0, 10, 20, 4), true},
+		{"factor one", Empty(3).Slow(0, 10, 20, 1), true},
+		{"speedup", Empty(3).Slow(0, 10, 20, 0.5), true},
+		{"overlap same factor", Empty(3).Slow(1, 0, 10, 2).Slow(1, 5, 15, 2), true},
+		{"overlap different factor", Empty(3).Slow(1, 0, 10, 2).Slow(1, 5, 15, 3), false},
+		{"touching different factor", Empty(3).Slow(1, 0, 10, 2).Slow(1, 10, 15, 3), true},
+		{"overlap different servers", Empty(3).Slow(0, 0, 10, 2).Slow(1, 5, 15, 3), true},
+		{"server out of range", Empty(3).Slow(3, 0, 1, 2), false},
+		{"negative server", Empty(3).Slow(-1, 0, 1, 2), false},
+		{"negative from", Empty(3).Slow(0, -1, 1, 2), false},
+		{"until before from", Empty(3).Slow(0, 5, 5, 2), false},
+		{"infinite until", Empty(3).Slow(0, 0, inf(), 2), false},
+		{"zero factor", Empty(3).Slow(0, 0, 1, 0), false},
+		{"negative factor", Empty(3).Slow(0, 0, 1, -2), false},
+		{"infinite factor", Empty(3).Slow(0, 0, 1, inf()), false},
+	}
+	for _, c := range cases {
+		if err := c.plan.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestSlowdownNormalize(t *testing.T) {
+	p := Empty(4).
+		Slow(2, 10, 20, 2).Slow(2, 20, 30, 2). // touching, equal factor: merge
+		Slow(2, 40, 50, 3).                    // separate
+		Slow(1, 0, 5, 1).                      // no-op: dropped
+		Slow(0, 5, 8, 4)
+	n := p.Normalize()
+	want := []Slowdown{{0, 5, 8, 4}, {2, 10, 30, 2}, {2, 40, 50, 3}}
+	if len(n.Slowdowns) != len(want) {
+		t.Fatalf("normalized to %v, want %v", n.Slowdowns, want)
+	}
+	for i, s := range n.Slowdowns {
+		if s != want[i] {
+			t.Fatalf("normalized to %v, want %v", n.Slowdowns, want)
+		}
+	}
+	if len(p.Slowdowns) != 5 {
+		t.Fatal("Normalize modified its receiver")
+	}
+	// A plan with only no-op slowdowns normalizes to healthy.
+	if n := Empty(2).Slow(0, 0, 10, 1).Normalize(); !n.IsEmpty() {
+		t.Fatalf("all-factor-1 plan should normalize to empty, got %+v", n)
+	}
+}
+
+func TestSlowdownAt(t *testing.T) {
+	p := Empty(3).Slow(1, 10, 20, 4)
+	for _, c := range []struct {
+		j    int
+		t    core.Time
+		want float64
+	}{
+		{1, 9.9, 1}, {1, 10, 4}, {1, 19.9, 4}, {1, 20, 1}, {0, 15, 1},
+	} {
+		if got := p.SlowdownAt(c.j, c.t); got != c.want {
+			t.Errorf("SlowdownAt(%d, %v) = %v, want %v", c.j, c.t, got, c.want)
+		}
+	}
+}
+
+func TestServerSlowdowns(t *testing.T) {
+	p := Empty(3).Slow(1, 30, 40, 3).Slow(1, 0, 10, 2).Slow(2, 5, 6, 1)
+	segs := p.ServerSlowdowns()
+	if len(segs) != 3 {
+		t.Fatalf("want one slice per server, got %d", len(segs))
+	}
+	if len(segs[0]) != 0 || len(segs[2]) != 0 {
+		t.Errorf("servers 0/2 should have no effective slowdowns: %v", segs)
+	}
+	want := []Slowdown{{1, 0, 10, 2}, {1, 30, 40, 3}}
+	if len(segs[1]) != 2 || segs[1][0] != want[0] || segs[1][1] != want[1] {
+		t.Errorf("server 1 segments = %v, want %v", segs[1], want)
+	}
+}
+
+func TestFinishTime(t *testing.T) {
+	seg := func(from, until core.Time, f float64) Slowdown {
+		return Slowdown{Server: 0, From: from, Until: until, Factor: f}
+	}
+	cases := []struct {
+		name  string
+		segs  []Slowdown
+		start core.Time
+		proc  core.Time
+		want  core.Time
+	}{
+		{"no segments", nil, 3, 4, 7},
+		{"ends before segment", []Slowdown{seg(10, 20, 2)}, 0, 5, 5},
+		{"ends exactly at segment start", []Slowdown{seg(10, 20, 2)}, 0, 10, 10},
+		{"crosses into segment", []Slowdown{seg(10, 20, 2)}, 0, 12, 14},
+		{"crosses whole segment", []Slowdown{seg(10, 20, 2)}, 0, 20, 25},
+		{"starts inside segment", []Slowdown{seg(10, 20, 2)}, 12, 3, 18},
+		{"fills segment exactly", []Slowdown{seg(10, 20, 2)}, 10, 5, 20},
+		{"starts after segment", []Slowdown{seg(10, 20, 2)}, 20, 5, 25},
+		{"speedup", []Slowdown{seg(0, 10, 0.5)}, 0, 4, 2},
+		{"two segments", []Slowdown{seg(10, 20, 2), seg(30, 40, 4)}, 0, 25,
+			// [0,10): 10 units; [10,20): 5 units; [20,30): 10 units — done at t=30
+			// except 10+5+10 = 25 exactly at 30.
+			30},
+		{"spans two segments", []Slowdown{seg(10, 20, 2), seg(30, 40, 4)}, 0, 27,
+			// 25 units consumed by t=30 (as above); 2 remain at factor 4 → 8 wall.
+			38},
+	}
+	for _, c := range cases {
+		if got := FinishTime(c.segs, c.start, c.proc); got != c.want {
+			t.Errorf("%s: FinishTime = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// FinishTime with no segments must be the exact healthy arithmetic, bit for
+// bit: byte-identical replay of all-factor-1 plans depends on never splitting
+// start + proc.
+func TestFinishTimeExactHealthyArithmetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		start := core.Time(rng.Float64() * 1e3)
+		proc := core.Time(rng.Float64() * 10)
+		if got := FinishTime(nil, start, proc); got != start+proc {
+			t.Fatalf("FinishTime(nil, %v, %v) = %v, want exactly %v", start, proc, got, start+proc)
+		}
+	}
+}
+
+func TestGenerateGray(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := GrayConfig{MTBF: 100, MTTR: 20}
+	p := GenerateGray(10, 1000, cfg, rng)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	if len(p.Slowdowns) == 0 {
+		t.Fatal("mtbf=100 over horizon 1000 on 10 servers should produce slowdowns")
+	}
+	if len(p.Outages) != 0 {
+		t.Fatal("gray plan should have no crash outages")
+	}
+	for _, s := range p.Slowdowns {
+		if s.From >= 1000 {
+			t.Errorf("slowdown starts beyond horizon: %+v", s)
+		}
+		if s.Until > 2000 {
+			t.Errorf("slowdown ends beyond 2x horizon: %+v", s)
+		}
+		if s.Factor < 2 || s.Factor > 8 {
+			t.Errorf("default factor outside [2,8]: %+v", s)
+		}
+	}
+	// Explicit factor range, clamped to ≥ 1.
+	q := GenerateGray(5, 500, GrayConfig{MTBF: 50, MTTR: 10, MinFactor: 0.25, MaxFactor: 3}, rng)
+	for _, s := range q.Slowdowns {
+		if s.Factor < 1 || s.Factor > 3 {
+			t.Errorf("clamped factor outside [1,3]: %+v", s)
+		}
+	}
+	// Degenerate parameters give the healthy plan.
+	if !GenerateGray(10, 1000, GrayConfig{MTBF: 0, MTTR: 20}, rng).IsEmpty() {
+		t.Error("degenerate GenerateGray should be empty")
+	}
+	// Same seed, same plan.
+	a := GenerateGray(5, 500, cfg, rand.New(rand.NewSource(3)))
+	b := GenerateGray(5, 500, cfg, rand.New(rand.NewSource(3)))
+	if len(a.Slowdowns) != len(b.Slowdowns) {
+		t.Fatal("same seed produced different plans")
+	}
+	for i := range a.Slowdowns {
+		if a.Slowdowns[i] != b.Slowdowns[i] {
+			t.Fatal("same seed produced different plans")
+		}
+	}
+}
+
+func TestGenerateCorrelated(t *testing.T) {
+	const m = 8
+	cfg := CorrelatedConfig{Zones: 2, MTBF: 100, MTTR: 20}
+	p := GenerateCorrelated(m, 1000, cfg, rand.New(rand.NewSource(7)))
+	if err := p.Validate(); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	if len(p.Outages) == 0 {
+		t.Fatal("two zones over horizon 1000 should produce outages")
+	}
+	// ZoneSize defaults to ⌈m/Zones⌉ = 4, so the zones tile the ring:
+	// {0..3} and {4..7}. Outages sharing (From, Until) come from a single
+	// zone event and must all live inside one zone.
+	zones := make([]map[int]bool, cfg.Zones)
+	for z := range zones {
+		zones[z] = map[int]bool{}
+		for _, j := range core.RingInterval(z*m/cfg.Zones, 4, m) {
+			zones[z][j] = true
+		}
+	}
+	type window struct{ from, until core.Time }
+	groups := make(map[window][]int)
+	for _, o := range p.Outages {
+		w := window{o.From, o.Until}
+		groups[w] = append(groups[w], o.Server)
+	}
+	for w, servers := range groups {
+		ok := false
+		for _, zone := range zones {
+			inside := true
+			for _, j := range servers {
+				if !zone[j] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("outage window %+v spans servers %v outside any single zone", w, servers)
+		}
+	}
+	// Same seed, same plan.
+	a := GenerateCorrelated(m, 500, cfg, rand.New(rand.NewSource(3)))
+	b := GenerateCorrelated(m, 500, cfg, rand.New(rand.NewSource(3)))
+	if len(a.Outages) != len(b.Outages) {
+		t.Fatal("same seed produced different plans")
+	}
+	for i := range a.Outages {
+		if a.Outages[i] != b.Outages[i] {
+			t.Fatal("same seed produced different plans")
+		}
+	}
+	// Degenerate parameters give the healthy plan.
+	if !GenerateCorrelated(m, 1000, CorrelatedConfig{Zones: 0, MTBF: 100, MTTR: 20}, rand.New(rand.NewSource(1))).IsEmpty() {
+		t.Error("degenerate GenerateCorrelated should be empty")
+	}
+}
+
+func TestGenerateCorrelatedWrapsRing(t *testing.T) {
+	// m=5, 5 zones of size 2: zone 4 is the wrap-around interval {4, 0}.
+	cfg := CorrelatedConfig{Zones: 5, ZoneSize: 2, MTBF: 10, MTTR: 50}
+	p := GenerateCorrelated(5, 200, cfg, rand.New(rand.NewSource(9)))
+	if err := p.Validate(); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	seen := map[int]bool{}
+	for _, o := range p.Outages {
+		seen[o.Server] = true
+	}
+	for j := 0; j < 5; j++ {
+		if !seen[j] {
+			t.Fatalf("with mttr >> mtbf every server should fail at least once; missing %d (got %v)", j, seen)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	crash := Empty(4).Down(0, 10, 20)
+	gray := Empty(4).Slow(2, 5, 15, 3)
+	mixed := crash.Merge(gray)
+	if len(mixed.Outages) != 1 || len(mixed.Slowdowns) != 1 {
+		t.Fatalf("merge lost segments: %+v", mixed)
+	}
+	// Merge must not alias either input.
+	mixed.Outages[0].Server = 3
+	mixed.Slowdowns[0].Server = 3
+	if crash.Outages[0].Server != 0 || gray.Slowdowns[0].Server != 2 {
+		t.Fatal("Merge shares storage with its inputs")
+	}
+	if got := crash.Merge(nil); len(got.Outages) != 1 || len(got.Slowdowns) != 0 {
+		t.Fatalf("Merge(nil) should clone: %+v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging plans with different m should panic")
+		}
+	}()
+	crash.Merge(Empty(5))
+}
+
+func TestCloneAndEndWithSlowdowns(t *testing.T) {
+	p := Empty(3).Down(0, 1, 2).Slow(1, 5, 30, 4)
+	if got := p.End(); got != 30 {
+		t.Errorf("End = %v, want 30 (last slowdown recovery)", got)
+	}
+	q := p.Clone()
+	q.Slowdowns[0].Factor = 9
+	if p.Slowdowns[0].Factor != 4 {
+		t.Fatal("Clone shares slowdown storage")
+	}
+}
+
+func TestSlowdownJSONRoundTrip(t *testing.T) {
+	p := Empty(5).Down(0, 1.5, 2.25).Slow(3, 10, 20, 4.5).Slow(4, 0, 1, 0.5)
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPlanJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.M != p.M || len(back.Outages) != len(p.Outages) || len(back.Slowdowns) != len(p.Slowdowns) {
+		t.Fatalf("round trip changed shape: %+v", back)
+	}
+	for i := range p.Slowdowns {
+		if back.Slowdowns[i] != p.Slowdowns[i] {
+			t.Fatalf("slowdown %d changed: %+v vs %+v", i, back.Slowdowns[i], p.Slowdowns[i])
+		}
+	}
+	// A crash-only plan must not grow a slowdowns key (schema compatibility
+	// with pre-gray-failure dumps).
+	buf.Reset()
+	if err := Empty(2).Down(0, 1, 2).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("slowdowns")) {
+		t.Fatalf("crash-only plan serialized a slowdowns key: %s", buf.String())
+	}
+	// Overlapping different-factor slowdowns are rejected on read.
+	bad := `{"m":2,"slowdowns":[{"server":0,"from":0,"until":10,"factor":2},{"server":0,"from":5,"until":15,"factor":3}]}`
+	if _, err := ReadPlanJSON(bytes.NewReader([]byte(bad))); err == nil {
+		t.Fatal("accepted overlapping different-factor slowdowns")
+	}
+}

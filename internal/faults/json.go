@@ -8,7 +8,12 @@ import (
 
 // WriteJSON serializes the plan in the stable on-disk schema:
 //
-//	{"m": 15, "outages": [{"server": 3, "from": 120, "until": 170}, …]}
+//	{"m": 15,
+//	 "outages":   [{"server": 3, "from": 120, "until": 170}, …],
+//	 "slowdowns": [{"server": 7, "from": 40, "until": 90, "factor": 4}, …]}
+//
+// Both lists are omitted when empty, so pre-gray-failure plans round-trip
+// unchanged.
 func (p *Plan) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -32,8 +32,14 @@ type RetryPolicy struct {
 	Timeout core.Time
 }
 
+// maxBackoff caps the exponential backoff: beyond ~2^60 time units the
+// delay is effectively "never", and letting the multiplication run free
+// would overflow core.Time to +Inf for large attempt counts, producing a
+// NaN-infested event queue instead of a late retry.
+const maxBackoff = core.Time(1 << 60)
+
 // delay returns the backoff before attempt attempts+1, given attempts
-// completed so far (≥ 1).
+// completed so far (≥ 1). The result is clamped to maxBackoff.
 func (p RetryPolicy) delay(attempts int) core.Time {
 	if p.Backoff <= 0 {
 		return 0
@@ -45,6 +51,12 @@ func (p RetryPolicy) delay(attempts int) core.Time {
 	d := p.Backoff
 	for a := 1; a < attempts; a++ {
 		d *= f
+		if d >= maxBackoff {
+			return maxBackoff
+		}
+	}
+	if d >= maxBackoff {
+		return maxBackoff
 	}
 	return d
 }
@@ -175,9 +187,13 @@ type compEvent struct {
 // server loses all queued and running requests (non-preemptive restart —
 // partial work is wasted), and lost requests fail over to a live replica
 // under the retry policy. Requests whose whole processing set is down are
-// parked until the first replica recovers. A nil or empty plan reproduces
-// Run exactly — identical schedules and metrics (asserted by
-// TestRunFaultyEmptyPlanEquivalence).
+// parked until the first replica recovers. Gray failures are replayed too:
+// inside a plan Slowdown segment the server processes at 1/Factor speed, so
+// completion times come from faults.FinishTime instead of start + proc. A
+// nil or empty plan — including one whose slowdowns all have factor 1 —
+// reproduces Run exactly: identical schedules and metrics, bit for bit
+// (asserted by TestRunFaultyEmptyPlanEquivalence and
+// TestRunFaultyNoopSlowdownsByteIdentical).
 //
 // Routers see the live cluster only: an arriving (or failing-over) request
 // is presented with its processing set shrunk to the live replicas, so
@@ -241,11 +257,19 @@ func RunFaultyProbed(inst *core.Instance, router Router, plan *faults.Plan, poli
 	for j := range live {
 		live[j] = true
 	}
+	// slow holds each server's effective gray-failure segments; nil when the
+	// plan has none, so the healthy dispatch arithmetic below is untouched
+	// (and all-factor-1 segments were dropped by Normalize above).
+	var slow [][]faults.Slowdown
+	if len(plan.Slowdowns) > 0 {
+		slow = plan.ServerSlowdowns()
+	}
 	downCount := 0
 	pending := make([][]int, m)      // per-server FIFO of unfinished request IDs
 	gen := make([]int, n)            // attempt generation, invalidates stale completions
 	curStart := make([]core.Time, n) // start of the current attempt
 	curEnd := make([]core.Time, n)   // end of the current attempt
+	busyAdd := make([]core.Time, n)  // busy time credited for the current attempt
 	var parked []int                 // requests waiting for any replica to recover
 	var completions eventq.Queue[compEvent]
 	var events eventq.Queue[faultEvent]
@@ -347,15 +371,24 @@ func RunFaultyProbed(inst *core.Instance, router Router, plan *faults.Plan, poli
 			start = now
 		}
 		end := start + task.Proc
+		busy := task.Proc
+		if slow != nil && len(slow[j]) > 0 {
+			// Gray failure: work on j advances at rate 1/Factor inside its
+			// slowdown segments, so the attempt occupies [start, end) with
+			// end from the piecewise integration, and all of it is busy time.
+			end = faults.FinishTime(slow[j], start, task.Proc)
+			busy = end - start
+		}
 		st.Completion[j] = end
 		st.QueueLen[j]++
 		completions.Push(end, compEvent{server: j, task: id, gen: gen[id]})
 		pending[j] = append(pending[j], id)
 		curStart[id], curEnd[id] = start, end
+		busyAdd[id] = busy
 		sched.Assign(id, j, start)
 		metrics.Flows[id] = end - task.Release
 		metrics.Stretches[id] = stretchOf(end-task.Release, task.Proc)
-		metrics.Busy[j] += task.Proc
+		metrics.Busy[j] += busy
 		if probe != nil {
 			probe.OnDispatch(id, j, now, start, end)
 		}
@@ -395,7 +428,7 @@ func RunFaultyProbed(inst *core.Instance, router Router, plan *faults.Plan, poli
 			if curStart[id] < now {
 				executed = now - curStart[id] // the running request's wasted partial work
 			}
-			metrics.Busy[j] -= inst.Tasks[id].Proc - executed
+			metrics.Busy[j] -= busyAdd[id] - executed
 			requeue(id, now)
 		}
 	}

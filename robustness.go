@@ -1,0 +1,78 @@
+package flowsched
+
+// Facade over the robustness subsystem: gray failures and correlated zone
+// outages (internal/faults), the schedule invariant auditor
+// (internal/audit), and the randomized chaos/soak harness (internal/chaos).
+
+import (
+	"math/rand"
+
+	"flowsched/internal/audit"
+	"flowsched/internal/chaos"
+	"flowsched/internal/faults"
+)
+
+type (
+	// Slowdown marks one server degraded on [From, Until): work advances
+	// at rate 1/Factor (a gray failure when Factor > 1). Factor-1 segments
+	// are no-ops; a plan containing only those reproduces the healthy run
+	// bit for bit.
+	Slowdown = faults.Slowdown
+	// CorrelatedFaultConfig parameterizes correlated zone outages over
+	// ring-contiguous machine intervals (racks / availability zones).
+	CorrelatedFaultConfig = faults.CorrelatedConfig
+	// GrayFaultConfig parameterizes random gray-failure generation: an
+	// MTBF/MTTR renewal process of slowdown segments per server.
+	GrayFaultConfig = faults.GrayConfig
+
+	// AuditViolation is one broken schedule invariant found by AuditSchedule.
+	AuditViolation = audit.Violation
+	// AuditOptions configures AuditSchedule: the fault plan the schedule
+	// ran under, observed completions/drops, and which checks to skip.
+	AuditOptions = audit.Options
+	// AuditReport collects the violations of one audit; empty means every
+	// invariant held.
+	AuditReport = audit.Report
+
+	// ChaosConfig parameterizes RunChaos: trial count, seed, sampling
+	// bounds and the router pool.
+	ChaosConfig = chaos.Config
+	// ChaosSummary is the outcome of a RunChaos soak: failing trials with
+	// their violations and shrunk repros.
+	ChaosSummary = chaos.Summary
+	// ChaosRepro is a self-contained, replayable reproduction of a failing
+	// chaos trial.
+	ChaosRepro = chaos.Repro
+)
+
+// GenerateCorrelatedFaultPlan draws correlated zone outages over
+// [0, horizon): each zone is a ring-contiguous machine interval (the same
+// intervals the overlapping replication strategy uses as processing sets)
+// and an outage downs the whole zone at once.
+func GenerateCorrelatedFaultPlan(m int, horizon Time, cfg CorrelatedFaultConfig, rng *rand.Rand) *FaultPlan {
+	return faults.GenerateCorrelated(m, horizon, cfg, rng)
+}
+
+// GenerateGrayFaultPlan draws gray failures from a per-server MTBF/MTTR
+// renewal process: degraded periods during which the server processes at
+// 1/Factor speed.
+func GenerateGrayFaultPlan(m int, horizon Time, cfg GrayFaultConfig, rng *rand.Rand) *FaultPlan {
+	return faults.GenerateGray(m, horizon, cfg, rng)
+}
+
+// AuditSchedule checks every structural invariant of the schedule against
+// its instance — assignment, release, eligibility, completion arithmetic
+// (slowdown-adjusted under a fault plan), outage overlap, per-machine
+// overlap, the offline lower bound and the FIFO ≡ EFT spot-check — and
+// returns the structured report.
+func AuditSchedule(inst *Instance, s *Schedule, opts AuditOptions) *AuditReport {
+	return audit.Audit(inst, s, opts)
+}
+
+// RunChaos executes a randomized soak: seed-derived trials over workload ×
+// replication × fault plan × router × retry policy, each simulated, audited
+// and cross-checked; failing trials are shrunk to minimal repros. logf
+// (optional) receives progress lines.
+func RunChaos(cfg ChaosConfig, logf func(format string, args ...any)) (*ChaosSummary, error) {
+	return chaos.Run(cfg, logf)
+}
