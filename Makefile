@@ -16,13 +16,14 @@ check: lint-determinism
 	$(GO) test -race ./...
 
 # lint-determinism guards the replayable core: non-test files in
-# internal/sim and internal/obs must not read wall-clock time or the
-# global math/rand stream. Seeded generators (rand.New(rand.NewSource(...)),
-# *rand.Rand parameters) are allowed — the grep strips constructor/type
-# mentions, then fails on any remaining time.Now() or rand.<Func> hit.
+# internal/sim, internal/obs and internal/overload must not read wall-clock
+# time or the global math/rand stream. Seeded generators
+# (rand.New(rand.NewSource(...)), *rand.Rand parameters) are allowed — the
+# grep strips constructor/type mentions, then fails on any remaining
+# time.Now() or rand.<Func> hit.
 lint-determinism:
 	@bad=$$(grep -nE 'time\.Now\(|\brand\.[A-Z]' \
-		$$(find internal/sim internal/obs -name '*.go' ! -name '*_test.go') \
+		$$(find internal/sim internal/obs internal/overload -name '*.go' ! -name '*_test.go') \
 		| grep -vE 'rand\.(New|NewSource|Rand|Source)' || true); \
 	if [ -n "$$bad" ]; then \
 		echo "determinism lint: wall clock / global rand in simulator core:"; \
@@ -86,6 +87,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadInstanceJSON -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzReadScheduleJSON -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzReadPlanJSON -fuzztime=30s ./internal/faults/
+	$(GO) test -fuzz=FuzzGuardedDisposition -fuzztime=30s ./internal/sim/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1

@@ -10,7 +10,10 @@
 //	chaos -replay FILE
 //
 // Exit status: 0 when every trial audits clean (or the replayed repro no
-// longer fails), 1 when violations were found, 2 on usage errors.
+// longer fails), 1 when violations were found (a -replay prints them to
+// stderr), 2 on usage errors, 3 when -replay cannot open or parse the repro
+// file. The 1-vs-3 split lets scripts tell "the bug is still there" from
+// "the repro file is unusable".
 package main
 
 import (
@@ -97,16 +100,19 @@ func writeRepro(path string, f chaos.Failure) error {
 }
 
 func replayRepro(path string) int {
+	// An unreadable or unparseable repro file exits 3 — distinct from both a
+	// usage error (2) and a still-failing replay (1), so CI scripts looping
+	// over a repro directory can separate stale artifacts from live bugs.
 	in, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
-		return 2
+		return 3
 	}
 	defer in.Close()
 	repro, err := chaos.ReadRepro(in)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
-		return 2
+		fmt.Fprintf(os.Stderr, "chaos: %s: %v\n", path, err)
+		return 3
 	}
 	vs, err := repro.Replay(nil)
 	if err != nil {
@@ -117,9 +123,9 @@ func replayRepro(path string) int {
 		fmt.Printf("chaos: repro %s no longer fails\n", path)
 		return 0
 	}
-	fmt.Printf("chaos: repro %s still fails with %d violation(s):\n", path, len(vs))
+	fmt.Fprintf(os.Stderr, "chaos: repro %s still fails with %d violation(s):\n", path, len(vs))
 	for _, v := range vs {
-		fmt.Printf("  %s\n", v)
+		fmt.Fprintf(os.Stderr, "  %s\n", v)
 	}
 	return 1
 }

@@ -20,6 +20,7 @@
 //	experiments writes              write fan-out extension (Fmax vs write fraction)
 //	experiments drift               popularity-drift extension (moving hot spots)
 //	experiments faults              fault injection (strategies under server failures)
+//	experiments overload            overload control (goodput vs load past λ*)
 //	experiments all                 everything above
 //
 // Flags select sizes; defaults follow the paper (m=15, k=3, 10 000 tasks,
@@ -51,7 +52,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|fig1|fig2|fig3|fig4|fig5-6|fig7|fig8|fig9|fig10a|fig10b|fig11|extension|robustness|convergence|writes|drift|faults|all>")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|fig1|fig2|fig3|fig4|fig5-6|fig7|fig8|fig9|fig10a|fig10b|fig11|extension|robustness|convergence|writes|drift|faults|overload|all>")
 		os.Exit(2)
 	}
 
@@ -152,6 +153,15 @@ func main() {
 			}
 			_, err := experiments.FaultTolerance(w, cfg)
 			return err
+		case "overload":
+			cfg := experiments.DefaultOverloadSweep()
+			cfg.M, cfg.K, cfg.N, cfg.Seed = *m, *k, *n, *seed
+			if *quick {
+				cfg.Reps = 1
+				cfg.Loads = []float64{0.8, 1.0, 1.3}
+			}
+			_, err := experiments.OverloadSweep(w, cfg)
+			return err
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -160,7 +170,7 @@ func main() {
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {
 		names = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5-6", "fig7",
-			"fig8", "fig9", "fig10a", "fig10b", "fig11", "extension", "robustness", "convergence", "writes", "drift", "faults"}
+			"fig8", "fig9", "fig10a", "fig10b", "fig11", "extension", "robustness", "convergence", "writes", "drift", "faults", "overload"}
 	}
 	for i, name := range names {
 		if i > 0 {

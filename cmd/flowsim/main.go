@@ -54,6 +54,11 @@ func main() {
 	retries := flag.Int("retries", 0, "max dispatch attempts per request before dropping (0 = unlimited)")
 	timeout := flag.Float64("timeout", 0, "drop a request older than this at failover (0 = never)")
 	backoff := flag.Float64("backoff", 0, "base failover backoff, doubling per extra attempt (0 = immediate)")
+	var ov ovFlags
+	flag.StringVar(&ov.admit, "admit", "", "admission policy: all | queue:LEN[:BACKLOG] | deadline:D")
+	flag.StringVar(&ov.shed, "shed", "", "load shedding: POLICY:WATERMARK with POLICY one of newest|oldest|random|stretch")
+	flag.Float64Var(&ov.eject, "eject", 0, "eject servers whose service-time EWMA exceeds FACTOR× the cluster median (0 = off)")
+	flag.BoolVar(&ov.slo, "slo", false, "attach the LP-capacity SLO guard and report brownouts")
 	var ob obsFlags
 	flag.StringVar(&ob.events, "events", "", "write the observed cell's JSONL event stream to this file")
 	flag.StringVar(&ob.metrics, "metrics", "", "write Prometheus-style counters and flow/stretch quantiles to this file")
@@ -89,6 +94,12 @@ func main() {
 	}
 	if *backoff < 0 {
 		usageErr("-backoff must be non-negative, got %v", *backoff)
+	}
+	if err := ov.parse(*seed); err != nil {
+		usageErr("%v", err)
+	}
+	if ov.active() && *replay != "" {
+		usageErr("-admit/-shed/-eject/-slo do not combine with -replay")
 	}
 	if *faultsPath != "" && *replay == "" {
 		// Fail fast on an unreadable or invalid plan file (the replay path
@@ -162,6 +173,13 @@ func main() {
 		flowsched.OverlappingReplication(*k),
 		flowsched.DisjointReplication(*k),
 	}
+	for _, strat := range strategies {
+		// Catch an out-of-range replication factor (e.g. -k 20 -m 15) here
+		// with a usage error instead of a panic deep inside Strategy.Set.
+		if err := flowsched.ValidateReplication(strat, *m); err != nil {
+			usageErr("%v", err)
+		}
+	}
 	routers := []struct {
 		name string
 		r    flowsched.Router
@@ -177,12 +195,18 @@ func main() {
 		fmt.Printf(" faults=%d outages (availability %.2f%%) retries=%d timeout=%v",
 			len(plan.Outages), plan.Availability(float64(*n)/rate)*100, *retries, *timeout)
 	}
+	if ov.active() {
+		fmt.Printf(" overload[%s]", ov.describe())
+	}
 	fmt.Printf("\n\n")
 
 	var out *table.Table
-	if plan == nil {
+	switch {
+	case ov.active():
+		out = table.New(guardedHeader()...)
+	case plan == nil:
 		out = table.New("strategy", "router", "max load %", "Fmax", "mean flow", "p99", "utilization")
-	} else {
+	default:
 		out = table.New("strategy", "router", "avail %", "Fmax", "mean flow", "p99",
 			"spike Fmax", "retries", "drop %", "parked")
 	}
@@ -209,6 +233,21 @@ func main() {
 				if cell, err = ob.attach(*m); err != nil {
 					log.Fatal(err)
 				}
+			}
+			if ov.active() {
+				cfg, err := ov.config(weights, strat)
+				if err != nil {
+					log.Fatal(err)
+				}
+				_, om, err := flowsched.SimulateGuarded(inst, rt.r, plan, policy, cfg, cell.probeOrNil())
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := cell.finish(); err != nil {
+					log.Fatal(err)
+				}
+				out.AddRow(guardedRow(strat.Name(), rt.name, om)...)
+				continue
 			}
 			if plan == nil {
 				sched, metrics, err := flowsched.Observe(inst, rt.r, cell.probeOrNil())

@@ -21,6 +21,10 @@
 //	             (the bound assumes all work is done)
 //	fifo-equiv   FIFO ≡ EFT spot-check (Proposition 1) on unrestricted
 //	             instances: both algorithms must report the same Fmax
+//	disposition  every task is admitted ∨ rejected ∨ shed ∨ dropped exactly
+//	             once; non-admitted tasks are unassigned (guarded runs)
+//	deadline     completed-task flow ≤ D + p_max under a deadline-admission
+//	             budget D (guarded runs)
 package audit
 
 import (
@@ -47,6 +51,12 @@ const (
 	InvOverlap    = "overlap"
 	InvLowerBound = "lower-bound"
 	InvFIFOEquiv  = "fifo-equiv"
+	// InvDisposition: every task is admitted ∨ rejected ∨ shed ∨ dropped,
+	// exactly once, and non-admitted tasks are unassigned.
+	InvDisposition = "disposition"
+	// InvDeadline: with a deadline-admission budget D, every completed task
+	// has flow ≤ D + p_max (the guarantee sim.RunGuarded enforces).
+	InvDeadline = "deadline"
 )
 
 // Violation is one broken invariant. Task and Machine are −1 when the
@@ -85,6 +95,12 @@ type Options struct {
 	// Dropped marks tasks the simulator gave up on; they must be unassigned
 	// and are excluded from completion/flow reasoning. Optional.
 	Dropped []bool
+	// Overload supplies the dispositions of a guarded run
+	// (sim.RunGuarded with an overload config): rejected/shed tasks are held
+	// to the same unassigned contract as dropped ones, disposition
+	// exclusivity is checked, and — when Deadline is set — the admitted-task
+	// flow bound Fmax ≤ Deadline + p_max. Optional.
+	Overload *OverloadInfo
 	// SkipLowerBound disables the Fmax ≥ offline.LowerBound check
 	// (O(n²·|sets|) — callers auditing very large instances may opt out).
 	SkipLowerBound bool
@@ -93,6 +109,20 @@ type Options struct {
 	SkipFIFOEquiv bool
 	// MaxViolations truncates the report; 0 means 64.
 	MaxViolations int
+}
+
+// OverloadInfo carries the overload-control dispositions of a guarded run
+// into the audit.
+type OverloadInfo struct {
+	// Rejected marks tasks turned away by admission control. Optional.
+	Rejected []bool
+	// Shed marks tasks abandoned mid-run by shedding or deadline
+	// enforcement. Optional.
+	Shed []bool
+	// Deadline is the admission budget D of a Budgeted policy
+	// (e.g. DeadlineAdmit); > 0 enables the Fmax ≤ D + p_max check over
+	// completed tasks.
+	Deadline core.Time
 }
 
 // Report is the audit outcome: empty Violations means every invariant held.
@@ -168,6 +198,21 @@ func Audit(inst *core.Instance, s *core.Schedule, opts Options) *Report {
 			Detail: fmt.Sprintf("%d dropped flags for %d tasks", len(opts.Dropped), n)})
 		return r
 	}
+	var rejected, shed []bool
+	var deadline core.Time
+	if opts.Overload != nil {
+		rejected, shed, deadline = opts.Overload.Rejected, opts.Overload.Shed, opts.Overload.Deadline
+		if rejected != nil && len(rejected) != n {
+			add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
+				Detail: fmt.Sprintf("%d rejected flags for %d tasks", len(rejected), n)})
+			return r
+		}
+		if shed != nil && len(shed) != n {
+			add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
+				Detail: fmt.Sprintf("%d shed flags for %d tasks", len(shed), n)})
+			return r
+		}
+	}
 
 	var segs [][]faults.Slowdown
 	var outages []faults.Outage
@@ -183,6 +228,32 @@ func Audit(inst *core.Instance, s *core.Schedule, opts Options) *Report {
 	}
 
 	dropped := func(i int) bool { return opts.Dropped != nil && opts.Dropped[i] }
+	// excluded tasks never (finally) completed: dropped by the retry policy,
+	// rejected by admission or shed by overload control. They share the
+	// unassigned contract and are excluded from flow reasoning.
+	excluded := func(i int) (bool, string) {
+		kinds := 0
+		name := ""
+		if dropped(i) {
+			kinds, name = kinds+1, "dropped"
+		}
+		if rejected != nil && rejected[i] {
+			kinds, name = kinds+1, "rejected"
+		}
+		if shed != nil && shed[i] {
+			kinds, name = kinds+1, "shed"
+		}
+		if kinds > 1 {
+			name = "multiple-dispositions"
+		}
+		return kinds > 0, name
+	}
+	var pmax core.Time
+	for i := range inst.Tasks {
+		if p := inst.Tasks[i].Proc; p > pmax {
+			pmax = p
+		}
+	}
 
 	// Per-task checks; executions collected for the per-machine overlap scan.
 	type exec struct {
@@ -196,12 +267,18 @@ func Audit(inst *core.Instance, s *core.Schedule, opts Options) *Report {
 	for i := range inst.Tasks {
 		task := &inst.Tasks[i]
 		j := s.Machine[i]
-		if dropped(i) {
+		if out, kind := excluded(i); out {
 			anyDropped = true
+			if kind == "multiple-dispositions" {
+				if !add(Violation{Invariant: InvDisposition, Task: i, Machine: -1,
+					Detail: "task carries more than one of dropped/rejected/shed"}) {
+					return r
+				}
+			}
 			if j != -1 {
 				anyBroken = true
 				if !add(Violation{Invariant: InvAssignment, Task: i, Machine: j,
-					Detail: "dropped task is assigned to a machine"}) {
+					Detail: kind + " task is assigned to a machine"}) {
 					return r
 				}
 			}
@@ -264,6 +341,16 @@ func Audit(inst *core.Instance, s *core.Schedule, opts Options) *Report {
 		}
 		if f := comp - task.Release; f > fmax {
 			fmax = f
+		}
+		if deadline > 0 {
+			// The enforced admitted-task SLO: any completed task's flow is at
+			// most the admission budget plus one (maximal) processing time.
+			if f := comp - task.Release; f > deadline+pmax+tol(deadline+pmax) {
+				if !add(Violation{Invariant: InvDeadline, Task: i, Machine: j,
+					Detail: fmt.Sprintf("flow %v exceeds admitted budget %v + p_max %v", f, deadline, pmax)}) {
+					return r
+				}
+			}
 		}
 		perMachine[j] = append(perMachine[j], exec{id: i, start: start, end: comp})
 	}

@@ -9,6 +9,7 @@ import (
 	"flowsched/internal/eventq"
 	"flowsched/internal/faults"
 	"flowsched/internal/obs"
+	"flowsched/internal/overload"
 	"flowsched/internal/popularity"
 	"flowsched/internal/replicate"
 	"flowsched/internal/sched"
@@ -34,6 +35,9 @@ func init() {
 	Register("SimRunFaulty", benchSimRunFaulty)
 	Register("SimRunFaultySlowNoop", benchSimRunFaultySlowNoop)
 	Register("SimRunFaultyGray", benchSimRunFaultyGray)
+	Register("SimRunGuardedOff", benchSimRunGuardedOff)
+	Register("SimRunGuardedAdmit", benchSimRunGuardedAdmit)
+	Register("OutlierEject", benchOutlierEject)
 	Register("AuditSchedule", benchAuditSchedule)
 	Register("SchedEFTRun", benchSchedEFTRun)
 	Register("SchedFIFORun", benchSchedFIFORun)
@@ -190,6 +194,67 @@ func benchSimRunFaultyGray(b *testing.B) {
 		plan.Slow(j, 10, 1e6, 4)
 	}
 	benchSimRunFaultyPlan(b, plan)
+}
+
+// benchSimRunGuardedOff pins the disabled-path cost of the overload
+// subsystem: RunGuarded with a nil config must track SimRunFaulty (the
+// byte-identical property in internal/sim pins the behavior; this entry
+// pins the speed).
+func benchSimRunGuardedOff(b *testing.B) {
+	inst := restrictedInstance(15, 3, 5000)
+	plan := faults.Empty(15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sim.RunGuarded(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSimRunGuardedAdmit measures a fully armed overload config (deadline
+// admission + stretch shedding + ejection) on the same workload.
+func benchSimRunGuardedAdmit(b *testing.B) {
+	inst := restrictedInstance(15, 3, 5000)
+	plan := faults.Empty(15)
+	cfg := &overload.Config{
+		Admission: overload.DeadlineAdmit{D: 20},
+		Shedder:   &overload.Shedder{Policy: overload.DropLargestStretch, Watermark: 15},
+		Ejector:   &overload.Ejector{},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sim.RunGuarded(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchOutlierEject measures the ejector kernel alone: one Observe per
+// completion on a 15-server cluster with one chronically slow server, plus
+// the periodic Readmit sweep.
+func benchOutlierEject(b *testing.B) {
+	e := &overload.Ejector{K: 3, Cooldown: 50, MinSamples: 5}
+	cfg := &overload.Config{Ejector: e}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Reset(15)
+		now := core.Time(0)
+		for t := 0; t < 2000; t++ {
+			now += 0.1
+			j := t % 15
+			factor := 1.0
+			if j == 0 {
+				factor = 6
+			}
+			e.Observe(j, factor, now)
+			if t%64 == 0 {
+				e.Readmit(now, nil)
+			}
+		}
+	}
 }
 
 // benchAuditSchedule pins the invariant auditor's overhead on a

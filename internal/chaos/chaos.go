@@ -19,7 +19,9 @@ import (
 	"flowsched/internal/audit"
 	"flowsched/internal/core"
 	"flowsched/internal/faults"
+	"flowsched/internal/overload"
 	"flowsched/internal/parallel"
+	"flowsched/internal/popularity"
 	"flowsched/internal/replicate"
 	"flowsched/internal/sched"
 	"flowsched/internal/sim"
@@ -115,11 +117,30 @@ type Params struct {
 	MTTR       float64         `json:"mttr,omitempty"`
 	Zones      int             `json:"zones,omitempty"`
 	Policy     sim.RetryPolicy `json:"policy"`
+	// Overload, when non-nil, runs the trial through sim.RunGuarded with the
+	// described overload controls (and the sampler pushes Load toward or
+	// past saturation so they actually fire).
+	Overload *OverloadParams `json:"overload,omitempty"`
+}
+
+// OverloadParams pins the overload-control side of a trial; everything
+// needed to rebuild the overload.Config deterministically.
+type OverloadParams struct {
+	Mode       string  `json:"mode"` // admit-queue|admit-deadline|shed|eject|slo|mixed
+	Deadline   float64 `json:"deadline,omitempty"`
+	MaxQueue   int     `json:"maxQueue,omitempty"`
+	MaxBacklog float64 `json:"maxBacklog,omitempty"`
+	Watermark  float64 `json:"watermark,omitempty"`
+	ShedPolicy string  `json:"shedPolicy,omitempty"`
+	EjectK     float64 `json:"ejectK,omitempty"`
+	Cooldown   float64 `json:"cooldown,omitempty"`
 }
 
 var faultModes = []string{"none", "crash", "zones", "gray", "mixed"}
 var distNames = []string{"constant", "exponential", "uniform"}
 var strategyNames = []string{"none", "overlapping", "disjoint", "offset", "random", "unrestricted"}
+var overloadModes = []string{"admit-queue", "admit-deadline", "shed", "eject", "slo", "mixed"}
+var shedPolicyNames = []string{"newest", "oldest", "random", "stretch"}
 
 // unrestricted is the no-processing-set strategy: every task may run on any
 // machine (the paper's P|online-r_i|Fmax setting), which is also the domain
@@ -174,7 +195,86 @@ func SampleParams(cfg Config, trial int) Params {
 			Timeout:       5 + rng.Float64()*100,
 		}
 	}
+	// A third of the trials run guarded: overload controls enabled with the
+	// load pushed toward (and past) saturation so they actually fire.
+	if rng.Intn(3) == 0 {
+		p.Load = 0.8 + rng.Float64()*1.2
+		op := &OverloadParams{Mode: overloadModes[rng.Intn(len(overloadModes))]}
+		switch op.Mode {
+		case "admit-queue":
+			op.MaxQueue = 1 + rng.Intn(10)
+			if rng.Intn(2) == 0 {
+				op.MaxBacklog = 1 + rng.Float64()*20
+			}
+		case "admit-deadline", "mixed":
+			op.Deadline = 2 + rng.Float64()*30
+		}
+		switch op.Mode {
+		case "shed", "mixed":
+			op.Watermark = 0.5 + rng.Float64()*10
+			op.ShedPolicy = shedPolicyNames[rng.Intn(len(shedPolicyNames))]
+		}
+		switch op.Mode {
+		case "eject", "mixed":
+			op.EjectK = 1.5 + rng.Float64()*3
+			op.Cooldown = 1 + rng.Float64()*10
+		}
+		p.Overload = op
+	}
 	return p
+}
+
+// estimator builds the SLO guard for a trial. The LP-backed per-set
+// estimator needs the trial's exact replication sets; those are
+// rng-dependent for the offset/random strategies and degenerate (nil sets)
+// for unrestricted, so only the deterministic strategies get the full
+// estimator — the rest fall back to the trivial capacity bound λ* = m.
+func (p Params) estimator() *overload.Estimator {
+	switch p.Strategy {
+	case "none", "overlapping", "disjoint":
+		weights := popularity.Zipf(p.M, 0)
+		rng := rand.New(rand.NewSource(p.Seed))
+		if e, err := overload.NewEstimator(weights, p.strategy(rng)); err == nil {
+			return e
+		}
+	}
+	return overload.NewEstimatorCapacity(float64(p.M))
+}
+
+// overloadConfig rebuilds the trial's overload.Config deterministically from
+// the params (nil when the trial is unguarded).
+func (p Params) overloadConfig() (*overload.Config, error) {
+	op := p.Overload
+	if op == nil {
+		return nil, nil
+	}
+	cfg := &overload.Config{}
+	switch op.Mode {
+	case "admit-queue":
+		cfg.Admission = overload.QueueBound{MaxQueue: op.MaxQueue, MaxBacklog: op.MaxBacklog}
+	case "admit-deadline":
+		cfg.Admission = overload.DeadlineAdmit{D: op.Deadline}
+	case "shed", "eject", "slo", "mixed":
+		if op.Mode == "mixed" {
+			cfg.Admission = overload.DeadlineAdmit{D: op.Deadline}
+		}
+	default:
+		return nil, fmt.Errorf("chaos: unknown overload mode %q", op.Mode)
+	}
+	if op.Watermark > 0 {
+		policy, err := overload.ShedPolicyByName(op.ShedPolicy)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Shedder = &overload.Shedder{Policy: policy, Watermark: op.Watermark, Seed: p.Seed}
+	}
+	if op.EjectK > 0 {
+		cfg.Ejector = &overload.Ejector{K: op.EjectK, Cooldown: core.Time(op.Cooldown), MinSamples: 5}
+	}
+	if op.Mode == "slo" || op.Mode == "mixed" {
+		cfg.Guard = p.estimator()
+	}
+	return cfg, nil
 }
 
 func (p Params) strategy(rng *rand.Rand) replicate.Strategy {
@@ -263,20 +363,32 @@ func (p Params) routerSpec(routers []RouterSpec) (RouterSpec, error) {
 func Check(inst *core.Instance, plan *faults.Plan, spec RouterSpec, p Params) []audit.Violation {
 	router := spec.New(p.RouterSeed)
 	probe := newCountProbe(inst.N())
-	s, fm, err := sim.RunFaultyProbed(inst, router, plan, p.Policy, probe)
+	cfg, err := p.overloadConfig()
+	if err != nil {
+		return []audit.Violation{{Invariant: InvSimError, Task: -1, Machine: -1, Detail: err.Error()}}
+	}
+	s, om, err := sim.RunGuarded(inst, router, plan, p.Policy, cfg, probe)
 	if err != nil {
 		return []audit.Violation{{Invariant: InvSimError, Task: -1, Machine: -1, Detail: err.Error()}}
 	}
 	comps := make([]core.Time, inst.N())
 	for i, task := range inst.Tasks {
-		comps[i] = task.Release + fm.Flows[i]
+		comps[i] = task.Release + om.Flows[i]
 	}
-	r := audit.Audit(inst, s, audit.Options{
+	opts := audit.Options{
 		Plan:        plan,
 		Completions: comps,
-		Dropped:     fm.Dropped,
-	})
-	return append(r.Violations, probe.crossCheck(inst, fm)...)
+		Dropped:     om.Dropped,
+	}
+	if cfg != nil {
+		info := &audit.OverloadInfo{Rejected: om.Rejected, Shed: om.Shed}
+		if b, ok := cfg.Admission.(overload.Budgeted); ok {
+			info.Deadline = b.Budget()
+		}
+		opts.Overload = info
+	}
+	r := audit.Audit(inst, s, opts)
+	return append(r.Violations, probe.crossCheck(inst, om)...)
 }
 
 // Failure is one failing trial: its parameters, the violations of the

@@ -11,10 +11,12 @@ import (
 )
 
 // countProbe is the metrics cross-checker: it counts the simulator's event
-// stream independently and compares its totals against the FaultMetrics the
-// run reports. Any disagreement means the simulator's bookkeeping and its
-// event stream have diverged — a bug neither the schedule auditor nor the
-// metrics alone would catch.
+// stream independently and compares its totals against the metrics the run
+// reports. Any disagreement means the simulator's bookkeeping and its event
+// stream have diverged — a bug neither the schedule auditor nor the metrics
+// alone would catch. It also observes the overload-control stream
+// (obs.OverloadObserver), so guarded trials cross-check rejections, sheds
+// and ejections the same way.
 type countProbe struct {
 	obs.BaseProbe
 	arrivals   int
@@ -25,6 +27,13 @@ type countProbe struct {
 	ends       []core.Time // per-task final completion; NaN = never completed
 	makespan   core.Time
 	doneCalls  int
+
+	rejects      int
+	sheds        int
+	ejections    int
+	readmissions int
+	rejected     []bool
+	shed         []bool
 }
 
 func newCountProbe(n int) *countProbe {
@@ -32,7 +41,7 @@ func newCountProbe(n int) *countProbe {
 	for i := range ends {
 		ends[i] = math.NaN()
 	}
-	return &countProbe{ends: ends}
+	return &countProbe{ends: ends, rejected: make([]bool, n), shed: make([]bool, n)}
 }
 
 func (c *countProbe) OnArrival(task int, release core.Time) { c.arrivals++ }
@@ -55,9 +64,34 @@ func (c *countProbe) OnDone(makespan core.Time) {
 	c.doneCalls++
 }
 
+// OnReject implements obs.OverloadObserver.
+func (c *countProbe) OnReject(task int, at core.Time, reason string) {
+	c.rejects++
+	if task >= 0 && task < len(c.rejected) {
+		c.rejected[task] = true
+	}
+}
+
+// OnShed implements obs.OverloadObserver.
+func (c *countProbe) OnShed(task, server int, release, at core.Time, reason string) {
+	c.sheds++
+	if task >= 0 && task < len(c.shed) {
+		c.shed[task] = true
+	}
+}
+
+// OnEject implements obs.OverloadObserver.
+func (c *countProbe) OnEject(server int, at core.Time) { c.ejections++ }
+
+// OnReadmit implements obs.OverloadObserver.
+func (c *countProbe) OnReadmit(server int, at core.Time) { c.readmissions++ }
+
+// OnBrownout implements obs.OverloadObserver.
+func (c *countProbe) OnBrownout(at core.Time, active bool) {}
+
 // crossCheck compares the probe's event counts against the run's metrics
 // and returns one InvProbe violation per disagreement.
-func (c *countProbe) crossCheck(inst *core.Instance, fm *sim.FaultMetrics) []audit.Violation {
+func (c *countProbe) crossCheck(inst *core.Instance, om *sim.OverloadMetrics) []audit.Violation {
 	var vs []audit.Violation
 	bad := func(format string, args ...any) {
 		vs = append(vs, audit.Violation{Invariant: InvProbe, Task: -1, Machine: -1,
@@ -68,27 +102,60 @@ func (c *countProbe) crossCheck(inst *core.Instance, fm *sim.FaultMetrics) []aud
 		bad("probe saw %d arrivals for %d tasks", c.arrivals, n)
 	}
 	attempts := 0
-	for _, a := range fm.Attempts {
+	for _, a := range om.Attempts {
 		attempts += a
 	}
 	if c.dispatches != attempts {
 		bad("probe saw %d dispatches, metrics report %d attempts", c.dispatches, attempts)
 	}
-	if dropped := fm.DroppedCount(); c.drops != dropped {
+	if rejected := om.RejectedCount(); c.rejects != rejected {
+		bad("probe saw %d rejections, metrics report %d", c.rejects, rejected)
+	}
+	if shed := om.ShedCount(); c.sheds != shed {
+		bad("probe saw %d sheds, metrics report %d", c.sheds, shed)
+	}
+	if c.ejections != om.Ejections {
+		bad("probe saw %d ejections, metrics report %d", c.ejections, om.Ejections)
+	}
+	if c.readmissions != om.Readmissions {
+		bad("probe saw %d readmissions, metrics report %d", c.readmissions, om.Readmissions)
+	}
+	excluded := om.DroppedCount() + om.RejectedCount() + om.ShedCount()
+	if dropped := om.DroppedCount(); c.drops != dropped {
 		bad("probe saw %d drops, metrics report %d", c.drops, dropped)
-	} else if c.completes != n-dropped {
-		bad("probe saw %d completions for %d non-dropped tasks", c.completes, n-dropped)
+	} else if c.completes != n-excluded {
+		bad("probe saw %d completions for %d completed tasks", c.completes, n-excluded)
 	}
 	if c.doneCalls != 1 {
 		bad("OnDone fired %d times", c.doneCalls)
-	} else if c.makespan != fm.Makespan {
-		bad("probe makespan %v, metrics report %v", c.makespan, fm.Makespan)
+	} else if c.makespan != om.Makespan {
+		bad("probe makespan %v, metrics report %v", c.makespan, om.Makespan)
 	}
 	for i, task := range inst.Tasks {
 		end := c.ends[i]
-		if fm.Dropped[i] {
+		rejected := om.Rejected != nil && om.Rejected[i]
+		shed := om.Shed != nil && om.Shed[i]
+		if rejected != c.rejected[i] {
+			bad("task %d rejected flag: probe %v, metrics %v", i, c.rejected[i], rejected)
+		}
+		if shed != c.shed[i] {
+			bad("task %d shed flag: probe %v, metrics %v", i, c.shed[i], shed)
+		}
+		if om.Dropped[i] || rejected || shed {
+			kinds := 0
+			for _, b := range [...]bool{om.Dropped[i], rejected, shed} {
+				if b {
+					kinds++
+				}
+			}
+			if kinds > 1 {
+				bad("task %d carries %d dispositions", i, kinds)
+			}
 			if !math.IsNaN(end) {
-				bad("dropped task %d completed at %v", i, end)
+				bad("non-completed task %d completed at %v", i, end)
+			}
+			if rejected && om.Flows[i] != 0 {
+				bad("rejected task %d carries flow %v", i, om.Flows[i])
 			}
 			continue
 		}
@@ -96,7 +163,7 @@ func (c *countProbe) crossCheck(inst *core.Instance, fm *sim.FaultMetrics) []aud
 			bad("task %d never completed in the event stream", i)
 			continue
 		}
-		want := task.Release + fm.Flows[i]
+		want := task.Release + om.Flows[i]
 		if math.Abs(end-want) > 1e-9*(1+math.Abs(want)) {
 			bad("task %d completed at %v, metrics imply %v", i, end, want)
 		}

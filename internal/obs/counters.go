@@ -19,6 +19,13 @@ type Counters struct {
 	Drops       int64 // requests given up (attempt cap or timeout)
 	Failovers   int64 // server crashes observed
 	Lost        int64 // queued-or-running requests lost to crashes
+
+	// Overload-control totals (sim.RunGuarded with a config; zero otherwise).
+	Rejections   int64 // tasks turned away by admission control
+	Sheds        int64 // tasks shed mid-run (watermark trims, deadline enforcement)
+	Ejections    int64 // servers ejected by the outlier detector
+	Readmissions int64 // ejected servers re-admitted after cooldown
+	Brownouts    int64 // rising edges of the SLO guard's brownout signal
 }
 
 // OnArrival implements Probe.
@@ -42,6 +49,25 @@ func (c *Counters) OnFailover(server int, at core.Time, lost int) {
 	c.Lost += int64(lost)
 }
 
+// OnReject implements OverloadObserver.
+func (c *Counters) OnReject(task int, at core.Time, reason string) { c.Rejections++ }
+
+// OnShed implements OverloadObserver.
+func (c *Counters) OnShed(task, server int, release, at core.Time, reason string) { c.Sheds++ }
+
+// OnEject implements OverloadObserver.
+func (c *Counters) OnEject(server int, at core.Time) { c.Ejections++ }
+
+// OnReadmit implements OverloadObserver.
+func (c *Counters) OnReadmit(server int, at core.Time) { c.Readmissions++ }
+
+// OnBrownout implements OverloadObserver.
+func (c *Counters) OnBrownout(at core.Time, active bool) {
+	if active {
+		c.Brownouts++
+	}
+}
+
 // WriteProm writes the counters in the Prometheus text exposition format
 // under the flowsched_ namespace.
 func (c *Counters) WriteProm(w io.Writer) error {
@@ -56,6 +82,11 @@ func (c *Counters) WriteProm(w io.Writer) error {
 		{"flowsched_drops_total", "Requests dropped by the retry policy.", c.Drops},
 		{"flowsched_failovers_total", "Server crashes observed.", c.Failovers},
 		{"flowsched_lost_tasks_total", "Queued-or-running requests lost to crashes.", c.Lost},
+		{"flowsched_rejections_total", "Tasks rejected by admission control.", c.Rejections},
+		{"flowsched_sheds_total", "Tasks shed mid-run by overload control.", c.Sheds},
+		{"flowsched_ejections_total", "Servers ejected by outlier detection.", c.Ejections},
+		{"flowsched_readmissions_total", "Ejected servers re-admitted after cooldown.", c.Readmissions},
+		{"flowsched_brownouts_total", "Brownout signal rising edges.", c.Brownouts},
 	} {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 			row.name, row.help, row.name, row.name, row.value); err != nil {

@@ -1,0 +1,143 @@
+package overload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"flowsched/internal/core"
+)
+
+// ShedPolicy selects which queued tasks a watermark-triggered trim drops.
+type ShedPolicy int
+
+// Shedding victim orders.
+const (
+	// DropNewest sheds from the back of the queue (LIFO drop): the freshest
+	// work is sacrificed so old work keeps its place.
+	DropNewest ShedPolicy = iota
+	// DropOldest sheds from the front (behind the running task): work that
+	// already waited past the watermark is abandoned — the "stale results
+	// are worthless" policy.
+	DropOldest
+	// DropRandom sheds a uniformly random subset (seeded, deterministic per
+	// run).
+	DropRandom
+	// DropLargestStretch sheds the tasks whose current stretch
+	// (age / processing time) is largest — it gives up on the requests whose
+	// SLO is already the most blown per unit of work.
+	DropLargestStretch
+)
+
+var shedNames = map[ShedPolicy]string{
+	DropNewest:         "newest",
+	DropOldest:         "oldest",
+	DropRandom:         "random",
+	DropLargestStretch: "stretch",
+}
+
+func (p ShedPolicy) String() string {
+	if s, ok := shedNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("ShedPolicy(%d)", int(p))
+}
+
+// ShedPolicyByName parses a policy name (newest | oldest | random | stretch).
+func ShedPolicyByName(name string) (ShedPolicy, error) {
+	for p, s := range shedNames {
+		if s == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("overload: unknown shed policy %q (want newest|oldest|random|stretch)", name)
+}
+
+// Reason returns the reason string recorded for tasks shed under the policy.
+func (p ShedPolicy) Reason() string { return "shed-" + p.String() }
+
+// Candidate is one queued-but-not-started task eligible for shedding.
+type Candidate struct {
+	ID      int
+	Release core.Time
+	Proc    core.Time
+	Pos     int // position in the server's FIFO (0 = oldest unstarted)
+}
+
+// Shedder trims standing queues mid-run. At every arrival the simulator
+// checks each machine's oldest queued task; when its age (now − release)
+// exceeds Watermark, queued tasks on that machine are shed in Policy order
+// until the machine's backlog is at most Target. The running task is never
+// shed (execution is non-preemptive).
+type Shedder struct {
+	Policy    ShedPolicy
+	Watermark core.Time // age trigger; ≤ 0 disables the shedder
+	// Target is the backlog to drain down to once triggered; 0 means
+	// Watermark (trim until the newly-arriving work would wait at most the
+	// watermark again).
+	Target core.Time
+	// Seed drives DropRandom's shuffle; the zero seed is valid and
+	// deterministic like any other.
+	Seed int64
+
+	rng *rand.Rand
+}
+
+func (s *Shedder) validate() error {
+	if s.Watermark < 0 {
+		return fmt.Errorf("overload: negative shed watermark %v", s.Watermark)
+	}
+	if s.Target < 0 {
+		return fmt.Errorf("overload: negative shed target %v", s.Target)
+	}
+	if _, ok := shedNames[s.Policy]; !ok {
+		return fmt.Errorf("overload: unknown shed policy %d", int(s.Policy))
+	}
+	return nil
+}
+
+func (s *Shedder) reset() {
+	s.rng = rand.New(rand.NewSource(s.Seed))
+}
+
+// EffectiveTarget returns the backlog level a trim drains to.
+func (s *Shedder) EffectiveTarget() core.Time {
+	if s.Target > 0 {
+		return s.Target
+	}
+	return s.Watermark
+}
+
+// Enabled reports whether the shedder can ever trigger.
+func (s *Shedder) Enabled() bool { return s != nil && s.Watermark > 0 }
+
+// Rank reorders cands into shedding priority order (first = shed first).
+// The order is deterministic for a fixed Seed.
+func (s *Shedder) Rank(now core.Time, cands []Candidate) {
+	switch s.Policy {
+	case DropNewest:
+		sort.SliceStable(cands, func(a, b int) bool { return cands[a].Pos > cands[b].Pos })
+	case DropOldest:
+		sort.SliceStable(cands, func(a, b int) bool { return cands[a].Pos < cands[b].Pos })
+	case DropRandom:
+		if s.rng == nil {
+			s.reset()
+		}
+		s.rng.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
+	case DropLargestStretch:
+		stretch := func(c Candidate) float64 {
+			age := float64(now - c.Release)
+			if c.Proc > 0 {
+				return age / float64(c.Proc)
+			}
+			return age
+		}
+		sort.SliceStable(cands, func(a, b int) bool {
+			sa, sb := stretch(cands[a]), stretch(cands[b])
+			if sa != sb {
+				return sa > sb
+			}
+			return cands[a].Pos < cands[b].Pos
+		})
+	}
+}

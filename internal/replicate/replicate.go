@@ -141,10 +141,51 @@ func (r *RandomK) Set(u, m int) core.ProcSet {
 	return s
 }
 
-func checkK(k, m int) {
+// CheckK validates a replication factor against a cluster size: k must lie
+// in [1, m].
+func CheckK(k, m int) error {
 	if k < 1 || k > m {
-		panic(fmt.Sprintf("replicate: k=%d out of range for m=%d machines", k, m))
+		return fmt.Errorf("replicate: replication factor k=%d out of range [1, %d]", k, m)
 	}
+	return nil
+}
+
+func checkK(k, m int) {
+	if err := CheckK(k, m); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Validator is implemented by strategies whose parameters can be checked
+// against a cluster size up front, turning the late checkK panic inside Set
+// into a clear error at construction/validation time.
+type Validator interface {
+	Validate(m int) error
+}
+
+// Validate implements Validator.
+func (o Overlapping) Validate(m int) error { return CheckK(o.K, m) }
+
+// Validate implements Validator.
+func (d Disjoint) Validate(m int) error { return CheckK(d.K, m) }
+
+// Validate implements Validator.
+func (d OffsetDisjoint) Validate(m int) error { return CheckK(d.K, m) }
+
+// Validate implements Validator.
+func (r *RandomK) Validate(m int) error { return CheckK(r.K, m) }
+
+// Validate checks a strategy against a cluster of m machines: strategies
+// implementing Validator are asked directly; others (None, unrestricted
+// pseudo-strategies) are always valid.
+func Validate(s Strategy, m int) error {
+	if m < 1 {
+		return fmt.Errorf("replicate: need at least one machine, got %d", m)
+	}
+	if v, ok := s.(Validator); ok {
+		return v.Validate(m)
+	}
+	return nil
 }
 
 // Transferable reports, for analysis code, whether work originally owned by

@@ -1,11 +1,7 @@
 package sim
 
 import (
-	"fmt"
-	"math"
-
 	"flowsched/internal/core"
-	"flowsched/internal/eventq"
 	"flowsched/internal/faults"
 	"flowsched/internal/obs"
 	"flowsched/internal/stats"
@@ -211,306 +207,16 @@ func RunFaulty(inst *core.Instance, router Router, plan *faults.Plan, policy Ret
 // surface as OnFailover followed by OnRetry/OnDrop for each lost request.
 // A nil probe is exactly RunFaulty — every hook sits behind a nil guard, so
 // the unobserved path allocates nothing extra (TestProbeNilRunFaultyAllocs).
+//
+// Both RunFaulty wrappers delegate to RunGuarded (guardsim.go) with a nil
+// overload config: the engine lives there and the disabled-config path is
+// byte-identical by construction (and property-tested).
 func RunFaultyProbed(inst *core.Instance, router Router, plan *faults.Plan, policy RetryPolicy, probe obs.Probe) (*core.Schedule, *FaultMetrics, error) {
-	if err := inst.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("sim: %w", err)
+	s, om, err := RunGuarded(inst, router, plan, policy, nil, probe)
+	if err != nil {
+		return nil, nil, err
 	}
-	if plan == nil {
-		plan = faults.Empty(inst.M)
-	}
-	if err := plan.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("sim: %w", err)
-	}
-	if plan.M != inst.M {
-		return nil, nil, fmt.Errorf("sim: fault plan for %d servers, instance has %d", plan.M, inst.M)
-	}
-	plan = plan.Normalize()
-	if r, ok := router.(Resettable); ok {
-		r.Reset()
-	}
-
-	m := inst.M
-	n := inst.N()
-	st := &State{
-		M:          m,
-		Completion: make([]core.Time, m),
-		QueueLen:   make([]int, m),
-	}
-	sched := core.NewSchedule(inst)
-	metrics := &FaultMetrics{
-		Metrics: Metrics{
-			Flows:     make([]core.Time, n),
-			Stretches: make([]core.Time, n),
-			Busy:      make([]core.Time, m),
-		},
-		Attempts: make([]int, n),
-		Dropped:  make([]bool, n),
-		Parked:   make([]bool, n),
-		plan:     plan,
-		releases: make([]core.Time, n),
-	}
-	for i, t := range inst.Tasks {
-		metrics.releases[i] = t.Release
-	}
-
-	live := make([]bool, m)
-	for j := range live {
-		live[j] = true
-	}
-	// slow holds each server's effective gray-failure segments; nil when the
-	// plan has none, so the healthy dispatch arithmetic below is untouched
-	// (and all-factor-1 segments were dropped by Normalize above).
-	var slow [][]faults.Slowdown
-	if len(plan.Slowdowns) > 0 {
-		slow = plan.ServerSlowdowns()
-	}
-	downCount := 0
-	pending := make([][]int, m)      // per-server FIFO of unfinished request IDs
-	gen := make([]int, n)            // attempt generation, invalidates stale completions
-	curStart := make([]core.Time, n) // start of the current attempt
-	curEnd := make([]core.Time, n)   // end of the current attempt
-	busyAdd := make([]core.Time, n)  // busy time credited for the current attempt
-	var parked []int                 // requests waiting for any replica to recover
-	var completions eventq.Queue[compEvent]
-	var events eventq.Queue[faultEvent]
-	completions.Reserve(reserveFor(n))
-	events.Reserve(2 * len(plan.Outages))
-	for _, o := range plan.Outages {
-		events.Push(o.From, faultEvent{kind: evDown, server: o.Server})
-		events.Push(o.Until, faultEvent{kind: evUp, server: o.Server})
-	}
-
-	drain := func(upTo core.Time) {
-		for completions.Len() > 0 {
-			when, c := completions.Peek()
-			if when > upTo {
-				return
-			}
-			completions.Pop()
-			if c.gen != gen[c.task] {
-				continue // stale: that attempt was aborted
-			}
-			if probe != nil {
-				t := inst.Tasks[c.task]
-				probe.OnComplete(c.task, c.server, t.Release, t.Proc, when)
-			}
-			st.QueueLen[c.server]--
-			q := pending[c.server]
-			if len(q) > 0 && q[0] == c.task {
-				pending[c.server] = q[1:]
-			} else { // defensive; FIFO service should make this unreachable
-				for x, id := range q {
-					if id == c.task {
-						pending[c.server] = append(q[:x:x], q[x+1:]...)
-						break
-					}
-				}
-			}
-		}
-	}
-
-	drop := func(id int, now core.Time) {
-		metrics.Dropped[id] = true
-		metrics.Flows[id] = now - inst.Tasks[id].Release
-		metrics.Stretches[id] = stretchOf(metrics.Flows[id], inst.Tasks[id].Proc)
-		sched.Assign(id, -1, math.NaN())
-		if probe != nil {
-			probe.OnDrop(id, inst.Tasks[id].Release, now)
-		}
-	}
-
-	// liveBuf is reused across dispatches: the live view handed to the
-	// router is only read within the Pick call, never retained.
-	liveBuf := make(core.ProcSet, 0, m)
-	liveSubset := func(set core.ProcSet) core.ProcSet {
-		out := liveBuf[:0]
-		if set == nil {
-			for j := 0; j < m; j++ {
-				if live[j] {
-					out = append(out, j)
-				}
-			}
-		} else {
-			for _, j := range set {
-				if live[j] {
-					out = append(out, j)
-				}
-			}
-		}
-		return out
-	}
-
-	// dispatch routes request id at instant now (its release, a failover
-	// instant, or a recovery instant). The arithmetic mirrors Run exactly
-	// so an empty plan reproduces it bit for bit.
-	dispatch := func(id int, now core.Time) error {
-		task := inst.Tasks[id]
-		view := task
-		if downCount > 0 {
-			eff := liveSubset(task.Set)
-			if len(eff) == 0 {
-				metrics.Parked[id] = true
-				parked = append(parked, id)
-				return nil
-			}
-			view.Set = eff
-		}
-		view.Release = now // failover re-dispatches cannot start before now
-		metrics.Attempts[id]++
-		j := router.Pick(st, view)
-		if j < 0 || j >= m || !view.Eligible(j) {
-			return fmt.Errorf("sim: router %s picked invalid server M%d for task %d (live set %v)",
-				router.Name(), j+1, id, view.Set)
-		}
-		if !live[j] {
-			return fmt.Errorf("sim: router %s picked dead server M%d for task %d at t=%v",
-				router.Name(), j+1, id, now)
-		}
-		start := st.Completion[j]
-		if now > start {
-			start = now
-		}
-		end := start + task.Proc
-		busy := task.Proc
-		if slow != nil && len(slow[j]) > 0 {
-			// Gray failure: work on j advances at rate 1/Factor inside its
-			// slowdown segments, so the attempt occupies [start, end) with
-			// end from the piecewise integration, and all of it is busy time.
-			end = faults.FinishTime(slow[j], start, task.Proc)
-			busy = end - start
-		}
-		st.Completion[j] = end
-		st.QueueLen[j]++
-		completions.Push(end, compEvent{server: j, task: id, gen: gen[id]})
-		pending[j] = append(pending[j], id)
-		curStart[id], curEnd[id] = start, end
-		busyAdd[id] = busy
-		sched.Assign(id, j, start)
-		metrics.Flows[id] = end - task.Release
-		metrics.Stretches[id] = stretchOf(end-task.Release, task.Proc)
-		metrics.Busy[j] += busy
-		if probe != nil {
-			probe.OnDispatch(id, j, now, start, end)
-		}
-		return nil
-	}
-
-	// requeue decides the fate of request id aborted at instant now.
-	requeue := func(id int, now core.Time) {
-		if policy.MaxAttempts > 0 && metrics.Attempts[id] >= policy.MaxAttempts {
-			drop(id, now)
-			return
-		}
-		next := now + policy.delay(metrics.Attempts[id])
-		if policy.Timeout > 0 && next-inst.Tasks[id].Release > policy.Timeout {
-			drop(id, now)
-			return
-		}
-		events.Push(next, faultEvent{kind: evRetry, task: id})
-		if probe != nil {
-			probe.OnRetry(id, metrics.Attempts[id], now)
-		}
-	}
-
-	fail := func(j int, now core.Time) {
-		live[j] = false
-		downCount++
-		lost := pending[j]
-		pending[j] = nil
-		st.QueueLen[j] -= len(lost)
-		st.Completion[j] = now
-		if probe != nil {
-			probe.OnFailover(j, now, len(lost))
-		}
-		for _, id := range lost {
-			gen[id]++ // invalidate the queued completion
-			executed := core.Time(0)
-			if curStart[id] < now {
-				executed = now - curStart[id] // the running request's wasted partial work
-			}
-			metrics.Busy[j] -= busyAdd[id] - executed
-			requeue(id, now)
-		}
-	}
-
-	restore := func(j int, now core.Time) error {
-		live[j] = true
-		downCount--
-		still := parked[:0]
-		var wake []int
-		for _, id := range parked {
-			if inst.Tasks[id].Eligible(j) {
-				wake = append(wake, id)
-			} else {
-				still = append(still, id)
-			}
-		}
-		parked = still
-		for _, id := range wake {
-			if policy.Timeout > 0 && now-inst.Tasks[id].Release > policy.Timeout {
-				drop(id, now)
-				continue
-			}
-			if err := dispatch(id, now); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	next := 0 // next arrival index
-	for next < n || events.Len() > 0 {
-		if events.Len() > 0 {
-			when, _ := events.Peek()
-			if next >= n || when <= inst.Tasks[next].Release {
-				when, ev := events.Pop()
-				st.Now = when
-				drain(when)
-				switch ev.kind {
-				case evDown:
-					fail(ev.server, when)
-				case evUp:
-					if err := restore(ev.server, when); err != nil {
-						return nil, nil, err
-					}
-				case evRetry:
-					if err := dispatch(ev.task, when); err != nil {
-						return nil, nil, err
-					}
-				}
-				continue
-			}
-		}
-		task := inst.Tasks[next]
-		st.Now = task.Release
-		drain(st.Now)
-		if probe != nil {
-			probe.OnArrival(next, task.Release)
-		}
-		if err := dispatch(next, task.Release); err != nil {
-			return nil, nil, err
-		}
-		next++
-	}
-
-	for id := 0; id < n; id++ {
-		if metrics.Dropped[id] {
-			continue
-		}
-		if curEnd[id] > metrics.Makespan {
-			metrics.Makespan = curEnd[id]
-		}
-	}
-	drain(metrics.Makespan)
-	metrics.Horizon = metrics.Makespan
-	if end := plan.End(); end > metrics.Horizon {
-		metrics.Horizon = end
-	}
-	metrics.Downtime = plan.Downtime(metrics.Horizon)
-	if probe != nil {
-		probe.OnDone(metrics.Makespan)
-	}
-	return sched, metrics, nil
+	return s, &om.FaultMetrics, nil
 }
 
 // SpikeQuantile returns the q-quantile of flows among non-dropped requests

@@ -74,7 +74,7 @@ func TestSlowdownScalesServiceTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := 15 + (10.0-5-10.0/3)
+	want := 15 + (10.0 - 5 - 10.0/3)
 	if math.Abs(m2.Flows[0]-want) > 1e-12 {
 		t.Fatalf("partial-overlap flow = %v, want %v", m2.Flows[0], want)
 	}

@@ -73,6 +73,9 @@ func Generate(cfg Config, rng *rand.Rand) (*core.Instance, error) {
 	if strategy == nil {
 		strategy = replicate.None{}
 	}
+	if err := replicate.Validate(strategy, cfg.M); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
 	sampler := popularity.NewSampler(weights)
 
 	drawProc := func() core.Time {

@@ -1,0 +1,106 @@
+package flowsched
+
+// Facade over the overload-control subsystem (internal/overload +
+// sim.RunGuarded): admission control, load shedding, per-server outlier
+// ejection and the SLO guard / capacity estimator built on LP (15).
+
+import (
+	"flowsched/internal/obs"
+	"flowsched/internal/overload"
+	"flowsched/internal/replicate"
+	"flowsched/internal/sim"
+)
+
+type (
+	// OverloadConfig bundles the overload controls of one guarded run; any
+	// field may be nil and a nil *OverloadConfig makes SimulateGuarded
+	// byte-identical to SimulateFaulty.
+	OverloadConfig = overload.Config
+	// AdmissionPolicy decides, once per arriving task, whether it enters the
+	// system (see AdmitAll, QueueBoundAdmission, DeadlineAdmission).
+	AdmissionPolicy = overload.AdmissionPolicy
+	// ClusterView is the read-only cluster snapshot handed to admission
+	// policies.
+	ClusterView = overload.View
+	// Shedder trims standing queues when the oldest queued task of a machine
+	// outgrows the watermark.
+	Shedder = overload.Shedder
+	// ShedPolicy selects the shedding victim order (ShedNewest, ShedOldest,
+	// ShedRandom, ShedLargestStretch).
+	ShedPolicy = overload.ShedPolicy
+	// OutlierEjector is Envoy-style passive outlier detection: an EWMA of
+	// per-server service-time inflation ejects gray-slowed servers from
+	// processing sets, with cooldown re-admission.
+	OutlierEjector = overload.Ejector
+	// CapacityEstimator is the SLO guard: offered-load EWMAs per replication
+	// set compared against the LP (15) capacity λ*, exposing a brownout
+	// signal.
+	CapacityEstimator = overload.Estimator
+	// OverloadMetrics extends FaultMetrics with goodput, reject/shed
+	// dispositions by reason, ejector activity and the conditional
+	// Fmax/stretch of admitted tasks.
+	OverloadMetrics = sim.OverloadMetrics
+	// OverloadObserver is the optional probe extension receiving the
+	// overload event stream (rejections, sheds, ejections, brownouts).
+	OverloadObserver = obs.OverloadObserver
+)
+
+// Shedding victim orders.
+const (
+	ShedNewest         = overload.DropNewest
+	ShedOldest         = overload.DropOldest
+	ShedRandom         = overload.DropRandom
+	ShedLargestStretch = overload.DropLargestStretch
+)
+
+// AdmitAll returns the baseline admission policy that accepts everything —
+// past λ*, flow times grow without bound.
+func AdmitAll() AdmissionPolicy { return overload.AdmitAll{} }
+
+// QueueBoundAdmission rejects a task when every usable machine of its
+// processing set exceeds the configured bounds: queue length above maxQueue
+// (0 disables) or backlog above maxBacklog (0 disables).
+func QueueBoundAdmission(maxQueue int, maxBacklog Time) AdmissionPolicy {
+	return overload.QueueBound{MaxQueue: maxQueue, MaxBacklog: maxBacklog}
+}
+
+// DeadlineAdmission rejects a task when its predicted flow time (earliest
+// finish over its processing set) exceeds d. SimulateGuarded enforces the
+// budget at every dispatch, so completed tasks provably satisfy
+// Fmax ≤ d + p_max — the auditor's "deadline" invariant.
+func DeadlineAdmission(d Time) AdmissionPolicy { return overload.DeadlineAdmit{D: d} }
+
+// ParseShedPolicy parses a shed policy name
+// (newest | oldest | random | stretch).
+func ParseShedPolicy(name string) (ShedPolicy, error) { return overload.ShedPolicyByName(name) }
+
+// NewCapacityEstimator builds the SLO guard for a popularity weight vector
+// and replication strategy: capacity comes from the max-load LP (15) and
+// offered load is tracked per distinct replication set.
+func NewCapacityEstimator(weights []float64, strategy ReplicationStrategy) (*CapacityEstimator, error) {
+	return overload.NewEstimator(weights, strategy)
+}
+
+// NewCapacityEstimatorAt builds an SLO guard with a known capacity λ* and no
+// per-set tracking.
+func NewCapacityEstimatorAt(capacity float64) *CapacityEstimator {
+	return overload.NewEstimatorCapacity(capacity)
+}
+
+// ValidateReplication checks a replication strategy against a cluster of m
+// machines (e.g. replication factor k within [1, m]), returning a clear
+// error instead of the late panic inside Strategy.Set.
+func ValidateReplication(s ReplicationStrategy, m int) error {
+	return replicate.Validate(s, m)
+}
+
+// SimulateGuarded is SimulateFaulty with the overload-control subsystem
+// attached: admission control and load shedding keep admitted-task flow
+// times bounded past the capacity λ*, outlier ejection routes around
+// gray-slowed servers, and the SLO guard tracks offered load vs capacity. A
+// nil cfg reproduces SimulateFaulty bit for bit; a nil plan means fault-free.
+// probe may be nil, a Probe, or one that additionally implements
+// OverloadObserver to receive the overload event stream.
+func SimulateGuarded(inst *Instance, router Router, plan *FaultPlan, policy RetryPolicy, cfg *OverloadConfig, probe Probe) (*Schedule, *OverloadMetrics, error) {
+	return sim.RunGuarded(inst, router, plan, policy, cfg, probe)
+}
