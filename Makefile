@@ -16,14 +16,14 @@ check: lint-determinism
 	$(GO) test -race ./...
 
 # lint-determinism guards the replayable core: non-test files in
-# internal/sim, internal/obs and internal/overload must not read wall-clock
-# time or the global math/rand stream. Seeded generators
+# internal/sim, internal/obs, internal/overload and internal/elastic must
+# not read wall-clock time or the global math/rand stream. Seeded generators
 # (rand.New(rand.NewSource(...)), *rand.Rand parameters) are allowed — the
 # grep strips constructor/type mentions, then fails on any remaining
 # time.Now() or rand.<Func> hit.
 lint-determinism:
 	@bad=$$(grep -nE 'time\.Now\(|\brand\.[A-Z]' \
-		$$(find internal/sim internal/obs internal/overload -name '*.go' ! -name '*_test.go') \
+		$$(find internal/sim internal/obs internal/overload internal/elastic -name '*.go' ! -name '*_test.go') \
 		| grep -vE 'rand\.(New|NewSource|Rand|Source)' || true); \
 	if [ -n "$$bad" ]; then \
 		echo "determinism lint: wall clock / global rand in simulator core:"; \
@@ -61,7 +61,9 @@ chaos:
 	$(GO) run ./cmd/chaos -trials 5000 -maxm 16 -maxn 500 -repro chaos-repros
 
 # chaos-short is the 200-trial deterministic spot run (same seed as the
-# checked-in smoke test).
+# checked-in smoke test). About a third of the trials churn membership
+# (scripted scale events, occasionally the autoscaler), so this doubles as
+# the membership-churn soak CI runs on every push.
 chaos-short:
 	$(GO) run ./cmd/chaos -trials 200
 
@@ -88,6 +90,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadScheduleJSON -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzReadPlanJSON -fuzztime=30s ./internal/faults/
 	$(GO) test -fuzz=FuzzGuardedDisposition -fuzztime=30s ./internal/sim/
+	$(GO) test -fuzz=FuzzElasticMembership -fuzztime=30s ./internal/sim/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1

@@ -21,6 +21,7 @@
 //	experiments drift               popularity-drift extension (moving hot spots)
 //	experiments faults              fault injection (strategies under server failures)
 //	experiments overload            overload control (goodput vs load past λ*)
+//	experiments autoscale           elastic provisioning (machine-hours vs Fmax on a bursty trace)
 //	experiments all                 everything above
 //
 // Flags select sizes; defaults follow the paper (m=15, k=3, 10 000 tasks,
@@ -52,7 +53,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|fig1|fig2|fig3|fig4|fig5-6|fig7|fig8|fig9|fig10a|fig10b|fig11|extension|robustness|convergence|writes|drift|faults|overload|all>")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|fig1|fig2|fig3|fig4|fig5-6|fig7|fig8|fig9|fig10a|fig10b|fig11|extension|robustness|convergence|writes|drift|faults|overload|autoscale|all>")
 		os.Exit(2)
 	}
 
@@ -162,6 +163,14 @@ func main() {
 			}
 			_, err := experiments.OverloadSweep(w, cfg)
 			return err
+		case "autoscale":
+			cfg := experiments.DefaultAutoscale()
+			cfg.K, cfg.Seed = *k, *seed
+			if *quick {
+				cfg.BaseTime, cfg.BurstTime = 60, 30
+			}
+			_, err := experiments.AutoscaleSweep(w, cfg)
+			return err
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -170,7 +179,7 @@ func main() {
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {
 		names = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5-6", "fig7",
-			"fig8", "fig9", "fig10a", "fig10b", "fig11", "extension", "robustness", "convergence", "writes", "drift", "faults", "overload"}
+			"fig8", "fig9", "fig10a", "fig10b", "fig11", "extension", "robustness", "convergence", "writes", "drift", "faults", "overload", "autoscale"}
 	}
 	for i, name := range names {
 		if i > 0 {

@@ -32,8 +32,11 @@ func TestFacadeAdversaryWrappers(t *testing.T) {
 }
 
 func TestFacadeSmallWrappers(t *testing.T) {
-	if s := flowsched.MachineRingInterval(5, 3, 6); s.Len() != 3 {
-		t.Fatalf("MachineRingInterval = %v", s)
+	if s, err := flowsched.MachineRingInterval(5, 3, 6); err != nil || s.Len() != 3 {
+		t.Fatalf("MachineRingInterval = %v, %v", s, err)
+	}
+	if _, err := flowsched.MachineRingInterval(0, 4, 3); err == nil {
+		t.Fatalf("MachineRingInterval(0,4,3) should error: k exceeds the ring size")
 	}
 	if flowsched.AverageLoad(7.5, 15) != 0.5 {
 		t.Fatalf("AverageLoad wrong")

@@ -74,8 +74,9 @@ func NewProcSet(machines ...int) ProcSet { return core.NewProcSet(machines...) }
 func MachineInterval(lo, hi int) ProcSet { return core.Interval(lo, hi) }
 
 // MachineRingInterval returns the circular interval of k machines starting
-// at start on a ring of m machines — the paper's I_k(u).
-func MachineRingInterval(start, k, m int) ProcSet { return core.RingInterval(start, k, m) }
+// at start on a ring of m machines — the paper's I_k(u). A replication
+// factor k outside [1, m] (e.g. after a scale-down below k) is an error.
+func MachineRingInterval(start, k, m int) (ProcSet, error) { return core.RingInterval(start, k, m) }
 
 // AllMachines is the unrestricted processing set.
 var AllMachines = core.AllMachines

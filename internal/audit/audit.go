@@ -25,6 +25,9 @@
 //	             once; non-admitted tasks are unassigned (guarded runs)
 //	deadline     completed-task flow ≤ D + p_max under a deadline-admission
 //	             budget D (guarded runs)
+//	membership   under an elastic membership log, every executed task ran on
+//	             a machine of its dispatch-time effective set (elastic runs;
+//	             replaces the static eligibility check)
 package audit
 
 import (
@@ -34,6 +37,7 @@ import (
 	"strings"
 
 	"flowsched/internal/core"
+	"flowsched/internal/elastic"
 	"flowsched/internal/faults"
 	"flowsched/internal/offline"
 	"flowsched/internal/sched"
@@ -57,6 +61,11 @@ const (
 	// InvDeadline: with a deadline-admission budget D, every completed task
 	// has flow ≤ D + p_max (the guarantee sim.RunGuarded enforces).
 	InvDeadline = "deadline"
+	// InvMembership: under an elastic membership log, every executed task ran
+	// on a machine inside its *effective* processing set at its dispatch
+	// instant — the first k active machines walking the ring from the set's
+	// origin (elastic.Effective, the same walk the engine routes with).
+	InvMembership = "membership"
 )
 
 // Violation is one broken invariant. Task and Machine are −1 when the
@@ -101,6 +110,12 @@ type Options struct {
 	// exclusivity is checked, and — when Deadline is set — the admitted-task
 	// flow bound Fmax ≤ Deadline + p_max. Optional.
 	Overload *OverloadInfo
+	// Membership supplies the membership log of an elastic run
+	// (sim.RunElastic with a config): the static eligibility check is
+	// replaced by the dispatch-time effective-set check (InvMembership), and
+	// the FIFO ≡ EFT spot-check is skipped (the proposition assumes a fixed
+	// machine count). Optional.
+	Membership *MembershipInfo
 	// SkipLowerBound disables the Fmax ≥ offline.LowerBound check
 	// (O(n²·|sets|) — callers auditing very large instances may opt out).
 	SkipLowerBound bool
@@ -123,6 +138,15 @@ type OverloadInfo struct {
 	// (e.g. DeadlineAdmit); > 0 enables the Fmax ≤ D + p_max check over
 	// completed tasks.
 	Deadline core.Time
+}
+
+// MembershipInfo carries an elastic run's membership history into the audit:
+// the replayable log (sim.ElasticMetrics.Membership) and each task's final
+// dispatch instant (sim.ElasticMetrics.Dispatched; NaN for tasks that never
+// dispatched). Both come straight from the simulator's metrics.
+type MembershipInfo struct {
+	Membership *elastic.Membership
+	Dispatched []core.Time
 }
 
 // Report is the audit outcome: empty Violations means every invariant held.
@@ -210,6 +234,27 @@ func Audit(inst *core.Instance, s *core.Schedule, opts Options) *Report {
 		if shed != nil && len(shed) != n {
 			add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
 				Detail: fmt.Sprintf("%d shed flags for %d tasks", len(shed), n)})
+			return r
+		}
+	}
+
+	var ms *elastic.Membership
+	var dispatched []core.Time
+	if opts.Membership != nil {
+		ms, dispatched = opts.Membership.Membership, opts.Membership.Dispatched
+		if ms == nil || dispatched == nil {
+			add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
+				Detail: "membership info needs both the log and the dispatch instants"})
+			return r
+		}
+		if len(dispatched) != n {
+			add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
+				Detail: fmt.Sprintf("%d dispatch instants for %d tasks", len(dispatched), n)})
+			return r
+		}
+		if ms.Capacity != m {
+			add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
+				Detail: fmt.Sprintf("membership log for %d slots, instance has %d machines", ms.Capacity, m)})
 			return r
 		}
 	}
@@ -307,7 +352,24 @@ func Audit(inst *core.Instance, s *core.Schedule, opts Options) *Report {
 				return r
 			}
 		}
-		if !task.Eligible(j) {
+		if ms != nil {
+			// Elastic runs route on the dispatch-time effective set, not the
+			// static one; re-derive it from the log with the engine's own walk.
+			at := dispatched[i]
+			switch {
+			case math.IsNaN(at):
+				if !add(Violation{Invariant: InvMembership, Task: i, Machine: j,
+					Detail: "executed task has no recorded dispatch instant"}) {
+					return r
+				}
+			case !ms.Eligible(task.Set, at, j):
+				if !add(Violation{Invariant: InvMembership, Task: i, Machine: j,
+					Detail: fmt.Sprintf("machine outside the effective set of %v at dispatch t=%v (members %d)",
+						task.Set, at, ms.MembersAt(at))}) {
+					return r
+				}
+			}
+		} else if !task.Eligible(j) {
 			if !add(Violation{Invariant: InvEligible, Task: i, Machine: j,
 				Detail: fmt.Sprintf("machine not in processing set %v", task.Set)}) {
 				return r
@@ -383,7 +445,7 @@ func Audit(inst *core.Instance, s *core.Schedule, opts Options) *Report {
 	// must agree on Fmax. This audits the instance/algorithm pair rather
 	// than the given schedule — a canary that the equivalence the paper
 	// proves still holds on this workload shape.
-	if !opts.SkipFIFOEquiv && n > 0 && unrestricted(inst) {
+	if !opts.SkipFIFOEquiv && opts.Membership == nil && n > 0 && unrestricted(inst) {
 		es, err1 := sched.NewEFT(sched.MinTie{}).Run(inst)
 		fs, err2 := (&sched.FIFO{Tie: sched.MinTie{}}).Run(inst)
 		switch {

@@ -20,7 +20,7 @@ func randomInstance(m, n int, rng *rand.Rand) *core.Instance {
 		switch rng.Intn(3) {
 		case 0: // unrestricted
 		case 1:
-			set = core.RingInterval(rng.Intn(m), 1+rng.Intn(m), m)
+			set = core.MustRingInterval(rng.Intn(m), 1+rng.Intn(m), m)
 		default:
 			k := 1 + rng.Intn(m)
 			set = core.NewProcSet(rng.Perm(m)[:k]...)

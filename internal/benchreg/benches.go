@@ -6,6 +6,7 @@ import (
 
 	"flowsched/internal/audit"
 	"flowsched/internal/core"
+	"flowsched/internal/elastic"
 	"flowsched/internal/eventq"
 	"flowsched/internal/faults"
 	"flowsched/internal/obs"
@@ -37,6 +38,8 @@ func init() {
 	Register("SimRunFaultyGray", benchSimRunFaultyGray)
 	Register("SimRunGuardedOff", benchSimRunGuardedOff)
 	Register("SimRunGuardedAdmit", benchSimRunGuardedAdmit)
+	Register("SimRunElasticOff", benchSimRunElasticOff)
+	Register("SimRunElasticScale", benchSimRunElasticScale)
 	Register("OutlierEject", benchOutlierEject)
 	Register("AuditSchedule", benchAuditSchedule)
 	Register("SchedEFTRun", benchSchedEFTRun)
@@ -226,6 +229,47 @@ func benchSimRunGuardedAdmit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := sim.RunGuarded(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSimRunElasticOff pins the disabled-path cost of the elastic layer:
+// RunElastic with a nil membership config must track SimRunGuardedOff (the
+// byte-identical property in internal/sim pins the behavior, the 0-extra-alloc
+// test pins the footprint; this entry pins the speed).
+func benchSimRunElasticOff(b *testing.B) {
+	inst := restrictedInstance(15, 3, 5000)
+	plan := faults.Empty(15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sim.RunElastic(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}, nil, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSimRunElasticScale measures a churning membership on the same
+// workload: start at 9 of 15 slots, drain to 6, grow back to 12 (with
+// warm-up) and settle at 9, exercising the join, drain-handoff and
+// effective-set remap paths.
+func benchSimRunElasticScale(b *testing.B) {
+	inst := restrictedInstance(15, 3, 5000)
+	plan := faults.Empty(15)
+	horizon := float64(inst.N()) / (0.8 * 15)
+	ecfg := &elastic.Config{
+		Initial: 9, Min: 6, Max: 15, WarmUp: 0.5,
+		Script: []elastic.Event{
+			{At: core.Time(horizon * 0.2), Delta: -3},
+			{At: core.Time(horizon * 0.5), Delta: 6},
+			{At: core.Time(horizon * 0.8), Delta: -3},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sim.RunElastic(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}, nil, ecfg, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

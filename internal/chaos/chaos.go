@@ -1,11 +1,12 @@
 // Package chaos is the randomized soak harness: it samples points of the
-// cross-product workload × replication strategy × fault plan × router ×
-// retry policy, simulates each one with sim.RunFaultyProbed, and runs every
-// resulting schedule through the internal/audit invariant auditor plus a
-// counting probe that cross-checks the simulator's own metrics. A trial
-// that violates any invariant is automatically shrunk (drop tasks, drop
-// fault segments, halve the cluster) to a minimal reproduction that can be
-// written out as replayable JSON.
+// cross-product workload × replication strategy × fault plan × overload
+// controls × membership churn × router × retry policy, simulates each one
+// with sim.RunElastic (the full engine stack), and runs every resulting
+// schedule through the internal/audit invariant auditor plus a counting
+// probe that cross-checks the simulator's own metrics. A trial that
+// violates any invariant is automatically shrunk (drop tasks, drop fault
+// segments, drop scale events, halve the cluster) to a minimal reproduction
+// that can be written out as replayable JSON.
 //
 // Everything is derived from Config.Seed: the same seed replays the same
 // trials, the same plans and the same router randomness, so a soak failure
@@ -18,6 +19,7 @@ import (
 
 	"flowsched/internal/audit"
 	"flowsched/internal/core"
+	"flowsched/internal/elastic"
 	"flowsched/internal/faults"
 	"flowsched/internal/overload"
 	"flowsched/internal/parallel"
@@ -121,6 +123,11 @@ type Params struct {
 	// described overload controls (and the sampler pushes Load toward or
 	// past saturation so they actually fire).
 	Overload *OverloadParams `json:"overload,omitempty"`
+	// Elastic, when non-nil, runs the trial with online membership: machines
+	// join (with warm-up) and drain (with handoff) mid-run on the described
+	// script, and the audit membership invariants replace the static
+	// eligibility check.
+	Elastic *ElasticParams `json:"elastic,omitempty"`
 }
 
 // OverloadParams pins the overload-control side of a trial; everything
@@ -134,6 +141,21 @@ type OverloadParams struct {
 	ShedPolicy string  `json:"shedPolicy,omitempty"`
 	EjectK     float64 `json:"ejectK,omitempty"`
 	Cooldown   float64 `json:"cooldown,omitempty"`
+}
+
+// ElasticParams pins the membership-churn side of a trial; everything needed
+// to rebuild the elastic.Config deterministically. Bounds are expressed
+// against the sampled M but clamp to whatever cluster they are replayed on
+// (see elasticConfig), so the shrinker can halve the cluster without
+// invalidating the params.
+type ElasticParams struct {
+	Initial int             `json:"initial"`
+	Min     int             `json:"min,omitempty"`
+	Max     int             `json:"max,omitempty"`
+	WarmUp  float64         `json:"warmUp,omitempty"`
+	Script  []elastic.Event `json:"script,omitempty"`
+	// Auto attaches a capacity-bound autoscaler on top of the script.
+	Auto bool `json:"auto,omitempty"`
 }
 
 var faultModes = []string{"none", "crash", "zones", "gray", "mixed"}
@@ -221,6 +243,32 @@ func SampleParams(cfg Config, trial int) Params {
 		}
 		p.Overload = op
 	}
+	// A third of the trials churn membership: scale events spread across the
+	// expected release span (and sometimes an autoscaler on top), so joins,
+	// warm-ups, drains and handoffs happen while the trial is under load.
+	if rng.Intn(3) == 0 {
+		ep := &ElasticParams{Initial: 1 + rng.Intn(p.M), Min: 1, Max: p.M}
+		if rng.Intn(2) == 0 {
+			ep.WarmUp = rng.Float64() * 2
+		}
+		horizon := float64(p.N) / workload.RateForLoad(p.Load, p.M)
+		steps := 1 + rng.Intn(6)
+		sign := 1
+		if ep.Initial > (p.M+1)/2 {
+			sign = -1
+		}
+		for s := 0; s < steps; s++ {
+			ep.Script = append(ep.Script, elastic.Event{
+				At:    core.Time(horizon * float64(s+1) / float64(steps+1)),
+				Delta: sign * (1 + rng.Intn(2)),
+			})
+			sign = -sign
+		}
+		if rng.Intn(3) == 0 {
+			ep.Auto = true
+		}
+		p.Elastic = ep
+	}
 	return p
 }
 
@@ -275,6 +323,45 @@ func (p Params) overloadConfig() (*overload.Config, error) {
 		cfg.Guard = p.estimator()
 	}
 	return cfg, nil
+}
+
+// elasticConfig rebuilds the trial's elastic.Config for a cluster of m slots
+// (nil when the trial has static membership). m is a parameter rather than
+// p.M because the shrinker halves the cluster: the bounds clamp so the same
+// params stay valid on the shrunk instance.
+func (p Params) elasticConfig(m int) *elastic.Config {
+	ep := p.Elastic
+	if ep == nil || m < 1 {
+		return nil
+	}
+	cfg := &elastic.Config{
+		Initial: ep.Initial, Min: ep.Min, Max: ep.Max,
+		WarmUp: core.Time(ep.WarmUp), Script: ep.Script,
+	}
+	if cfg.Initial > m {
+		cfg.Initial = m
+	}
+	if cfg.Min > m {
+		cfg.Min = m
+	}
+	if cfg.Max > m {
+		cfg.Max = m
+	}
+	if cfg.Max > 0 && cfg.Min > cfg.Max {
+		cfg.Min = cfg.Max
+	}
+	if cfg.Initial > 0 {
+		if cfg.Min > 0 && cfg.Initial < cfg.Min {
+			cfg.Initial = cfg.Min
+		}
+		if cfg.Max > 0 && cfg.Initial > cfg.Max {
+			cfg.Initial = cfg.Max
+		}
+	}
+	if ep.Auto {
+		cfg.Auto = &elastic.Autoscaler{Guard: overload.NewEstimatorCapacity(float64(m))}
+	}
+	return cfg
 }
 
 func (p Params) strategy(rng *rand.Rand) replicate.Strategy {
@@ -367,10 +454,12 @@ func Check(inst *core.Instance, plan *faults.Plan, spec RouterSpec, p Params) []
 	if err != nil {
 		return []audit.Violation{{Invariant: InvSimError, Task: -1, Machine: -1, Detail: err.Error()}}
 	}
-	s, om, err := sim.RunGuarded(inst, router, plan, p.Policy, cfg, probe)
+	ecfg := p.elasticConfig(inst.M)
+	s, em, err := sim.RunElastic(inst, router, plan, p.Policy, cfg, ecfg, probe)
 	if err != nil {
 		return []audit.Violation{{Invariant: InvSimError, Task: -1, Machine: -1, Detail: err.Error()}}
 	}
+	om := &em.OverloadMetrics
 	comps := make([]core.Time, inst.N())
 	for i, task := range inst.Tasks {
 		comps[i] = task.Release + om.Flows[i]
@@ -387,8 +476,18 @@ func Check(inst *core.Instance, plan *faults.Plan, spec RouterSpec, p Params) []
 		}
 		opts.Overload = info
 	}
+	if ecfg != nil {
+		// The membership log swaps the static eligibility check for the
+		// dispatch-time effective-set replay (and disables the fixed-m
+		// FIFO ≡ EFT spot-check).
+		opts.Membership = &audit.MembershipInfo{Membership: em.Membership, Dispatched: em.Dispatched}
+	}
 	r := audit.Audit(inst, s, opts)
-	return append(r.Violations, probe.crossCheck(inst, om)...)
+	vs := append(r.Violations, probe.crossCheck(inst, om)...)
+	if ecfg != nil {
+		vs = append(vs, probe.crossCheckElastic(inst, em)...)
+	}
+	return vs
 }
 
 // Failure is one failing trial: its parameters, the violations of the

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"flowsched/internal/core"
+	"flowsched/internal/elastic"
 	"flowsched/internal/sim"
 )
 
@@ -170,6 +171,105 @@ func TestSetIgnoringRouterCaughtAndShrunk(t *testing.T) {
 	}
 	if repro.Violations[0].Invariant != InvSimError {
 		t.Fatalf("shrunk violation = %v, want %s", repro.Violations[0], InvSimError)
+	}
+}
+
+// TestSampleParamsElasticCoverage: a healthy fraction of trials sample
+// membership churn, and every sampled elastic config is valid for its own
+// cluster and for any halved cluster the shrinker may hand it.
+func TestSampleParamsElasticCoverage(t *testing.T) {
+	cfg := Config{Seed: 7}
+	churn := 0
+	for trial := 0; trial < 200; trial++ {
+		p := SampleParams(cfg, trial)
+		if p.Elastic == nil {
+			continue
+		}
+		churn++
+		if len(p.Elastic.Script) == 0 && !p.Elastic.Auto {
+			t.Fatalf("trial %d: elastic params with nothing to do: %+v", trial, p.Elastic)
+		}
+		for m := p.M; m >= 1; m /= 2 {
+			if err := p.elasticConfig(m).Validate(m); err != nil {
+				t.Fatalf("trial %d: elastic config invalid at m=%d: %v", trial, m, err)
+			}
+		}
+	}
+	if churn < 30 {
+		t.Fatalf("only %d/200 trials sampled membership churn", churn)
+	}
+}
+
+// TestElasticChurnCaughtAndShrunk is the membership acceptance scenario: a
+// broken router on a churning cluster — machines joining and draining
+// mid-run, queued work handing off — is caught by the auditor and shrunk to
+// a repro of at most 5 tasks, with the scale script minimized alongside the
+// instance (this failure does not depend on the churn, so the script must
+// shrink away entirely).
+func TestElasticChurnCaughtAndShrunk(t *testing.T) {
+	cfg := Config{Routers: brokenRouters()}
+	p := Params{
+		Trial: 4, Seed: 4242,
+		M: 6, N: 60, K: 2,
+		Load: 1.5, Dist: "constant", Strategy: "overlapping",
+		Router: "corrupting", FaultMode: "none",
+		Elastic: &ElasticParams{
+			Initial: 3, Min: 1, Max: 6, WarmUp: 0.5,
+			Script: []elastic.Event{
+				{At: 2, Delta: 2}, {At: 5, Delta: -2}, {At: 8, Delta: 1}, {At: 11, Delta: -3},
+			},
+		},
+	}
+	inst, plan, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := p.routerSpec(cfg.Routers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := Check(inst, plan, spec, p)
+	if len(vs) == 0 {
+		t.Fatal("corrupting router not caught under churn")
+	}
+	overlap := false
+	for _, v := range vs {
+		if v.Invariant == "overlap" {
+			overlap = true
+		}
+	}
+	if !overlap {
+		t.Fatalf("want an overlap violation, got %v", vs)
+	}
+	repro, err := ShrinkFailure(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repro.N() > 5 {
+		t.Fatalf("shrunk repro has %d tasks, want ≤ 5", repro.N())
+	}
+	if got := len(repro.Params.Elastic.Script); got != 0 {
+		t.Fatalf("churn-independent failure kept %d script events", got)
+	}
+	// The repro round-trips with its elastic params intact and still replays.
+	var buf bytes.Buffer
+	if err := repro.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRepro(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Params.Elastic, repro.Params.Elastic) {
+		t.Fatalf("elastic params changed in round trip: %+v vs %+v",
+			back.Params.Elastic, repro.Params.Elastic)
+	}
+	vs2, err := back.Replay(cfg.Routers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs2) == 0 {
+		t.Fatal("shrunk repro does not replay under churn params")
 	}
 }
 

@@ -16,7 +16,9 @@ import (
 // stream have diverged — a bug neither the schedule auditor nor the metrics
 // alone would catch. It also observes the overload-control stream
 // (obs.OverloadObserver), so guarded trials cross-check rejections, sheds
-// and ejections the same way.
+// and ejections the same way, and the membership stream
+// (obs.MembershipObserver), so churn trials cross-check scale-ups, joins,
+// drains and handoffs against the run's metrics and membership log.
 type countProbe struct {
 	obs.BaseProbe
 	arrivals   int
@@ -34,6 +36,13 @@ type countProbe struct {
 	readmissions int
 	rejected     []bool
 	shed         []bool
+
+	scaleUps      int
+	joins         int
+	scaleDowns    int
+	handoffs      int
+	drainHandoffs int // handoff totals as reported by the drain events
+	warmUp        core.Time
 }
 
 func newCountProbe(n int) *countProbe {
@@ -88,6 +97,24 @@ func (c *countProbe) OnReadmit(server int, at core.Time) { c.readmissions++ }
 
 // OnBrownout implements obs.OverloadObserver.
 func (c *countProbe) OnBrownout(at core.Time, active bool) {}
+
+// OnScaleUp implements obs.MembershipObserver.
+func (c *countProbe) OnScaleUp(machine int, at, ready core.Time) {
+	c.scaleUps++
+	c.warmUp += ready - at
+}
+
+// OnJoin implements obs.MembershipObserver.
+func (c *countProbe) OnJoin(machine int, at core.Time, members int) { c.joins++ }
+
+// OnScaleDown implements obs.MembershipObserver.
+func (c *countProbe) OnScaleDown(machine int, at core.Time, members, handoffs int) {
+	c.scaleDowns++
+	c.drainHandoffs += handoffs
+}
+
+// OnHandoff implements obs.MembershipObserver.
+func (c *countProbe) OnHandoff(task, from int, at core.Time) { c.handoffs++ }
 
 // crossCheck compares the probe's event counts against the run's metrics
 // and returns one InvProbe violation per disagreement.
@@ -167,6 +194,61 @@ func (c *countProbe) crossCheck(inst *core.Instance, om *sim.OverloadMetrics) []
 		if math.Abs(end-want) > 1e-9*(1+math.Abs(want)) {
 			bad("task %d completed at %v, metrics imply %v", i, end, want)
 		}
+	}
+	return vs
+}
+
+// crossCheckElastic compares the probe's membership event counts against an
+// elastic run's metrics and membership log, one InvProbe violation per
+// disagreement.
+func (c *countProbe) crossCheckElastic(inst *core.Instance, em *sim.ElasticMetrics) []audit.Violation {
+	var vs []audit.Violation
+	bad := func(format string, args ...any) {
+		vs = append(vs, audit.Violation{Invariant: InvProbe, Task: -1, Machine: -1,
+			Detail: fmt.Sprintf(format, args...)})
+	}
+	if c.scaleUps != em.ScaleUps {
+		bad("probe saw %d scale-ups, metrics report %d", c.scaleUps, em.ScaleUps)
+	}
+	if c.scaleDowns != em.ScaleDowns {
+		bad("probe saw %d scale-downs, metrics report %d", c.scaleDowns, em.ScaleDowns)
+	}
+	if c.handoffs != em.Handoffs {
+		bad("probe saw %d handoffs, metrics report %d", c.handoffs, em.Handoffs)
+	}
+	if c.drainHandoffs != c.handoffs {
+		bad("drain events total %d handoffs, per-task events total %d", c.drainHandoffs, c.handoffs)
+	}
+	if c.joins > c.scaleUps {
+		bad("probe saw %d joins for %d scale-ups", c.joins, c.scaleUps)
+	}
+	if math.Abs(float64(c.warmUp-em.WarmUpTime)) > 1e-9*(1+math.Abs(float64(em.WarmUpTime))) {
+		bad("probe accumulated warm-up %v, metrics report %v", c.warmUp, em.WarmUpTime)
+	}
+	ms := em.Membership
+	if ms == nil {
+		bad("elastic run reported no membership log")
+		return vs
+	}
+	if ms.Capacity != inst.M {
+		bad("membership log capacity %d for a %d-slot instance", ms.Capacity, inst.M)
+	}
+	joins, drains := 0, 0
+	for _, ch := range ms.Changes {
+		if ch.Join {
+			joins++
+		} else {
+			drains++
+		}
+	}
+	if joins != c.joins {
+		bad("membership log has %d joins, probe saw %d", joins, c.joins)
+	}
+	if drains != c.scaleDowns {
+		bad("membership log has %d drains, probe saw %d", drains, c.scaleDowns)
+	}
+	if len(em.Dispatched) != inst.N() {
+		bad("dispatch log has %d entries for %d tasks", len(em.Dispatched), inst.N())
 	}
 	return vs
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flowsched/internal/core"
+	"flowsched/internal/elastic"
 	"flowsched/internal/faults"
 )
 
@@ -152,10 +153,57 @@ func clipPlan(plan *faults.Plan, m2 int) *faults.Plan {
 	return out
 }
 
+// shrinkScript drops scale events from the params' membership script,
+// chunked like shrinkTasks, keeping every removal that preserves the
+// failure. It returns the (possibly) reduced params and whether anything was
+// dropped; the candidate simulations count against the shared budget.
+func shrinkScript(p Params, inst *core.Instance, plan *faults.Plan, spec RouterSpec, budget *int) (Params, bool) {
+	if p.Elastic == nil || len(p.Elastic.Script) == 0 {
+		return p, false
+	}
+	failing := func(cand Params) bool {
+		if *budget <= 0 {
+			return false
+		}
+		*budget--
+		return len(Check(inst, plan, spec, cand)) > 0
+	}
+	events := p.Elastic.Script
+	shrunk := false
+	for chunk := (len(events) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for i := 0; i < len(events); {
+			end := i + chunk
+			if end > len(events) {
+				end = len(events)
+			}
+			var cand []elastic.Event // nil when empty, matching a JSON round trip
+			if len(events) > end-i {
+				cand = make([]elastic.Event, 0, len(events)-(end-i))
+				cand = append(cand, events[:i]...)
+				cand = append(cand, events[end:]...)
+			}
+			cp := p
+			ce := *p.Elastic
+			ce.Script = cand
+			cp.Elastic = &ce
+			if failing(cp) {
+				events = cand
+				p = cp
+				shrunk = true
+			} else {
+				i += chunk
+			}
+		}
+	}
+	return p, shrunk
+}
+
 // ShrinkFailure rebuilds the failing trial from its params, shrinks it and
 // packages the result as a replayable repro. The shrink oracle re-runs the
 // full Check (simulate + audit + probe cross-check) under the trial's
 // router and policy, capped at cfg.ShrinkBudget candidate simulations.
+// Membership-churn trials additionally get their scale script minimized, and
+// the repro's params carry the reduced script.
 func ShrinkFailure(cfg Config, p Params) (*Repro, error) {
 	cfg = cfg.withDefaults()
 	inst, plan, err := p.Build()
@@ -178,6 +226,13 @@ func ShrinkFailure(cfg Config, p Params) (*Repro, error) {
 		return nil, fmt.Errorf("chaos: trial %d is not failing under its own params", p.Trial)
 	}
 	mi, mp := Shrink(inst, plan, failing)
+	// Minimize the membership script too, then give the structural shrinker
+	// one more pass under the reduced script (failing closes over p, so it
+	// sees the update).
+	if p2, ok := shrinkScript(p, mi, mp, spec, &budget); ok {
+		p = p2
+		mi, mp = Shrink(mi, mp, failing)
+	}
 	violations := Check(mi, mp, spec, p)
 	if len(violations) == 0 {
 		return nil, fmt.Errorf("chaos: trial %d: shrunk configuration no longer fails", p.Trial)

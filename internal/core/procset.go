@@ -53,15 +53,28 @@ func Interval(lo, hi int) ProcSet {
 // RingInterval returns the circular interval of size k starting at machine
 // start on a ring of m machines: {start, start+1, ..., start+k-1} mod m.
 // This is the I_k(u) construction of Section 7.2 (overlapping strategy).
-func RingInterval(start, k, m int) ProcSet {
+// Invalid parameters — k outside [1, m], e.g. a scale-down shrinking the
+// ring below the replication factor — are reported as an error, not a panic
+// (surfaced up front by replicate.ValidateReplication).
+func RingInterval(start, k, m int) (ProcSet, error) {
 	if k <= 0 || m <= 0 || k > m {
-		panic(fmt.Sprintf("core.RingInterval: invalid k=%d m=%d", k, m))
+		return nil, fmt.Errorf("core.RingInterval: interval size k=%d outside [1, m=%d]", k, m)
 	}
 	s := make([]int, 0, k)
 	for i := 0; i < k; i++ {
 		s = append(s, ((start+i)%m+m)%m)
 	}
-	return NewProcSet(s...)
+	return NewProcSet(s...), nil
+}
+
+// MustRingInterval is RingInterval for parameters already validated (e.g.
+// via replicate.CheckK); it panics on the error path.
+func MustRingInterval(start, k, m int) ProcSet {
+	s, err := RingInterval(start, k, m)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
 }
 
 // Len reports the number of machines in the set; a nil set has length 0 but

@@ -50,7 +50,10 @@ func TestIntervalPanicsOnBadRange(t *testing.T) {
 func TestRingInterval(t *testing.T) {
 	// Paper Figure 9: m=6, k=3; overlapping set of M5 (0-based 4) is
 	// {M5,M6,M1} = {0,4,5}.
-	s := RingInterval(4, 3, 6)
+	s, err := RingInterval(4, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !s.Equal(ProcSet{0, 4, 5}) {
 		t.Fatalf("RingInterval(4,3,6) = %v, want {0,4,5}", s)
 	}
@@ -61,10 +64,28 @@ func TestRingInterval(t *testing.T) {
 		t.Fatalf("wrap-around set should not be contiguous")
 	}
 	// Non-wrapping case.
-	s2 := RingInterval(2, 3, 6)
+	s2 := MustRingInterval(2, 3, 6)
 	if !s2.Equal(ProcSet{2, 3, 4}) {
 		t.Fatalf("RingInterval(2,3,6) = %v", s2)
 	}
+}
+
+func TestRingIntervalInvalid(t *testing.T) {
+	// k outside [1, m] — e.g. a scale-down below the replication factor —
+	// is an error, not a panic.
+	for _, tc := range []struct{ start, k, m int }{
+		{0, 4, 3}, {0, 0, 3}, {0, -1, 3}, {0, 1, 0},
+	} {
+		if s, err := RingInterval(tc.start, tc.k, tc.m); err == nil {
+			t.Errorf("RingInterval(%d,%d,%d) = %v, want error", tc.start, tc.k, tc.m, s)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustRingInterval(0,4,3) should panic")
+		}
+	}()
+	MustRingInterval(0, 4, 3)
 }
 
 func TestContains(t *testing.T) {
@@ -207,8 +228,8 @@ func TestRingIntervalProperties(t *testing.T) {
 		m := 2 + rng.Intn(14)
 		k := 1 + rng.Intn(m)
 		u := rng.Intn(m)
-		s := RingInterval(u, k, m)
-		if len(s) != k {
+		s, err := RingInterval(u, k, m)
+		if err != nil || len(s) != k {
 			return false
 		}
 		if !s.IsCircularInterval(m) {

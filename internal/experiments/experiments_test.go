@@ -422,3 +422,47 @@ func TestPopularityDrift(t *testing.T) {
 		t.Errorf("output incomplete")
 	}
 }
+
+// TestAutoscaleSweepHeadline pins the elastic-provisioning story on a
+// shortened trace: the autoscaler holds the admitted Fmax within the SLO at
+// fewer machine-hours than static-peak, while static-for-mean blows through
+// the SLO during the burst. Every cell is auditor-checked inside the sweep
+// (membership invariants included), so a pass here also certifies the
+// elastic schedules.
+func TestAutoscaleSweepHeadline(t *testing.T) {
+	cfg := DefaultAutoscale()
+	cfg.BaseTime, cfg.BurstTime = 60, 30
+	var b strings.Builder
+	rows, err := AutoscaleSweep(&b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byCell := map[string]AutoscaleRow{}
+	for _, r := range rows {
+		byCell[r.Cell] = r
+	}
+	peak, mean, auto := byCell["static-peak"], byCell["static-mean"], byCell["autoscaled"]
+	if !peak.SLOOk {
+		t.Errorf("static-peak misses the SLO: Fmax %v", peak.Fmax)
+	}
+	if mean.SLOOk {
+		t.Errorf("static-mean holds the SLO (%v ≤ %v): the burst is too gentle to tell the cells apart",
+			mean.Fmax, cfg.SLO)
+	}
+	if !auto.SLOOk {
+		t.Errorf("autoscaler misses the SLO: Fmax %v > %v", auto.Fmax, cfg.SLO)
+	}
+	if auto.MachineHours >= peak.MachineHours {
+		t.Errorf("autoscaler spends %v machine-hours, static-peak only %v",
+			auto.MachineHours, peak.MachineHours)
+	}
+	if auto.ScaleUps == 0 || auto.ScaleDowns == 0 {
+		t.Errorf("autoscaler never churned: %d up, %d down", auto.ScaleUps, auto.ScaleDowns)
+	}
+	if !strings.Contains(b.String(), "Elastic provisioning") {
+		t.Errorf("output incomplete")
+	}
+}

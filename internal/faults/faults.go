@@ -232,6 +232,22 @@ func (p *Plan) End() core.Time {
 	return end
 }
 
+// Extend lifts a plan authored for a smaller cluster onto m machine slots:
+// outage and slowdown segments keep their server ids (machine ids are
+// stable slots under elastic membership, so a slowdown scripted for server j
+// still hits slot j after it joins mid-run), only the cluster size grows.
+// Shrinking below the plan's size is rejected — segments for servers ≥ m
+// would silently vanish; drop them explicitly instead.
+func (p *Plan) Extend(m int) (*Plan, error) {
+	if m < p.M {
+		return nil, fmt.Errorf("faults: cannot extend a plan for %d servers onto %d: segments for servers %d..%d would be dropped",
+			p.M, m, m, p.M-1)
+	}
+	out := p.Clone()
+	out.M = m
+	return out, nil
+}
+
 // Clone returns a deep copy of the plan.
 func (p *Plan) Clone() *Plan {
 	out := &Plan{M: p.M, Outages: make([]Outage, len(p.Outages))}

@@ -161,7 +161,7 @@ type CorrelatedConfig struct {
 // Non-positive MTBF, MTTR, horizon or Zones yields the healthy plan.
 func GenerateCorrelated(m int, horizon core.Time, cfg CorrelatedConfig, rng *rand.Rand) *Plan {
 	p := &Plan{M: m}
-	if cfg.Zones < 1 || cfg.MTBF <= 0 || cfg.MTTR <= 0 || horizon <= 0 {
+	if m < 1 || cfg.Zones < 1 || cfg.MTBF <= 0 || cfg.MTTR <= 0 || horizon <= 0 {
 		return p
 	}
 	size := cfg.ZoneSize
@@ -172,7 +172,8 @@ func GenerateCorrelated(m int, horizon core.Time, cfg CorrelatedConfig, rng *ran
 		size = m
 	}
 	for z := 0; z < cfg.Zones; z++ {
-		zone := core.RingInterval(z*m/cfg.Zones, size, m)
+		// size is clamped to [1, m] above, so the interval is always valid.
+		zone := core.MustRingInterval(z*m/cfg.Zones, size, m)
 		t := core.Time(rng.ExpFloat64() * cfg.MTBF)
 		for t < horizon {
 			d := core.Time(rng.ExpFloat64() * cfg.MTTR)

@@ -205,7 +205,7 @@ func TestGenerateCorrelated(t *testing.T) {
 	zones := make([]map[int]bool, cfg.Zones)
 	for z := range zones {
 		zones[z] = map[int]bool{}
-		for _, j := range core.RingInterval(z*m/cfg.Zones, 4, m) {
+		for _, j := range core.MustRingInterval(z*m/cfg.Zones, 4, m) {
 			zones[z][j] = true
 		}
 	}

@@ -26,6 +26,13 @@ type Counters struct {
 	Ejections    int64 // servers ejected by the outlier detector
 	Readmissions int64 // ejected servers re-admitted after cooldown
 	Brownouts    int64 // rising edges of the SLO guard's brownout signal
+
+	// Elastic-membership totals (sim.RunElastic with a config; zero otherwise).
+	ScaleUps   int64     // scale-up decisions committed
+	Joins      int64     // machines that finished warm-up and went active
+	ScaleDowns int64     // machines drained out of the ring
+	Handoffs   int64     // queued tasks handed off from draining machines
+	WarmUpTime core.Time // total warm-up delay imposed on joiners
 }
 
 // OnArrival implements Probe.
@@ -68,6 +75,21 @@ func (c *Counters) OnBrownout(at core.Time, active bool) {
 	}
 }
 
+// OnScaleUp implements MembershipObserver.
+func (c *Counters) OnScaleUp(machine int, at, ready core.Time) {
+	c.ScaleUps++
+	c.WarmUpTime += ready - at
+}
+
+// OnJoin implements MembershipObserver.
+func (c *Counters) OnJoin(machine int, at core.Time, members int) { c.Joins++ }
+
+// OnScaleDown implements MembershipObserver.
+func (c *Counters) OnScaleDown(machine int, at core.Time, members, handoffs int) { c.ScaleDowns++ }
+
+// OnHandoff implements MembershipObserver.
+func (c *Counters) OnHandoff(task, from int, at core.Time) { c.Handoffs++ }
+
 // WriteProm writes the counters in the Prometheus text exposition format
 // under the flowsched_ namespace.
 func (c *Counters) WriteProm(w io.Writer) error {
@@ -87,11 +109,18 @@ func (c *Counters) WriteProm(w io.Writer) error {
 		{"flowsched_ejections_total", "Servers ejected by outlier detection.", c.Ejections},
 		{"flowsched_readmissions_total", "Ejected servers re-admitted after cooldown.", c.Readmissions},
 		{"flowsched_brownouts_total", "Brownout signal rising edges.", c.Brownouts},
+		{"flowsched_scale_ups_total", "Elastic scale-up decisions committed.", c.ScaleUps},
+		{"flowsched_joins_total", "Machines that finished warm-up and went active.", c.Joins},
+		{"flowsched_scale_downs_total", "Machines drained out of the ring.", c.ScaleDowns},
+		{"flowsched_handoffs_total", "Queued tasks handed off from draining machines.", c.Handoffs},
 	} {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 			row.name, row.help, row.name, row.name, row.value); err != nil {
 			return err
 		}
 	}
-	return nil
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n",
+		"flowsched_warm_up_time", "Total warm-up delay imposed on joining machines.",
+		"flowsched_warm_up_time", "flowsched_warm_up_time", float64(c.WarmUpTime))
+	return err
 }

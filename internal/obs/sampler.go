@@ -15,6 +15,7 @@ type Sample struct {
 	Backlog int       // total released-but-unfinished requests (Σ queues + parked/failing-over)
 	MaxAge  core.Time // age of the oldest in-flight request — the max-flow watermark
 	Busy    int       // servers with a non-empty queue
+	Members int       // active cluster membership (= m unless elastic events arrive)
 }
 
 // Utilization returns the instantaneous fraction of busy servers.
@@ -45,6 +46,7 @@ type Sampler struct {
 	next    core.Time // next sample boundary to emit
 	queue   []int     // per-server unfinished requests
 	backlog int
+	members int // active membership; updated by elastic join/drain events
 
 	pending eventq.Queue[sampDone] // future completions, keyed by end time
 
@@ -71,12 +73,18 @@ func NewSampler(m int, dt core.Time) (*Sampler, error) {
 		return nil, fmt.Errorf("obs: sampling interval must be positive, got dt=%v", dt)
 	}
 	return &Sampler{
-		dt:    dt,
-		m:     m,
-		queue: make([]int, m),
-		posOf: make(map[int]int),
+		dt:      dt,
+		m:       m,
+		members: m,
+		queue:   make([]int, m),
+		posOf:   make(map[int]int),
 	}, nil
 }
+
+// SetMembers primes the membership gauge for an elastic run that starts with
+// fewer than m active machines (the simulator only reports *changes* through
+// MembershipObserver). Call it before the run; the default is m.
+func (s *Sampler) SetMembers(n int) { s.members = n }
 
 // Interval returns the sampling interval dt.
 func (s *Sampler) Interval() core.Time { return s.dt }
@@ -122,7 +130,7 @@ func (s *Sampler) record(at core.Time) {
 	if pos := s.oldestInFlight(); pos >= 0 {
 		age = at - s.releases[pos]
 	}
-	s.samples = append(s.samples, Sample{Time: at, Queue: q, Backlog: s.backlog, MaxAge: age, Busy: busy})
+	s.samples = append(s.samples, Sample{Time: at, Queue: q, Backlog: s.backlog, MaxAge: age, Busy: busy, Members: s.members})
 }
 
 // oldestInFlight advances past finished arrivals and returns the arrival
@@ -221,6 +229,25 @@ func (s *Sampler) OnFailover(server int, at core.Time, lost int) {
 		s.queue[server] = 0
 	}
 }
+
+// OnScaleUp implements MembershipObserver (membership only changes at the
+// join, warm-up later).
+func (s *Sampler) OnScaleUp(machine int, at, ready core.Time) { s.advance(at) }
+
+// OnJoin implements MembershipObserver.
+func (s *Sampler) OnJoin(machine int, at core.Time, members int) {
+	s.advance(at)
+	s.members = members
+}
+
+// OnScaleDown implements MembershipObserver.
+func (s *Sampler) OnScaleDown(machine int, at core.Time, members, handoffs int) {
+	s.advance(at)
+	s.members = members
+}
+
+// OnHandoff implements MembershipObserver.
+func (s *Sampler) OnHandoff(task, from int, at core.Time) { s.advance(at) }
 
 // OnDone implements Probe: it flushes pending completions and emits every
 // remaining boundary up to and including the makespan.

@@ -134,6 +134,12 @@ func (e *Estimator) reset() {
 	}
 }
 
+// Reset clears the per-run tracking state so the estimator can be reused
+// across runs. Config.Reset calls it for a guard attached to an overload
+// config; an estimator driving only an elastic autoscaler is reset by the
+// simulator directly.
+func (e *Estimator) Reset() { e.reset() }
+
 // Observe records one arrival at instant now whose key's primary machine is
 // primary (−1 or out of range skips the per-set tracking).
 func (e *Estimator) Observe(now core.Time, primary int) {

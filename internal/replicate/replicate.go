@@ -48,7 +48,7 @@ func (o Overlapping) Name() string { return fmt.Sprintf("overlapping(k=%d)", o.K
 // Set implements Strategy.
 func (o Overlapping) Set(u, m int) core.ProcSet {
 	checkK(o.K, m)
-	return core.RingInterval(u, o.K, m)
+	return core.MustRingInterval(u, o.K, m)
 }
 
 // Disjoint divides the cluster into ⌈m/K⌉ consecutive blocks of size K (the

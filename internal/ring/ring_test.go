@@ -36,7 +36,7 @@ func TestOrderedRingMatchesPaperIntervals(t *testing.T) {
 				key := fmt.Sprintf("key-%d-%d", k, trial)
 				u := r.Primary(key)
 				got := r.ReplicaSet(key, k)
-				want := core.RingInterval(u, k, m)
+				want := core.MustRingInterval(u, k, m)
 				if !got.Equal(want) {
 					t.Fatalf("m=%d k=%d key %q primary %d: %v != %v", m, k, key, u, got, want)
 				}

@@ -1,0 +1,849 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"flowsched/internal/core"
+	"flowsched/internal/elastic"
+	"flowsched/internal/eventq"
+	"flowsched/internal/faults"
+	"flowsched/internal/obs"
+	"flowsched/internal/overload"
+)
+
+// ElasticMetrics extends OverloadMetrics with the membership observables of
+// an elastic run. Membership and Dispatched are nil when the run had no
+// elastic config (RunElastic with nil ecfg, or the RunGuarded/RunFaulty
+// wrappers): the ring never changed and the struct carries exactly
+// OverloadMetrics.
+type ElasticMetrics struct {
+	OverloadMetrics
+	// Membership is the replayable membership history: capacity, initial
+	// active prefix and every join/drain. The auditor replays it to re-derive
+	// dispatch-time eligibility.
+	Membership *elastic.Membership
+	// Dispatched records each task's final dispatch instant (NaN for tasks
+	// that never dispatched: rejected, or parked forever). The auditor checks
+	// membership eligibility at this instant.
+	Dispatched []core.Time
+	// ScaleUps / ScaleDowns count committed scale decisions (per machine);
+	// Handoffs counts queued tasks moved off draining machines.
+	ScaleUps   int
+	ScaleDowns int
+	Handoffs   int
+	// WarmUpTime is the total setup delay imposed on joiners (ScaleUps ×
+	// the config's WarmUp).
+	WarmUpTime core.Time
+	// MachineHours is ∫ members dt over [0, Horizon] — the provisioning cost
+	// the autoscale experiment trades against Fmax. Warming machines are not
+	// counted (they do no work yet).
+	MachineHours core.Time
+}
+
+// elRun is the engine-side runtime of an elastic config: the active/warming
+// slot vectors, the autoscaler's controller, the membership log under
+// construction and scratch space for the effective-set walk. It exists only
+// when a config is present, so the disabled path allocates nothing and stays
+// byte-identical to RunGuarded.
+type elRun struct {
+	cfg      *elastic.Config
+	mo       obs.MembershipObserver
+	ctrl     *elastic.Controller
+	guard    *overload.Estimator
+	ownGuard bool // guard not shared with the overload config: engine feeds it
+
+	active  []bool
+	warming []bool
+	members int
+	heating int // machines announced but still warming up
+	minM    int
+	maxM    int
+
+	primary []int // per-task ring-walk origin (elastic.RingStart, precomputed)
+	effBuf  core.ProcSet
+
+	ms *elastic.Membership
+}
+
+// RunElastic is the elastic superset of RunGuarded: the same fault-replaying,
+// overload-controlled simulation with online membership attached. The
+// instance's M is the slot capacity; ecfg (see elastic.Config) starts the run
+// on the first Initial slots and grows or shrinks the active set mid-run,
+// scripted and/or autoscaled. A nil ecfg is byte-identical to RunGuarded —
+// identical schedules and metrics, with nil Membership/Dispatched — asserted
+// by TestRunElasticNilConfigEquivalence and alloc-pinned by
+// TestRunElasticNilConfigAllocs.
+//
+// With a config:
+//
+//   - Machine ids are stable slots 0..M−1. Fault plans, per-server metrics
+//     and routers keep their indexing; a plan authored for a smaller cluster
+//     is lifted with faults.Plan.Extend.
+//   - Every task's processing set is remapped at dispatch time onto the
+//     active subring: the first k active machines walking clockwise from the
+//     set's ring origin (elastic.Effective — the one routing rule, shared
+//     with the auditor). At full membership this is the static set.
+//   - Scale-up activates the lowest inactive slot after the warm-up delay;
+//     the joiner counts toward committed capacity immediately (so the
+//     autoscaler doesn't double-provision) but accepts work only at the join.
+//     Joins wake every parked task.
+//   - Scale-down drains the highest active slot: its running request
+//     finishes in place (non-preemptive execution), its queued requests hand
+//     off to surviving members of their effective sets, immediately, in FIFO
+//     order. No admitted task is ever lost: a handoff re-enters the normal
+//     dispatch path (it may re-queue, park or be deadline-shed, never
+//     vanish) — enforced by the audit membership invariants on every chaos
+//     churn trial.
+//   - The autoscaler (ecfg.Auto) is evaluated once per arrival; its guard is
+//     fed by the engine unless it is the same estimator as the overload
+//     config's Guard, which the arrival path already feeds.
+//
+// Deliberate limits: membership moves within [Min, Max] and scale decisions
+// clamp rather than fail; draining below a set's replication factor parks
+// nothing (the walk just yields fewer machines), but Min should stay ≥ k so
+// restricted sets keep their width.
+func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy RetryPolicy, cfg *overload.Config, ecfg *elastic.Config, probe obs.Probe) (*core.Schedule, *ElasticMetrics, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("sim: %w", err)
+	}
+	if plan == nil {
+		plan = faults.Empty(inst.M)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("sim: %w", err)
+	}
+	if plan.M != inst.M {
+		return nil, nil, fmt.Errorf("sim: fault plan for %d servers, instance has %d (faults.Plan.Extend lifts a plan onto more slots)", plan.M, inst.M)
+	}
+	if err := cfg.Validate(inst.M); err != nil {
+		return nil, nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := ecfg.Validate(inst.M); err != nil {
+		return nil, nil, fmt.Errorf("sim: %w", err)
+	}
+	plan = plan.Normalize()
+	if r, ok := router.(Resettable); ok {
+		r.Reset()
+	}
+
+	m := inst.M
+	n := inst.N()
+	st := &State{
+		M:          m,
+		Completion: make([]core.Time, m),
+		QueueLen:   make([]int, m),
+	}
+	sched := core.NewSchedule(inst)
+	metrics := &ElasticMetrics{
+		OverloadMetrics: OverloadMetrics{
+			FaultMetrics: FaultMetrics{
+				Metrics: Metrics{
+					Flows:     make([]core.Time, n),
+					Stretches: make([]core.Time, n),
+					Busy:      make([]core.Time, m),
+				},
+				Attempts: make([]int, n),
+				Dropped:  make([]bool, n),
+				Parked:   make([]bool, n),
+				plan:     plan,
+				releases: make([]core.Time, n),
+			},
+		},
+	}
+	for i, t := range inst.Tasks {
+		metrics.releases[i] = t.Release
+	}
+
+	live := make([]bool, m)
+	for j := range live {
+		live[j] = true
+	}
+	// slow holds each server's effective gray-failure segments; nil when the
+	// plan has none, so the healthy dispatch arithmetic below is untouched
+	// (and all-factor-1 segments were dropped by Normalize above).
+	var slow [][]faults.Slowdown
+	if len(plan.Slowdowns) > 0 {
+		slow = plan.ServerSlowdowns()
+	}
+	downCount := 0
+	pending := make([][]int, m)      // per-server FIFO of unfinished request IDs
+	gen := make([]int, n)            // attempt generation, invalidates stale completions
+	curStart := make([]core.Time, n) // start of the current attempt
+	curEnd := make([]core.Time, n)   // end of the current attempt
+	busyAdd := make([]core.Time, n)  // busy time credited for the current attempt
+	var parked []int                 // requests waiting for any replica to recover
+	var completions eventq.Queue[compEvent]
+	var events eventq.Queue[faultEvent]
+	completions.Reserve(reserveFor(n))
+	events.Reserve(2 * len(plan.Outages))
+	for _, o := range plan.Outages {
+		events.Push(o.From, faultEvent{kind: evDown, server: o.Server})
+		events.Push(o.Until, faultEvent{kind: evUp, server: o.Server})
+	}
+
+	// Everything overload-control hangs off ov; ov == nil is the disabled
+	// path and must stay byte-identical to RunFaulty (and allocation-free
+	// relative to it), so every use below sits behind an ov != nil guard.
+	var ov *ovRun
+	if cfg != nil {
+		cfg.Reset(m)
+		ov = &ovRun{cfg: cfg}
+		metrics.Rejected = make([]bool, n)
+		metrics.Shed = make([]bool, n)
+		metrics.Reason = make([]string, n)
+		ov.view = overload.View{M: m, Completion: st.Completion, QueueLen: st.QueueLen, Live: live}
+		if cfg.Ejector != nil {
+			ov.view.Ejected = cfg.Ejector.EjectedVec()
+			ov.ejBuf = make(core.ProcSet, 0, m)
+		}
+		if b, ok := cfg.Admission.(overload.Budgeted); ok {
+			ov.budget = b.Budget()
+		}
+		ov.op, _ = probe.(obs.OverloadObserver)
+		if cfg.Shedder.Enabled() {
+			ov.cands = make([]overload.Candidate, 0, 16)
+		}
+	}
+
+	// Everything elastic hangs off el, with the same discipline as ov: every
+	// use below sits behind an el != nil guard so the disabled path is
+	// byte-identical to RunGuarded.
+	var el *elRun
+	if ecfg != nil {
+		el = &elRun{cfg: ecfg}
+		el.active = make([]bool, m)
+		el.warming = make([]bool, m)
+		el.members = ecfg.InitialMembers(m)
+		for j := 0; j < el.members; j++ {
+			el.active[j] = true
+		}
+		el.minM, el.maxM = ecfg.MinMembers(), ecfg.MaxMembers(m)
+		el.primary = make([]int, n)
+		for i, t := range inst.Tasks {
+			el.primary[i] = elastic.RingStart(t.Set, m)
+		}
+		el.effBuf = make(core.ProcSet, 0, m)
+		el.ms = &elastic.Membership{Capacity: m, Initial: el.members}
+		el.mo, _ = probe.(obs.MembershipObserver)
+		el.ctrl = elastic.NewController(ecfg, m)
+		if ecfg.Auto != nil {
+			el.guard = ecfg.Auto.Guard
+			el.ownGuard = cfg == nil || cfg.Guard != el.guard
+			if el.ownGuard {
+				el.guard.Reset()
+			}
+		}
+		for _, ev := range ecfg.Script {
+			events.Push(ev.At, faultEvent{kind: evScale, task: ev.Delta})
+		}
+		metrics.Membership = el.ms
+		metrics.Dispatched = make([]core.Time, n)
+		for i := range metrics.Dispatched {
+			metrics.Dispatched[i] = core.Time(math.NaN())
+		}
+	}
+
+	drain := func(upTo core.Time) {
+		for completions.Len() > 0 {
+			when, c := completions.Peek()
+			if when > upTo {
+				return
+			}
+			completions.Pop()
+			if c.gen != gen[c.task] {
+				continue // stale: that attempt was aborted
+			}
+			if probe != nil {
+				t := inst.Tasks[c.task]
+				probe.OnComplete(c.task, c.server, t.Release, t.Proc, when)
+			}
+			st.QueueLen[c.server]--
+			q := pending[c.server]
+			if len(q) > 0 && q[0] == c.task {
+				pending[c.server] = q[1:]
+			} else { // defensive; FIFO service should make this unreachable
+				for x, id := range q {
+					if id == c.task {
+						pending[c.server] = append(q[:x:x], q[x+1:]...)
+						break
+					}
+				}
+			}
+			if ov != nil && ov.cfg.Ejector != nil {
+				if proc := inst.Tasks[c.task].Proc; proc > 0 {
+					factor := float64((when - curStart[c.task]) / proc)
+					if ov.cfg.Ejector.Observe(c.server, factor, when) {
+						metrics.Ejections++
+						if ov.op != nil {
+							ov.op.OnEject(c.server, when)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	drop := func(id int, now core.Time) {
+		metrics.Dropped[id] = true
+		metrics.Flows[id] = now - inst.Tasks[id].Release
+		metrics.Stretches[id] = stretchOf(metrics.Flows[id], inst.Tasks[id].Proc)
+		sched.Assign(id, -1, math.NaN())
+		if probe != nil {
+			probe.OnDrop(id, inst.Tasks[id].Release, now)
+		}
+	}
+
+	// shed records the overload disposition of request id abandoned at now;
+	// queue surgery (for watermark trims) happens at the call sites.
+	shed := func(id, server int, now core.Time, reason string) {
+		metrics.Shed[id] = true
+		metrics.Reason[id] = reason
+		metrics.Flows[id] = now - inst.Tasks[id].Release
+		metrics.Stretches[id] = stretchOf(metrics.Flows[id], inst.Tasks[id].Proc)
+		sched.Assign(id, -1, math.NaN())
+		if ov.op != nil {
+			ov.op.OnShed(id, server, inst.Tasks[id].Release, now, reason)
+		}
+	}
+
+	reject := func(id int, now core.Time, reason string) {
+		metrics.Rejected[id] = true
+		metrics.Reason[id] = reason
+		sched.Assign(id, -1, math.NaN())
+		if ov.op != nil {
+			ov.op.OnReject(id, now, reason)
+		}
+	}
+
+	// liveBuf is reused across dispatches: the live view handed to the
+	// router is only read within the Pick call, never retained.
+	liveBuf := make(core.ProcSet, 0, m)
+	liveSubset := func(set core.ProcSet) core.ProcSet {
+		out := liveBuf[:0]
+		if set == nil {
+			for j := 0; j < m; j++ {
+				if live[j] {
+					out = append(out, j)
+				}
+			}
+		} else {
+			for _, j := range set {
+				if live[j] {
+					out = append(out, j)
+				}
+			}
+		}
+		return out
+	}
+
+	// dispatch routes request id at instant now (its release, a failover
+	// instant, a recovery instant, or a drain handoff). The arithmetic
+	// mirrors Run exactly so an empty plan reproduces it bit for bit.
+	dispatch := func(id int, now core.Time) error {
+		task := inst.Tasks[id]
+		view := task
+		if el != nil {
+			// Remap the static set onto the active subring. With at least one
+			// active member (members ≥ minM ≥ 1) the walk always yields a
+			// non-empty set, so parking here is defensive only; crashed
+			// machines are filtered below, exactly as in the static engine.
+			k := len(task.Set)
+			if task.Set == nil {
+				k = el.members
+			} else if k == 0 {
+				return fmt.Errorf("sim: task %d has an empty processing set: no eligible server", id)
+			}
+			eff := elastic.Effective(el.active, el.primary[id], k, el.effBuf)
+			el.effBuf = eff
+			if len(eff) == 0 {
+				metrics.Parked[id] = true
+				parked = append(parked, id)
+				return nil
+			}
+			view.Set = eff
+		}
+		ejecting := false
+		if ov != nil && ov.cfg.Ejector != nil {
+			ov.cfg.Ejector.Readmit(now, func(j int) {
+				metrics.Readmissions++
+				if ov.op != nil {
+					ov.op.OnReadmit(j, now)
+				}
+			})
+			ejecting = ov.cfg.Ejector.NumEjected() > 0
+		}
+		if downCount > 0 || ejecting {
+			eff := liveSubset(view.Set)
+			if len(eff) == 0 {
+				metrics.Parked[id] = true
+				parked = append(parked, id)
+				return nil
+			}
+			if ejecting {
+				// Prefer non-ejected live replicas; if the whole live set is
+				// ejected, fall back to it — ejection is advisory and never
+				// parks work on its own.
+				keep := ov.ejBuf[:0]
+				for _, j := range eff {
+					if !ov.view.Ejected[j] {
+						keep = append(keep, j)
+					}
+				}
+				if len(keep) > 0 {
+					eff = keep
+				}
+			}
+			view.Set = eff
+		}
+		view.Release = now // failover re-dispatches cannot start before now
+		j := router.Pick(st, view)
+		if j < 0 || j >= m || !view.Eligible(j) {
+			return fmt.Errorf("sim: router %s picked invalid server M%d for task %d (live set %v)",
+				router.Name(), j+1, id, view.Set)
+		}
+		if !live[j] {
+			return fmt.Errorf("sim: router %s picked dead server M%d for task %d at t=%v",
+				router.Name(), j+1, id, now)
+		}
+		start := st.Completion[j]
+		if now > start {
+			start = now
+		}
+		end := start + task.Proc
+		busy := task.Proc
+		if slow != nil && len(slow[j]) > 0 {
+			// Gray failure: work on j advances at rate 1/Factor inside its
+			// slowdown segments, so the attempt occupies [start, end) with
+			// end from the piecewise integration, and all of it is busy time.
+			end = faults.FinishTime(slow[j], start, task.Proc)
+			busy = end - start
+		}
+		if ov != nil && ov.budget > 0 && end-task.Release > ov.budget+task.Proc {
+			// Deadline enforcement: this attempt would already blow the
+			// admitted-task budget, so completing it is pointless — shed
+			// before committing any server time.
+			shed(id, j, now, overload.ReasonDeadline)
+			return nil
+		}
+		metrics.Attempts[id]++
+		if el != nil {
+			metrics.Dispatched[id] = now
+		}
+		st.Completion[j] = end
+		st.QueueLen[j]++
+		completions.Push(end, compEvent{server: j, task: id, gen: gen[id]})
+		pending[j] = append(pending[j], id)
+		curStart[id], curEnd[id] = start, end
+		busyAdd[id] = busy
+		sched.Assign(id, j, start)
+		metrics.Flows[id] = end - task.Release
+		metrics.Stretches[id] = stretchOf(end-task.Release, task.Proc)
+		metrics.Busy[j] += busy
+		if probe != nil {
+			probe.OnDispatch(id, j, now, start, end)
+		}
+		return nil
+	}
+
+	// requeue decides the fate of request id aborted at instant now.
+	requeue := func(id int, now core.Time) {
+		if policy.MaxAttempts > 0 && metrics.Attempts[id] >= policy.MaxAttempts {
+			drop(id, now)
+			return
+		}
+		next := now + policy.delay(metrics.Attempts[id])
+		if policy.Timeout > 0 && next-inst.Tasks[id].Release > policy.Timeout {
+			drop(id, now)
+			return
+		}
+		events.Push(next, faultEvent{kind: evRetry, task: id})
+		if probe != nil {
+			probe.OnRetry(id, metrics.Attempts[id], now)
+		}
+	}
+
+	fail := func(j int, now core.Time) {
+		live[j] = false
+		downCount++
+		lost := pending[j]
+		pending[j] = nil
+		st.QueueLen[j] -= len(lost)
+		st.Completion[j] = now
+		if probe != nil {
+			probe.OnFailover(j, now, len(lost))
+		}
+		for _, id := range lost {
+			gen[id]++ // invalidate the queued completion
+			executed := core.Time(0)
+			if curStart[id] < now {
+				executed = now - curStart[id] // the running request's wasted partial work
+			}
+			metrics.Busy[j] -= busyAdd[id] - executed
+			requeue(id, now)
+		}
+	}
+
+	// wakeAll re-dispatches every parked task (membership changes remap
+	// effective sets, so the static per-machine eligibility filter would wake
+	// too few; dispatch re-parks the still-unservable ones).
+	wakeAll := func(now core.Time) error {
+		wake := parked
+		parked = nil
+		for _, id := range wake {
+			if policy.Timeout > 0 && now-inst.Tasks[id].Release > policy.Timeout {
+				drop(id, now)
+				continue
+			}
+			if err := dispatch(id, now); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	restore := func(j int, now core.Time) error {
+		live[j] = true
+		downCount--
+		if el != nil {
+			return wakeAll(now)
+		}
+		still := parked[:0]
+		var wake []int
+		for _, id := range parked {
+			if inst.Tasks[id].Eligible(j) {
+				wake = append(wake, id)
+			} else {
+				still = append(still, id)
+			}
+		}
+		parked = still
+		for _, id := range wake {
+			if policy.Timeout > 0 && now-inst.Tasks[id].Release > policy.Timeout {
+				drop(id, now)
+				continue
+			}
+			if err := dispatch(id, now); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// scaleUp commits to activating d machines at instant now: each picks the
+	// lowest slot that is neither active nor warming, counts toward committed
+	// capacity immediately, and joins (accepts work) WarmUp later.
+	scaleUp := func(d int, now core.Time) {
+		for ; d > 0; d-- {
+			if el.members+el.heating >= el.maxM {
+				return
+			}
+			slot := -1
+			for j := 0; j < m; j++ {
+				if !el.active[j] && !el.warming[j] {
+					slot = j
+					break
+				}
+			}
+			if slot < 0 {
+				return
+			}
+			el.warming[slot] = true
+			el.heating++
+			ready := now + el.cfg.WarmUp
+			metrics.ScaleUps++
+			metrics.WarmUpTime += el.cfg.WarmUp
+			events.Push(ready, faultEvent{kind: evJoin, server: slot})
+			if el.mo != nil {
+				el.mo.OnScaleUp(slot, now, ready)
+			}
+		}
+	}
+
+	// join activates a warmed-up machine and wakes parked work.
+	join := func(j int, now core.Time) error {
+		if el == nil || !el.warming[j] {
+			return nil
+		}
+		el.warming[j] = false
+		el.heating--
+		el.active[j] = true
+		el.members++
+		el.ms.Changes = append(el.ms.Changes, elastic.Change{At: now, Machine: j, Join: true, Members: el.members})
+		if el.mo != nil {
+			el.mo.OnJoin(j, now, el.members)
+		}
+		return wakeAll(now)
+	}
+
+	// scaleDown drains d machines at instant now, highest active slot first:
+	// the running head (curStart ≤ now) finishes in place, every queued task
+	// hands off through the normal dispatch path — re-queued on a survivor,
+	// parked, or deadline-shed, but never lost (the audit membership
+	// invariants check this on every churn trial).
+	scaleDown := func(d int, now core.Time) error {
+		for ; d > 0; d-- {
+			if el.members <= el.minM {
+				return nil
+			}
+			victim := -1
+			for j := m - 1; j >= 0; j-- {
+				if el.active[j] {
+					victim = j
+					break
+				}
+			}
+			if victim < 0 {
+				return nil
+			}
+			q := pending[victim]
+			i0 := 0
+			if len(q) > 0 && curStart[q[0]] <= now {
+				i0 = 1
+			}
+			moved := q[i0:]
+			pending[victim] = q[:i0:i0] // cap-cut: handoff appends must not clobber moved
+			st.QueueLen[victim] -= len(moved)
+			if i0 == 1 {
+				st.Completion[victim] = curEnd[q[0]]
+			} else {
+				st.Completion[victim] = now
+			}
+			el.active[victim] = false
+			el.members--
+			metrics.ScaleDowns++
+			el.ms.Changes = append(el.ms.Changes, elastic.Change{At: now, Machine: victim, Join: false, Members: el.members})
+			if el.mo != nil {
+				el.mo.OnScaleDown(victim, now, el.members, len(moved))
+			}
+			for _, id := range moved {
+				gen[id]++ // invalidate the queued completion
+				metrics.Busy[victim] -= busyAdd[id]
+				metrics.Handoffs++
+				if el.mo != nil {
+					el.mo.OnHandoff(id, victim, now)
+				}
+				if err := dispatch(id, now); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	// applyScale replays one scale decision (scripted or autoscaled).
+	applyScale := func(d int, now core.Time) error {
+		if d > 0 {
+			scaleUp(d, now)
+			return nil
+		}
+		if d < 0 {
+			return scaleDown(-d, now)
+		}
+		return nil
+	}
+
+	// elArrive evaluates the autoscaler at an arrival: feed the guard (unless
+	// the overload config's arrival path already does) and apply its decision.
+	elArrive := func(task core.Task) error {
+		if el.ownGuard {
+			el.guard.Observe(task.Release, task.Key)
+		}
+		return applyScale(el.ctrl.Decide(task.Release, el.members, el.heating, el.minM, el.maxM), task.Release)
+	}
+
+	// trim sheds queued work from server j at instant now: victims are
+	// ranked by the shed policy and dropped until the backlog is at most the
+	// target, then the surviving suffix is re-timed in place. The running
+	// head (curStart ≤ now) is never shed.
+	trim := func(j int, now core.Time) {
+		sh := ov.cfg.Shedder
+		q := pending[j]
+		i0 := 0
+		if len(q) > 0 && curStart[q[0]] <= now {
+			i0 = 1
+		}
+		if len(q) <= i0 {
+			return
+		}
+		backlog := st.Completion[j] - now
+		target := sh.EffectiveTarget()
+		if backlog <= target {
+			return
+		}
+		cands := ov.cands[:0]
+		for pos, id := range q[i0:] {
+			cands = append(cands, overload.Candidate{
+				ID: id, Release: inst.Tasks[id].Release, Proc: inst.Tasks[id].Proc, Pos: pos,
+			})
+		}
+		ov.cands = cands
+		sh.Rank(now, cands)
+		dropped := 0
+		reason := sh.Policy.Reason()
+		for _, c := range cands {
+			if backlog <= target {
+				break
+			}
+			backlog -= busyAdd[c.ID]
+			gen[c.ID]++ // invalidate the queued completion
+			st.QueueLen[j]--
+			metrics.Busy[j] -= busyAdd[c.ID]
+			shed(c.ID, j, now, reason)
+			dropped++
+		}
+		if dropped == 0 {
+			return
+		}
+		// Compact the queue (preserving FIFO order of survivors) and re-time
+		// the unstarted suffix back to back.
+		w := i0
+		for _, id := range q[i0:] {
+			if !metrics.Shed[id] {
+				q[w] = id
+				w++
+			}
+		}
+		q = q[:w]
+		pending[j] = q
+		cur := now
+		if i0 == 1 {
+			cur = curEnd[q[0]]
+		}
+		for _, id := range q[i0:] {
+			task := inst.Tasks[id]
+			start := cur
+			end := start + task.Proc
+			busy := task.Proc
+			if slow != nil && len(slow[j]) > 0 {
+				end = faults.FinishTime(slow[j], start, task.Proc)
+				busy = end - start
+			}
+			gen[id]++
+			completions.Push(end, compEvent{server: j, task: id, gen: gen[id]})
+			metrics.Busy[j] += busy - busyAdd[id]
+			curStart[id], curEnd[id] = start, end
+			busyAdd[id] = busy
+			sched.Assign(id, j, start)
+			metrics.Flows[id] = end - task.Release
+			metrics.Stretches[id] = stretchOf(end-task.Release, task.Proc)
+			cur = end
+		}
+		st.Completion[j] = cur
+	}
+
+	// arrive runs the per-arrival overload controls, in order: offered-load
+	// tracking (brownout edge detection), watermark shedding (so admission
+	// sees trimmed queues), then admission. It reports whether the task was
+	// rejected.
+	arrive := func(id int, task core.Task) bool {
+		if g := ov.cfg.Guard; g != nil {
+			g.Observe(task.Release, task.Key)
+			if b := g.Brownout(); b != ov.brown {
+				ov.brown = b
+				if b {
+					metrics.Brownouts++
+				}
+				if ov.op != nil {
+					ov.op.OnBrownout(task.Release, b)
+				}
+			}
+		}
+		if sh := ov.cfg.Shedder; sh.Enabled() {
+			for j := 0; j < m; j++ {
+				q := pending[j]
+				if len(q) == 0 {
+					continue
+				}
+				if task.Release-inst.Tasks[q[0]].Release > sh.Watermark {
+					trim(j, task.Release)
+				}
+			}
+		}
+		if ap := ov.cfg.Admission; ap != nil {
+			ov.view.Now = task.Release
+			if ok, reason := ap.Admit(&ov.view, task); !ok {
+				reject(id, task.Release, reason)
+				return true
+			}
+		}
+		return false
+	}
+
+	next := 0 // next arrival index
+	for next < n || events.Len() > 0 {
+		if events.Len() > 0 {
+			when, _ := events.Peek()
+			if next >= n || when <= inst.Tasks[next].Release {
+				when, ev := events.Pop()
+				st.Now = when
+				drain(when)
+				switch ev.kind {
+				case evDown:
+					fail(ev.server, when)
+				case evUp:
+					if err := restore(ev.server, when); err != nil {
+						return nil, nil, err
+					}
+				case evRetry:
+					if err := dispatch(ev.task, when); err != nil {
+						return nil, nil, err
+					}
+				case evScale:
+					if err := applyScale(ev.task, when); err != nil {
+						return nil, nil, err
+					}
+				case evJoin:
+					if err := join(ev.server, when); err != nil {
+						return nil, nil, err
+					}
+				}
+				continue
+			}
+		}
+		task := inst.Tasks[next]
+		st.Now = task.Release
+		drain(st.Now)
+		if probe != nil {
+			probe.OnArrival(next, task.Release)
+		}
+		if el != nil && el.ctrl != nil {
+			if err := elArrive(task); err != nil {
+				return nil, nil, err
+			}
+		}
+		if ov != nil && arrive(next, task) {
+			next++
+			continue
+		}
+		if err := dispatch(next, task.Release); err != nil {
+			return nil, nil, err
+		}
+		next++
+	}
+
+	for id := 0; id < n; id++ {
+		if metrics.Dropped[id] {
+			continue
+		}
+		if ov != nil && (metrics.Rejected[id] || metrics.Shed[id]) {
+			continue
+		}
+		if curEnd[id] > metrics.Makespan {
+			metrics.Makespan = curEnd[id]
+		}
+	}
+	drain(metrics.Makespan)
+	metrics.Horizon = metrics.Makespan
+	if end := plan.End(); end > metrics.Horizon {
+		metrics.Horizon = end
+	}
+	metrics.Downtime = plan.Downtime(metrics.Horizon)
+	if el != nil {
+		metrics.MachineHours = el.ms.MachineHours(metrics.Horizon)
+	}
+	if probe != nil {
+		probe.OnDone(metrics.Makespan)
+	}
+	return sched, metrics, nil
+}

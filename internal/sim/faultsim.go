@@ -161,15 +161,17 @@ func countTrue(bs []bool) int {
 
 // faultEvent is a non-arrival event of the faulty simulation.
 type faultEvent struct {
-	kind   int // evDown | evUp | evRetry
-	server int // evDown/evUp
-	task   int // evRetry
+	kind   int // evDown | evUp | evRetry | evScale | evJoin
+	server int // evDown/evUp: the server; evJoin: the joining machine slot
+	task   int // evRetry: the task; evScale: the signed membership delta
 }
 
 const (
 	evDown = iota
 	evUp
 	evRetry
+	evScale // scripted elastic scale event (task = signed delta)
+	evJoin  // a warming machine finishes setup and goes active (server = slot)
 )
 
 // compEvent is a queued completion; gen invalidates completions of aborted

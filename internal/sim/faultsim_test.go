@@ -24,7 +24,7 @@ func randomInstance(m, n int, rng *rand.Rand) *core.Instance {
 		switch rng.Intn(3) {
 		case 0: // unrestricted
 		case 1: // ring interval
-			set = core.RingInterval(rng.Intn(m), 1+rng.Intn(m), m)
+			set = core.MustRingInterval(rng.Intn(m), 1+rng.Intn(m), m)
 		default: // random subset
 			k := 1 + rng.Intn(m)
 			perm := rng.Perm(m)[:k]

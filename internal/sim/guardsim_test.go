@@ -239,7 +239,7 @@ func overloadedInstance(m, n int, load float64, rng *rand.Rand) *core.Instance {
 		t += rng.ExpFloat64() / (load * float64(m))
 		var set core.ProcSet
 		if rng.Intn(4) > 0 { // 3-replica ring interval; sometimes unrestricted
-			set = core.RingInterval(rng.Intn(m), min(3, m), m)
+			set = core.MustRingInterval(rng.Intn(m), min(3, m), m)
 		}
 		tasks[i] = core.Task{Release: t, Proc: 0.5 + rng.Float64(), Set: set, Key: i % m}
 	}

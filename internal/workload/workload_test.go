@@ -76,7 +76,7 @@ func TestGenerateWithStrategy(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, task := range inst.Tasks {
-		want := core.RingInterval(task.Key, 3, 6)
+		want := core.MustRingInterval(task.Key, 3, 6)
 		if !task.Set.Equal(want) {
 			t.Fatalf("set %v for primary %d, want %v", task.Set, task.Key, want)
 		}
