@@ -65,3 +65,22 @@ func EffectiveSet(active []bool, start, k int) ProcSet {
 func SimulateElastic(inst *Instance, router Router, plan *FaultPlan, policy RetryPolicy, cfg *OverloadConfig, ecfg *ElasticConfig, probe Probe) (*Schedule, *ElasticMetrics, error) {
 	return sim.RunElastic(inst, router, plan, policy, cfg, ecfg, probe)
 }
+
+// RunArena owns every per-run buffer of the simulation engine and reuses
+// them across runs: the first run sizes them, every later run of the same
+// shape allocates almost nothing. Its RunFaulty / RunGuarded / RunElastic
+// methods are the Simulate* family with the arena's buffers substituted for
+// fresh ones and are output-identical to them.
+//
+// The returned Schedule and metrics point into the arena and are valid only
+// until its next run — copy anything that must outlive it. An arena is not
+// safe for concurrent use; give each goroutine its own (a sync.Pool of
+// NewRunArena works well for worker fan-outs).
+type RunArena = sim.Arena
+
+// NewRunArena returns an empty arena ready for its first run. Keep it across
+// repeated Simulate-shaped calls — trial loops, benchmark repetitions, chaos
+// soaks — to amortize the engine's per-run allocations down to a handful.
+func NewRunArena() *RunArena {
+	return sim.NewArena()
+}

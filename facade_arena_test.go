@@ -1,0 +1,58 @@
+package flowsched_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"flowsched"
+)
+
+// TestFacadeRunArena exercises the exported run arena end to end: one arena
+// reused across faulty, guarded and elastic runs reproduces the Simulate*
+// family exactly, run after run.
+func TestFacadeRunArena(t *testing.T) {
+	inst, err := flowsched.GenerateWorkload(flowsched.WorkloadConfig{
+		M: 6, N: 300, Rate: flowsched.RateForLoad(0.9, 6),
+		Strategy: flowsched.OverlappingReplication(3),
+	}, rand.New(rand.NewSource(17)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := flowsched.EFTRouter(flowsched.TieMin)
+	plan := flowsched.EmptyFaultPlan(6).Down(2, 3, 8)
+	cfg := &flowsched.OverloadConfig{Admission: flowsched.DeadlineAdmission(15)}
+	ecfg := &flowsched.ElasticConfig{
+		Initial: 6, Min: 3, Max: 6, WarmUp: 0.5,
+		Script: []flowsched.ScaleEvent{{At: 5, Delta: -2}},
+	}
+
+	arena := flowsched.NewRunArena()
+	for run := 0; run < 3; run++ { // repeat: reuse must stay exact run after run
+		sW, fmW, err := flowsched.SimulateFaulty(inst, router, plan, flowsched.RetryPolicy{MaxAttempts: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sA, fmA, err := arena.RunFaulty(inst, router, plan, flowsched.RetryPolicy{MaxAttempts: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sW.Machine, sA.Machine) || !reflect.DeepEqual(fmW.Attempts, fmA.Attempts) {
+			t.Fatalf("run %d: arena RunFaulty diverges from SimulateFaulty", run)
+		}
+
+		_, emW, err := flowsched.SimulateElastic(inst, router, plan, flowsched.RetryPolicy{MaxAttempts: 2}, cfg, ecfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, emA, err := arena.RunElastic(inst, router, plan, flowsched.RetryPolicy{MaxAttempts: 2}, cfg, ecfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(emW.Rejected, emA.Rejected) ||
+			!reflect.DeepEqual(emW.Membership, emA.Membership) ||
+			emW.Handoffs != emA.Handoffs {
+			t.Fatalf("run %d: arena RunElastic diverges from SimulateElastic", run)
+		}
+	}
+}

@@ -40,6 +40,10 @@ func init() {
 	Register("SimRunGuardedAdmit", benchSimRunGuardedAdmit)
 	Register("SimRunElasticOff", benchSimRunElasticOff)
 	Register("SimRunElasticScale", benchSimRunElasticScale)
+	Register("SimRunFaultySteady", benchSimRunFaultySteady)
+	Register("SimRunGuardedOffSteady", benchSimRunGuardedOffSteady)
+	Register("SimRunGuardedAdmitSteady", benchSimRunGuardedAdmitSteady)
+	Register("SimRunElasticOffSteady", benchSimRunElasticOffSteady)
 	Register("OutlierEject", benchOutlierEject)
 	Register("AuditSchedule", benchAuditSchedule)
 	Register("SchedEFTRun", benchSchedEFTRun)
@@ -270,6 +274,80 @@ func benchSimRunElasticScale(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := sim.RunElastic(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}, nil, ecfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The Steady quartet re-runs the four robustness paths through a single
+// reused sim.Arena — the steady-state shape of chaos soaks, experiment
+// repetition loops and cmd/bench itself. Against their fresh-run twins they
+// price the per-run allocation tax the arena removes; the companion alloc
+// ceilings (≤ 50, admit ≤ 100) are pinned by TestRun*Allocs in internal/sim.
+func benchSimRunFaultySteady(b *testing.B) {
+	inst := restrictedInstance(15, 3, 5000)
+	plan := faults.Empty(15)
+	arena := sim.NewArena()
+	if _, _, err := arena.RunFaulty(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := arena.RunFaulty(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSimRunGuardedOffSteady(b *testing.B) {
+	inst := restrictedInstance(15, 3, 5000)
+	plan := faults.Empty(15)
+	arena := sim.NewArena()
+	if _, _, err := arena.RunGuarded(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}, nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := arena.RunGuarded(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSimRunGuardedAdmitSteady(b *testing.B) {
+	inst := restrictedInstance(15, 3, 5000)
+	plan := faults.Empty(15)
+	cfg := &overload.Config{
+		Admission: overload.DeadlineAdmit{D: 20},
+		Shedder:   &overload.Shedder{Policy: overload.DropLargestStretch, Watermark: 15},
+		Ejector:   &overload.Ejector{},
+	}
+	arena := sim.NewArena()
+	if _, _, err := arena.RunGuarded(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}, cfg, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := arena.RunGuarded(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSimRunElasticOffSteady(b *testing.B) {
+	inst := restrictedInstance(15, 3, 5000)
+	plan := faults.Empty(15)
+	arena := sim.NewArena()
+	if _, _, err := arena.RunElastic(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}, nil, nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := arena.RunElastic(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}, nil, nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

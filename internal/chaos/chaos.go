@@ -16,6 +16,7 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"flowsched/internal/audit"
 	"flowsched/internal/core"
@@ -444,6 +445,13 @@ func (p Params) routerSpec(routers []RouterSpec) (RouterSpec, error) {
 	return RouterSpec{}, fmt.Errorf("chaos: unknown router %q", p.Router)
 }
 
+// arenas recycles run arenas across trials: parallel.MapErr exposes no worker
+// identity, so a sync.Pool hands each in-flight Check a private arena and a
+// soak reallocates per-run state only as often as trials overlap, not once per
+// trial. The schedule and metrics a trial reads all die before the arena goes
+// back in the pool.
+var arenas = sync.Pool{New: func() any { return sim.NewArena() }}
+
 // Check simulates (inst, plan) under the params' router and policy, audits
 // the outcome and cross-checks the counting probe. It returns the combined
 // violations (nil when the trial is clean).
@@ -455,7 +463,9 @@ func Check(inst *core.Instance, plan *faults.Plan, spec RouterSpec, p Params) []
 		return []audit.Violation{{Invariant: InvSimError, Task: -1, Machine: -1, Detail: err.Error()}}
 	}
 	ecfg := p.elasticConfig(inst.M)
-	s, em, err := sim.RunElastic(inst, router, plan, p.Policy, cfg, ecfg, probe)
+	arena := arenas.Get().(*sim.Arena)
+	defer arenas.Put(arena)
+	s, em, err := arena.RunElastic(inst, router, plan, p.Policy, cfg, ecfg, probe)
 	if err != nil {
 		return []audit.Violation{{Invariant: InvSimError, Task: -1, Machine: -1, Detail: err.Error()}}
 	}

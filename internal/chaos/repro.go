@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"flowsched/internal/audit"
 	"flowsched/internal/core"
@@ -62,8 +63,26 @@ func (r *Repro) N() int {
 	return inst.N()
 }
 
-// WriteJSON serializes the repro.
+// WriteJSON serializes the repro. The only floats a repro carries are the
+// sampled Params rates and the fault plan's instants — engine times (with
+// their deliberate NaN sentinels) never appear here — so NaN-safety at this
+// boundary means refusing a non-finite value up front with the field named,
+// instead of encoding/json aborting a half-written stream with an opaque
+// "unsupported value: NaN".
 func (r *Repro) WriteJSON(w io.Writer) error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"load", r.Params.Load}, {"mtbf", r.Params.MTBF}, {"mttr", r.Params.MTTR}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("chaos: repro params: non-finite %s %v", f.name, f.v)
+		}
+	}
+	if r.Plan != nil {
+		if err := r.Plan.Validate(); err != nil {
+			return fmt.Errorf("chaos: repro plan: %w", err)
+		}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)

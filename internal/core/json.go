@@ -4,7 +4,107 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"strconv"
 )
+
+// NullTime is a Time whose JSON form survives the simulator's sentinel
+// values: NaN (and ±Inf) encode as null, and null decodes back to NaN.
+// encoding/json rejects non-finite float64s outright, yet the engine uses
+// NaN deliberately — the start of an unassigned task, the dispatch instant
+// of a never-dispatched one — so JSON boundaries carrying such fields use
+// NullTime (or Times for slices) instead of raw Time. Finite values encode
+// byte-identically to encoding/json's float encoding.
+type NullTime Time
+
+// MarshalJSON implements json.Marshaler: null for non-finite values.
+func (t NullTime) MarshalJSON() ([]byte, error) {
+	return appendTimeJSON(nil, Time(t)), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler: null decodes to NaN.
+func (t *NullTime) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*t = NullTime(math.NaN())
+		return nil
+	}
+	f, err := strconv.ParseFloat(string(data), 64)
+	if err != nil {
+		return fmt.Errorf("core: parsing time %q: %w", data, err)
+	}
+	*t = NullTime(f)
+	return nil
+}
+
+// Times is a []Time with the NullTime encoding applied element-wise: NaN and
+// ±Inf entries marshal as null and null entries unmarshal as NaN, while
+// finite entries keep encoding/json's exact float form. It is assignable to
+// and from []Time (core.Time slices), so engine-facing fields can adopt it
+// without conversions.
+type Times []Time
+
+// MarshalJSON implements json.Marshaler.
+func (ts Times) MarshalJSON() ([]byte, error) {
+	if ts == nil {
+		return []byte("null"), nil
+	}
+	buf := make([]byte, 0, 8*len(ts)+2)
+	buf = append(buf, '[')
+	for i, t := range ts {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendTimeJSON(buf, t)
+	}
+	return append(buf, ']'), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (ts *Times) UnmarshalJSON(data []byte) error {
+	var raw []*float64
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("core: decoding times: %w", err)
+	}
+	if raw == nil {
+		*ts = nil
+		return nil
+	}
+	out := make(Times, len(raw))
+	for i, p := range raw {
+		if p == nil {
+			out[i] = Time(math.NaN())
+		} else {
+			out[i] = Time(*p)
+		}
+	}
+	*ts = out
+	return nil
+}
+
+// appendTimeJSON appends t's JSON form: null for non-finite values, otherwise
+// exactly encoding/json's float64 encoding (shortest round-trip form, %e only
+// for very small or very large magnitudes, exponent zero-trimmed).
+func appendTimeJSON(buf []byte, t Time) []byte {
+	f := float64(t)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(buf, "null"...)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	buf = strconv.AppendFloat(buf, f, format, -1, 64)
+	if format == 'e' {
+		// Trim the exponent's leading zero ("2.5e-09" → "2.5e-9"), as
+		// encoding/json does.
+		if n := len(buf); n >= 4 && buf[n-4] == 'e' && buf[n-3] == '-' && buf[n-2] == '0' {
+			buf[n-2] = buf[n-1]
+			buf = buf[:n-1]
+		}
+	}
+	return buf
+}
 
 // instanceJSON is the stable on-disk form of an Instance.
 type instanceJSON struct {
@@ -57,11 +157,14 @@ func ReadInstanceJSON(r io.Reader) (*Instance, error) {
 }
 
 // scheduleJSON is the stable on-disk form of a Schedule, embedding its
-// instance so a file round-trips standalone.
+// instance so a file round-trips standalone. Start uses the NaN-safe Times
+// encoding: a faulty/guarded run leaves dropped, rejected and shed tasks
+// unassigned (Machine −1, Start NaN), and raw NaN would make encoding/json
+// fail the whole write.
 type scheduleJSON struct {
 	Instance instanceJSON `json:"instance"`
 	Machine  []int        `json:"machine"`
-	Start    []Time       `json:"start"`
+	Start    Times        `json:"start"`
 }
 
 // WriteJSON serializes the schedule together with its instance.
@@ -105,10 +208,25 @@ func ReadScheduleJSON(r io.Reader) (*Schedule, error) {
 			len(raw.Machine), len(raw.Start), inst.N())
 	}
 	s := NewSchedule(inst)
+	partial := false
 	for i := range raw.Machine {
+		if raw.Machine[i] < 0 || math.IsNaN(raw.Start[i]) {
+			// Unassigned task (dropped/rejected/shed in a faulty run): both
+			// sides must agree, and NewSchedule already holds (−1, NaN).
+			if raw.Machine[i] != -1 || !math.IsNaN(raw.Start[i]) {
+				return nil, fmt.Errorf("core: task %d: inconsistent unassigned state (machine %d, start %v)",
+					i, raw.Machine[i], raw.Start[i])
+			}
+			partial = true
+			continue
+		}
 		s.Assign(i, raw.Machine[i], raw.Start[i])
 	}
-	if err := s.Validate(); err != nil {
+	if partial {
+		if err := s.ValidatePartial(); err != nil {
+			return nil, fmt.Errorf("core: invalid schedule: %w", err)
+		}
+	} else if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid schedule: %w", err)
 	}
 	return s, nil

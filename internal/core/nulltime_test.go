@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestTimesFiniteByteIdentity: for finite values the hand-rolled NaN-safe
+// encoder must be byte-identical to encoding/json's float encoding — the
+// NullTime adoption may not change a single existing log byte.
+func TestTimesFiniteByteIdentity(t *testing.T) {
+	vals := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.1, 2.0 / 3.0, 1e-6, 9.999999e-7,
+		2.5e-9, 1e20, 1e21, -1e21, 1.7976931348623157e308, 5e-324,
+		123456.789, -0.000125,
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		vals = append(vals, math.Ldexp(rng.NormFloat64(), rng.Intn(160)-80))
+	}
+	for _, v := range vals {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := NullTime(v).MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("NullTime(%v) = %s, encoding/json = %s", v, got, want)
+		}
+	}
+	ts := make(Times, len(vals))
+	for i, v := range vals {
+		ts[i] = v
+	}
+	want, err := json.Marshal(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("Times slice encoding differs from encoding/json on finite values")
+	}
+}
+
+func TestNullTimeNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		b, err := NullTime(v).MarshalJSON()
+		if err != nil || string(b) != "null" {
+			t.Fatalf("NullTime(%v) = %s, %v; want null", v, b, err)
+		}
+	}
+	var back NullTime
+	if err := back.UnmarshalJSON([]byte("null")); err != nil || !math.IsNaN(float64(back)) {
+		t.Fatalf("null decoded to %v, %v; want NaN", back, nil)
+	}
+	if err := back.UnmarshalJSON([]byte("2.5")); err != nil || back != 2.5 {
+		t.Fatalf("2.5 decoded to %v", back)
+	}
+	if err := back.UnmarshalJSON([]byte(`"x"`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+
+	ts := Times{1, math.NaN(), 3}
+	b, err := json.Marshal(ts)
+	if err != nil || string(b) != "[1,null,3]" {
+		t.Fatalf("Times = %s, %v", b, err)
+	}
+	var rt Times
+	if err := json.Unmarshal(b, &rt); err != nil {
+		t.Fatal(err)
+	}
+	if rt[0] != 1 || !math.IsNaN(float64(rt[1])) || rt[2] != 3 {
+		t.Fatalf("round trip = %v", rt)
+	}
+	var nilTs Times
+	b, err = json.Marshal(nilTs)
+	if err != nil || string(b) != "null" {
+		t.Fatalf("nil Times = %s, %v", b, err)
+	}
+}
+
+// TestScheduleJSONDroppedTasksRoundTrip is the regression the NaN-safe
+// boundary exists for: a faulty/guarded run's schedule leaves dropped,
+// rejected and never-dispatched tasks unassigned (Machine −1, Start NaN),
+// and writing such a schedule used to abort on encoding/json's non-finite
+// float rejection. It must round-trip, sentinels intact.
+func TestScheduleJSONDroppedTasksRoundTrip(t *testing.T) {
+	inst := NewInstance(2, []Task{
+		{Release: 0, Proc: 1, Set: NewProcSet(0)},
+		{Release: 0.5, Proc: 2}, // never dispatched: stays (−1, NaN)
+		{Release: 1, Proc: 1, Set: NewProcSet(1)},
+		{Release: 2, Proc: 3}, // dropped mid-run: stays (−1, NaN)
+	})
+	s := NewSchedule(inst)
+	s.Assign(0, 0, 0)
+	s.Assign(2, 1, 1)
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatalf("writing a partial schedule: %v", err)
+	}
+	if !strings.Contains(buf.String(), "null") {
+		t.Fatal("unassigned starts did not encode as null")
+	}
+	back, err := ReadScheduleJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reading a partial schedule: %v", err)
+	}
+	for i := range inst.Tasks {
+		if back.Machine[i] != s.Machine[i] {
+			t.Fatalf("task %d machine %d, want %d", i, back.Machine[i], s.Machine[i])
+		}
+		same := back.Start[i] == s.Start[i] ||
+			(math.IsNaN(back.Start[i]) && math.IsNaN(s.Start[i]))
+		if !same {
+			t.Fatalf("task %d start %v, want %v", i, back.Start[i], s.Start[i])
+		}
+	}
+}
+
+// TestReadScheduleJSONRejectsInconsistentUnassigned: the two halves of the
+// unassigned sentinel must agree — a null start with a real machine (or the
+// reverse) is a corrupted file, not a partial schedule.
+func TestReadScheduleJSONRejectsInconsistentUnassigned(t *testing.T) {
+	cases := []string{
+		`{"instance":{"m":1,"tasks":[{"release":0,"proc":1}]},"machine":[0],"start":[null]}`,
+		`{"instance":{"m":1,"tasks":[{"release":0,"proc":1}]},"machine":[-1],"start":[0]}`,
+		`{"instance":{"m":1,"tasks":[{"release":0,"proc":1}]},"machine":[-2],"start":[null]}`,
+	}
+	for i, src := range cases {
+		if _, err := ReadScheduleJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted an inconsistent unassigned task", i)
+		}
+	}
+}

@@ -106,7 +106,16 @@ func (s *Schedule) MaxStretch() Time {
 //   - no task starts before its release time,
 //   - tasks on the same machine do not overlap (non-preemptive, one task at
 //     a time).
-func (s *Schedule) Validate() error {
+func (s *Schedule) Validate() error { return s.validate(false) }
+
+// ValidatePartial checks feasibility like Validate but tolerates unassigned
+// tasks — the dropped, rejected or shed requests of a faulty run, left at
+// Machine −1 with a NaN start. An unassigned task must be consistently
+// unassigned on both arrays; the assigned tasks must be feasible among
+// themselves.
+func (s *Schedule) ValidatePartial() error { return s.validate(true) }
+
+func (s *Schedule) validate(allowUnassigned bool) error {
 	n := s.Inst.N()
 	if len(s.Machine) != n || len(s.Start) != n {
 		return fmt.Errorf("schedule: assignment arrays sized %d/%d, want %d", len(s.Machine), len(s.Start), n)
@@ -114,6 +123,12 @@ func (s *Schedule) Validate() error {
 	byMachine := make([][]int, s.Inst.M)
 	for i, t := range s.Inst.Tasks {
 		j := s.Machine[i]
+		if allowUnassigned && (j < 0 || math.IsNaN(s.Start[i])) {
+			if j != -1 || !math.IsNaN(s.Start[i]) {
+				return fmt.Errorf("task %d: inconsistent unassigned state (machine %d, start %v)", i, j, s.Start[i])
+			}
+			continue
+		}
 		if j < 0 || j >= s.Inst.M {
 			return fmt.Errorf("task %d: assigned to invalid machine %d", i, j)
 		}

@@ -257,6 +257,25 @@ func NewController(c *Config, capacity int) *Controller {
 	}
 }
 
+// Reset reinitializes c in place for a run on capacity machine slots,
+// exactly as NewController would build it, and reports whether the config has
+// an autoscaler at all (false leaves c untouched and means "run without a
+// controller"). It lets sim's run arena keep one Controller value across runs
+// instead of allocating a fresh one per run.
+func (c *Controller) Reset(cfg *Config, capacity int) bool {
+	if cfg == nil || cfg.Auto == nil {
+		return false
+	}
+	*c = Controller{
+		auto:      cfg.Auto,
+		perCap:    cfg.Auto.perMachine(capacity),
+		upSince:   -1,
+		downSince: -1,
+		last:      core.Time(math.Inf(-1)),
+	}
+	return true
+}
+
 // Decide evaluates the autoscaler at instant now with members active
 // machines and pending machines still warming up, bounded by [min, max]. It
 // returns the number of machines to add (> 0), drain (< 0) or 0 to hold.

@@ -89,8 +89,8 @@ func TestEffectiveWalk(t *testing.T) {
 		start, k int
 		want     core.ProcSet
 	}{
-		{4, 3, core.ProcSet{0, 2, 5}},  // walk 4→5→0→…: {5,0,2} sorted
-		{1, 2, core.ProcSet{2, 3}},     // walk 1→2→3
+		{4, 3, core.ProcSet{0, 2, 5}},     // walk 4→5→0→…: {5,0,2} sorted
+		{1, 2, core.ProcSet{2, 3}},        // walk 1→2→3
 		{-1, 6, core.ProcSet{0, 2, 3, 5}}, // unrestricted: all actives
 		{0, 1, core.ProcSet{0}},
 		{4, 0, core.ProcSet{}},
@@ -306,5 +306,50 @@ func TestControllerClampsToBounds(t *testing.T) {
 func TestNewControllerNilWithoutAuto(t *testing.T) {
 	if NewController(&Config{}, 4) != nil || NewController(nil, 4) != nil {
 		t.Error("controller should be nil without an autoscaler")
+	}
+}
+
+// TestControllerResetMatchesNew: sim's run arena keeps one Controller value
+// across runs and reinitializes it with Reset; the result must be exactly
+// what NewController builds, even after the controller accumulated hysteresis
+// state, and for a different config/capacity than the previous run's.
+func TestControllerResetMatchesNew(t *testing.T) {
+	mk := func(cap float64, up float64) *Config {
+		return &Config{
+			Min: 2,
+			Auto: &Autoscaler{
+				Guard:           overload.NewEstimatorCapacity(cap),
+				MachineCapacity: 1, UpUtil: up, DownUtil: 0.4,
+				Sustain: 1, Cooldown: 2, Step: 2,
+			},
+		}
+	}
+	cfgA, cfgB := mk(10, 0.9), mk(6, 0.8)
+
+	var c Controller
+	if c.Reset(nil, 8) || c.Reset(&Config{}, 8) {
+		t.Fatal("Reset must report false without an autoscaler")
+	}
+	if !reflect.DeepEqual(c, Controller{}) {
+		t.Fatal("a false Reset must leave the controller untouched")
+	}
+
+	if !c.Reset(cfgA, 8) {
+		t.Fatal("Reset reported no autoscaler for a config with one")
+	}
+	if want := NewController(cfgA, 8); !reflect.DeepEqual(&c, want) {
+		t.Fatalf("Reset(cfgA, 8) = %+v, NewController = %+v", c, *want)
+	}
+
+	// Accumulate streak state, then re-target a different config/capacity.
+	for i := 0; i < 20; i++ {
+		cfgA.Auto.Guard.Observe(core.Time(i)*0.05, i%8)
+		c.Decide(core.Time(i)*0.05, 4, 0, 2, 8)
+	}
+	if !c.Reset(cfgB, 5) {
+		t.Fatal("Reset reported no autoscaler for cfgB")
+	}
+	if want := NewController(cfgB, 5); !reflect.DeepEqual(&c, want) {
+		t.Fatalf("used controller after Reset(cfgB, 5) = %+v, NewController = %+v", c, *want)
 	}
 }

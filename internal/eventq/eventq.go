@@ -105,6 +105,20 @@ func (q *Queue[T]) Peek() (float64, T) {
 	return q.h[0].Time, q.h[0].Payload
 }
 
+// Clear empties the queue while keeping its backing array, and rewinds the
+// FIFO tie-break sequence to the zero value's. A cleared queue behaves
+// exactly like a fresh one (same tie-break order for the same pushes), which
+// is what lets sim's run arena recycle event queues across runs without
+// perturbing determinism.
+func (q *Queue[T]) Clear() {
+	var zero Item[T]
+	for i := range q.h {
+		q.h[i] = zero // release payload references for GC
+	}
+	q.h = q.h[:0]
+	q.seq = 0
+}
+
 // MachineHeap is an indexed min-heap over per-machine keys (typically
 // completion times). It supports O(log m) updates of any machine's key and
 // O(1) access to the machine with the smallest key, breaking ties by the

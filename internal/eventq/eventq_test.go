@@ -253,3 +253,39 @@ func TestEFTMinPickerAllocFree(t *testing.T) {
 		t.Fatalf("Dispatch allocates %v times per 64 tasks", avg)
 	}
 }
+
+// TestQueueClearEqualsFresh: a cleared queue must behave exactly like a new
+// one — in particular the tie-break sequence number restarts, so a run
+// through a recycled queue (sim's run arena) pops FIFO-equal ties in the
+// same order a fresh run would. It must also drop references to popped
+// payloads (zeroed backing), and keep its capacity.
+func TestQueueClearEqualsFresh(t *testing.T) {
+	var fresh, reused Queue[int]
+	for i := 0; i < 20; i++ {
+		reused.Push(float64(20-i), i)
+	}
+	reused.Pop()
+	reused.Pop()
+	reused.Clear()
+	if reused.Len() != 0 {
+		t.Fatalf("cleared queue has %d elements", reused.Len())
+	}
+
+	feed := func(q *Queue[int]) []int {
+		for i := 0; i < 10; i++ {
+			q.Push(5, i) // all ties: order is purely the seq counter
+		}
+		var out []int
+		for q.Len() > 0 {
+			_, p := q.Pop()
+			out = append(out, p)
+		}
+		return out
+	}
+	got, want := feed(&reused), feed(&fresh)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie order after Clear = %v, fresh = %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package experiments
+
+import (
+	"sync"
+
+	"flowsched/internal/sim"
+)
+
+// arenas recycles sim run arenas across the repetition loops of the faulty,
+// guarded and elastic experiments. The parallel.MapErr fan-outs expose no
+// worker identity, so a sync.Pool gives each in-flight repetition a private
+// arena; every repetition reduces its run's schedule/metrics to plain floats
+// before returning, so nothing escapes into the pooled arena's next run.
+var arenas = sync.Pool{New: func() any { return sim.NewArena() }}

@@ -165,8 +165,12 @@ func AutoscaleSweep(w io.Writer, cfg AutoscaleConfig) ([]AutoscaleRow, error) {
 	out := table.New("provisioning", "members", "machine-hours", "admitted Fmax", "p99",
 		"scale-ups", "scale-downs", "handoffs", "SLO ok")
 	var rows []AutoscaleRow
+	// The cells run sequentially and each one's metrics are reduced to a row
+	// before the next run, so a single arena serves all three.
+	arena := arenas.Get().(*sim.Arena)
+	defer arenas.Put(arena)
 	for _, cell := range cells {
-		s, em, err := sim.RunElastic(inst, sim.EFTRouter{}, nil, sim.RetryPolicy{}, nil, cell.ecfg, nil)
+		s, em, err := arena.RunElastic(inst, sim.EFTRouter{}, nil, sim.RetryPolicy{}, nil, cell.ecfg, nil)
 		if err != nil {
 			return nil, fmt.Errorf("autoscale: %s: %w", cell.name, err)
 		}

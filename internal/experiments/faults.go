@@ -114,7 +114,9 @@ func FaultTolerance(w io.Writer, cfg FaultToleranceConfig) ([]FaultToleranceRow,
 					horizon := inst.Tasks[inst.N()-1].Release
 					plan := faults.Generate(cfg.M, horizon, mtbf, cfg.MTTR,
 						subRng(cfg.Seed, 15, int64(mi), int64(rep)))
-					_, fm, err := sim.RunFaulty(inst, rt.mk(), plan, cfg.Pol)
+					arena := arenas.Get().(*sim.Arena)
+					defer arenas.Put(arena)
+					_, fm, err := arena.RunFaulty(inst, rt.mk(), plan, cfg.Pol)
 					if err != nil {
 						return repStats{}, err
 					}

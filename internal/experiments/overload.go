@@ -122,7 +122,9 @@ func OverloadSweep(w io.Writer, cfg OverloadSweepConfig) ([]OverloadSweepRow, er
 					return repStats{}, err
 				}
 				c := pol.mk()
-				s, om, err := sim.RunGuarded(inst, sim.EFTRouter{}, nil, sim.RetryPolicy{}, c, nil)
+				arena := arenas.Get().(*sim.Arena)
+				defer arenas.Put(arena)
+				s, om, err := arena.RunGuarded(inst, sim.EFTRouter{}, nil, sim.RetryPolicy{}, c, nil)
 				if err != nil {
 					return repStats{}, err
 				}

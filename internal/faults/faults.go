@@ -173,7 +173,27 @@ func (p *Plan) AnyDownAt(t core.Time) bool {
 // Downtime returns each server's total down time, clipped to the horizon
 // [0, horizon). Overlapping outages are merged first.
 func (p *Plan) Downtime(horizon core.Time) []core.Time {
-	down := make([]core.Time, p.M)
+	return p.DowntimeInto(nil, horizon)
+}
+
+// DowntimeInto is Downtime with a caller-provided buffer: buf is resliced to
+// M (reallocating only when its capacity is short), zeroed and filled. A
+// healthy plan skips the normalization walk entirely, which keeps the
+// simulator's per-run finalization allocation-free when an arena supplies
+// the buffer.
+func (p *Plan) DowntimeInto(buf []core.Time, horizon core.Time) []core.Time {
+	down := buf
+	if cap(down) < p.M {
+		down = make([]core.Time, p.M)
+	} else {
+		down = down[:p.M]
+		for j := range down {
+			down[j] = 0
+		}
+	}
+	if len(p.Outages) == 0 {
+		return down
+	}
 	for _, o := range p.Normalize().Outages {
 		from, until := o.From, o.Until
 		if until > horizon {

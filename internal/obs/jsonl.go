@@ -24,7 +24,9 @@ import (
 //	{"ev":"done","t":<makespan>}
 //
 // Times are written with Go's shortest round-trip float encoding, so a
-// replay through ReplayTrace reproduces the exact instants. Errors are
+// replay through ReplayTrace reproduces the exact instants; non-finite
+// instants (the engine's deliberate NaN sentinels) encode as null instead of
+// aborting the whole log write (core.NullTime). Errors are
 // sticky: the first write error is retained and reported by Flush/Err, and
 // subsequent events are dropped.
 type JSONLSink struct {
@@ -62,87 +64,87 @@ func (s *JSONLSink) emit(rec interface{}) {
 // OnArrival implements Probe.
 func (s *JSONLSink) OnArrival(task int, release core.Time) {
 	s.emit(struct {
-		Ev   string    `json:"ev"`
-		T    core.Time `json:"t"`
-		Task int       `json:"task"`
-	}{"arrival", release, task})
+		Ev   string        `json:"ev"`
+		T    core.NullTime `json:"t"`
+		Task int           `json:"task"`
+	}{"arrival", core.NullTime(release), task})
 }
 
 // OnDispatch implements Probe.
 func (s *JSONLSink) OnDispatch(task, server int, at, start, end core.Time) {
 	s.emit(struct {
-		Ev     string    `json:"ev"`
-		T      core.Time `json:"t"`
-		Task   int       `json:"task"`
-		Server int       `json:"server"`
-		Start  core.Time `json:"start"`
-		End    core.Time `json:"end"`
-	}{"dispatch", at, task, server, start, end})
+		Ev     string        `json:"ev"`
+		T      core.NullTime `json:"t"`
+		Task   int           `json:"task"`
+		Server int           `json:"server"`
+		Start  core.NullTime `json:"start"`
+		End    core.NullTime `json:"end"`
+	}{"dispatch", core.NullTime(at), task, server, core.NullTime(start), core.NullTime(end)})
 }
 
 // OnComplete implements Probe.
 func (s *JSONLSink) OnComplete(task, server int, release, proc, end core.Time) {
 	s.emit(struct {
-		Ev      string    `json:"ev"`
-		T       core.Time `json:"t"`
-		Task    int       `json:"task"`
-		Server  int       `json:"server"`
-		Release core.Time `json:"release"`
-		Proc    core.Time `json:"proc"`
-	}{"complete", end, task, server, release, proc})
+		Ev      string        `json:"ev"`
+		T       core.NullTime `json:"t"`
+		Task    int           `json:"task"`
+		Server  int           `json:"server"`
+		Release core.NullTime `json:"release"`
+		Proc    core.NullTime `json:"proc"`
+	}{"complete", core.NullTime(end), task, server, core.NullTime(release), core.NullTime(proc)})
 }
 
 // OnDrop implements Probe.
 func (s *JSONLSink) OnDrop(task int, release, at core.Time) {
 	s.emit(struct {
-		Ev      string    `json:"ev"`
-		T       core.Time `json:"t"`
-		Task    int       `json:"task"`
-		Release core.Time `json:"release"`
-	}{"drop", at, task, release})
+		Ev      string        `json:"ev"`
+		T       core.NullTime `json:"t"`
+		Task    int           `json:"task"`
+		Release core.NullTime `json:"release"`
+	}{"drop", core.NullTime(at), task, core.NullTime(release)})
 }
 
 // OnRetry implements Probe.
 func (s *JSONLSink) OnRetry(task, attempt int, at core.Time) {
 	s.emit(struct {
-		Ev      string    `json:"ev"`
-		T       core.Time `json:"t"`
-		Task    int       `json:"task"`
-		Attempt int       `json:"attempt"`
-	}{"retry", at, task, attempt})
+		Ev      string        `json:"ev"`
+		T       core.NullTime `json:"t"`
+		Task    int           `json:"task"`
+		Attempt int           `json:"attempt"`
+	}{"retry", core.NullTime(at), task, attempt})
 }
 
 // OnFailover implements Probe.
 func (s *JSONLSink) OnFailover(server int, at core.Time, lost int) {
 	s.emit(struct {
-		Ev     string    `json:"ev"`
-		T      core.Time `json:"t"`
-		Server int       `json:"server"`
-		Lost   int       `json:"lost"`
-	}{"failover", at, server, lost})
+		Ev     string        `json:"ev"`
+		T      core.NullTime `json:"t"`
+		Server int           `json:"server"`
+		Lost   int           `json:"lost"`
+	}{"failover", core.NullTime(at), server, lost})
 }
 
 // OnDone implements Probe: it writes the trailer record and flushes.
 func (s *JSONLSink) OnDone(makespan core.Time) {
 	s.emit(struct {
-		Ev string    `json:"ev"`
-		T  core.Time `json:"t"`
-	}{"done", makespan})
+		Ev string        `json:"ev"`
+		T  core.NullTime `json:"t"`
+	}{"done", core.NullTime(makespan)})
 	s.Flush()
 }
 
 // jsonlRecord is the union read-side schema of a sink line.
 type jsonlRecord struct {
-	Ev      string    `json:"ev"`
-	T       core.Time `json:"t"`
-	Task    int       `json:"task"`
-	Server  int       `json:"server"`
-	Start   core.Time `json:"start"`
-	End     core.Time `json:"end"`
-	Release core.Time `json:"release"`
-	Proc    core.Time `json:"proc"`
-	Attempt int       `json:"attempt"`
-	Lost    int       `json:"lost"`
+	Ev      string        `json:"ev"`
+	T       core.NullTime `json:"t"`
+	Task    int           `json:"task"`
+	Server  int           `json:"server"`
+	Start   core.NullTime `json:"start"`
+	End     core.NullTime `json:"end"`
+	Release core.NullTime `json:"release"`
+	Proc    core.NullTime `json:"proc"`
+	Attempt int           `json:"attempt"`
+	Lost    int           `json:"lost"`
 }
 
 // ReplayTrace reads a JSONL event stream and reconstructs the trace of the
@@ -183,13 +185,13 @@ func ReplayTrace(r io.Reader) ([]trace.Event, error) {
 		switch rec.Ev {
 		case "arrival":
 			s := at(rec.Task)
-			s.arrival, s.hasArr = rec.T, true
+			s.arrival, s.hasArr = core.Time(rec.T), true
 		case "dispatch":
 			s := at(rec.Task)
-			s.start, s.server, s.hasDis = rec.Start, rec.Server, true
+			s.start, s.server, s.hasDis = core.Time(rec.Start), rec.Server, true
 		case "complete":
 			s := at(rec.Task)
-			s.end, s.server, s.hasCmp = rec.T, rec.Server, true
+			s.end, s.server, s.hasCmp = core.Time(rec.T), rec.Server, true
 		case "retry", "drop", "failover", "done":
 			// Not part of the schedule trace.
 		default:

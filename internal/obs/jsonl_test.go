@@ -3,9 +3,11 @@ package obs
 import (
 	"bytes"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 
+	"flowsched/internal/core"
 	"flowsched/internal/trace"
 )
 
@@ -111,5 +113,37 @@ func TestReplayTraceErrors(t *testing.T) {
 	events, err := ReplayTrace(strings.NewReader(""))
 	if err != nil || len(events) != 0 {
 		t.Errorf("empty stream: %v, %v", events, err)
+	}
+}
+
+// TestJSONLSinkNonFiniteInstants is the satellite regression for the NaN-safe
+// boundary: the engine uses NaN deliberately (a never-dispatched task has no
+// dispatch instant), and a sink fed such a sentinel must keep writing — one
+// null field — instead of poisoning the sticky error and silently dropping
+// the rest of the log, which is what encoding/json's non-finite rejection
+// did. The stream must also still replay.
+func TestJSONLSinkNonFiniteInstants(t *testing.T) {
+	nan := core.Time(math.NaN())
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.OnArrival(0, 0)
+	s.OnDispatch(0, 1, 0, 0, 2)
+	s.OnComplete(0, 1, 0, 2, 2)
+	s.OnArrival(1, 1)
+	s.OnDrop(1, 1, nan) // dropped with no final instant
+	s.OnDone(nan)       // e.g. a run with no completed work
+	if err := s.Flush(); err != nil {
+		t.Fatalf("non-finite instants poisoned the sink: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"t":null`) {
+		t.Fatalf("NaN instant did not encode as null:\n%s", out)
+	}
+	events, err := ReplayTrace(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("replaying a log with null instants: %v", err)
+	}
+	if len(events) != 3 { // arrival, start, completion — a dropped task yields no trace events
+		t.Fatalf("replayed %d events, want 3: %+v", len(events), events)
 	}
 }

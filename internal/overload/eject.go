@@ -112,6 +112,7 @@ func (e *Ejector) reset(m int) {
 	for j := 0; j < m; j++ {
 		e.ewma[j], e.samples[j], e.ejected[j], e.until[j] = 0, 0, false, 0
 	}
+	e.scratch = e.scratch[:0]
 	e.numEjected, e.ejections, e.readmits = 0, 0, 0
 }
 

@@ -80,7 +80,9 @@ type Shedder struct {
 	// deterministic like any other.
 	Seed int64
 
-	rng *rand.Rand
+	rng   *rand.Rand
+	src   rand.Source
+	order candOrder
 }
 
 func (s *Shedder) validate() error {
@@ -97,7 +99,16 @@ func (s *Shedder) validate() error {
 }
 
 func (s *Shedder) reset() {
-	s.rng = rand.New(rand.NewSource(s.Seed))
+	if s.rng == nil {
+		s.src = rand.NewSource(s.Seed)
+		s.rng = rand.New(s.src)
+		return
+	}
+	// Reseeding the existing source reproduces the stream bit-for-bit without
+	// the two allocations of rand.New(rand.NewSource(...)) — rand.Rand pulls
+	// Shuffle's values straight from the source, so a reseeded source is
+	// indistinguishable from a fresh generator.
+	s.src.Seed(s.Seed)
 }
 
 // EffectiveTarget returns the backlog level a trim drains to.
@@ -113,31 +124,59 @@ func (s *Shedder) Enabled() bool { return s != nil && s.Watermark > 0 }
 
 // Rank reorders cands into shedding priority order (first = shed first).
 // The order is deterministic for a fixed Seed.
+//
+// Sorting goes through the persistent candOrder sort.Interface rather than
+// sort.SliceStable: converting a pointer-to-field to an interface does not
+// allocate, while SliceStable's closure + reflect-based swapper costs ~3
+// allocations per call — per trim, on the guarded hot path. sort.Stable
+// produces the same stable permutation for the same Less.
 func (s *Shedder) Rank(now core.Time, cands []Candidate) {
-	switch s.Policy {
-	case DropNewest:
-		sort.SliceStable(cands, func(a, b int) bool { return cands[a].Pos > cands[b].Pos })
-	case DropOldest:
-		sort.SliceStable(cands, func(a, b int) bool { return cands[a].Pos < cands[b].Pos })
-	case DropRandom:
+	if s.Policy == DropRandom {
 		if s.rng == nil {
 			s.reset()
 		}
 		s.rng.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
-	case DropLargestStretch:
-		stretch := func(c Candidate) float64 {
-			age := float64(now - c.Release)
-			if c.Proc > 0 {
-				return age / float64(c.Proc)
-			}
-			return age
-		}
-		sort.SliceStable(cands, func(a, b int) bool {
-			sa, sb := stretch(cands[a]), stretch(cands[b])
-			if sa != sb {
-				return sa > sb
-			}
-			return cands[a].Pos < cands[b].Pos
-		})
+		return
 	}
+	s.order.policy = s.Policy
+	s.order.now = now
+	s.order.cands = cands
+	sort.Stable(&s.order)
+	s.order.cands = nil // don't retain the caller's slice
+}
+
+// candOrder adapts a candidate slice to sort.Interface under one of the
+// deterministic shed policies (DropRandom shuffles instead of sorting).
+type candOrder struct {
+	policy ShedPolicy
+	now    core.Time
+	cands  []Candidate
+}
+
+func (o *candOrder) Len() int      { return len(o.cands) }
+func (o *candOrder) Swap(a, b int) { o.cands[a], o.cands[b] = o.cands[b], o.cands[a] }
+
+func (o *candOrder) Less(a, b int) bool {
+	switch o.policy {
+	case DropNewest:
+		return o.cands[a].Pos > o.cands[b].Pos
+	case DropLargestStretch:
+		sa, sb := o.stretch(o.cands[a]), o.stretch(o.cands[b])
+		if sa != sb {
+			return sa > sb
+		}
+		return o.cands[a].Pos < o.cands[b].Pos
+	default: // DropOldest
+		return o.cands[a].Pos < o.cands[b].Pos
+	}
+}
+
+// stretch is the task's current age divided by its processing time (plain age
+// when the processing time is not positive).
+func (o *candOrder) stretch(c Candidate) float64 {
+	age := float64(o.now - c.Release)
+	if c.Proc > 0 {
+		return age / float64(c.Proc)
+	}
+	return age
 }

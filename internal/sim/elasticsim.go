@@ -6,7 +6,6 @@ import (
 
 	"flowsched/internal/core"
 	"flowsched/internal/elastic"
-	"flowsched/internal/eventq"
 	"flowsched/internal/faults"
 	"flowsched/internal/obs"
 	"flowsched/internal/overload"
@@ -25,8 +24,9 @@ type ElasticMetrics struct {
 	Membership *elastic.Membership
 	// Dispatched records each task's final dispatch instant (NaN for tasks
 	// that never dispatched: rejected, or parked forever). The auditor checks
-	// membership eligibility at this instant.
-	Dispatched []core.Time
+	// membership eligibility at this instant. The core.Times type keeps the
+	// deliberate NaN sentinels JSON-encodable (they marshal as null).
+	Dispatched core.Times
 	// ScaleUps / ScaleDowns count committed scale decisions (per machine);
 	// Handoffs counts queued tasks moved off draining machines.
 	ScaleUps   int
@@ -44,7 +44,7 @@ type ElasticMetrics struct {
 // elRun is the engine-side runtime of an elastic config: the active/warming
 // slot vectors, the autoscaler's controller, the membership log under
 // construction and scratch space for the effective-set walk. It exists only
-// when a config is present, so the disabled path allocates nothing and stays
+// when a config is present, so the disabled path touches none of it and stays
 // byte-identical to RunGuarded.
 type elRun struct {
 	cfg      *elastic.Config
@@ -103,7 +103,18 @@ type elRun struct {
 // clamp rather than fail; draining below a set's replication factor parks
 // nothing (the walk just yields fewer machines), but Min should stay ≥ k so
 // restricted sets keep their width.
+//
+// Each call runs in a private Arena; batch callers reuse one arena's
+// RunElastic method to amortize the per-run allocations away.
 func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy RetryPolicy, cfg *overload.Config, ecfg *elastic.Config, probe obs.Probe) (*core.Schedule, *ElasticMetrics, error) {
+	return NewArena().RunElastic(inst, router, plan, policy, cfg, ecfg, probe)
+}
+
+// RunElastic is the unified engine (see the package-level RunElastic for the
+// model). All per-run state lives in the arena: repeat calls on one arena
+// reuse every buffer, and the returned schedule and metrics point into the
+// arena — valid until its next run.
+func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy RetryPolicy, cfg *overload.Config, ecfg *elastic.Config, probe obs.Probe) (*core.Schedule, *ElasticMetrics, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("sim: %w", err)
 	}
@@ -129,36 +140,29 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 
 	m := inst.M
 	n := inst.N()
-	st := &State{
-		M:          m,
-		Completion: make([]core.Time, m),
-		QueueLen:   make([]int, m),
-	}
-	sched := core.NewSchedule(inst)
-	metrics := &ElasticMetrics{
+	a.Reset(n, m)
+	st := &a.st
+	fq := &a.fq
+	a.sched = core.Schedule{Inst: inst, Machine: a.machine, Start: a.start}
+	sched := &a.sched
+	a.metrics = ElasticMetrics{
 		OverloadMetrics: OverloadMetrics{
 			FaultMetrics: FaultMetrics{
-				Metrics: Metrics{
-					Flows:     make([]core.Time, n),
-					Stretches: make([]core.Time, n),
-					Busy:      make([]core.Time, m),
-				},
-				Attempts: make([]int, n),
-				Dropped:  make([]bool, n),
-				Parked:   make([]bool, n),
+				Metrics:  Metrics{Flows: a.flows, Stretches: a.stretches, Busy: a.busy},
+				Attempts: a.attempts,
+				Dropped:  a.dropped,
+				Parked:   a.parkedBits,
 				plan:     plan,
-				releases: make([]core.Time, n),
+				releases: a.releases,
 			},
 		},
 	}
+	metrics := &a.metrics
 	for i, t := range inst.Tasks {
-		metrics.releases[i] = t.Release
+		a.releases[i] = t.Release
 	}
 
-	live := make([]bool, m)
-	for j := range live {
-		live[j] = true
-	}
+	live := a.live
 	// slow holds each server's effective gray-failure segments; nil when the
 	// plan has none, so the healthy dispatch arithmetic below is untouched
 	// (and all-factor-1 segments were dropped by Normalize above).
@@ -167,14 +171,13 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 		slow = plan.ServerSlowdowns()
 	}
 	downCount := 0
-	pending := make([][]int, m)      // per-server FIFO of unfinished request IDs
-	gen := make([]int, n)            // attempt generation, invalidates stale completions
-	curStart := make([]core.Time, n) // start of the current attempt
-	curEnd := make([]core.Time, n)   // end of the current attempt
-	busyAdd := make([]core.Time, n)  // busy time credited for the current attempt
-	var parked []int                 // requests waiting for any replica to recover
-	var completions eventq.Queue[compEvent]
-	var events eventq.Queue[faultEvent]
+	gen := a.gen           // attempt generation, invalidates stale completions
+	curStart := a.curStart // start of the current attempt
+	curEnd := a.curEnd     // end of the current attempt
+	busyAdd := a.busyAdd   // busy time credited for the current attempt
+	parked := a.parked     // requests waiting for any replica to recover
+	completions := &a.completions
+	events := &a.events
 	completions.Reserve(reserveFor(n))
 	events.Reserve(2 * len(plan.Outages))
 	for _, o := range plan.Outages {
@@ -188,21 +191,32 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 	var ov *ovRun
 	if cfg != nil {
 		cfg.Reset(m)
-		ov = &ovRun{cfg: cfg}
-		metrics.Rejected = make([]bool, n)
-		metrics.Shed = make([]bool, n)
-		metrics.Reason = make([]string, n)
+		ov = &a.ov
+		*ov = ovRun{cfg: cfg, cands: a.ov.cands, ejBuf: a.ov.ejBuf}
+		a.rejected = resliceZero(a.rejected, n)
+		a.shedded = resliceZero(a.shedded, n)
+		a.reason = resliceZero(a.reason, n)
+		metrics.Rejected = a.rejected
+		metrics.Shed = a.shedded
+		metrics.Reason = a.reason
 		ov.view = overload.View{M: m, Completion: st.Completion, QueueLen: st.QueueLen, Live: live}
 		if cfg.Ejector != nil {
 			ov.view.Ejected = cfg.Ejector.EjectedVec()
-			ov.ejBuf = make(core.ProcSet, 0, m)
+			if cap(ov.ejBuf) < m {
+				ov.ejBuf = make(core.ProcSet, 0, m)
+			}
 		}
 		if b, ok := cfg.Admission.(overload.Budgeted); ok {
 			ov.budget = b.Budget()
 		}
 		ov.op, _ = probe.(obs.OverloadObserver)
 		if cfg.Shedder.Enabled() {
-			ov.cands = make([]overload.Candidate, 0, 16)
+			if ov.cands == nil {
+				ov.cands = make([]overload.Candidate, 0, 16)
+			}
+			ov.cands = ov.cands[:0]
+			// One concatenation per run instead of one per trim.
+			ov.shedReason = cfg.Shedder.Policy.Reason()
 		}
 	}
 
@@ -211,22 +225,33 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 	// byte-identical to RunGuarded.
 	var el *elRun
 	if ecfg != nil {
-		el = &elRun{cfg: ecfg}
-		el.active = make([]bool, m)
-		el.warming = make([]bool, m)
+		el = &a.el
+		*el = elRun{
+			cfg:     ecfg,
+			active:  resliceZero(a.el.active, m),
+			warming: resliceZero(a.el.warming, m),
+			primary: grow(a.el.primary, n),
+			effBuf:  a.el.effBuf,
+		}
+		if cap(el.effBuf) < m {
+			el.effBuf = make(core.ProcSet, 0, m)
+		}
 		el.members = ecfg.InitialMembers(m)
 		for j := 0; j < el.members; j++ {
 			el.active[j] = true
 		}
 		el.minM, el.maxM = ecfg.MinMembers(), ecfg.MaxMembers(m)
-		el.primary = make([]int, n)
 		for i, t := range inst.Tasks {
 			el.primary[i] = elastic.RingStart(t.Set, m)
 		}
-		el.effBuf = make(core.ProcSet, 0, m)
-		el.ms = &elastic.Membership{Capacity: m, Initial: el.members}
+		a.membership = elastic.Membership{Capacity: m, Initial: el.members, Changes: a.membership.Changes[:0]}
+		el.ms = &a.membership
 		el.mo, _ = probe.(obs.MembershipObserver)
-		el.ctrl = elastic.NewController(ecfg, m)
+		if a.ctrl.Reset(ecfg, m) {
+			el.ctrl = &a.ctrl
+		} else {
+			el.ctrl = nil
+		}
 		if ecfg.Auto != nil {
 			el.guard = ecfg.Auto.Guard
 			el.ownGuard = cfg == nil || cfg.Guard != el.guard
@@ -237,11 +262,12 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 		for _, ev := range ecfg.Script {
 			events.Push(ev.At, faultEvent{kind: evScale, task: ev.Delta})
 		}
-		metrics.Membership = el.ms
-		metrics.Dispatched = make([]core.Time, n)
-		for i := range metrics.Dispatched {
-			metrics.Dispatched[i] = core.Time(math.NaN())
+		a.dispatched = grow(a.dispatched, n)
+		for i := range a.dispatched {
+			a.dispatched[i] = core.Time(math.NaN())
 		}
+		metrics.Membership = el.ms
+		metrics.Dispatched = a.dispatched
 	}
 
 	drain := func(upTo core.Time) {
@@ -259,16 +285,10 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 				probe.OnComplete(c.task, c.server, t.Release, t.Proc, when)
 			}
 			st.QueueLen[c.server]--
-			q := pending[c.server]
-			if len(q) > 0 && q[0] == c.task {
-				pending[c.server] = q[1:]
+			if fq.head[c.server] == c.task {
+				fq.popHead(c.server)
 			} else { // defensive; FIFO service should make this unreachable
-				for x, id := range q {
-					if id == c.task {
-						pending[c.server] = append(q[:x:x], q[x+1:]...)
-						break
-					}
-				}
+				fq.remove(c.server, c.task)
 			}
 			if ov != nil && ov.cfg.Ejector != nil {
 				if proc := inst.Tasks[c.task].Proc; proc > 0 {
@@ -318,9 +338,8 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 
 	// liveBuf is reused across dispatches: the live view handed to the
 	// router is only read within the Pick call, never retained.
-	liveBuf := make(core.ProcSet, 0, m)
 	liveSubset := func(set core.ProcSet) core.ProcSet {
-		out := liveBuf[:0]
+		out := a.liveBuf[:0]
 		if set == nil {
 			for j := 0; j < m; j++ {
 				if live[j] {
@@ -433,7 +452,7 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 		st.Completion[j] = end
 		st.QueueLen[j]++
 		completions.Push(end, compEvent{server: j, task: id, gen: gen[id]})
-		pending[j] = append(pending[j], id)
+		fq.push(j, id)
 		curStart[id], curEnd[id] = start, end
 		busyAdd[id] = busy
 		sched.Assign(id, j, start)
@@ -466,30 +485,38 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 	fail := func(j int, now core.Time) {
 		live[j] = false
 		downCount++
-		lost := pending[j]
-		pending[j] = nil
-		st.QueueLen[j] -= len(lost)
+		lost := 0
+		for id := fq.head[j]; id >= 0; id = fq.next[id] {
+			lost++
+		}
+		head := fq.takeAll(j)
+		st.QueueLen[j] -= lost
 		st.Completion[j] = now
 		if probe != nil {
-			probe.OnFailover(j, now, len(lost))
+			probe.OnFailover(j, now, lost)
 		}
-		for _, id := range lost {
-			gen[id]++ // invalidate the queued completion
+		for id := head; id >= 0; {
+			nxt := fq.next[id] // before requeue: a re-dispatch relinks id
+			gen[id]++          // invalidate the queued completion
 			executed := core.Time(0)
 			if curStart[id] < now {
 				executed = now - curStart[id] // the running request's wasted partial work
 			}
 			metrics.Busy[j] -= busyAdd[id] - executed
 			requeue(id, now)
+			id = nxt
 		}
 	}
 
 	// wakeAll re-dispatches every parked task (membership changes remap
 	// effective sets, so the static per-machine eligibility filter would wake
-	// too few; dispatch re-parks the still-unservable ones).
+	// too few; dispatch re-parks the still-unservable ones). The parked and
+	// wake buffers ping-pong: re-parks during the walk land in the other
+	// backing array, so nothing is overwritten mid-iteration.
 	wakeAll := func(now core.Time) error {
 		wake := parked
-		parked = nil
+		parked = a.wake[:0]
+		a.wake = wake[:0] // recycled once the walk below has consumed it
 		for _, id := range wake {
 			if policy.Timeout > 0 && now-inst.Tasks[id].Release > policy.Timeout {
 				drop(id, now)
@@ -509,7 +536,7 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 			return wakeAll(now)
 		}
 		still := parked[:0]
-		var wake []int
+		wake := a.wake[:0]
 		for _, id := range parked {
 			if inst.Tasks[id].Eligible(j) {
 				wake = append(wake, id)
@@ -518,6 +545,7 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 			}
 		}
 		parked = still
+		a.wake = wake // keep (possibly re-grown) backing for the next restore
 		for _, id := range wake {
 			if policy.Timeout > 0 && now-inst.Tasks[id].Release > policy.Timeout {
 				drop(id, now)
@@ -596,28 +624,33 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 			if victim < 0 {
 				return nil
 			}
-			q := pending[victim]
-			i0 := 0
-			if len(q) > 0 && curStart[q[0]] <= now {
-				i0 = 1
-			}
-			moved := q[i0:]
-			pending[victim] = q[:i0:i0] // cap-cut: handoff appends must not clobber moved
-			st.QueueLen[victim] -= len(moved)
-			if i0 == 1 {
-				st.Completion[victim] = curEnd[q[0]]
+			// Detach the moved suffix: the running head (if any) stays as the
+			// victim's whole queue, everything behind it hands off.
+			var movedHead int
+			if q0 := fq.head[victim]; q0 >= 0 && curStart[q0] <= now {
+				movedHead = fq.next[q0]
+				fq.next[q0] = -1
+				fq.tail[victim] = q0
+				st.Completion[victim] = curEnd[q0]
 			} else {
+				movedHead = fq.takeAll(victim)
 				st.Completion[victim] = now
 			}
+			moved := 0
+			for id := movedHead; id >= 0; id = fq.next[id] {
+				moved++
+			}
+			st.QueueLen[victim] -= moved
 			el.active[victim] = false
 			el.members--
 			metrics.ScaleDowns++
 			el.ms.Changes = append(el.ms.Changes, elastic.Change{At: now, Machine: victim, Join: false, Members: el.members})
 			if el.mo != nil {
-				el.mo.OnScaleDown(victim, now, el.members, len(moved))
+				el.mo.OnScaleDown(victim, now, el.members, moved)
 			}
-			for _, id := range moved {
-				gen[id]++ // invalidate the queued completion
+			for id := movedHead; id >= 0; {
+				nxt := fq.next[id] // before dispatch: a re-queue relinks id
+				gen[id]++          // invalidate the queued completion
 				metrics.Busy[victim] -= busyAdd[id]
 				metrics.Handoffs++
 				if el.mo != nil {
@@ -626,6 +659,7 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 				if err := dispatch(id, now); err != nil {
 					return err
 				}
+				id = nxt
 			}
 		}
 		return nil
@@ -658,12 +692,13 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 	// head (curStart ≤ now) is never shed.
 	trim := func(j int, now core.Time) {
 		sh := ov.cfg.Shedder
-		q := pending[j]
-		i0 := 0
-		if len(q) > 0 && curStart[q[0]] <= now {
-			i0 = 1
+		run := -1 // running head, exempt from shedding
+		h := fq.head[j]
+		if h >= 0 && curStart[h] <= now {
+			run = h
+			h = fq.next[h]
 		}
-		if len(q) <= i0 {
+		if h < 0 {
 			return
 		}
 		backlog := st.Completion[j] - now
@@ -672,15 +707,16 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 			return
 		}
 		cands := ov.cands[:0]
-		for pos, id := range q[i0:] {
+		pos := 0
+		for id := h; id >= 0; id = fq.next[id] {
 			cands = append(cands, overload.Candidate{
 				ID: id, Release: inst.Tasks[id].Release, Proc: inst.Tasks[id].Proc, Pos: pos,
 			})
+			pos++
 		}
 		ov.cands = cands
 		sh.Rank(now, cands)
 		dropped := 0
-		reason := sh.Policy.Reason()
 		for _, c := range cands {
 			if backlog <= target {
 				break
@@ -689,28 +725,36 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 			gen[c.ID]++ // invalidate the queued completion
 			st.QueueLen[j]--
 			metrics.Busy[j] -= busyAdd[c.ID]
-			shed(c.ID, j, now, reason)
+			shed(c.ID, j, now, ov.shedReason)
 			dropped++
 		}
 		if dropped == 0 {
 			return
 		}
-		// Compact the queue (preserving FIFO order of survivors) and re-time
-		// the unstarted suffix back to back.
-		w := i0
-		for _, id := range q[i0:] {
-			if !metrics.Shed[id] {
-				q[w] = id
-				w++
+		// Unlink the shed tasks in place (preserving FIFO order of survivors).
+		prev := run
+		for id := h; id >= 0; {
+			nxt := fq.next[id]
+			if metrics.Shed[id] {
+				if prev < 0 {
+					fq.head[j] = nxt
+				} else {
+					fq.next[prev] = nxt
+				}
+			} else {
+				prev = id
 			}
+			id = nxt
 		}
-		q = q[:w]
-		pending[j] = q
+		fq.tail[j] = prev
+		// Re-time the unstarted suffix back to back.
 		cur := now
-		if i0 == 1 {
-			cur = curEnd[q[0]]
+		first := fq.head[j]
+		if run >= 0 {
+			cur = curEnd[run]
+			first = fq.next[run]
 		}
-		for _, id := range q[i0:] {
+		for id := first; id >= 0; id = fq.next[id] {
 			task := inst.Tasks[id]
 			start := cur
 			end := start + task.Proc
@@ -751,11 +795,11 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 		}
 		if sh := ov.cfg.Shedder; sh.Enabled() {
 			for j := 0; j < m; j++ {
-				q := pending[j]
-				if len(q) == 0 {
+				h := fq.head[j]
+				if h < 0 {
 					continue
 				}
-				if task.Release-inst.Tasks[q[0]].Release > sh.Watermark {
+				if task.Release-inst.Tasks[h].Release > sh.Watermark {
 					trim(j, task.Release)
 				}
 			}
@@ -821,6 +865,7 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 		}
 		next++
 	}
+	a.parked = parked[:0] // keep a re-grown backing for the next run
 
 	for id := 0; id < n; id++ {
 		if metrics.Dropped[id] {
@@ -838,7 +883,8 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 	if end := plan.End(); end > metrics.Horizon {
 		metrics.Horizon = end
 	}
-	metrics.Downtime = plan.Downtime(metrics.Horizon)
+	a.downtime = plan.DowntimeInto(a.downtime, metrics.Horizon)
+	metrics.Downtime = a.downtime
 	if el != nil {
 		metrics.MachineHours = el.ms.MachineHours(metrics.Horizon)
 	}

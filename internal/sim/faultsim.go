@@ -203,6 +203,22 @@ func RunFaulty(inst *core.Instance, router Router, plan *faults.Plan, policy Ret
 	return RunFaultyProbed(inst, router, plan, policy, nil)
 }
 
+// RunFaulty is the package-level RunFaulty running in the reusable arena:
+// the returned schedule and metrics point into the arena and are valid until
+// its next run.
+func (a *Arena) RunFaulty(inst *core.Instance, router Router, plan *faults.Plan, policy RetryPolicy) (*core.Schedule, *FaultMetrics, error) {
+	return a.RunFaultyProbed(inst, router, plan, policy, nil)
+}
+
+// RunFaultyProbed is the arena variant of the package-level RunFaultyProbed.
+func (a *Arena) RunFaultyProbed(inst *core.Instance, router Router, plan *faults.Plan, policy RetryPolicy, probe obs.Probe) (*core.Schedule, *FaultMetrics, error) {
+	s, om, err := a.RunGuarded(inst, router, plan, policy, nil, probe)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, &om.FaultMetrics, nil
+}
+
 // RunFaultyProbed is RunFaulty with an observability probe attached. Unlike
 // the fault-free simulator, completions are reported only when they become
 // final (crash-invalidated attempts never complete), in time order; crashes

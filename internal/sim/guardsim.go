@@ -133,13 +133,14 @@ func (m *OverloadMetrics) Reasons() []string {
 // observer side of the probe, and scratch space for shedding. It exists
 // only when a config is present, so the disabled path allocates nothing.
 type ovRun struct {
-	cfg    *overload.Config
-	view   overload.View
-	op     obs.OverloadObserver
-	budget core.Time
-	brown  bool
-	cands  []overload.Candidate
-	ejBuf  core.ProcSet
+	cfg        *overload.Config
+	view       overload.View
+	op         obs.OverloadObserver
+	budget     core.Time
+	brown      bool
+	cands      []overload.Candidate
+	ejBuf      core.ProcSet
+	shedReason string // Policy.Reason(), cached once per run (it concatenates)
 }
 
 // RunGuarded is the guarded superset of RunFaulty: the same fault-replaying,
@@ -171,10 +172,16 @@ type ovRun struct {
 // config: the engine lives there and the disabled-membership path is
 // byte-identical by construction (and property-tested).
 func RunGuarded(inst *core.Instance, router Router, plan *faults.Plan, policy RetryPolicy, cfg *overload.Config, probe obs.Probe) (*core.Schedule, *OverloadMetrics, error) {
-	s, em, err := RunElastic(inst, router, plan, policy, cfg, nil, probe)
+	return NewArena().RunGuarded(inst, router, plan, policy, cfg, probe)
+}
+
+// RunGuarded is the package-level RunGuarded running in the reusable arena:
+// the returned schedule and metrics point into the arena and are valid until
+// its next run.
+func (a *Arena) RunGuarded(inst *core.Instance, router Router, plan *faults.Plan, policy RetryPolicy, cfg *overload.Config, probe obs.Probe) (*core.Schedule, *OverloadMetrics, error) {
+	s, em, err := a.RunElastic(inst, router, plan, policy, cfg, nil, probe)
 	if err != nil {
 		return nil, nil, err
 	}
 	return s, &em.OverloadMetrics, nil
 }
-
