@@ -63,9 +63,13 @@ chaos:
 # chaos-short is the 200-trial deterministic spot run (same seed as the
 # checked-in smoke test). About a third of the trials churn membership
 # (scripted scale events, occasionally the autoscaler), so this doubles as
-# the membership-churn soak CI runs on every push.
+# the membership-churn soak CI runs on every push. The second step injects
+# a known-broken router and asserts the black box works: a caught failure
+# carries a flight-recorder dump that is written, read back and replayed to
+# the identical event sequence.
 chaos-short:
 	$(GO) run ./cmd/chaos -trials 200
+	$(GO) test ./internal/chaos -run 'TestFlightRecorderDumpReplay|TestRunAttachesFlightEvents' -count=1
 
 # Regenerate every table and figure at paper sizes (m=15, 10k tasks,
 # 100 permutations).

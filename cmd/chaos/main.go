@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 
 	"flowsched/internal/chaos"
+	"flowsched/internal/obs"
 )
 
 func main() {
@@ -81,10 +82,32 @@ func main() {
 				os.Exit(2)
 			}
 			fmt.Printf("chaos: wrote %s\n", path)
+			if len(f.Events) > 0 {
+				epath := filepath.Join(*reproDir, fmt.Sprintf("repro-trial%d-seed%d.events.jsonl", f.Params.Trial, f.Params.Seed))
+				if err := writeEvents(epath, f.Events); err != nil {
+					fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+					os.Exit(2)
+				}
+				fmt.Printf("chaos: wrote %s\n", epath)
+			}
 		}
 	}
 	fmt.Fprintf(os.Stderr, "chaos: %d of %d trials failed\n", len(sum.Failures), sum.Trials)
 	os.Exit(1)
+}
+
+// writeEvents dumps the failure's flight-recorder event stream next to the
+// repro, so a soak failure ships with the raw sequence that produced it.
+func writeEvents(path string, events []obs.FlightEvent) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := obs.WriteFlightEvents(out, events); err != nil {
+		return err
+	}
+	return out.Close()
 }
 
 func writeRepro(path string, f chaos.Failure) error {

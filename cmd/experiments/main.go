@@ -21,6 +21,7 @@
 //	experiments drift               popularity-drift extension (moving hot spots)
 //	experiments faults              fault injection (strategies under server failures)
 //	experiments overload            overload control (goodput vs load past λ*)
+//	experiments postmortem          causal chains of the worst-flow tasks per overload policy
 //	experiments autoscale           elastic provisioning (machine-hours vs Fmax on a bursty trace)
 //	experiments all                 everything above
 //
@@ -53,7 +54,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|fig1|fig2|fig3|fig4|fig5-6|fig7|fig8|fig9|fig10a|fig10b|fig11|extension|robustness|convergence|writes|drift|faults|overload|autoscale|all>")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|fig1|fig2|fig3|fig4|fig5-6|fig7|fig8|fig9|fig10a|fig10b|fig11|extension|robustness|convergence|writes|drift|faults|overload|postmortem|autoscale|all>")
 		os.Exit(2)
 	}
 
@@ -163,6 +164,10 @@ func main() {
 			}
 			_, err := experiments.OverloadSweep(w, cfg)
 			return err
+		case "postmortem":
+			cfg := experiments.DefaultPostmortem()
+			cfg.M, cfg.K, cfg.N, cfg.Seed = *m, *k, *n, *seed
+			return experiments.Postmortem(w, cfg)
 		case "autoscale":
 			cfg := experiments.DefaultAutoscale()
 			cfg.K, cfg.Seed = *k, *seed
@@ -179,7 +184,7 @@ func main() {
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {
 		names = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5-6", "fig7",
-			"fig8", "fig9", "fig10a", "fig10b", "fig11", "extension", "robustness", "convergence", "writes", "drift", "faults", "overload", "autoscale"}
+			"fig8", "fig9", "fig10a", "fig10b", "fig11", "extension", "robustness", "convergence", "writes", "drift", "faults", "overload", "postmortem", "autoscale"}
 	}
 	for i, name := range names {
 		if i > 0 {

@@ -20,6 +20,8 @@
 //	flowsim ... -events run.jsonl          # JSONL event stream of the run
 //	flowsim ... -metrics metrics.prom      # Prometheus text exposition
 //	flowsim ... -sample 5 -samplesvg q.svg # queue/backlog time series every 5 units
+//	flowsim ... -trace traces.json         # per-task causal span traces as JSON
+//	flowsim ... -traceworst 10 -tracesvg tail.svg  # span timeline of the 10 worst tasks
 //	flowsim ... -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -64,6 +66,9 @@ func main() {
 	flag.StringVar(&ob.metrics, "metrics", "", "write Prometheus-style counters and flow/stretch quantiles to this file")
 	flag.Float64Var(&ob.sample, "sample", 0, "record queue/backlog/watermark samples at this interval (0 = off)")
 	flag.StringVar(&ob.sampleSVG, "samplesvg", "", "with -sample, render the time series as an SVG chart to this file")
+	flag.StringVar(&ob.trace, "trace", "", "write the observed cell's per-task causal traces as JSON to this file")
+	flag.IntVar(&ob.traceWorst, "traceworst", 0, "with -trace/-tracesvg, retain only the K worst-flow task traces (0 = keep all)")
+	flag.StringVar(&ob.traceSVG, "tracesvg", "", "write a span-timeline SVG of the worst traced tasks to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -94,6 +99,12 @@ func main() {
 	}
 	if *backoff < 0 {
 		usageErr("-backoff must be non-negative, got %v", *backoff)
+	}
+	if ob.traceWorst < 0 {
+		usageErr("-traceworst must be non-negative, got %d", ob.traceWorst)
+	}
+	if ob.traceWorst > 0 && ob.trace == "" && ob.traceSVG == "" {
+		usageErr("-traceworst needs -trace or -tracesvg")
 	}
 	if err := ov.parse(*seed); err != nil {
 		usageErr("%v", err)
@@ -459,16 +470,22 @@ func simulateSaved(path string, timeline int, svgPath, faultsPath string, policy
 
 // obsFlags collects the probe-related flags.
 type obsFlags struct {
-	events    string  // JSONL event stream path
-	metrics   string  // Prometheus exposition path
-	sampleSVG string  // time-series SVG path
-	sample    float64 // sampling interval (0 = off)
+	events     string  // JSONL event stream path
+	metrics    string  // Prometheus exposition path
+	sampleSVG  string  // time-series SVG path
+	sample     float64 // sampling interval (0 = off)
+	trace      string  // per-task causal trace JSON path
+	traceSVG   string  // span-timeline SVG path
+	traceWorst int     // KeepWorst retention bound (0 = keep all)
 }
 
 // active reports whether any probe output was requested.
 func (o *obsFlags) active() bool {
-	return o.events != "" || o.metrics != "" || o.sample > 0
+	return o.events != "" || o.metrics != "" || o.sample > 0 || o.tracing()
 }
+
+// tracing reports whether the span tracer is wanted.
+func (o *obsFlags) tracing() bool { return o.trace != "" || o.traceSVG != "" }
 
 // attachIf builds the probe set when the flags are active and this is the
 // observed cell; otherwise it returns nil (a nil *cellObserver is inert).
@@ -487,6 +504,7 @@ type cellObserver struct {
 	hist     *flowsched.HistogramProbe
 	series   *flowsched.TimeSeries
 	sink     *flowsched.JSONLSink
+	tracer   *flowsched.Tracer
 	eventsF  *os.File
 	probe    flowsched.Probe
 }
@@ -515,6 +533,14 @@ func (o *obsFlags) attach(m int) (*cellObserver, error) {
 		c.eventsF = f
 		c.sink = flowsched.NewJSONLSink(f)
 		probes = append(probes, c.sink)
+	}
+	if o.tracing() {
+		retain := flowsched.TraceKeepAll()
+		if o.traceWorst > 0 {
+			retain = flowsched.TraceKeepWorst(o.traceWorst)
+		}
+		c.tracer = flowsched.NewTracer(retain)
+		probes = append(probes, c.tracer)
 	}
 	c.probe = flowsched.MultiProbe(probes...)
 	return c, nil
@@ -561,6 +587,41 @@ func (c *cellObserver) finish() error {
 			return err
 		}
 		fmt.Printf("metrics written to %s\n", c.flags.metrics)
+	}
+	if c.tracer != nil && c.flags.trace != "" {
+		f, err := os.Create(c.flags.trace)
+		if err != nil {
+			return err
+		}
+		if err := c.tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("task traces written to %s\n", c.flags.trace)
+	}
+	if c.tracer != nil && c.flags.traceSVG != "" {
+		// The span timeline shows the tail: the -traceworst bound when set,
+		// otherwise the 20 worst-flow tasks of a keep-all run.
+		k := c.flags.traceWorst
+		if k <= 0 {
+			k = 20
+		}
+		f, err := os.Create(c.flags.traceSVG)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("observed cell: %d worst task traces", k)
+		if err := flowsched.WriteTraceTimelineSVG(f, c.tracer.Worst(k), c.tracer.Makespan(), title); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("span-timeline SVG written to %s\n", c.flags.traceSVG)
 	}
 	if c.series != nil && c.flags.sampleSVG != "" {
 		f, err := os.Create(c.flags.sampleSVG)

@@ -39,6 +39,7 @@ import (
 	"flowsched/internal/core"
 	"flowsched/internal/elastic"
 	"flowsched/internal/faults"
+	"flowsched/internal/obs"
 	"flowsched/internal/offline"
 	"flowsched/internal/sched"
 )
@@ -124,6 +125,11 @@ type Options struct {
 	SkipFIFOEquiv bool
 	// MaxViolations truncates the report; 0 means 64.
 	MaxViolations int
+	// Recorder, when set, is the flight recorder that watched the audited
+	// run: every violation naming a task gets that task's raw event history
+	// attached to the report (Report.Evidence), so a soak failure explains
+	// itself without a re-run. Optional.
+	Recorder *obs.FlightRecorder
 }
 
 // OverloadInfo carries the overload-control dispositions of a guarded run
@@ -153,6 +159,10 @@ type MembershipInfo struct {
 type Report struct {
 	Violations []Violation `json:"violations"`
 	Truncated  bool        `json:"truncated,omitempty"`
+	// Evidence maps each task named by a violation to its raw event history
+	// from the run's flight recorder. Populated only when Options.Recorder
+	// was set and the recorder held events for the task.
+	Evidence map[int][]obs.FlightEvent `json:"evidence,omitempty"`
 }
 
 // Ok reports whether the audit found no violations.
@@ -189,8 +199,31 @@ func tol(x core.Time) core.Time { return 1e-9 * (1 + math.Abs(x)) }
 
 // Audit checks every invariant of the schedule against the instance under
 // the given options and returns the structured report. It never modifies
-// its inputs.
+// its inputs. With Options.Recorder set, violations naming a task carry the
+// task's flight-recorder event history in Report.Evidence.
 func Audit(inst *core.Instance, s *core.Schedule, opts Options) *Report {
+	r := auditInvariants(inst, s, opts)
+	if opts.Recorder != nil {
+		for _, v := range r.Violations {
+			if v.Task < 0 {
+				continue
+			}
+			if _, seen := r.Evidence[v.Task]; seen {
+				continue
+			}
+			if evs := opts.Recorder.TaskEvents(v.Task); len(evs) > 0 {
+				if r.Evidence == nil {
+					r.Evidence = make(map[int][]obs.FlightEvent)
+				}
+				r.Evidence[v.Task] = evs
+			}
+		}
+	}
+	return r
+}
+
+// auditInvariants runs the invariant checks and builds the raw report.
+func auditInvariants(inst *core.Instance, s *core.Schedule, opts Options) *Report {
 	r := &Report{}
 	limit := opts.MaxViolations
 	if limit <= 0 {

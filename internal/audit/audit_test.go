@@ -8,6 +8,7 @@ import (
 
 	"flowsched/internal/core"
 	"flowsched/internal/faults"
+	"flowsched/internal/obs"
 	"flowsched/internal/sim"
 )
 
@@ -249,5 +250,42 @@ func TestAuditEmptyInstance(t *testing.T) {
 	s := core.NewSchedule(inst)
 	if r := Audit(inst, s, Options{}); !r.Ok() {
 		t.Fatalf("empty instance should audit clean:\n%s", r)
+	}
+}
+
+// TestAuditAttachesEvidence: with a flight recorder supplied, a violation
+// naming a task carries that task's raw event history; without one (or for
+// machine-level violations) the report stays evidence-free.
+func TestAuditAttachesEvidence(t *testing.T) {
+	inst := core.NewInstance(2, []core.Task{{Release: 0, Proc: 1}, {Release: 5, Proc: 1}})
+	s := core.NewSchedule(inst)
+	s.Assign(0, 1, 0) // clean
+	s.Assign(1, 0, 3) // before release → violation names task 1
+
+	rec := obs.NewFlightRecorder(16)
+	rec.OnArrival(0, 0)
+	rec.OnArrival(1, 5)
+	rec.OnDispatch(1, 0, 5, 3, 4)
+
+	opts := Options{SkipLowerBound: true, SkipFIFOEquiv: true, Recorder: rec}
+	r := Audit(inst, s, opts)
+	if !violated(r, InvRelease) {
+		t.Fatalf("want release violation, got:\n%s", r)
+	}
+	evs, ok := r.Evidence[1]
+	if !ok || len(evs) != 2 {
+		t.Fatalf("task 1 evidence = %+v, want its 2 recorded events", r.Evidence)
+	}
+	if evs[0].Ev != "arrival" || evs[1].Ev != "dispatch" {
+		t.Fatalf("task 1 evidence kinds = %q, %q", evs[0].Ev, evs[1].Ev)
+	}
+	if _, ok := r.Evidence[0]; ok {
+		t.Fatal("clean task 0 must not appear in the evidence map")
+	}
+
+	// No recorder → no evidence, same violations.
+	opts.Recorder = nil
+	if r := Audit(inst, s, opts); r.Evidence != nil {
+		t.Fatalf("evidence without a recorder: %+v", r.Evidence)
 	}
 }

@@ -33,6 +33,8 @@ func init() {
 	Register("SimRunJSQ", benchSimRunJSQ)
 	Register("ProbeOverheadSimOff", benchProbeOverheadSimOff)
 	Register("ProbeOverheadSimHist", benchProbeOverheadSimHist)
+	Register("TracerOverheadSimOff", benchTracerOverheadSimOff)
+	Register("SimRunTracedKeepWorst", benchSimRunTracedKeepWorst)
 	Register("SimRunFaulty", benchSimRunFaulty)
 	Register("SimRunFaultySlowNoop", benchSimRunFaultySlowNoop)
 	Register("SimRunFaultyGray", benchSimRunFaultyGray)
@@ -167,6 +169,25 @@ func benchProbeOverheadSimOff(b *testing.B) { benchProbeOverhead(b, nil) }
 
 func benchProbeOverheadSimHist(b *testing.B) {
 	benchProbeOverhead(b, obs.NewHistogramProbe())
+}
+
+// The tracer pair brackets the span-tracing cost on the SimRunEFT workload:
+// Off is the tracing-disabled baseline (nil probe — must match SimRunEFT,
+// same branch-not-taken argument as ProbeOverheadSimOff), KeepWorst attaches
+// a bounded tail tracer. A fresh tracer per iteration is the real usage
+// shape: retention state is per run, not reusable.
+func benchTracerOverheadSimOff(b *testing.B) { benchProbeOverhead(b, nil) }
+
+func benchSimRunTracedKeepWorst(b *testing.B) {
+	inst := restrictedInstance(15, 3, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tracer := obs.NewTracer(obs.KeepWorst(20))
+		if _, _, err := sim.RunProbed(inst, sim.EFTRouter{}, tracer); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // The faulty-simulation trio brackets the gray-failure cost on the same

@@ -22,6 +22,7 @@ import (
 	"flowsched/internal/core"
 	"flowsched/internal/elastic"
 	"flowsched/internal/faults"
+	"flowsched/internal/obs"
 	"flowsched/internal/overload"
 	"flowsched/internal/parallel"
 	"flowsched/internal/popularity"
@@ -456,8 +457,23 @@ var arenas = sync.Pool{New: func() any { return sim.NewArena() }}
 // the outcome and cross-checks the counting probe. It returns the combined
 // violations (nil when the trial is clean).
 func Check(inst *core.Instance, plan *faults.Plan, spec RouterSpec, p Params) []audit.Violation {
+	return CheckRecorded(inst, plan, spec, p, nil)
+}
+
+// CheckRecorded is Check with a flight recorder riding the run: rec (reset
+// first) receives the raw event stream, and audit violations naming a task
+// carry that task's events as evidence. A nil rec is plain Check. The event
+// stream is deterministic in (inst, plan, spec, p), so re-running a failing
+// configuration with a fresh recorder reproduces the violating sequence
+// exactly — the property make chaos-short asserts.
+func CheckRecorded(inst *core.Instance, plan *faults.Plan, spec RouterSpec, p Params, rec *obs.FlightRecorder) []audit.Violation {
 	router := spec.New(p.RouterSeed)
 	probe := newCountProbe(inst.N())
+	var simProbe obs.Probe = probe
+	if rec != nil {
+		rec.Reset()
+		simProbe = obs.Multi(probe, rec)
+	}
 	cfg, err := p.overloadConfig()
 	if err != nil {
 		return []audit.Violation{{Invariant: InvSimError, Task: -1, Machine: -1, Detail: err.Error()}}
@@ -465,7 +481,7 @@ func Check(inst *core.Instance, plan *faults.Plan, spec RouterSpec, p Params) []
 	ecfg := p.elasticConfig(inst.M)
 	arena := arenas.Get().(*sim.Arena)
 	defer arenas.Put(arena)
-	s, em, err := arena.RunElastic(inst, router, plan, p.Policy, cfg, ecfg, probe)
+	s, em, err := arena.RunElastic(inst, router, plan, p.Policy, cfg, ecfg, simProbe)
 	if err != nil {
 		return []audit.Violation{{Invariant: InvSimError, Task: -1, Machine: -1, Detail: err.Error()}}
 	}
@@ -478,6 +494,7 @@ func Check(inst *core.Instance, plan *faults.Plan, spec RouterSpec, p Params) []
 		Plan:        plan,
 		Completions: comps,
 		Dropped:     om.Dropped,
+		Recorder:    rec,
 	}
 	if cfg != nil {
 		info := &audit.OverloadInfo{Rejected: om.Rejected, Shed: om.Shed}
@@ -501,11 +518,17 @@ func Check(inst *core.Instance, plan *faults.Plan, spec RouterSpec, p Params) []
 }
 
 // Failure is one failing trial: its parameters, the violations of the
-// original run, and the shrunk minimal reproduction.
+// original run, the shrunk minimal reproduction, and the flight-recorder
+// dump of the shrunk configuration's run.
 type Failure struct {
 	Params     Params            `json:"params"`
 	Violations []audit.Violation `json:"violations"`
 	Repro      *Repro            `json:"repro,omitempty"`
+	// Events is the raw event stream of the shrunk repro's run (bounded by
+	// the flight ring), written next to the repro by cmd/chaos as
+	// <repro>.events.jsonl. Replaying the repro with a fresh recorder
+	// reproduces it exactly.
+	Events []obs.FlightEvent `json:"events,omitempty"`
 }
 
 // Summary is the outcome of a soak run.
@@ -561,6 +584,14 @@ func Run(cfg Config, logf func(format string, args ...any)) (*Summary, error) {
 			say("chaos: trial %d: shrink failed: %v", res.params.Trial, err)
 		} else {
 			f.Repro = repro
+			// Flight-record the shrunk configuration so the failure ships
+			// with its raw event sequence.
+			rec := obs.NewFlightRecorder(0)
+			if _, err := repro.ReplayRecorded(cfg.Routers, rec); err != nil {
+				say("chaos: trial %d: flight recording failed: %v", res.params.Trial, err)
+			} else {
+				f.Events = rec.Events()
+			}
 			outages, slowdowns, m2 := 0, 0, res.params.M
 			if repro.Plan != nil {
 				outages, slowdowns = len(repro.Plan.Outages), len(repro.Plan.Slowdowns)

@@ -2,11 +2,14 @@ package chaos
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
 	"flowsched/internal/core"
 	"flowsched/internal/elastic"
+	"flowsched/internal/obs"
 	"flowsched/internal/sim"
 )
 
@@ -357,6 +360,127 @@ func TestReadReproRejectsInvalid(t *testing.T) {
 	} {
 		if _, err := ReadRepro(bytes.NewReader([]byte(s))); err == nil {
 			t.Errorf("accepted invalid repro %s", s)
+		}
+	}
+}
+
+// TestFlightRecorderDumpReplay is the black-box-recorder acceptance check: a
+// caught failure carries the raw event stream of its shrunk repro, the dump
+// survives a JSONL round trip, and replaying the repro with a fresh recorder
+// reproduces the violating event sequence byte for byte.
+func TestFlightRecorderDumpReplay(t *testing.T) {
+	cfg := Config{Routers: brokenRouters()}
+	p := Params{
+		Trial: 0, Seed: 1234,
+		M: 4, N: 60, K: 1,
+		Load: 2, Dist: "constant", Strategy: "unrestricted",
+		Router: "corrupting", FaultMode: "none",
+	}
+	repro, err := ShrinkFailure(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := obs.NewFlightRecorder(0)
+	vs, err := repro.ReplayRecorded(cfg.Routers, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("recorded replay lost the violation")
+	}
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("recorded replay captured no events")
+	}
+	// The violating schedule must be visible in the stream: every task of
+	// the shrunk repro dispatches, and the run closes with a done marker.
+	dispatched := map[int]bool{}
+	for _, ev := range events {
+		if ev.Ev == "dispatch" {
+			dispatched[ev.Task] = true
+		}
+	}
+	if len(dispatched) != repro.N() {
+		t.Fatalf("dump shows %d dispatched tasks, repro has %d", len(dispatched), repro.N())
+	}
+	if last := events[len(events)-1]; last.Ev != "done" {
+		t.Fatalf("dump ends with %q, want done", last.Ev)
+	}
+
+	// Round trip through the on-disk JSONL form.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "repro.events.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteFlightEvents(f, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadFlightEvents(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip changed event count: %d → %d", len(events), len(back))
+	}
+
+	// Determinism: a second replay with a fresh recorder reproduces the
+	// identical sequence (NaN sentinels defeat ==, so compare serialized).
+	rec2 := obs.NewFlightRecorder(0)
+	if _, err := repro.ReplayRecorded(cfg.Routers, rec2); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := obs.WriteFlightEvents(&a, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteFlightEvents(&b, rec2.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("replayed event stream diverges from the recorded dump")
+	}
+	if a.String() != string(raw) {
+		t.Fatal("on-disk dump diverges from the in-memory stream")
+	}
+}
+
+// TestRunAttachesFlightEvents: the soak loop itself decorates every caught
+// failure with its shrunk repro's event stream, so `chaos -out` dumps land
+// next to the repro files without a separate replay step.
+func TestRunAttachesFlightEvents(t *testing.T) {
+	cfg := Config{Trials: 40, Seed: 3, MaxM: 6, MaxN: 40, Routers: brokenRouters()}
+	sum, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Ok() {
+		t.Fatal("broken routers produced no failures — injection is broken")
+	}
+	for _, f := range sum.Failures {
+		if len(f.Events) == 0 {
+			t.Errorf("trial %d failure carries no flight events", f.Params.Trial)
+			continue
+		}
+		simError := false
+		for _, v := range f.Violations {
+			if v.Invariant == InvSimError {
+				simError = true
+			}
+		}
+		// A sim-error aborts mid-run, so its dump legitimately stops at the
+		// failing instant; every completed replay must close with done.
+		if last := f.Events[len(f.Events)-1]; !simError && last.Ev != "done" {
+			t.Errorf("trial %d event stream ends with %q, want done", f.Params.Trial, last.Ev)
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"flowsched/internal/audit"
 	"flowsched/internal/core"
 	"flowsched/internal/faults"
+	"flowsched/internal/obs"
 )
 
 // Repro is a self-contained, replayable reproduction of a failing trial:
@@ -111,6 +112,15 @@ func ReadRepro(rd io.Reader) (*Repro, error) {
 // Replay re-runs the repro's configuration and returns the violations it
 // produces now (empty means the underlying bug no longer reproduces).
 func (r *Repro) Replay(routers []RouterSpec) ([]audit.Violation, error) {
+	return r.ReplayRecorded(routers, nil)
+}
+
+// ReplayRecorded is Replay with a flight recorder riding the re-run: rec
+// (reset first) ends up holding the repro's raw event sequence. The engine
+// is deterministic in the repro's configuration, so successive recorded
+// replays produce identical event streams — the property the chaos tests
+// pin.
+func (r *Repro) ReplayRecorded(routers []RouterSpec, rec *obs.FlightRecorder) ([]audit.Violation, error) {
 	if len(routers) == 0 {
 		routers = DefaultRouters()
 	}
@@ -122,5 +132,5 @@ func (r *Repro) Replay(routers []RouterSpec) ([]audit.Violation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Check(inst, r.Plan, spec, r.Params), nil
+	return CheckRecorded(inst, r.Plan, spec, r.Params, rec), nil
 }

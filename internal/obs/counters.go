@@ -119,8 +119,11 @@ func (c *Counters) WriteProm(w io.Writer) error {
 			return err
 		}
 	}
+	// Seconds-valued counter: the float renders with %g, and the family
+	// carries the _total suffix like every other counter here (promlint
+	// contract pinned by TestCountersPromExposition).
 	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n",
-		"flowsched_warm_up_time", "Total warm-up delay imposed on joining machines.",
-		"flowsched_warm_up_time", "flowsched_warm_up_time", float64(c.WarmUpTime))
+		"flowsched_warm_up_time_total", "Total warm-up delay imposed on joining machines.",
+		"flowsched_warm_up_time_total", "flowsched_warm_up_time_total", float64(c.WarmUpTime))
 	return err
 }

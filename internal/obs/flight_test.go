@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// drive pushes one event of every kind through the recorder (16 hooks).
+func drive(r *FlightRecorder) {
+	r.OnArrival(0, 1)
+	r.OnDispatch(0, 2, 1, 3, 5)
+	r.OnComplete(0, 2, 1, 2, 5)
+	r.OnDrop(1, 0, 6)
+	r.OnRetry(2, 1, 7)
+	r.OnFailover(3, 8, 2)
+	r.OnReject(4, 9, "queue-bound")
+	r.OnShed(5, 1, 2, 10, "watermark")
+	r.OnEject(2, 11)
+	r.OnReadmit(2, 12)
+	r.OnBrownout(13, true)
+	r.OnScaleUp(6, 14, 15)
+	r.OnJoin(6, 15, 4)
+	r.OnScaleDown(1, 16, 3, 2)
+	r.OnHandoff(7, 1, 16)
+	r.OnDone(17)
+}
+
+func TestFlightRecorderRingWrap(t *testing.T) {
+	r := NewFlightRecorder(8)
+	for i := 0; i < 20; i++ {
+		r.OnArrival(i, float64(i))
+	}
+	if r.Len() != 8 || r.Dropped() != 12 {
+		t.Fatalf("Len=%d Dropped=%d, want 8/12", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("Events() returned %d", len(evs))
+	}
+	for i, ev := range evs {
+		if want := 12 + i; ev.Task != want || float64(ev.T) != float64(want) {
+			t.Fatalf("events[%d] = task %d t=%v, want task %d (oldest-first after wrap)",
+				i, ev.Task, ev.T, want)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 || len(r.Events()) != 0 {
+		t.Fatalf("Reset left Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+}
+
+func TestFlightRecorderDefaultSize(t *testing.T) {
+	r := NewFlightRecorder(0)
+	for i := 0; i < DefaultFlightSize+5; i++ {
+		r.OnArrival(i, 0)
+	}
+	if r.Len() != DefaultFlightSize || r.Dropped() != 5 {
+		t.Fatalf("Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+}
+
+func TestFlightRecorderAllKindsRoundTrip(t *testing.T) {
+	r := NewFlightRecorder(64)
+	drive(r)
+	if r.Len() != 16 {
+		t.Fatalf("recorded %d events, want 16", r.Len())
+	}
+	kinds := []string{"arrival", "dispatch", "complete", "drop", "retry", "failover",
+		"reject", "shed", "eject", "readmit", "brownout",
+		"scale-up", "join", "scale-down", "handoff", "done"}
+	for i, ev := range r.Events() {
+		if ev.Ev != kinds[i] {
+			t.Fatalf("events[%d].Ev = %q, want %q", i, ev.Ev, kinds[i])
+		}
+	}
+
+	var dump bytes.Buffer
+	if err := r.WriteJSONL(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(dump.String(), "NaN") {
+		t.Fatalf("NaN leaked into the dump:\n%s", dump.String())
+	}
+	back, err := ReadFlightEvents(bytes.NewReader(dump.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NaN sentinels defeat ==; compare through the canonical serialized form.
+	var dump2 bytes.Buffer
+	if err := WriteFlightEvents(&dump2, back); err != nil {
+		t.Fatal(err)
+	}
+	if dump.String() != dump2.String() {
+		t.Fatalf("round trip changed the dump:\n--- wrote\n%s--- read back\n%s",
+			dump.String(), dump2.String())
+	}
+}
+
+func TestFlightRecorderTaskEvents(t *testing.T) {
+	r := NewFlightRecorder(64)
+	drive(r)
+	evs := r.TaskEvents(0)
+	if len(evs) != 3 || evs[0].Ev != "arrival" || evs[1].Ev != "dispatch" || evs[2].Ev != "complete" {
+		t.Fatalf("task 0 events = %+v", evs)
+	}
+	// Server-only events (eject, failover) name no task and must not bleed
+	// into any task's history.
+	for _, ev := range r.TaskEvents(3) {
+		if ev.Ev == "failover" {
+			t.Fatalf("failover (server event) attributed to task 3: %+v", ev)
+		}
+	}
+	if got := r.TaskEvents(7); len(got) != 1 || got[0].Ev != "handoff" {
+		t.Fatalf("task 7 events = %+v", got)
+	}
+}
+
+func TestReadFlightEventsErrors(t *testing.T) {
+	if _, err := ReadFlightEvents(strings.NewReader(`{"t":1}` + "\n")); err == nil {
+		t.Error("missing event kind not rejected")
+	}
+	if _, err := ReadFlightEvents(strings.NewReader("{broken\n")); err == nil {
+		t.Error("malformed JSON not rejected")
+	}
+	evs, err := ReadFlightEvents(strings.NewReader("\n\n"))
+	if err != nil || len(evs) != 0 {
+		t.Errorf("blank lines: evs=%v err=%v", evs, err)
+	}
+}

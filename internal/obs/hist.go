@@ -30,12 +30,35 @@ type Histogram struct {
 	lo     int      // bucket index of counts[0]
 	zeros  uint64   // observations ≤ 0
 
+	// ex mirrors counts bucket-for-bucket (ex[i] is bucket exLo+i) and holds
+	// each bucket's exemplar: the task behind the largest value observed in
+	// it. Lazily allocated by the first ObserveExemplar and re-aligned to
+	// counts on demand, nil on the plain Observe path; memory is bounded by
+	// the bucket count. The zero bucket's exemplar lives in exZero.
+	ex     []exemplar
+	exLo   int
+	exZero exemplar
+	exN    int // buckets carrying an exemplar, zero bucket included
+
 	count    uint64
 	sum      float64
 	minSeen  float64
 	maxSeen  float64
 	observed bool
 }
+
+// exemplar ties a bucket to one representative task: the task of the
+// largest value recorded in the bucket (first seen wins ties, so replaying
+// the same event stream reproduces the same exemplars).
+type exemplar struct {
+	task int
+	val  float64
+	ok   bool
+}
+
+// exZeroBucket stands in for the zero bucket in QuantileExemplar's rank
+// walk; real bucket indices of positive values never reach it.
+const exZeroBucket = math.MinInt
 
 // histBase is the lower edge of bucket 0; values this small are far below
 // any meaningful flow time, so the bucket index of real observations stays
@@ -105,6 +128,83 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 	h.counts[idx-h.lo]++
+}
+
+// ObserveExemplar records one value attributed to a task, additionally
+// remembering the task behind each bucket's largest value so quantile
+// queries can answer "show me the trace behind this" (QuantileExemplar).
+// Ties keep the first-seen task, so a deterministic event stream yields
+// deterministic exemplars.
+func (h *Histogram) ObserveExemplar(v float64, task int) {
+	h.Observe(v)
+	if v <= 0 || math.IsNaN(v) {
+		h.setExemplar(&h.exZero, v, task)
+		return
+	}
+	idx := h.bucketOf(v)
+	if h.exLo != h.lo || len(h.ex) != len(h.counts) {
+		// counts grew (or this is the first exemplar): re-align the mirror.
+		if h.ex == nil {
+			h.exLo = h.lo
+		}
+		grown := make([]exemplar, len(h.counts))
+		copy(grown[h.exLo-h.lo:], h.ex)
+		h.ex, h.exLo = grown, h.lo
+	}
+	h.setExemplar(&h.ex[idx-h.lo], v, task)
+}
+
+func (h *Histogram) setExemplar(e *exemplar, v float64, task int) {
+	if e.ok && e.val >= v {
+		return
+	}
+	if !e.ok {
+		h.exN++
+	}
+	*e = exemplar{task: task, val: v, ok: true}
+}
+
+// Exemplars returns the number of buckets carrying an exemplar.
+func (h *Histogram) Exemplars() int { return h.exN }
+
+// QuantileExemplar returns Quantile(q) together with the exemplar task of
+// the bucket the quantile falls in: the task behind the bucket's largest
+// recorded value, or −1 when the bucket carries no exemplar (values
+// recorded through plain Observe, or an empty histogram).
+func (h *Histogram) QuantileExemplar(q float64) (float64, int) {
+	v := h.Quantile(q)
+	if h.count == 0 || h.exN == 0 {
+		return v, -1
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Floor(q * float64(h.count-1)))
+	idx := exZeroBucket
+	if rank >= h.zeros {
+		cum := h.zeros
+		for i, c := range h.counts {
+			cum += c
+			if cum > rank {
+				idx = h.lo + i
+				break
+			}
+		}
+	}
+	e := h.exZero
+	if idx != exZeroBucket {
+		e = exemplar{}
+		if i := idx - h.exLo; h.ex != nil && i >= 0 && i < len(h.ex) {
+			e = h.ex[i]
+		}
+	}
+	if e.ok {
+		return v, e.task
+	}
+	return v, -1
 }
 
 // Count returns the number of observations.
@@ -214,13 +314,15 @@ func NewHistogramProbe() *HistogramProbe {
 	return &HistogramProbe{Flow: NewHistogram(), Stretch: NewHistogram()}
 }
 
-// OnComplete implements Probe.
+// OnComplete implements Probe. Observations carry the task id as the
+// bucket exemplar, so the tail quantiles always name a concrete task whose
+// trace explains them.
 func (p *HistogramProbe) OnComplete(task, server int, release, proc, end core.Time) {
 	flow := end - release
-	p.Flow.Observe(flow)
+	p.Flow.ObserveExemplar(flow, task)
 	if proc > 0 {
-		p.Stretch.Observe(flow / proc)
+		p.Stretch.ObserveExemplar(flow/proc, task)
 	} else {
-		p.Stretch.Observe(0) // mirrors sim.stretchOf: zero-proc stretch is 0
+		p.Stretch.ObserveExemplar(0, task) // mirrors sim.stretchOf: zero-proc stretch is 0
 	}
 }

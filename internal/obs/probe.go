@@ -10,19 +10,33 @@
 // benchreg pair). Probes themselves may allocate: they are only on the
 // instrumented path.
 //
-// Four built-in probes cover the production observables:
+// Six built-in probes cover the production observables:
 //
 //   - Histogram / HistogramProbe: streaming log-bucketed flow-time and
-//     stretch distributions with bounded memory and quantile queries;
+//     stretch distributions with bounded memory, quantile queries, and
+//     per-bucket task exemplars (QuantileExemplar);
 //   - Sampler: a fixed-interval time series of per-server queue length,
 //     in-flight max-flow watermark and instantaneous utilization — the
 //     w_τ(j) profile of the paper's Section 6 lower bounds, live;
 //   - JSONLSink: a buffered structured event log for offline analysis,
 //     replayable into a trace (ReplayTrace);
-//   - Counters: dispatch/retry/drop/failover totals with Prometheus-style
-//     text exposition.
+//   - Counters: dispatch/retry/drop/failover/overload/membership totals
+//     with Prometheus-style text exposition;
+//   - Tracer: per-task causal span trees (queued → attempts → terminal
+//     disposition) with KeepAll or KeepWorst(k) retention;
+//   - FlightRecorder: a fixed-size ring of the last N raw events — the
+//     crash recorder chaos and audit dump next to their findings.
 //
-// Multi fans one event stream out to several probes.
+// Two optional extension interfaces widen the base 7-hook Probe contract:
+// OverloadObserver (reject/shed/eject/readmit/brownout, fired by
+// sim.RunGuarded) and MembershipObserver (scale-up/join/scale-down/handoff,
+// fired by sim.RunElastic). The simulator type-asserts its probe once per
+// run, so probes opt in by implementing the methods — Counters, Tracer and
+// FlightRecorder observe all 16 hooks, the other probes only the base
+// stream.
+//
+// Multi fans one event stream out to several probes, forwarding extension
+// hooks to the members that implement them.
 package obs
 
 import "flowsched/internal/core"

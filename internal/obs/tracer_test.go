@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"flowsched/internal/core"
+)
+
+func TestTracerSpanAssembly(t *testing.T) {
+	tr := NewTracer(KeepAll())
+
+	// Task 0: clean single-attempt completion.
+	tr.OnArrival(0, 1)
+	tr.OnDispatch(0, 2, 1, 3, 5)
+	tr.OnComplete(0, 2, 1, 2, 5)
+
+	// Task 1: crash-aborted attempt, retry, second attempt completes.
+	tr.OnArrival(1, 2)
+	tr.OnDispatch(1, 0, 2, 2, 6)
+	tr.OnFailover(0, 4, 1)
+	tr.OnRetry(1, 1, 4)
+	tr.OnDispatch(1, 1, 4, 7, 11)
+	tr.OnComplete(1, 1, 2, 4, 11)
+
+	// Task 2: crash then drop.
+	tr.OnArrival(2, 3)
+	tr.OnDispatch(2, 0, 3, 8, 9)
+	tr.OnDrop(2, 3, 10)
+
+	tr.OnDone(11)
+	if !tr.Done() || tr.Makespan() != 11 {
+		t.Fatalf("Done=%v Makespan=%v", tr.Done(), tr.Makespan())
+	}
+
+	t0 := tr.Trace(0)
+	if t0 == nil || t0.State != TraceCompleted || t0.Flow != 4 || t0.EndAt != 5 {
+		t.Fatalf("task 0 trace = %+v", t0)
+	}
+	if len(t0.Attempts) != 1 || t0.Attempts[0].Outcome != AttemptCompleted ||
+		t0.Attempts[0].Server != 2 || t0.Attempts[0].Start != 3 || t0.Attempts[0].Retimed {
+		t.Fatalf("task 0 attempts = %+v", t0.Attempts)
+	}
+	if w := t0.QueueWait(); w != 2 {
+		t.Fatalf("task 0 queue wait = %v", w)
+	}
+
+	t1 := tr.Trace(1)
+	if t1 == nil || t1.State != TraceCompleted || t1.Retries != 1 || len(t1.Attempts) != 2 {
+		t.Fatalf("task 1 trace = %+v", t1)
+	}
+	if a := t1.Attempts[0]; a.Outcome != AttemptCrashed || a.AbortAt != 4 || a.Server != 0 {
+		t.Fatalf("task 1 attempt 0 = %+v", a)
+	}
+	if a := t1.Attempts[1]; a.Outcome != AttemptCompleted || a.End != 11 {
+		t.Fatalf("task 1 attempt 1 = %+v", a)
+	}
+
+	t2 := tr.Trace(2)
+	if t2 == nil || t2.State != TraceDropped || t2.Flow != 7 || len(t2.Attempts) != 1 {
+		t.Fatalf("task 2 trace = %+v", t2)
+	}
+	if a := t2.Attempts[0]; a.Outcome != AttemptCrashed || a.AbortAt != 10 {
+		t.Fatalf("task 2 attempt = %+v", a)
+	}
+}
+
+func TestTracerRetimeReconciliation(t *testing.T) {
+	tr := NewTracer(KeepAll())
+	tr.OnArrival(0, 0)
+	tr.OnDispatch(0, 1, 0, 5, 8) // forecast [5, 8)
+	// A watermark shed ahead in the queue silently re-timed the attempt; the
+	// completion arrives with a different end.
+	tr.OnComplete(0, 1, 0, 3, 7)
+	a := tr.Trace(0).Attempts[0]
+	if !a.Retimed {
+		t.Fatal("forecast-end mismatch not flagged Retimed")
+	}
+	if a.End != 7 || a.Start != 4 {
+		t.Fatalf("reconciled interval [%v, %v), want [4, 7)", a.Start, a.End)
+	}
+
+	// Matching forecast stays untouched.
+	tr.OnArrival(1, 0)
+	tr.OnDispatch(1, 0, 0, 2, 6)
+	tr.OnComplete(1, 0, 0, 4, 6)
+	if a := tr.Trace(1).Attempts[0]; a.Retimed || a.Start != 2 {
+		t.Fatalf("clean completion mangled: %+v", a)
+	}
+}
+
+func TestTracerOverloadAndMembershipHooks(t *testing.T) {
+	tr := NewTracer(KeepAll())
+
+	// Rejection on arrival: no attempts, reason recorded.
+	tr.OnArrival(0, 1)
+	tr.OnReject(0, 1, "queue-bound")
+	t0 := tr.Trace(0)
+	if t0.State != TraceRejected || t0.Reason != "queue-bound" || len(t0.Attempts) != 0 || t0.Flow != 0 {
+		t.Fatalf("rejected trace = %+v", t0)
+	}
+
+	// Watermark shed closes the open attempt; deadline shed (no dispatch)
+	// leaves none.
+	tr.OnArrival(1, 0)
+	tr.OnDispatch(1, 2, 0, 5, 6)
+	tr.OnShed(1, 2, 0, 9, "watermark")
+	t1 := tr.Trace(1)
+	if t1.State != TraceShed || t1.Flow != 9 || t1.Attempts[0].Outcome != AttemptShed ||
+		t1.Attempts[0].AbortAt != 9 {
+		t.Fatalf("shed trace = %+v", t1)
+	}
+	tr.OnArrival(2, 4)
+	tr.OnShed(2, 3, 4, 7, "deadline")
+	if t2 := tr.Trace(2); t2.State != TraceShed || len(t2.Attempts) != 0 || t2.Flow != 3 {
+		t.Fatalf("deadline-shed trace = %+v", t2)
+	}
+
+	// Handoff closes the attempt as handed-off; the re-dispatch opens a new
+	// one and the completion closes it.
+	tr.OnArrival(3, 0)
+	tr.OnDispatch(3, 0, 0, 1, 4)
+	tr.OnScaleDown(0, 2, 3, 1)
+	tr.OnHandoff(3, 0, 2)
+	tr.OnDispatch(3, 1, 2, 2, 5)
+	tr.OnComplete(3, 1, 0, 3, 5)
+	t3 := tr.Trace(3)
+	if len(t3.Attempts) != 2 || t3.Attempts[0].Outcome != AttemptHandedOff ||
+		t3.Attempts[0].AbortAt != 2 || t3.Attempts[1].Outcome != AttemptCompleted {
+		t.Fatalf("handoff trace = %+v", t3.Attempts)
+	}
+	if t3.Retries != 0 {
+		t.Fatalf("handoff counted as retry: %+v", t3)
+	}
+}
+
+// TestTracerKeepWorstExact pins the KeepWorst contract: after the run, the
+// retained set is exactly the k tasks with the largest flows under the
+// (rank, task) total order, no matter the resolution order.
+func TestTracerKeepWorstExact(t *testing.T) {
+	const n, k = 200, 7
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		tr := NewTracer(KeepWorst(k))
+		flows := make([]float64, n)
+		order := rng.Perm(n)
+		for _, id := range order {
+			// Coarse quantization forces rank ties so the task-id tiebreak is
+			// exercised, not just the float order.
+			flow := float64(rng.Intn(12))
+			flows[id] = flow
+			tr.OnArrival(id, 0)
+			tr.OnDispatch(id, 0, 0, 0, core.Time(flow))
+			tr.OnComplete(id, 0, 0, 1, core.Time(flow))
+		}
+		tr.OnDone(100)
+
+		// Oracle: sort all tasks by (flow desc, id asc), take the first k.
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		sort.Slice(ids, func(a, b int) bool {
+			if flows[ids[a]] != flows[ids[b]] {
+				return flows[ids[a]] > flows[ids[b]]
+			}
+			return ids[a] < ids[b]
+		})
+		want := ids[:k]
+
+		got := tr.Worst(k)
+		if len(got) != k {
+			t.Fatalf("trial %d: retained %d traces, want %d", trial, len(got), k)
+		}
+		for i, tr := range got {
+			if tr.Task != want[i] {
+				t.Fatalf("trial %d: worst[%d] = T%d (flow %v), want T%d (flow %v)",
+					trial, i, tr.Task, tr.Flow, want[i], flows[want[i]])
+			}
+		}
+		// Traces() and Trace() agree with the heap contents.
+		if len(tr.Traces()) != k {
+			t.Fatalf("trial %d: Traces() returned %d, want %d", trial, len(tr.Traces()), k)
+		}
+		for _, id := range want {
+			if tr.Trace(id) == nil {
+				t.Fatalf("trial %d: retained task %d not addressable", trial, id)
+			}
+		}
+	}
+}
+
+func TestTracerKeepWorstUnfinishedRanksWorst(t *testing.T) {
+	tr := NewTracer(KeepWorst(2))
+	for id := 0; id < 5; id++ {
+		tr.OnArrival(id, 0)
+		tr.OnDispatch(id, 0, 0, 0, core.Time(100+id))
+		tr.OnComplete(id, 0, 0, 1, core.Time(100+id))
+	}
+	tr.OnArrival(9, 50) // never resolves
+	tr.OnDone(200)
+
+	worst := tr.Worst(2)
+	if len(worst) != 2 || worst[0].Task != 9 || worst[0].State != TraceUnfinished {
+		t.Fatalf("worst = %+v", worst)
+	}
+	if worst[1].Task != 4 { // largest finite flow
+		t.Fatalf("worst[1] = T%d, want T4", worst[1].Task)
+	}
+	if !math.IsInf(worst[0].rank(), 1) {
+		t.Fatalf("unfinished rank = %v, want +Inf", worst[0].rank())
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer(KeepAll())
+	tr.OnArrival(0, 1)
+	tr.OnDispatch(0, 2, 1, 3, 5)
+	tr.OnComplete(0, 2, 1, 2, 5)
+	tr.OnArrival(1, 2) // unfinished: NaN instants must encode as null
+	tr.OnDone(5)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Makespan *float64 `json:"makespan"`
+		Tasks    []struct {
+			Task  int      `json:"task"`
+			State string   `json:"state"`
+			EndAt *float64 `json:"end_at"`
+			Flow  *float64 `json:"flow"`
+			Att   []struct {
+				Server  int      `json:"server"`
+				Outcome string   `json:"outcome"`
+				AbortAt *float64 `json:"abort_at"`
+			} `json:"attempts"`
+		} `json:"tasks"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.Makespan == nil || *doc.Makespan != 5 || len(doc.Tasks) != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Tasks[0].State != "completed" || *doc.Tasks[0].Flow != 4 ||
+		doc.Tasks[0].Att[0].Outcome != "completed" || doc.Tasks[0].Att[0].AbortAt != nil {
+		t.Fatalf("task 0 wire form = %+v", doc.Tasks[0])
+	}
+	if doc.Tasks[1].State != "unfinished" || doc.Tasks[1].EndAt != nil || doc.Tasks[1].Flow != nil {
+		t.Fatalf("unfinished wire form = %+v", doc.Tasks[1])
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatalf("NaN leaked into trace JSON:\n%s", buf.String())
+	}
+}

@@ -115,3 +115,47 @@ func ObserveFaulty(inst *Instance, router Router, plan *FaultPlan, policy RetryP
 func WriteTimeSeriesSVG(w io.Writer, samples []TimeSeriesSample, title string) error {
 	return viz.TimeSeriesSVG(w, samples, title)
 }
+
+// Causal span tracing (internal/obs.Tracer): per-task span trees assembled
+// from the probe hooks, bounded-memory tail retention, and a flight recorder
+// keeping the last raw events of a run.
+type (
+	// Tracer assembles per-task causal traces (queued → attempts → terminal
+	// state) from the probe stream; attach it like any other Probe.
+	Tracer = obs.Tracer
+	// TaskTrace is one task's causal history: release, attempts, terminal
+	// state and flow.
+	TaskTrace = obs.TaskTrace
+	// AttemptSpan is one dispatch of a task onto a server: its forecast
+	// service interval and how the attempt ended.
+	AttemptSpan = obs.AttemptSpan
+	// TraceRetention bounds a Tracer's memory; build with TraceKeepAll or
+	// TraceKeepWorst.
+	TraceRetention = obs.Retention
+	// FlightRecorder keeps the last N raw engine events in a fixed ring —
+	// the always-on crash recorder behind chaos repro dumps and audit
+	// evidence.
+	FlightRecorder = obs.FlightRecorder
+	// FlightEvent is one raw event held by a FlightRecorder.
+	FlightEvent = obs.FlightEvent
+)
+
+// TraceKeepAll retains every task's trace (memory grows with n).
+func TraceKeepAll() TraceRetention { return obs.KeepAll() }
+
+// TraceKeepWorst retains only the k tasks with the largest flow times
+// (unfinished tasks rank worst), in O(k) memory.
+func TraceKeepWorst(k int) TraceRetention { return obs.KeepWorst(k) }
+
+// NewTracer returns a span-tracing probe with the given retention.
+func NewTracer(r TraceRetention) *Tracer { return obs.NewTracer(r) }
+
+// NewFlightRecorder returns a flight recorder keeping the last size events
+// (size ≤ 0 means the default ring of 4096).
+func NewFlightRecorder(size int) *FlightRecorder { return obs.NewFlightRecorder(size) }
+
+// WriteTraceTimelineSVG renders task traces as a span Gantt, one row per
+// trace in the given order — pass Tracer.Worst(k) for a tail postmortem.
+func WriteTraceTimelineSVG(w io.Writer, traces []*TaskTrace, makespan Time, title string) error {
+	return viz.TraceTimelineSVG(w, traces, makespan, title)
+}
