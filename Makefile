@@ -23,7 +23,7 @@ check: lint-determinism
 # time.Now() or rand.<Func> hit.
 lint-determinism:
 	@bad=$$(grep -nE 'time\.Now\(|\brand\.[A-Z]' \
-		$$(find internal/sim internal/obs internal/overload internal/elastic -name '*.go' ! -name '*_test.go') \
+		$$(find internal/sim internal/obs internal/overload internal/elastic internal/hedge -name '*.go' ! -name '*_test.go') \
 		| grep -vE 'rand\.(New|NewSource|Rand|Source)' || true); \
 	if [ -n "$$bad" ]; then \
 		echo "determinism lint: wall clock / global rand in simulator core:"; \
@@ -62,8 +62,10 @@ chaos:
 
 # chaos-short is the 200-trial deterministic spot run (same seed as the
 # checked-in smoke test). About a third of the trials churn membership
-# (scripted scale events, occasionally the autoscaler), so this doubles as
-# the membership-churn soak CI runs on every push. The second step injects
+# (scripted scale events, occasionally the autoscaler) and another third
+# hedge aged dispatches (delay, quantile or tied triggers, sampled in
+# SampleParams), so this doubles as the membership-churn and hedged-
+# execution soak CI runs on every push. The second step injects
 # a known-broken router and asserts the black box works: a caught failure
 # carries a flight-recorder dump that is written, read back and replayed to
 # the identical event sequence.
@@ -95,6 +97,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadPlanJSON -fuzztime=30s ./internal/faults/
 	$(GO) test -fuzz=FuzzGuardedDisposition -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzElasticMembership -fuzztime=30s ./internal/sim/
+	$(GO) test -fuzz=FuzzHedgedDispatch -fuzztime=30s ./internal/sim/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1

@@ -23,6 +23,7 @@
 //	experiments overload            overload control (goodput vs load past λ*)
 //	experiments postmortem          causal chains of the worst-flow tasks per overload policy
 //	experiments autoscale           elastic provisioning (machine-hours vs Fmax on a bursty trace)
+//	experiments hedge               hedged execution (speculative duplicates vs gray faults and overload)
 //	experiments all                 everything above
 //
 // Flags select sizes; defaults follow the paper (m=15, k=3, 10 000 tasks,
@@ -54,7 +55,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|fig1|fig2|fig3|fig4|fig5-6|fig7|fig8|fig9|fig10a|fig10b|fig11|extension|robustness|convergence|writes|drift|faults|overload|postmortem|autoscale|all>")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|fig1|fig2|fig3|fig4|fig5-6|fig7|fig8|fig9|fig10a|fig10b|fig11|extension|robustness|convergence|writes|drift|faults|overload|postmortem|autoscale|hedge|all>")
 		os.Exit(2)
 	}
 
@@ -176,6 +177,14 @@ func main() {
 			}
 			_, err := experiments.AutoscaleSweep(w, cfg)
 			return err
+		case "hedge":
+			cfg := experiments.DefaultHedgeTradeoff()
+			cfg.M, cfg.K, cfg.N, cfg.Seed = *m, *k, *n, *seed
+			if *quick {
+				cfg.Reps = 1
+			}
+			_, err := experiments.HedgeTradeoff(w, cfg)
+			return err
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -184,7 +193,7 @@ func main() {
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {
 		names = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5-6", "fig7",
-			"fig8", "fig9", "fig10a", "fig10b", "fig11", "extension", "robustness", "convergence", "writes", "drift", "faults", "overload", "postmortem", "autoscale"}
+			"fig8", "fig9", "fig10a", "fig10b", "fig11", "extension", "robustness", "convergence", "writes", "drift", "faults", "overload", "postmortem", "autoscale", "hedge"}
 	}
 	for i, name := range names {
 		if i > 0 {

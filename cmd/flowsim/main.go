@@ -14,6 +14,13 @@
 //	flowsim ... -mtbf 500 -dump run.json               # saves run.json + run.json.faults.json
 //	flowsim -replay run.json                           # replays faults too when present
 //
+// Hedged execution (speculative duplicate dispatch, first completion wins;
+// needs -k ≥ 2 so an alternate server exists):
+//
+//	flowsim ... -hedge 5            # hedge any dispatch older than 5 time units
+//	flowsim ... -hedge p95 -cancel  # p95 flow-time trigger, cancel the loser mid-service
+//	flowsim ... -hedge p95 -tied    # tied requests: two copies up front, loser revoked
+//
 // Observability (probes on the overlapping-strategy × EFT-Min cell, the
 // same cell -dump saves; all combinable):
 //
@@ -61,6 +68,10 @@ func main() {
 	flag.StringVar(&ov.shed, "shed", "", "load shedding: POLICY:WATERMARK with POLICY one of newest|oldest|random|stretch")
 	flag.Float64Var(&ov.eject, "eject", 0, "eject servers whose service-time EWMA exceeds FACTOR× the cluster median (0 = off)")
 	flag.BoolVar(&ov.slo, "slo", false, "attach the LP-capacity SLO guard and report brownouts")
+	var hg hedgeFlags
+	flag.StringVar(&hg.spec, "hedge", "", "hedge aged dispatches: fixed delay (e.g. 5) or live flow-time percentile (e.g. p95)")
+	flag.BoolVar(&hg.tied, "tied", false, "with -hedge, enqueue two copies up front and revoke the loser at service start")
+	flag.BoolVar(&hg.cancel, "cancel", false, "with -hedge, cancel the losing attempt even mid-service")
 	var ob obsFlags
 	flag.StringVar(&ob.events, "events", "", "write the observed cell's JSONL event stream to this file")
 	flag.StringVar(&ob.metrics, "metrics", "", "write Prometheus-style counters and flow/stretch quantiles to this file")
@@ -111,6 +122,15 @@ func main() {
 	}
 	if ov.active() && *replay != "" {
 		usageErr("-admit/-shed/-eject/-slo do not combine with -replay")
+	}
+	if err := hg.parse(); err != nil {
+		usageErr("%v", err)
+	}
+	if hg.active() && *replay != "" {
+		usageErr("-hedge does not combine with -replay: a saved run replays verbatim")
+	}
+	if hg.active() && *k < 2 {
+		usageErr("-hedge with -k %d is pointless: no alternate server exists to hedge to", *k)
 	}
 	if *faultsPath != "" && *replay == "" {
 		// Fail fast on an unreadable or invalid plan file (the replay path
@@ -209,10 +229,15 @@ func main() {
 	if ov.active() {
 		fmt.Printf(" overload[%s]", ov.describe())
 	}
+	if hg.active() {
+		fmt.Printf(" hedge[%s]", hg.describe())
+	}
 	fmt.Printf("\n\n")
 
 	var out *table.Table
 	switch {
+	case hg.active():
+		out = table.New(hedgedHeader()...)
 	case ov.active():
 		out = table.New(guardedHeader()...)
 	case plan == nil:
@@ -244,6 +269,26 @@ func main() {
 				if cell, err = ob.attach(*m); err != nil {
 					log.Fatal(err)
 				}
+			}
+			if hg.active() {
+				// Hedging composes with the overload controls: the shared
+				// HedgeConfig rides on top of the per-strategy guard config.
+				var cfg *flowsched.OverloadConfig
+				if ov.active() {
+					var err error
+					if cfg, err = ov.config(weights, strat); err != nil {
+						log.Fatal(err)
+					}
+				}
+				_, em, err := flowsched.SimulateHedged(inst, rt.r, plan, policy, cfg, nil, hg.cfg, cell.probeOrNil())
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := cell.finish(); err != nil {
+					log.Fatal(err)
+				}
+				out.AddRow(hedgedRow(strat.Name(), rt.name, em)...)
+				continue
 			}
 			if ov.active() {
 				cfg, err := ov.config(weights, strat)

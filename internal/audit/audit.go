@@ -28,6 +28,10 @@
 //	membership   under an elastic membership log, every executed task ran on
 //	             a machine of its dispatch-time effective set (elastic runs;
 //	             replaces the static eligibility check)
+//	hedge        hedged runs: every speculative copy targeted an in-range,
+//	             dispatch-time-eligible server; a copy win matches the
+//	             schedule's machine and start; on healthy plans all busy
+//	             time splits into completed work + duplicate work
 package audit
 
 import (
@@ -67,6 +71,15 @@ const (
 	// instant — the first k active machines walking the ring from the set's
 	// origin (elastic.Effective, the same walk the engine routes with).
 	InvMembership = "membership"
+	// InvHedge: hedged-execution invariants (sim.RunHedged) — every
+	// speculative copy targeted a server inside the task's processing set
+	// (effective set under elastic membership) at the copy's dispatch
+	// instant; a task reported won-by-copy was hedged and the schedule runs
+	// it on the copy's server at or after the copy's dispatch; and, on plans
+	// with no outages and no slowdowns, total busy time equals the completed
+	// tasks' processing time plus the metrics' DuplicateWork — cancelled
+	// copies never leak into flow or busy accounting.
+	InvHedge = "hedge"
 )
 
 // Violation is one broken invariant. Task and Machine are −1 when the
@@ -117,6 +130,11 @@ type Options struct {
 	// the FIFO ≡ EFT spot-check is skipped (the proposition assumes a fixed
 	// machine count). Optional.
 	Membership *MembershipInfo
+	// Hedge supplies the per-task hedge record of a hedged run
+	// (sim.RunHedged with a config): speculative-copy eligibility, copy-win
+	// consistency and the busy-time accounting identity are checked
+	// (InvHedge). Optional.
+	Hedge *HedgeInfo
 	// SkipLowerBound disables the Fmax ≥ offline.LowerBound check
 	// (O(n²·|sets|) — callers auditing very large instances may opt out).
 	SkipLowerBound bool
@@ -153,6 +171,24 @@ type OverloadInfo struct {
 type MembershipInfo struct {
 	Membership *elastic.Membership
 	Dispatched []core.Time
+}
+
+// HedgeInfo carries a hedged run's per-task hedge record into the audit.
+// All of it comes straight from sim.ElasticMetrics.
+type HedgeInfo struct {
+	// Hedged marks tasks for which a speculative copy was dispatched.
+	Hedged []bool
+	// CopyServer is the copy's server per hedged task (undefined otherwise).
+	CopyServer []int
+	// CopyAt is the copy's dispatch instant per hedged task.
+	CopyAt core.Times
+	// WonByCopy marks hedged tasks whose speculative copy won the race.
+	WonByCopy []bool
+	// Busy is the per-server busy time (sim.ElasticMetrics.Busy). Optional;
+	// enables the aggregate accounting identity on healthy plans.
+	Busy []core.Time
+	// DuplicateWork is the busy time burned on losing attempts.
+	DuplicateWork core.Time
 }
 
 // Report is the audit outcome: empty Violations means every invariant held.
@@ -288,6 +324,21 @@ func auditInvariants(inst *core.Instance, s *core.Schedule, opts Options) *Repor
 		if ms.Capacity != m {
 			add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
 				Detail: fmt.Sprintf("membership log for %d slots, instance has %d machines", ms.Capacity, m)})
+			return r
+		}
+	}
+
+	if opts.Hedge != nil {
+		h := opts.Hedge
+		if len(h.Hedged) != n || len(h.CopyServer) != n || len(h.CopyAt) != n || len(h.WonByCopy) != n {
+			add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
+				Detail: fmt.Sprintf("hedge record %d/%d/%d/%d entries for %d tasks",
+					len(h.Hedged), len(h.CopyServer), len(h.CopyAt), len(h.WonByCopy), n)})
+			return r
+		}
+		if h.Busy != nil && len(h.Busy) != m {
+			add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
+				Detail: fmt.Sprintf("%d busy entries for %d machines", len(h.Busy), m)})
 			return r
 		}
 	}
@@ -463,6 +514,12 @@ func auditInvariants(inst *core.Instance, s *core.Schedule, opts Options) *Repor
 		}
 	}
 
+	if opts.Hedge != nil {
+		if !auditHedge(inst, s, opts.Hedge, ms, segs, outages, excluded, add) {
+			return r
+		}
+	}
+
 	// Fmax ≥ LB holds for ANY feasible schedule that completes all work —
 	// faults only delay completions — so it is skipped only when tasks were
 	// dropped (work removed) or the schedule is structurally broken.
@@ -494,6 +551,100 @@ func auditInvariants(inst *core.Instance, s *core.Schedule, opts Options) *Repor
 		}
 	}
 	return r
+}
+
+// auditHedge runs the hedged-execution invariants (InvHedge). It reports
+// false when the violation limit was hit mid-scan.
+func auditHedge(inst *core.Instance, s *core.Schedule, h *HedgeInfo,
+	ms *elastic.Membership, segs [][]faults.Slowdown, outages []faults.Outage,
+	excluded func(int) (bool, string), add func(Violation) bool) bool {
+	m := inst.M
+	for i := range inst.Tasks {
+		task := &inst.Tasks[i]
+		if !h.Hedged[i] {
+			if h.WonByCopy[i] {
+				if !add(Violation{Invariant: InvHedge, Task: i, Machine: -1,
+					Detail: "won by copy but never hedged"}) {
+					return false
+				}
+			}
+			continue
+		}
+		cj := h.CopyServer[i]
+		if cj < 0 || cj >= m {
+			if !add(Violation{Invariant: InvHedge, Task: i, Machine: -1,
+				Detail: fmt.Sprintf("copy server %d out of range [0,%d)", cj, m)}) {
+				return false
+			}
+			continue
+		}
+		at := h.CopyAt[i]
+		// The copy's server must have been eligible when the copy was issued:
+		// inside the dispatch-time effective set under elastic membership,
+		// inside the static processing set otherwise.
+		if ms != nil {
+			if !ms.Eligible(task.Set, at, cj) {
+				if !add(Violation{Invariant: InvHedge, Task: i, Machine: cj,
+					Detail: fmt.Sprintf("copy server outside the effective set of %v at hedge t=%v (members %d)",
+						task.Set, at, ms.MembersAt(at))}) {
+					return false
+				}
+			}
+		} else if !task.Eligible(cj) {
+			if !add(Violation{Invariant: InvHedge, Task: i, Machine: cj,
+				Detail: fmt.Sprintf("copy server not in processing set %v", task.Set)}) {
+				return false
+			}
+		}
+		if h.WonByCopy[i] {
+			if out, kind := excluded(i); out {
+				if !add(Violation{Invariant: InvHedge, Task: i, Machine: cj,
+					Detail: "won by copy yet " + kind + " — a cancelled attempt was counted as the effective completion"}) {
+					return false
+				}
+				continue
+			}
+			if s.Machine[i] != cj {
+				if !add(Violation{Invariant: InvHedge, Task: i, Machine: s.Machine[i],
+					Detail: fmt.Sprintf("copy on M%d won but the schedule runs the task on machine %d", cj+1, s.Machine[i])}) {
+					return false
+				}
+				continue
+			}
+			if s.Machine[i] == cj && s.Start[i] < at-tol(at) {
+				if !add(Violation{Invariant: InvHedge, Task: i, Machine: cj,
+					Detail: fmt.Sprintf("copy dispatched at %v but starts at %v", at, s.Start[i])}) {
+					return false
+				}
+			}
+		}
+	}
+
+	// Busy-time accounting identity. Only on plans with no outages and no
+	// slowdowns: every completed task then contributes exactly its processing
+	// time, cancelled copies reclaim theirs, and losing attempts burn
+	// DuplicateWork — Σ_j Busy[j] = Σ_{completed} p_i + DuplicateWork.
+	if h.Busy != nil && segs == nil && len(outages) == 0 {
+		var total, work core.Time
+		for _, b := range h.Busy {
+			total += b
+		}
+		for i := range inst.Tasks {
+			if out, _ := excluded(i); out || s.Machine[i] < 0 || s.Machine[i] >= m {
+				continue
+			}
+			work += inst.Tasks[i].Proc
+		}
+		want := work + h.DuplicateWork
+		if math.Abs(total-want) > tol(want) {
+			if !add(Violation{Invariant: InvHedge, Task: -1, Machine: -1,
+				Detail: fmt.Sprintf("busy time %v ≠ completed work %v + duplicate work %v — cancelled or duplicate attempts leaked into the accounting",
+					total, work, h.DuplicateWork)}) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func slowNote(segs [][]faults.Slowdown, j int) string {

@@ -9,6 +9,7 @@ import (
 	"flowsched/internal/elastic"
 	"flowsched/internal/eventq"
 	"flowsched/internal/faults"
+	"flowsched/internal/hedge"
 	"flowsched/internal/obs"
 	"flowsched/internal/overload"
 	"flowsched/internal/popularity"
@@ -42,6 +43,8 @@ func init() {
 	Register("SimRunGuardedAdmit", benchSimRunGuardedAdmit)
 	Register("SimRunElasticOff", benchSimRunElasticOff)
 	Register("SimRunElasticScale", benchSimRunElasticScale)
+	Register("SimRunHedgedOff", benchSimRunHedgedOff)
+	Register("SimRunHedgedGray", benchSimRunHedgedGray)
 	Register("SimRunFaultySteady", benchSimRunFaultySteady)
 	Register("SimRunGuardedOffSteady", benchSimRunGuardedOffSteady)
 	Register("SimRunGuardedAdmitSteady", benchSimRunGuardedAdmitSteady)
@@ -295,6 +298,48 @@ func benchSimRunElasticScale(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := sim.RunElastic(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}, nil, ecfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSimRunHedgedOff pins the disabled-path cost of the hedging layer:
+// RunHedged with a nil hedge config must track SimRunElasticOff (the
+// byte-identical property in internal/sim pins the behavior, the
+// 0-extra-alloc test pins the footprint; this entry pins the speed).
+func benchSimRunHedgedOff(b *testing.B) {
+	inst := restrictedInstance(15, 3, 5000)
+	plan := faults.Empty(15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sim.RunHedged(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}, nil, nil, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSimRunHedgedGray measures hedging under fire: a third of the cluster
+// runs 4× slow behind a blind round-robin router, and a delay-triggered
+// hedge with cancel-mid-service races copies onto the healthy replicas —
+// the copy-id bookkeeping, cancellation and duplicate-work accounting all
+// on the hot path. The queue-bound admission mirrors the headline hedge
+// experiment and keeps the cancellation re-time cost bounded: cancelling a
+// queue entry re-times the suffix behind it (DESIGN.md §13), so hedging
+// against unbounded queues scales with their length, not with this
+// machinery.
+func benchSimRunHedgedGray(b *testing.B) {
+	inst := restrictedInstance(15, 3, 5000)
+	plan := faults.Empty(15)
+	for j := 0; j < 15; j += 3 {
+		plan.Slow(j, 10, 1e6, 4)
+	}
+	cfg := &overload.Config{Admission: overload.QueueBound{MaxQueue: 20}}
+	hcfg := &hedge.Config{Delay: 5, CancelRunning: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sim.RunHedged(inst, &sim.RoundRobinRouter{}, plan, sim.RetryPolicy{}, cfg, nil, hcfg, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"flowsched/internal/core"
 	"flowsched/internal/elastic"
 	"flowsched/internal/faults"
+	"flowsched/internal/hedge"
 	"flowsched/internal/obs"
 	"flowsched/internal/overload"
 	"flowsched/internal/parallel"
@@ -130,6 +131,11 @@ type Params struct {
 	// script, and the audit membership invariants replace the static
 	// eligibility check.
 	Elastic *ElasticParams `json:"elastic,omitempty"`
+	// Hedge, when non-nil, runs the trial through sim.RunHedged with the
+	// described speculative-execution config, and the audit hedge invariants
+	// (exactly-one-effective-completion, copy eligibility, duplicate-work
+	// accounting) join the check.
+	Hedge *HedgeParams `json:"hedge,omitempty"`
 }
 
 // OverloadParams pins the overload-control side of a trial; everything
@@ -158,6 +164,17 @@ type ElasticParams struct {
 	Script  []elastic.Event `json:"script,omitempty"`
 	// Auto attaches a capacity-bound autoscaler on top of the script.
 	Auto bool `json:"auto,omitempty"`
+}
+
+// HedgeParams pins the hedged-execution side of a trial; everything needed
+// to rebuild the hedge.Config deterministically.
+type HedgeParams struct {
+	Delay         float64 `json:"delay,omitempty"`
+	Quantile      float64 `json:"quantile,omitempty"`
+	MinSamples    int     `json:"minSamples,omitempty"`
+	MaxHedges     int     `json:"maxHedges,omitempty"`
+	Tied          bool    `json:"tied,omitempty"`
+	CancelRunning bool    `json:"cancelRunning,omitempty"`
 }
 
 var faultModes = []string{"none", "crash", "zones", "gray", "mixed"}
@@ -271,6 +288,26 @@ func SampleParams(cfg Config, trial int) Params {
 		}
 		p.Elastic = ep
 	}
+	// A third of the trials hedge: a speculative duplicate races the primary
+	// under one of the three trigger styles. Sampled last so enabling hedging
+	// perturbs none of the draws above — a trial seed reproduces the same
+	// workload, faults and churn with or without this block.
+	if rng.Intn(3) == 0 {
+		hp := &HedgeParams{CancelRunning: rng.Intn(2) == 0}
+		switch rng.Intn(3) {
+		case 0:
+			hp.Delay = 0.2 + rng.Float64()*3
+		case 1:
+			hp.Quantile = 0.8 + rng.Float64()*0.19
+			hp.MinSamples = 5 + rng.Intn(30)
+		default:
+			hp.Tied = true
+		}
+		if rng.Intn(3) == 0 {
+			hp.MaxHedges = 1 + rng.Intn(p.N)
+		}
+		p.Hedge = hp
+	}
 	return p
 }
 
@@ -364,6 +401,23 @@ func (p Params) elasticConfig(m int) *elastic.Config {
 		cfg.Auto = &elastic.Autoscaler{Guard: overload.NewEstimatorCapacity(float64(m))}
 	}
 	return cfg
+}
+
+// hedgeConfig rebuilds the trial's hedge.Config (nil when the trial does not
+// hedge).
+func (p Params) hedgeConfig() *hedge.Config {
+	hp := p.Hedge
+	if hp == nil {
+		return nil
+	}
+	return &hedge.Config{
+		Delay:         core.Time(hp.Delay),
+		Quantile:      hp.Quantile,
+		MinSamples:    hp.MinSamples,
+		MaxHedges:     hp.MaxHedges,
+		Tied:          hp.Tied,
+		CancelRunning: hp.CancelRunning,
+	}
 }
 
 func (p Params) strategy(rng *rand.Rand) replicate.Strategy {
@@ -479,9 +533,10 @@ func CheckRecorded(inst *core.Instance, plan *faults.Plan, spec RouterSpec, p Pa
 		return []audit.Violation{{Invariant: InvSimError, Task: -1, Machine: -1, Detail: err.Error()}}
 	}
 	ecfg := p.elasticConfig(inst.M)
+	hcfg := p.hedgeConfig()
 	arena := arenas.Get().(*sim.Arena)
 	defer arenas.Put(arena)
-	s, em, err := arena.RunElastic(inst, router, plan, p.Policy, cfg, ecfg, simProbe)
+	s, em, err := arena.RunHedged(inst, router, plan, p.Policy, cfg, ecfg, hcfg, simProbe)
 	if err != nil {
 		return []audit.Violation{{Invariant: InvSimError, Task: -1, Machine: -1, Detail: err.Error()}}
 	}
@@ -509,11 +564,18 @@ func CheckRecorded(inst *core.Instance, plan *faults.Plan, spec RouterSpec, p Pa
 		// FIFO ≡ EFT spot-check).
 		opts.Membership = &audit.MembershipInfo{Membership: em.Membership, Dispatched: em.Dispatched}
 	}
+	if hcfg != nil {
+		opts.Hedge = &audit.HedgeInfo{
+			Hedged: em.Hedged, CopyServer: em.HedgeCopyServer, CopyAt: em.HedgeCopyAt,
+			WonByCopy: em.HedgeWonByCopy, Busy: em.Busy, DuplicateWork: em.DuplicateWork,
+		}
+	}
 	r := audit.Audit(inst, s, opts)
 	vs := append(r.Violations, probe.crossCheck(inst, om)...)
 	if ecfg != nil {
 		vs = append(vs, probe.crossCheckElastic(inst, em)...)
 	}
+	vs = append(vs, probe.crossCheckHedge(inst, em, hcfg != nil)...)
 	return vs
 }
 

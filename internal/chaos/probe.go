@@ -43,6 +43,13 @@ type countProbe struct {
 	handoffs      int
 	drainHandoffs int // handoff totals as reported by the drain events
 	warmUp        core.Time
+
+	hedges       int
+	hedgeWins    int
+	copyWins     int
+	hedgeCancels int
+	hedged       []bool
+	wonByCopy    []bool
 }
 
 func newCountProbe(n int) *countProbe {
@@ -50,7 +57,10 @@ func newCountProbe(n int) *countProbe {
 	for i := range ends {
 		ends[i] = math.NaN()
 	}
-	return &countProbe{ends: ends, rejected: make([]bool, n), shed: make([]bool, n)}
+	return &countProbe{
+		ends: ends, rejected: make([]bool, n), shed: make([]bool, n),
+		hedged: make([]bool, n), wonByCopy: make([]bool, n),
+	}
 }
 
 func (c *countProbe) OnArrival(task int, release core.Time) { c.arrivals++ }
@@ -115,6 +125,28 @@ func (c *countProbe) OnScaleDown(machine int, at core.Time, members, handoffs in
 
 // OnHandoff implements obs.MembershipObserver.
 func (c *countProbe) OnHandoff(task, from int, at core.Time) { c.handoffs++ }
+
+// OnHedge implements obs.HedgeObserver.
+func (c *countProbe) OnHedge(task, from, to int, at, start, end core.Time) {
+	c.hedges++
+	if task >= 0 && task < len(c.hedged) {
+		c.hedged[task] = true
+	}
+}
+
+// OnHedgeWin implements obs.HedgeObserver.
+func (c *countProbe) OnHedgeWin(task, server int, byCopy bool, at core.Time) {
+	c.hedgeWins++
+	if byCopy {
+		c.copyWins++
+		if task >= 0 && task < len(c.wonByCopy) {
+			c.wonByCopy[task] = true
+		}
+	}
+}
+
+// OnHedgeCancel implements obs.HedgeObserver.
+func (c *countProbe) OnHedgeCancel(task, server int, at core.Time, started bool) { c.hedgeCancels++ }
 
 // crossCheck compares the probe's event counts against the run's metrics
 // and returns one InvProbe violation per disagreement.
@@ -193,6 +225,60 @@ func (c *countProbe) crossCheck(inst *core.Instance, om *sim.OverloadMetrics) []
 		want := task.Release + om.Flows[i]
 		if math.Abs(end-want) > 1e-9*(1+math.Abs(want)) {
 			bad("task %d completed at %v, metrics imply %v", i, end, want)
+		}
+	}
+	return vs
+}
+
+// crossCheckHedge compares the probe's hedge event counts against a hedged
+// run's metrics — including the resolution equation every issued copy must
+// satisfy (win ∨ cancelled ∨ revoked, exactly once) — and, for unhedged
+// runs, that no hedge state leaked out at all.
+func (c *countProbe) crossCheckHedge(inst *core.Instance, em *sim.ElasticMetrics, hedged bool) []audit.Violation {
+	var vs []audit.Violation
+	bad := func(format string, args ...any) {
+		vs = append(vs, audit.Violation{Invariant: InvProbe, Task: -1, Machine: -1,
+			Detail: fmt.Sprintf(format, args...)})
+	}
+	if !hedged {
+		if c.hedges != 0 || c.hedgeWins != 0 || c.hedgeCancels != 0 {
+			bad("unhedged run emitted hedge events (%d/%d/%d)", c.hedges, c.hedgeWins, c.hedgeCancels)
+		}
+		if em.HedgesIssued != 0 || em.Hedged != nil {
+			bad("unhedged run carries hedge metrics (issued=%d)", em.HedgesIssued)
+		}
+		return vs
+	}
+	// Every issued copy resolves exactly once: it wins, it is cancelled, or
+	// tied mode revokes it at service start.
+	if em.HedgesIssued != em.HedgeWinsCopy+em.HedgesCancelled+em.HedgesRevoked {
+		bad("hedge resolution broken: issued %d ≠ copy-wins %d + cancelled %d + revoked %d",
+			em.HedgesIssued, em.HedgeWinsCopy, em.HedgesCancelled, em.HedgesRevoked)
+	}
+	if c.hedges != em.HedgesIssued {
+		bad("probe saw %d hedges, metrics report %d", c.hedges, em.HedgesIssued)
+	}
+	if wins := em.HedgeWinsPrimary + em.HedgeWinsCopy; c.hedgeWins != wins {
+		bad("probe saw %d hedge wins, metrics report %d", c.hedgeWins, wins)
+	}
+	if c.copyWins != em.HedgeWinsCopy {
+		bad("probe saw %d copy wins, metrics report %d", c.copyWins, em.HedgeWinsCopy)
+	}
+	// Cancel events cover every losing copy plus at most one primary-side
+	// cancellation per hedged task (a copy win, or a tied revocation).
+	if lo := em.HedgesCancelled + em.HedgesRevoked; c.hedgeCancels < lo || c.hedgeCancels > lo+em.HedgesIssued {
+		bad("probe saw %d hedge cancels for %d cancelled + %d revoked copies (%d issued)",
+			c.hedgeCancels, em.HedgesCancelled, em.HedgesRevoked, em.HedgesIssued)
+	}
+	if em.DuplicateWork < 0 || em.CancelledWork < 0 {
+		bad("negative hedge work accounting: duplicate %v, cancelled %v", em.DuplicateWork, em.CancelledWork)
+	}
+	for i := range inst.Tasks {
+		if em.Hedged[i] != c.hedged[i] {
+			bad("task %d hedged flag: probe %v, metrics %v", i, c.hedged[i], em.Hedged[i])
+		}
+		if em.HedgeWonByCopy[i] != c.wonByCopy[i] {
+			bad("task %d won-by-copy flag: probe %v, metrics %v", i, c.wonByCopy[i], em.HedgeWonByCopy[i])
 		}
 	}
 	return vs

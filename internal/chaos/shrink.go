@@ -198,6 +198,77 @@ func shrinkScript(p Params, inst *core.Instance, plan *faults.Plan, spec RouterS
 	return p, shrunk
 }
 
+// shrinkHedge simplifies the params' hedge config with a ddmin-style pass:
+// drop hedging entirely (proving the failure is not hedge-related), then
+// peel individual knobs — the MaxHedges cap, cancel-mid-service, the
+// quantile trigger (replaced by a plain delay), tied mode — keeping every
+// simplification under which the trial still fails. The candidate
+// simulations count against the shared budget.
+func shrinkHedge(p Params, inst *core.Instance, plan *faults.Plan, spec RouterSpec, budget *int) (Params, bool) {
+	if p.Hedge == nil {
+		return p, false
+	}
+	failing := func(cand Params) bool {
+		if *budget <= 0 {
+			return false
+		}
+		*budget--
+		return len(Check(inst, plan, spec, cand)) > 0
+	}
+	shrunk := false
+	try := func(mutate func(*HedgeParams) bool) {
+		if p.Hedge == nil {
+			return
+		}
+		cp := p
+		hp := *p.Hedge
+		if !mutate(&hp) {
+			return // knob not set; nothing to peel
+		}
+		cp.Hedge = &hp
+		if failing(cp) {
+			p = cp
+			shrunk = true
+		}
+	}
+	// Dropping the hedge outright dominates every other simplification.
+	cp := p
+	cp.Hedge = nil
+	if failing(cp) {
+		return cp, true
+	}
+	try(func(hp *HedgeParams) bool {
+		if hp.MaxHedges == 0 {
+			return false
+		}
+		hp.MaxHedges = 0
+		return true
+	})
+	try(func(hp *HedgeParams) bool {
+		if !hp.CancelRunning {
+			return false
+		}
+		hp.CancelRunning = false
+		return true
+	})
+	try(func(hp *HedgeParams) bool {
+		if hp.Quantile == 0 {
+			return false
+		}
+		hp.Quantile, hp.MinSamples, hp.Delay = 0, 0, 1
+		return true
+	})
+	try(func(hp *HedgeParams) bool {
+		if !hp.Tied {
+			return false
+		}
+		hp.Tied = false
+		hp.Delay = 1
+		return true
+	})
+	return p, shrunk
+}
+
 // ShrinkFailure rebuilds the failing trial from its params, shrinks it and
 // packages the result as a replayable repro. The shrink oracle re-runs the
 // full Check (simulate + audit + probe cross-check) under the trial's
@@ -226,11 +297,17 @@ func ShrinkFailure(cfg Config, p Params) (*Repro, error) {
 		return nil, fmt.Errorf("chaos: trial %d is not failing under its own params", p.Trial)
 	}
 	mi, mp := Shrink(inst, plan, failing)
-	// Minimize the membership script too, then give the structural shrinker
-	// one more pass under the reduced script (failing closes over p, so it
-	// sees the update).
+	// Minimize the membership script and the hedge config too, then give the
+	// structural shrinker one more pass under the reduced params (failing
+	// closes over p, so it sees the updates).
+	reduced := false
 	if p2, ok := shrinkScript(p, mi, mp, spec, &budget); ok {
-		p = p2
+		p, reduced = p2, true
+	}
+	if p2, ok := shrinkHedge(p, mi, mp, spec, &budget); ok {
+		p, reduced = p2, true
+	}
+	if reduced {
 		mi, mp = Shrink(mi, mp, failing)
 	}
 	violations := Check(mi, mp, spec, p)

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"flowsched/internal/faults"
+	"flowsched/internal/hedge"
+	"flowsched/internal/overload"
+	"flowsched/internal/replicate"
+	"flowsched/internal/sim"
+	"flowsched/internal/stats"
+	"flowsched/internal/table"
+	"flowsched/internal/workload"
+)
+
+// HedgeTradeoffConfig controls the hedging trade-off experiment: the same
+// overlapping-replication cluster, behind a queue-bound admission policy,
+// is run with and without a p-quantile hedge trigger — once under a gray
+// fault (one server silently slowed, never marked down) and once under
+// pure overload (no fault, offered load past capacity).
+type HedgeTradeoffConfig struct {
+	M, K       int
+	N          int
+	Reps       int
+	SBias      float64
+	Seed       int64
+	Load       float64 // offered load of the gray scenario (fraction of m)
+	Overload   float64 // offered load of the overload scenario
+	GrayFactor float64 // service-time multiplier of the gray server
+	MaxQueue   int     // queue-bound admission cap
+	Quantile   float64 // hedge trigger quantile (e.g. 0.95)
+	MinSamples int     // quantile warm-up
+}
+
+// DefaultHedgeTradeoff returns the paper-sized experiment: a 15-server
+// cluster at 70% load with one server running 25× slow, hedged at the live
+// p95 of the flow-time distribution behind a queue bound of 20, against a
+// 130% overload run under the same controls.
+func DefaultHedgeTradeoff() HedgeTradeoffConfig {
+	return HedgeTradeoffConfig{
+		M: 15, K: 3, N: 10000, Reps: 3, SBias: 1, Seed: 1,
+		Load: 0.7, Overload: 1.3,
+		GrayFactor: 25, MaxQueue: 20,
+		Quantile: 0.95, MinSamples: 20,
+	}
+}
+
+// HedgeTradeoffRow is one scenario×policy cell (medians over repetitions).
+type HedgeTradeoffRow struct {
+	Scenario   string // "gray" or "overload"
+	Policy     string // "no-hedge" or "hedge-p95"
+	GoodputPct float64
+	Fmax       float64 // admitted max flow
+	P99        float64 // admitted p99 flow
+	Hedges     float64 // median hedges issued
+	CopyWins   float64 // median copy wins
+	DupPct     float64 // duplicate work as % of total busy time
+}
+
+// HedgeTradeoff measures when speculative duplicate dispatch helps and when
+// it hurts. Under a gray fault — a server that runs far slower than its
+// forecasts claim but is never marked down — a quantile-triggered hedge
+// races a copy of each straggling task on another replica of its processing
+// set and the first completion wins: the admitted p99 flow time drops
+// multiple-fold for a bounded (<15% of busy time) duplicate-work cost.
+// Under pure overload the same trigger misfires on every queue-delayed
+// task: the copies occupy queue slots a saturated cluster has none of, the
+// admission policy turns real arrivals away to make room for duplicates,
+// and goodput collapses. The router is deliberately forecast-blind
+// (round-robin): a gray fault is by definition invisible to the scheduler's
+// estimates, and the EFT router — which reads true completion forecasts —
+// would route around the fault on its own, hiding exactly the tail hedging
+// is for.
+func HedgeTradeoff(w io.Writer, cfg HedgeTradeoffConfig) ([]HedgeTradeoffRow, error) {
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	strat := replicate.Overlapping{K: cfg.K}
+	hcfg := &hedge.Config{Quantile: cfg.Quantile, MinSamples: cfg.MinSamples, CancelRunning: true}
+	if err := hcfg.Validate(); err != nil {
+		return nil, err
+	}
+	grayPlan := (&faults.Plan{M: cfg.M}).Slow(0, 0, 1e9, cfg.GrayFactor)
+
+	scenarios := []struct {
+		name string
+		load float64
+		plan *faults.Plan
+	}{
+		{"gray", cfg.Load, grayPlan},
+		{"overload", cfg.Overload, nil},
+	}
+	policies := []struct {
+		name string
+		cfg  *hedge.Config
+	}{
+		{"no-hedge", nil},
+		{fmt.Sprintf("hedge-p%g", cfg.Quantile*100), hcfg},
+	}
+
+	fmt.Fprintf(w, "Hedged execution — when speculative duplicates help and when they hurt\n")
+	fmt.Fprintf(w, "m=%d k=%d n=%d overlapping(k=%d), round-robin routing, queue bound %d;\n",
+		cfg.M, cfg.K, cfg.N, cfg.K, cfg.MaxQueue)
+	fmt.Fprintf(w, "trigger: live p%g flow, cancel-mid-service; gray: %.0f%% load, one server %g× slow;\n",
+		cfg.Quantile*100, cfg.Load*100, cfg.GrayFactor)
+	fmt.Fprintf(w, "overload: %.0f%% load, no fault; medians over %d reps\n\n",
+		cfg.Overload*100, cfg.Reps)
+
+	out := table.New("scenario", "policy", "goodput %", "admitted Fmax", "admitted p99",
+		"hedges", "copy wins", "dup %")
+	var rows []HedgeTradeoffRow
+	for _, sc := range scenarios {
+		for _, pol := range policies {
+			var goodput, fmax, p99, hedges, wins, dup []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				inst, err := workload.Generate(workload.Config{
+					M: cfg.M, N: cfg.N, Rate: workload.RateForLoad(sc.load, cfg.M),
+					Weights:  shuffledWeights(cfg.M, cfg.SBias, subRng(cfg.Seed, 41, int64(rep))),
+					Strategy: strat,
+				}, subRng(cfg.Seed, 42, int64(rep)))
+				if err != nil {
+					return nil, err
+				}
+				ocfg := &overload.Config{Admission: overload.QueueBound{MaxQueue: cfg.MaxQueue}}
+				arena := arenas.Get().(*sim.Arena)
+				_, em, err := arena.RunHedged(inst, &sim.RoundRobinRouter{}, sc.plan,
+					sim.RetryPolicy{}, ocfg, nil, pol.cfg, nil)
+				if err != nil {
+					arenas.Put(arena)
+					return nil, err
+				}
+				flows := em.AdmittedFlows()
+				xs := make([]float64, len(flows))
+				for i, f := range flows {
+					xs[i] = float64(f)
+				}
+				goodput = append(goodput, em.Goodput()*100)
+				fmax = append(fmax, float64(em.AdmittedMaxFlow()))
+				p99 = append(p99, stats.Quantile(xs, 0.99))
+				hedges = append(hedges, float64(em.HedgesIssued))
+				wins = append(wins, float64(em.HedgeWinsCopy))
+				dup = append(dup, em.DuplicateRatio()*100)
+				arenas.Put(arena)
+			}
+			row := HedgeTradeoffRow{
+				Scenario: sc.name, Policy: pol.name,
+				GoodputPct: stats.Median(goodput),
+				Fmax:       stats.Median(fmax),
+				P99:        stats.Median(p99),
+				Hedges:     stats.Median(hedges),
+				CopyWins:   stats.Median(wins),
+				DupPct:     stats.Median(dup),
+			}
+			rows = append(rows, row)
+			out.AddRow(row.Scenario, row.Policy,
+				fmt.Sprintf("%.2f", row.GoodputPct),
+				row.Fmax, row.P99,
+				fmt.Sprintf("%.0f", row.Hedges),
+				fmt.Sprintf("%.0f", row.CopyWins),
+				fmt.Sprintf("%.2f", row.DupPct))
+		}
+	}
+	out.Render(w)
+	fmt.Fprintln(w, "\nReading: under the gray fault the hedge races each straggler on a healthy")
+	fmt.Fprintln(w, "replica and the admitted p99 collapses for a duplicate-work cost under 15%")
+	fmt.Fprintln(w, "of busy time (plus a goodput slice spent on the copies' queue slots).")
+	fmt.Fprintln(w, "Under pure overload the same trigger duplicates queue-delayed tasks into a")
+	fmt.Fprintln(w, "cluster with no spare capacity: admission turns real work away to queue")
+	fmt.Fprintln(w, "copies and goodput collapses. Hedge against stragglers, not saturation.")
+	return rows, nil
+}

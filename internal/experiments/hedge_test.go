@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHedgeTradeoffHeadline pins the hedging experiment's headline: under a
+// gray fault the p95-triggered hedge cuts the admitted p99 flow time
+// multiple-fold over no-hedging at a duplicate-work cost below 15% of busy
+// time, while the same trigger under pure overload collapses goodput.
+func TestHedgeTradeoffHeadline(t *testing.T) {
+	cfg := DefaultHedgeTradeoff()
+	cfg.Reps = 1 // one repetition keeps the test fast; the effect is ~60×
+	var b strings.Builder
+	rows, err := HedgeTradeoff(&b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byCell := map[string]HedgeTradeoffRow{}
+	for _, r := range rows {
+		byCell[r.Scenario+"/"+r.Policy] = r
+	}
+	grayNone, grayHedge := byCell["gray/no-hedge"], byCell["gray/hedge-p95"]
+	overNone, overHedge := byCell["overload/no-hedge"], byCell["overload/hedge-p95"]
+
+	// Gray fault: multiple-fold p99 cut at a bounded duplicate-work cost.
+	if grayHedge.P99*4 > grayNone.P99 {
+		t.Errorf("gray hedge p99 %v is not a multiple-fold cut of %v",
+			grayHedge.P99, grayNone.P99)
+	}
+	if grayHedge.DupPct <= 0 || grayHedge.DupPct >= 15 {
+		t.Errorf("gray duplicate-work cost %.2f%% outside (0, 15)", grayHedge.DupPct)
+	}
+	if grayHedge.CopyWins == 0 || grayHedge.Hedges == 0 {
+		t.Errorf("gray hedge never won by copy: %v hedges, %v wins",
+			grayHedge.Hedges, grayHedge.CopyWins)
+	}
+	if grayNone.Hedges != 0 || overNone.Hedges != 0 {
+		t.Errorf("no-hedge cells issued hedges: %v, %v", grayNone.Hedges, overNone.Hedges)
+	}
+
+	// Pure overload: the duplicates crowd real arrivals out of the bounded
+	// queues and goodput collapses — hedging is harmful here.
+	if overHedge.GoodputPct > overNone.GoodputPct-10 {
+		t.Errorf("overload hedging is not harmful: goodput %.2f%% vs %.2f%% unhedged",
+			overHedge.GoodputPct, overNone.GoodputPct)
+	}
+
+	if !strings.Contains(b.String(), "Hedged execution") {
+		t.Errorf("output incomplete")
+	}
+}

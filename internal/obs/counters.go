@@ -33,6 +33,12 @@ type Counters struct {
 	ScaleDowns int64     // machines drained out of the ring
 	Handoffs   int64     // queued tasks handed off from draining machines
 	WarmUpTime core.Time // total warm-up delay imposed on joiners
+
+	// Hedged-execution totals (sim.RunHedged with a config; zero otherwise).
+	Hedges        int64 // speculative copies dispatched
+	HedgeWins     int64 // hedged tasks completed (either attempt)
+	HedgeCopyWins int64 // hedged tasks whose speculative copy won
+	HedgeCancels  int64 // losing attempts abandoned (cancelled, revoked, crashed)
 }
 
 // OnArrival implements Probe.
@@ -90,6 +96,20 @@ func (c *Counters) OnScaleDown(machine int, at core.Time, members, handoffs int)
 // OnHandoff implements MembershipObserver.
 func (c *Counters) OnHandoff(task, from int, at core.Time) { c.Handoffs++ }
 
+// OnHedge implements HedgeObserver.
+func (c *Counters) OnHedge(task, from, to int, at, start, end core.Time) { c.Hedges++ }
+
+// OnHedgeWin implements HedgeObserver.
+func (c *Counters) OnHedgeWin(task, server int, byCopy bool, at core.Time) {
+	c.HedgeWins++
+	if byCopy {
+		c.HedgeCopyWins++
+	}
+}
+
+// OnHedgeCancel implements HedgeObserver.
+func (c *Counters) OnHedgeCancel(task, server int, at core.Time, started bool) { c.HedgeCancels++ }
+
 // WriteProm writes the counters in the Prometheus text exposition format
 // under the flowsched_ namespace.
 func (c *Counters) WriteProm(w io.Writer) error {
@@ -113,6 +133,10 @@ func (c *Counters) WriteProm(w io.Writer) error {
 		{"flowsched_joins_total", "Machines that finished warm-up and went active.", c.Joins},
 		{"flowsched_scale_downs_total", "Machines drained out of the ring.", c.ScaleDowns},
 		{"flowsched_handoffs_total", "Queued tasks handed off from draining machines.", c.Handoffs},
+		{"flowsched_hedges_total", "Speculative hedge copies dispatched.", c.Hedges},
+		{"flowsched_hedge_wins_total", "Hedged tasks completed.", c.HedgeWins},
+		{"flowsched_hedge_copy_wins_total", "Hedged tasks won by the speculative copy.", c.HedgeCopyWins},
+		{"flowsched_hedge_cancels_total", "Losing hedge attempts abandoned.", c.HedgeCancels},
 	} {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 			row.name, row.help, row.name, row.name, row.value); err != nil {

@@ -16,6 +16,7 @@ func TestCountersPromExposition(t *testing.T) {
 		Failovers: 6, Lost: 7, Rejections: 8, Sheds: 9, Ejections: 10,
 		Readmissions: 11, Brownouts: 12, ScaleUps: 13, Joins: 14,
 		ScaleDowns: 15, Handoffs: 16, WarmUpTime: 17.5,
+		Hedges: 18, HedgeWins: 19, HedgeCopyWins: 20, HedgeCancels: 21,
 	}
 	var b strings.Builder
 	if err := c.WriteProm(&b); err != nil {
@@ -75,13 +76,14 @@ func TestCountersPromExposition(t *testing.T) {
 	// warm-up total (renamed to carry _total like the rest).
 	for _, want := range []string{
 		"flowsched_arrivals_total 1", "flowsched_handoffs_total 16",
+		"flowsched_hedges_total 18", "flowsched_hedge_cancels_total 21",
 		"flowsched_warm_up_time_total 17.5",
 	} {
 		if !strings.Contains(b.String(), want) {
 			t.Errorf("exposition missing %q in:\n%s", want, b.String())
 		}
 	}
-	if len(typ) != 17 {
-		t.Errorf("%d families exposed, want 17", len(typ))
+	if len(typ) != 21 {
+		t.Errorf("%d families exposed, want 21", len(typ))
 	}
 }

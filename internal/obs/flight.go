@@ -31,6 +31,9 @@ type FlightEvent struct {
 	Handoffs int           `json:"handoffs"`
 	Reason   string        `json:"reason,omitempty"`
 	Active   bool          `json:"active,omitempty"`
+	From     int           `json:"from"`              // primary's server at hedge issue (-1 if parked)
+	Copy     bool          `json:"copy,omitempty"`    // hedge-win: the speculative copy won
+	Started  bool          `json:"started,omitempty"` // hedge-cancel: loser was mid-service
 }
 
 // nanT is the absent-instant sentinel of a FlightEvent.
@@ -41,7 +44,7 @@ func nanT() core.NullTime { return core.NullTime(math.NaN()) }
 func blankEvent(ev string, t core.Time) FlightEvent {
 	return FlightEvent{
 		Ev: ev, T: core.NullTime(t),
-		Task: -1, Server: -1, Attempt: -1, Lost: -1, Members: -1, Handoffs: -1,
+		Task: -1, Server: -1, Attempt: -1, Lost: -1, Members: -1, Handoffs: -1, From: -1,
 		Start: nanT(), End: nanT(), Release: nanT(), Proc: nanT(), Ready: nanT(),
 	}
 }
@@ -282,5 +285,27 @@ func (r *FlightRecorder) OnScaleDown(machine int, at core.Time, members, handoff
 func (r *FlightRecorder) OnHandoff(task, from int, at core.Time) {
 	ev := blankEvent("handoff", at)
 	ev.Task, ev.Server = task, from
+	r.append(ev)
+}
+
+// OnHedge implements HedgeObserver.
+func (r *FlightRecorder) OnHedge(task, from, to int, at, start, end core.Time) {
+	ev := blankEvent("hedge", at)
+	ev.Task, ev.Server, ev.From = task, to, from
+	ev.Start, ev.End = core.NullTime(start), core.NullTime(end)
+	r.append(ev)
+}
+
+// OnHedgeWin implements HedgeObserver.
+func (r *FlightRecorder) OnHedgeWin(task, server int, byCopy bool, at core.Time) {
+	ev := blankEvent("hedge-win", at)
+	ev.Task, ev.Server, ev.Copy = task, server, byCopy
+	r.append(ev)
+}
+
+// OnHedgeCancel implements HedgeObserver.
+func (r *FlightRecorder) OnHedgeCancel(task, server int, at core.Time, started bool) {
+	ev := blankEvent("hedge-cancel", at)
+	ev.Task, ev.Server, ev.Started = task, server, started
 	r.append(ev)
 }

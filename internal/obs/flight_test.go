@@ -6,7 +6,7 @@ import (
 	"testing"
 )
 
-// drive pushes one event of every kind through the recorder (16 hooks).
+// drive pushes one event of every kind through the recorder (19 hooks).
 func drive(r *FlightRecorder) {
 	r.OnArrival(0, 1)
 	r.OnDispatch(0, 2, 1, 3, 5)
@@ -23,6 +23,9 @@ func drive(r *FlightRecorder) {
 	r.OnJoin(6, 15, 4)
 	r.OnScaleDown(1, 16, 3, 2)
 	r.OnHandoff(7, 1, 16)
+	r.OnHedge(8, 0, 3, 16.5, 17, 19)
+	r.OnHedgeWin(8, 3, true, 16.75)
+	r.OnHedgeCancel(8, 0, 16.75, true)
 	r.OnDone(17)
 }
 
@@ -63,12 +66,13 @@ func TestFlightRecorderDefaultSize(t *testing.T) {
 func TestFlightRecorderAllKindsRoundTrip(t *testing.T) {
 	r := NewFlightRecorder(64)
 	drive(r)
-	if r.Len() != 16 {
-		t.Fatalf("recorded %d events, want 16", r.Len())
+	if r.Len() != 19 {
+		t.Fatalf("recorded %d events, want 19", r.Len())
 	}
 	kinds := []string{"arrival", "dispatch", "complete", "drop", "retry", "failover",
 		"reject", "shed", "eject", "readmit", "brownout",
-		"scale-up", "join", "scale-down", "handoff", "done"}
+		"scale-up", "join", "scale-down", "handoff",
+		"hedge", "hedge-win", "hedge-cancel", "done"}
 	for i, ev := range r.Events() {
 		if ev.Ev != kinds[i] {
 			t.Fatalf("events[%d].Ev = %q, want %q", i, ev.Ev, kinds[i])

@@ -27,12 +27,13 @@
 //   - FlightRecorder: a fixed-size ring of the last N raw events — the
 //     crash recorder chaos and audit dump next to their findings.
 //
-// Two optional extension interfaces widen the base 7-hook Probe contract:
+// Three optional extension interfaces widen the base 7-hook Probe contract:
 // OverloadObserver (reject/shed/eject/readmit/brownout, fired by
-// sim.RunGuarded) and MembershipObserver (scale-up/join/scale-down/handoff,
-// fired by sim.RunElastic). The simulator type-asserts its probe once per
+// sim.RunGuarded), MembershipObserver (scale-up/join/scale-down/handoff,
+// fired by sim.RunElastic) and HedgeObserver (hedge/hedge-win/hedge-cancel,
+// fired by sim.RunHedged). The simulator type-asserts its probe once per
 // run, so probes opt in by implementing the methods — Counters, Tracer and
-// FlightRecorder observe all 16 hooks, the other probes only the base
+// FlightRecorder observe all 19 hooks, the other probes only the base
 // stream.
 //
 // Multi fans one event stream out to several probes, forwarding extension

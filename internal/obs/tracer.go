@@ -28,6 +28,10 @@ const (
 	// AttemptShed is an attempt abandoned by the watermark shedder while the
 	// task sat in its server's queue.
 	AttemptShed
+	// AttemptHedgeCancelled is a losing hedge attempt (a speculative copy, or
+	// a primary beaten by its copy) abandoned by first-win cancellation, a
+	// tied-mode revocation, or the copy's death.
+	AttemptHedgeCancelled
 )
 
 // String returns the attempt outcome's wire name.
@@ -41,6 +45,8 @@ func (o AttemptOutcome) String() string {
 		return "handed-off"
 	case AttemptShed:
 		return "shed"
+	case AttemptHedgeCancelled:
+		return "hedge-cancelled"
 	default:
 		return "pending"
 	}
@@ -108,6 +114,10 @@ type AttemptSpan struct {
 	// End − proc, which is exact on healthy servers and an upper bound under
 	// a gray slowdown.
 	Retimed bool `json:"retimed,omitempty"`
+
+	// Hedge marks a speculative copy dispatched by sim.RunHedged: a sibling
+	// span racing the primary attempt, resolved by first-win cancellation.
+	Hedge bool `json:"hedge,omitempty"`
 }
 
 // attemptSpanJSON is the NaN-safe wire form of an AttemptSpan.
@@ -119,6 +129,7 @@ type attemptSpanJSON struct {
 	Outcome AttemptOutcome `json:"outcome"`
 	AbortAt core.NullTime  `json:"abort_at"`
 	Retimed bool           `json:"retimed,omitempty"`
+	Hedge   bool           `json:"hedge,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler with the engine's NaN sentinels
@@ -127,7 +138,7 @@ func (a AttemptSpan) MarshalJSON() ([]byte, error) {
 	return json.Marshal(attemptSpanJSON{
 		Server: a.Server, At: core.NullTime(a.At), Start: core.NullTime(a.Start),
 		End: core.NullTime(a.End), Outcome: a.Outcome,
-		AbortAt: core.NullTime(a.AbortAt), Retimed: a.Retimed,
+		AbortAt: core.NullTime(a.AbortAt), Retimed: a.Retimed, Hedge: a.Hedge,
 	})
 }
 
@@ -194,16 +205,37 @@ func (t *TaskTrace) rank() float64 {
 	return float64(t.Flow)
 }
 
-// open returns the task's pending attempt, nil if none.
+// open returns the task's pending primary attempt — hedge sibling spans are
+// skipped: crash/shed/handoff events always target the primary, while hedge
+// spans resolve only through OnComplete or OnHedgeCancel.
 func (t *TaskTrace) open() *AttemptSpan {
-	if n := len(t.Attempts); n > 0 && t.Attempts[n-1].Outcome == AttemptPending {
-		return &t.Attempts[n-1]
+	for i := len(t.Attempts) - 1; i >= 0; i-- {
+		a := &t.Attempts[i]
+		if a.Hedge {
+			continue
+		}
+		if a.Outcome == AttemptPending {
+			return a
+		}
+		return nil // the newest primary attempt is already closed
 	}
 	return nil
 }
 
-// abort closes the pending attempt (if any) with the given outcome at the
-// given instant.
+// openOn returns the task's most recent pending attempt on the given server
+// (hedge spans included), nil if none — the server disambiguates the racing
+// attempts of a hedged task.
+func (t *TaskTrace) openOn(server int) *AttemptSpan {
+	for i := len(t.Attempts) - 1; i >= 0; i-- {
+		if a := &t.Attempts[i]; a.Outcome == AttemptPending && a.Server == server {
+			return a
+		}
+	}
+	return nil
+}
+
+// abort closes the pending primary attempt (if any) with the given outcome
+// at the given instant.
 func (t *TaskTrace) abort(o AttemptOutcome, at core.Time) {
 	if a := t.open(); a != nil {
 		a.Outcome = o
@@ -407,7 +439,10 @@ func (t *Tracer) OnComplete(task, server int, release, proc, end core.Time) {
 	if tr == nil {
 		return
 	}
-	a := tr.open()
+	a := tr.openOn(server) // the winning attempt of a hedged task, by server
+	if a == nil {
+		a = tr.open()
+	}
 	if a == nil {
 		// Defensive: a completion with no pending attempt (cannot happen with
 		// the engine's hook contract). Record a synthetic attempt.
@@ -535,6 +570,37 @@ func (t *Tracer) OnHandoff(task, from int, at core.Time) {
 		return
 	}
 	tr.abort(AttemptHandedOff, at)
+}
+
+// OnHedge implements HedgeObserver: the speculative copy opens as a sibling
+// span racing the pending primary attempt.
+func (t *Tracer) OnHedge(task, from, to int, at, start, end core.Time) {
+	tr := t.live[task]
+	if tr == nil {
+		return
+	}
+	tr.Attempts = append(tr.Attempts, AttemptSpan{
+		Server: to, At: at, Start: start, End: end,
+		AbortAt: core.Time(math.NaN()), Hedge: true,
+	})
+}
+
+// OnHedgeWin implements HedgeObserver. The winning attempt closes through
+// OnComplete (server-matched) and the loser through OnHedgeCancel, so the
+// tracer needs nothing here.
+func (t *Tracer) OnHedgeWin(task, server int, byCopy bool, at core.Time) {}
+
+// OnHedgeCancel implements HedgeObserver: the losing attempt on the given
+// server (primary or copy) closes as hedge-cancelled.
+func (t *Tracer) OnHedgeCancel(task, server int, at core.Time, started bool) {
+	tr := t.live[task]
+	if tr == nil {
+		return
+	}
+	if a := tr.openOn(server); a != nil {
+		a.Outcome = AttemptHedgeCancelled
+		a.AbortAt = at
+	}
 }
 
 // WriteJSON writes the retained traces (sorted by task id) and the run's

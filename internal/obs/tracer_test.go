@@ -260,3 +260,68 @@ func TestTracerWriteJSON(t *testing.T) {
 		t.Fatalf("NaN leaked into trace JSON:\n%s", buf.String())
 	}
 }
+
+func TestTracerHedgeSiblingSpans(t *testing.T) {
+	tr := NewTracer(KeepAll())
+
+	// Task 0: hedge issued, the copy wins, the primary is hedge-cancelled.
+	tr.OnArrival(0, 0)
+	tr.OnDispatch(0, 1, 0, 5, 15) // slow primary
+	tr.OnHedge(0, 1, 2, 3, 4, 7)  // sibling copy on server 2
+	tr.OnHedgeWin(0, 2, true, 7)
+	tr.OnComplete(0, 2, 0, 3, 7)
+	tr.OnHedgeCancel(0, 1, 7, true)
+
+	t0 := tr.Trace(0)
+	if t0.State != TraceCompleted || len(t0.Attempts) != 2 {
+		t.Fatalf("task 0 trace = %+v", t0)
+	}
+	pri, cp := t0.Attempts[0], t0.Attempts[1]
+	if pri.Hedge || pri.Outcome != AttemptHedgeCancelled || pri.AbortAt != 7 {
+		t.Fatalf("primary span = %+v", pri)
+	}
+	if !cp.Hedge || cp.Outcome != AttemptCompleted || cp.Server != 2 || cp.End != 7 {
+		t.Fatalf("copy span = %+v", cp)
+	}
+
+	// Task 1: hedge issued, the primary wins, the copy is hedge-cancelled
+	// before service — the cancellation must close the copy span, not the
+	// pending primary.
+	tr.OnArrival(1, 0)
+	tr.OnDispatch(1, 0, 0, 0, 4)
+	tr.OnHedge(1, 0, 3, 2, 6, 10)
+	tr.OnHedgeWin(1, 0, false, 4)
+	tr.OnComplete(1, 0, 0, 4, 4)
+	tr.OnHedgeCancel(1, 3, 4, false)
+
+	t1 := tr.Trace(1)
+	if len(t1.Attempts) != 2 {
+		t.Fatalf("task 1 trace = %+v", t1)
+	}
+	if a := t1.Attempts[0]; a.Hedge || a.Outcome != AttemptCompleted {
+		t.Fatalf("task 1 primary = %+v", a)
+	}
+	if a := t1.Attempts[1]; !a.Hedge || a.Outcome != AttemptHedgeCancelled || a.AbortAt != 4 {
+		t.Fatalf("task 1 copy = %+v", a)
+	}
+
+	// Task 2: a crash aborts the primary while a copy is pending — the
+	// crash must close the primary span, skipping the hedge sibling.
+	tr.OnArrival(2, 0)
+	tr.OnDispatch(2, 0, 0, 0, 9)
+	tr.OnHedge(2, 0, 1, 2, 5, 14)
+	tr.OnFailover(0, 3, 1)
+	tr.OnRetry(2, 1, 3)
+	t2 := tr.Trace(2)
+	if a := t2.Attempts[0]; a.Hedge || a.Outcome != AttemptCrashed || a.AbortAt != 3 {
+		t.Fatalf("task 2 primary after crash = %+v", a)
+	}
+	if a := t2.Attempts[1]; !a.Hedge || a.Outcome != AttemptPending {
+		t.Fatalf("task 2 copy must stay pending across the primary's crash: %+v", a)
+	}
+
+	// The outcome names round-trip through the wire form.
+	if AttemptHedgeCancelled.String() != "hedge-cancelled" {
+		t.Fatalf("outcome string = %q", AttemptHedgeCancelled.String())
+	}
+}

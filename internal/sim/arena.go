@@ -68,10 +68,12 @@ type Arena struct {
 
 	liveBuf core.ProcSet // dispatch-time live-subset scratch
 
-	// Overload / elastic runtimes (their scratch slices are recycled via the
-	// struct fields; see prepareOverload / prepareElastic in elasticsim.go).
+	// Overload / elastic / hedge runtimes (their scratch slices are recycled
+	// via the struct fields; see the cfg/ecfg/hcfg setup blocks in
+	// elasticsim.go).
 	ov         ovRun
 	el         elRun
+	hd         hdRun
 	membership elastic.Membership
 	ctrl       elastic.Controller
 }

@@ -7,6 +7,7 @@ import (
 	"flowsched/internal/core"
 	"flowsched/internal/elastic"
 	"flowsched/internal/faults"
+	"flowsched/internal/hedge"
 	"flowsched/internal/obs"
 	"flowsched/internal/overload"
 )
@@ -39,6 +40,35 @@ type ElasticMetrics struct {
 	// the autoscale experiment trades against Fmax. Warming machines are not
 	// counted (they do no work yet).
 	MachineHours core.Time
+
+	// Hedged-execution observables (sim.RunHedged). The per-task vectors are
+	// nil and every counter zero when the run had no hedge config.
+	//
+	// Hedged marks tasks for which a speculative copy was issued;
+	// HedgeCopyServer / HedgeCopyAt record the copy's destination and
+	// dispatch instant (−1 / NaN when never hedged); HedgeWonByCopy marks
+	// tasks whose copy beat the primary. The auditor re-checks the copy's
+	// dispatch-time eligibility and the winner's consistency from these.
+	Hedged          []bool
+	HedgeCopyServer []int
+	HedgeCopyAt     core.Times
+	HedgeWonByCopy  []bool
+	// HedgesIssued counts speculative copies dispatched; every issued copy
+	// resolves as exactly one of HedgeWinsCopy (it finished first),
+	// HedgesCancelled (first-win, crash, drain or trim killed it) or
+	// HedgesRevoked (tied mode revoked it at service start).
+	// HedgeWinsPrimary counts hedged tasks whose primary finished first.
+	HedgesIssued     int
+	HedgeWinsPrimary int
+	HedgeWinsCopy    int
+	HedgesCancelled  int
+	HedgesRevoked    int
+	// CancelledWork is busy time reclaimed by cancellations (work that was
+	// scheduled but never executed); DuplicateWork is busy time actually
+	// burned on losing attempts — the real cost of hedging, bounded in the
+	// headline experiment via DuplicateRatio.
+	CancelledWork core.Time
+	DuplicateWork core.Time
 }
 
 // elRun is the engine-side runtime of an elastic config: the active/warming
@@ -110,11 +140,18 @@ func RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy Re
 	return NewArena().RunElastic(inst, router, plan, policy, cfg, ecfg, probe)
 }
 
-// RunElastic is the unified engine (see the package-level RunElastic for the
-// model). All per-run state lives in the arena: repeat calls on one arena
-// reuse every buffer, and the returned schedule and metrics point into the
-// arena — valid until its next run.
+// RunElastic is the arena variant of the package-level RunElastic. It is
+// RunHedged with hedging disabled — the engine lives there; a nil hedge
+// config is byte-identical by construction (and property-tested).
 func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan, policy RetryPolicy, cfg *overload.Config, ecfg *elastic.Config, probe obs.Probe) (*core.Schedule, *ElasticMetrics, error) {
+	return a.RunHedged(inst, router, plan, policy, cfg, ecfg, nil, probe)
+}
+
+// RunHedged is the unified engine (see the package-level RunElastic and
+// RunHedged for the model). All per-run state lives in the arena: repeat
+// calls on one arena reuse every buffer, and the returned schedule and
+// metrics point into the arena — valid until its next run.
+func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan, policy RetryPolicy, cfg *overload.Config, ecfg *elastic.Config, hcfg *hedge.Config, probe obs.Probe) (*core.Schedule, *ElasticMetrics, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("sim: %w", err)
 	}
@@ -133,6 +170,9 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 	if err := ecfg.Validate(inst.M); err != nil {
 		return nil, nil, fmt.Errorf("sim: %w", err)
 	}
+	if err := hcfg.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("sim: %w", err)
+	}
 	plan = plan.Normalize()
 	if r, ok := router.(Resettable); ok {
 		r.Reset()
@@ -141,6 +181,17 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 	m := inst.M
 	n := inst.N()
 	a.Reset(n, m)
+	if hcfg != nil {
+		// Speculative copies are virtual attempts n..2n−1: grow the
+		// attempt-indexed engine state so a copy can occupy a queue and the
+		// completion heap alongside its primary. Everything task-indexed
+		// (flows, schedule, dispositions) stays at n.
+		a.gen = resliceZero(a.gen, 2*n)
+		a.curStart = resliceZero(a.curStart, 2*n)
+		a.curEnd = resliceZero(a.curEnd, 2*n)
+		a.busyAdd = resliceZero(a.busyAdd, 2*n)
+		a.fq.next = grow(a.fq.next, 2*n)
+	}
 	st := &a.st
 	fq := &a.fq
 	a.sched = core.Schedule{Inst: inst, Machine: a.machine, Start: a.start}
@@ -270,6 +321,58 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 		metrics.Dispatched = a.dispatched
 	}
 
+	// Everything hedging hangs off hd, with the same discipline as ov and
+	// el: every use below sits behind an hd != nil guard (including the
+	// closure assignments — they allocate), so the disabled path is
+	// byte-identical to RunElastic and allocation-free relative to it.
+	var hd *hdRun
+	if hcfg != nil {
+		hd = &a.hd
+		*hd = hdRun{
+			cfg:        hcfg,
+			minSamples: hcfg.MinSamplesOrDefault(),
+			done:       resliceZero(a.hd.done, n),
+			hedged:     resliceZero(a.hd.hedged, n),
+			copyLive:   resliceZero(a.hd.copyLive, n),
+			priIn:      resliceZero(a.hd.priIn, n),
+			priDropped: resliceZero(a.hd.priDropped, n),
+			priRevoked: resliceZero(a.hd.priRevoked, n),
+			wonByCopy:  resliceZero(a.hd.wonByCopy, n),
+			copySrv:    grow(a.hd.copySrv, n),
+			copyAt:     grow(a.hd.copyAt, n),
+			effBuf:     a.hd.effBuf,
+			kills:      a.hd.kills[:0],
+		}
+		for i := range hd.copySrv {
+			hd.copySrv[i] = -1
+		}
+		for i := range hd.copyAt {
+			hd.copyAt[i] = core.Time(math.NaN())
+		}
+		if cap(hd.effBuf) < m {
+			hd.effBuf = make(core.ProcSet, 0, m)
+		}
+		if hcfg.Quantile > 0 && !hcfg.Tied {
+			hd.hist = obs.NewHistogram()
+		}
+		hd.ho, _ = probe.(obs.HedgeObserver)
+		metrics.Hedged = hd.hedged
+		metrics.HedgeCopyServer = hd.copySrv
+		metrics.HedgeCopyAt = hd.copyAt
+		metrics.HedgeWonByCopy = hd.wonByCopy
+	}
+
+	// Hedge helpers, assigned only on hedged runs (closure values allocate;
+	// the nil-config path must not). Declared up front so drain and dispatch
+	// can call them; every call site sits behind an hd != nil guard.
+	var (
+		hedgeIssue     func(id int, now core.Time) error
+		hedgeThreshold func() core.Time
+		killCopy       func(rid int, now core.Time)
+		copyGone       func(rid int, now core.Time)
+		tiedResolve    func(id int, when core.Time)
+	)
+
 	drain := func(upTo core.Time) {
 		for completions.Len() > 0 {
 			when, c := completions.Peek()
@@ -279,6 +382,96 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 			completions.Pop()
 			if c.gen != gen[c.task] {
 				continue // stale: that attempt was aborted
+			}
+			if hd != nil {
+				rid := c.task
+				if rid >= n {
+					rid -= n
+				}
+				if hd.done[rid] || metrics.Dropped[rid] || (ov != nil && metrics.Shed[rid]) {
+					// A losing attempt ran to completion: silently reclaim
+					// its queue slot. All of its busy time was duplicate
+					// work; no OnComplete fires and the ejector sees nothing
+					// — the task completed earlier, exactly once (or was
+					// excluded, and this un-cancellable attempt just drained).
+					st.QueueLen[c.server]--
+					if fq.head[c.server] == c.task {
+						fq.popHead(c.server)
+					} else {
+						fq.remove(c.server, c.task)
+					}
+					metrics.DuplicateWork += busyAdd[c.task]
+					if c.task >= n {
+						hd.copyLive[rid] = false
+					}
+					continue
+				}
+				hd.done[rid] = true
+				if when > hd.maxEnd {
+					hd.maxEnd = when
+				}
+				if hd.hist != nil {
+					hd.hist.Observe(float64(when - inst.Tasks[rid].Release))
+				}
+				if c.task >= n {
+					// The speculative copy finished first: it is the
+					// effective completion. Record it as the task's schedule
+					// entry, then cancel (or abandon) the primary attempt.
+					t := inst.Tasks[rid]
+					pj := a.machine[rid] // primary's server, before the winner overwrites it
+					if probe != nil {
+						probe.OnComplete(rid, c.server, t.Release, t.Proc, when)
+					}
+					st.QueueLen[c.server]--
+					if fq.head[c.server] == c.task {
+						fq.popHead(c.server)
+					} else {
+						fq.remove(c.server, c.task)
+					}
+					hd.copyLive[rid] = false
+					hd.wonByCopy[rid] = true
+					metrics.HedgeWinsCopy++
+					metrics.Flows[rid] = when - t.Release
+					metrics.Stretches[rid] = stretchOf(when-t.Release, t.Proc)
+					sched.Assign(rid, c.server, curStart[c.task])
+					if el != nil {
+						metrics.Dispatched[rid] = hd.copyAt[rid]
+					}
+					if hd.priIn[rid] {
+						started := curStart[rid] < when
+						a.cancelAttempt(inst, slow, rid, pj, when, hd.cfg.CancelRunning)
+						hd.priIn[rid] = false
+						if hd.ho != nil {
+							hd.ho.OnHedgeCancel(rid, pj, when, started)
+						}
+					}
+					if ov != nil && ov.cfg.Ejector != nil {
+						if proc := t.Proc; proc > 0 {
+							factor := float64((when - curStart[c.task]) / proc)
+							if ov.cfg.Ejector.Observe(c.server, factor, when) {
+								metrics.Ejections++
+								if ov.op != nil {
+									ov.op.OnEject(c.server, when)
+								}
+							}
+						}
+					}
+					if hd.ho != nil {
+						hd.ho.OnHedgeWin(rid, c.server, true, when)
+					}
+					continue
+				}
+				// The primary finished first: first-win cancels the copy.
+				hd.priIn[rid] = false
+				if hd.copyLive[rid] {
+					killCopy(rid, when)
+				}
+				if hd.hedged[rid] {
+					metrics.HedgeWinsPrimary++
+					if hd.ho != nil {
+						hd.ho.OnHedgeWin(rid, c.server, false, when)
+					}
+				}
 			}
 			if probe != nil {
 				t := inst.Tasks[c.task]
@@ -360,6 +553,11 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 	// instant, a recovery instant, or a drain handoff). The arithmetic
 	// mirrors Run exactly so an empty plan reproduces it bit for bit.
 	dispatch := func(id int, now core.Time) error {
+		if hd != nil && hd.done[id] {
+			// Already completed by its hedge copy: a retry, wake or handoff
+			// racing the win resolves to a no-op (never a second completion).
+			return nil
+		}
 		task := inst.Tasks[id]
 		view := task
 		if el != nil {
@@ -376,6 +574,9 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 			eff := elastic.Effective(el.active, el.primary[id], k, el.effBuf)
 			el.effBuf = eff
 			if len(eff) == 0 {
+				if hd != nil {
+					hd.priIn[id] = false
+				}
 				metrics.Parked[id] = true
 				parked = append(parked, id)
 				return nil
@@ -395,6 +596,9 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 		if downCount > 0 || ejecting {
 			eff := liveSubset(view.Set)
 			if len(eff) == 0 {
+				if hd != nil {
+					hd.priIn[id] = false
+				}
 				metrics.Parked[id] = true
 				parked = append(parked, id)
 				return nil
@@ -442,6 +646,12 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 			// Deadline enforcement: this attempt would already blow the
 			// admitted-task budget, so completing it is pointless — shed
 			// before committing any server time.
+			if hd != nil {
+				hd.priIn[id] = false
+				if hd.copyLive[id] {
+					killCopy(id, now)
+				}
+			}
 			shed(id, j, now, overload.ReasonDeadline)
 			return nil
 		}
@@ -462,23 +672,261 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 		if probe != nil {
 			probe.OnDispatch(id, j, now, start, end)
 		}
+		if hd != nil {
+			hd.priIn[id] = true
+			if metrics.Attempts[id] == 1 {
+				// Arm the hedge on the first attempt only: tied mode enqueues
+				// the pair up front and revokes the loser at service start;
+				// otherwise the trigger fires once the attempt's age crosses
+				// the threshold (a fixed delay, or the live flow quantile).
+				if hd.cfg.Tied {
+					if err := hedgeIssue(id, now); err != nil {
+						return err
+					}
+					if hd.copyLive[id] {
+						at := curStart[id]
+						if cs := curStart[n+id]; cs < at {
+							at = cs
+						}
+						a.armTaskEvent(evTied, id, at)
+					}
+				} else if thr := hedgeThreshold(); thr >= 0 {
+					a.armTaskEvent(evHedge, id, now+thr)
+				}
+			}
+		}
 		return nil
 	}
 
 	// requeue decides the fate of request id aborted at instant now.
 	requeue := func(id int, now core.Time) {
 		if policy.MaxAttempts > 0 && metrics.Attempts[id] >= policy.MaxAttempts {
+			if hd != nil && hd.copyLive[id] {
+				// The copy is still in flight and may yet complete the task:
+				// defer the drop until the copy resolves (copyGone).
+				hd.priDropped[id] = true
+				return
+			}
 			drop(id, now)
 			return
 		}
 		next := now + policy.delay(metrics.Attempts[id])
 		if policy.Timeout > 0 && next-inst.Tasks[id].Release > policy.Timeout {
+			if hd != nil && hd.copyLive[id] {
+				hd.priDropped[id] = true
+				return
+			}
 			drop(id, now)
 			return
 		}
 		events.Push(next, faultEvent{kind: evRetry, task: id})
 		if probe != nil {
 			probe.OnRetry(id, metrics.Attempts[id], now)
+		}
+	}
+
+	if hd != nil {
+		// hedgeThreshold returns the trigger age for a fresh dispatch, or −1
+		// when no trigger is armable yet (quantile trigger still warming up
+		// with no fixed delay backing it).
+		hedgeThreshold = func() core.Time {
+			if hd.hist != nil && hd.hist.Count() >= hd.minSamples {
+				return core.Time(hd.hist.Quantile(hd.cfg.Quantile))
+			}
+			if hd.cfg.Delay > 0 {
+				return hd.cfg.Delay
+			}
+			return -1
+		}
+		// copyGone resolves the primary's deferred fate once its copy is gone:
+		// a drop decision postponed while the copy was live, or a tied-mode
+		// revocation that left the copy as the sole attempt. Callers settle
+		// the copy's own bookkeeping (copyLive, HedgesCancelled, OnHedgeCancel)
+		// before calling.
+		copyGone = func(rid int, now core.Time) {
+			if hd.priDropped[rid] {
+				hd.priDropped[rid] = false
+				drop(rid, now)
+				return
+			}
+			if hd.priRevoked[rid] {
+				hd.priRevoked[rid] = false
+				requeue(rid, now)
+			}
+		}
+		// killCopy cancels task rid's live copy at instant now (first-win, or
+		// an exclusion decision on the primary). A started copy without
+		// cancel-mid-service cannot be removed and runs to completion as
+		// duplicate work; either way the attempt resolves as cancelled.
+		killCopy = func(rid int, now core.Time) {
+			cs := hd.copySrv[rid]
+			cid := n + rid
+			started := curStart[cid] < now
+			if a.cancelAttempt(inst, slow, cid, cs, now, hd.cfg.CancelRunning) {
+				hd.copyLive[rid] = false
+			}
+			metrics.HedgesCancelled++
+			if hd.ho != nil {
+				hd.ho.OnHedgeCancel(rid, cs, now, started)
+			}
+		}
+		// hedgeIssue dispatches a speculative copy of task id to the best
+		// *other* eligible server. It declines silently (no copy, no error)
+		// when the task is settled or excluded, the hedge cap is reached, the
+		// copy would blow the admission budget, or no alternate server exists
+		// — a routing violation is a real error, exactly as in dispatch.
+		hedgeIssue = func(id int, now core.Time) error {
+			if hd.done[id] || hd.hedged[id] || metrics.Dropped[id] || metrics.Parked[id] {
+				return nil
+			}
+			if ov != nil && (metrics.Rejected[id] || metrics.Shed[id]) {
+				return nil
+			}
+			if hd.cfg.MaxHedges > 0 && metrics.HedgesIssued >= hd.cfg.MaxHedges {
+				return nil
+			}
+			task := inst.Tasks[id]
+			view := task
+			set := task.Set
+			if el != nil {
+				// Remap onto the active subring, exactly as dispatch does.
+				k := len(set)
+				if set == nil {
+					k = el.members
+				}
+				set = elastic.Effective(el.active, el.primary[id], k, hd.effBuf)
+				hd.effBuf = set
+			}
+			ejecting := false
+			if ov != nil && ov.cfg.Ejector != nil {
+				ejecting = ov.cfg.Ejector.NumEjected() > 0
+			}
+			pj := -1
+			if hd.priIn[id] {
+				pj = a.machine[id]
+			}
+			// Candidates: the (effective) set minus the primary's server and
+			// the dead. When set aliases hd.effBuf the filter runs in place.
+			cands := hd.effBuf[:0]
+			if set == nil {
+				for j := 0; j < m; j++ {
+					if j != pj && live[j] {
+						cands = append(cands, j)
+					}
+				}
+			} else {
+				for _, j := range set {
+					if j != pj && live[j] {
+						cands = append(cands, j)
+					}
+				}
+			}
+			hd.effBuf = cands
+			if ejecting {
+				// Prefer non-ejected candidates, with the same advisory
+				// fallback as dispatch.
+				keep := ov.ejBuf[:0]
+				for _, j := range cands {
+					if !ov.view.Ejected[j] {
+						keep = append(keep, j)
+					}
+				}
+				if len(keep) > 0 {
+					cands = keep
+				}
+			}
+			if len(cands) == 0 {
+				return nil // no alternate server exists: skip the hedge
+			}
+			view.Set = cands
+			view.Release = now
+			j := router.Pick(st, view)
+			if j < 0 || j >= m || !view.Eligible(j) {
+				return fmt.Errorf("sim: router %s picked invalid server M%d for hedge copy of task %d (live set %v)",
+					router.Name(), j+1, id, view.Set)
+			}
+			if !live[j] {
+				return fmt.Errorf("sim: router %s picked dead server M%d for hedge copy of task %d at t=%v",
+					router.Name(), j+1, id, now)
+			}
+			start := st.Completion[j]
+			if now > start {
+				start = now
+			}
+			end := start + task.Proc
+			busy := task.Proc
+			if slow != nil && len(slow[j]) > 0 {
+				end = faults.FinishTime(slow[j], start, task.Proc)
+				busy = end - start
+			}
+			if ov != nil && ov.budget > 0 && end-task.Release > ov.budget+task.Proc {
+				return nil // the copy could not beat the admitted budget either
+			}
+			cid := n + id
+			gen[cid]++
+			st.Completion[j] = end
+			st.QueueLen[j]++
+			completions.Push(end, compEvent{server: j, task: cid, gen: gen[cid]})
+			fq.push(j, cid)
+			curStart[cid], curEnd[cid] = start, end
+			busyAdd[cid] = busy
+			metrics.Busy[j] += busy
+			hd.hedged[id] = true
+			hd.copyLive[id] = true
+			hd.copySrv[id] = j
+			hd.copyAt[id] = now
+			metrics.HedgesIssued++
+			if hd.ho != nil {
+				hd.ho.OnHedge(id, pj, j, now, start, end)
+			}
+			return nil
+		}
+		// tiedResolve revokes the losing half of a tied pair the moment the
+		// first attempt reaches service (start ties favor the primary). If
+		// queue churn pushed both starts out it re-arms; a loser that already
+		// started without cancel-mid-service cannot be revoked, and the pair
+		// degenerates to plain first-win.
+		tiedResolve = func(id int, when core.Time) {
+			if hd.done[id] || !hd.copyLive[id] || !hd.priIn[id] {
+				return
+			}
+			cid := n + id
+			s1, s2 := curStart[id], curStart[cid]
+			first := s1
+			if s2 < first {
+				first = s2
+			}
+			if first > when {
+				a.armTaskEvent(evTied, id, first)
+				return
+			}
+			if s1 <= s2 {
+				// The primary reaches service first: revoke the copy.
+				cs := hd.copySrv[id]
+				started := curStart[cid] < when
+				if a.cancelAttempt(inst, slow, cid, cs, when, hd.cfg.CancelRunning) {
+					hd.copyLive[id] = false
+					metrics.HedgesRevoked++
+					if hd.ho != nil {
+						hd.ho.OnHedgeCancel(id, cs, when, started)
+					}
+				}
+				return
+			}
+			// The copy reaches service first: revoke the primary and leave
+			// the copy as the sole attempt (it resolves as HedgeWinsCopy, or
+			// HedgesCancelled if it dies — HedgesRevoked counts only revoked
+			// copies, so the resolution equation stays exact). priRevoked
+			// re-enters the task through the retry path if the copy dies.
+			pj := a.machine[id]
+			started := curStart[id] < when
+			if a.cancelAttempt(inst, slow, id, pj, when, hd.cfg.CancelRunning) {
+				hd.priIn[id] = false
+				hd.priRevoked[id] = true
+				if hd.ho != nil {
+					hd.ho.OnHedgeCancel(id, pj, when, started)
+				}
+			}
 		}
 	}
 
@@ -503,6 +951,33 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 				executed = now - curStart[id] // the running request's wasted partial work
 			}
 			metrics.Busy[j] -= busyAdd[id] - executed
+			if hd != nil {
+				if id >= n {
+					// A crashed speculative copy: its executed part is burned
+					// duplicate work; a copy is never retried. Resolve the
+					// primary's deferred fate if the copy was its last hope.
+					rid := id - n
+					metrics.DuplicateWork += executed
+					hd.copyLive[rid] = false
+					if !hd.done[rid] {
+						metrics.HedgesCancelled++
+						if hd.ho != nil {
+							hd.ho.OnHedgeCancel(rid, j, now, curStart[id] < now)
+						}
+						copyGone(rid, now)
+					}
+					id = nxt
+					continue
+				}
+				if hd.done[id] {
+					// A losing primary killed by the crash: the task already
+					// completed elsewhere, nothing to retry.
+					metrics.DuplicateWork += executed
+					id = nxt
+					continue
+				}
+				hd.priIn[id] = false
+			}
 			requeue(id, now)
 			id = nxt
 		}
@@ -518,7 +993,14 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 		parked = a.wake[:0]
 		a.wake = wake[:0] // recycled once the walk below has consumed it
 		for _, id := range wake {
+			if hd != nil && hd.done[id] {
+				continue // completed by its copy while parked
+			}
 			if policy.Timeout > 0 && now-inst.Tasks[id].Release > policy.Timeout {
+				if hd != nil && hd.copyLive[id] {
+					hd.priDropped[id] = true
+					continue
+				}
 				drop(id, now)
 				continue
 			}
@@ -547,7 +1029,14 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 		parked = still
 		a.wake = wake // keep (possibly re-grown) backing for the next restore
 		for _, id := range wake {
+			if hd != nil && hd.done[id] {
+				continue // completed by its copy while parked
+			}
 			if policy.Timeout > 0 && now-inst.Tasks[id].Release > policy.Timeout {
+				if hd != nil && hd.copyLive[id] {
+					hd.priDropped[id] = true
+					continue
+				}
 				drop(id, now)
 				continue
 			}
@@ -636,9 +1125,13 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 				movedHead = fq.takeAll(victim)
 				st.Completion[victim] = now
 			}
-			moved := 0
+			moved := 0  // detached queue entries (speculative copies included)
+			handed := 0 // real tasks that will hand off through dispatch
 			for id := movedHead; id >= 0; id = fq.next[id] {
 				moved++
+				if hd == nil || (id < n && !hd.done[id]) {
+					handed++
+				}
 			}
 			st.QueueLen[victim] -= moved
 			el.active[victim] = false
@@ -646,12 +1139,37 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 			metrics.ScaleDowns++
 			el.ms.Changes = append(el.ms.Changes, elastic.Change{At: now, Machine: victim, Join: false, Members: el.members})
 			if el.mo != nil {
-				el.mo.OnScaleDown(victim, now, el.members, moved)
+				el.mo.OnScaleDown(victim, now, el.members, handed)
 			}
 			for id := movedHead; id >= 0; {
 				nxt := fq.next[id] // before dispatch: a re-queue relinks id
 				gen[id]++          // invalidate the queued completion
 				metrics.Busy[victim] -= busyAdd[id]
+				if hd != nil {
+					if id >= n {
+						// A drained speculative copy is cancelled, not handed
+						// off — the primary (wherever it is) carries the task.
+						rid := id - n
+						hd.copyLive[rid] = false
+						metrics.CancelledWork += busyAdd[id]
+						if !hd.done[rid] {
+							metrics.HedgesCancelled++
+							if hd.ho != nil {
+								hd.ho.OnHedgeCancel(rid, victim, now, false)
+							}
+							copyGone(rid, now)
+						}
+						id = nxt
+						continue
+					}
+					if hd.done[id] {
+						// A losing primary in the drained queue: reclaim it.
+						metrics.CancelledWork += busyAdd[id]
+						id = nxt
+						continue
+					}
+					hd.priIn[id] = false
+				}
 				metrics.Handoffs++
 				if el.mo != nil {
 					el.mo.OnHandoff(id, victim, now)
@@ -709,8 +1227,12 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 		cands := ov.cands[:0]
 		pos := 0
 		for id := h; id >= 0; id = fq.next[id] {
+			rid := id
+			if hd != nil && rid >= n {
+				rid -= n // rank a speculative copy by its task's release/proc
+			}
 			cands = append(cands, overload.Candidate{
-				ID: id, Release: inst.Tasks[id].Release, Proc: inst.Tasks[id].Proc, Pos: pos,
+				ID: id, Release: inst.Tasks[rid].Release, Proc: inst.Tasks[rid].Proc, Pos: pos,
 			})
 			pos++
 		}
@@ -725,7 +1247,31 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 			gen[c.ID]++ // invalidate the queued completion
 			st.QueueLen[j]--
 			metrics.Busy[j] -= busyAdd[c.ID]
+			if hd != nil && c.ID >= n {
+				// Trimming a speculative copy cancels just the copy; the task
+				// keeps its primary attempt and no shed disposition is taken.
+				rid := c.ID - n
+				hd.copyLive[rid] = false
+				metrics.CancelledWork += busyAdd[c.ID]
+				if !hd.done[rid] {
+					metrics.HedgesCancelled++
+					if hd.ho != nil {
+						hd.ho.OnHedgeCancel(rid, j, now, false)
+					}
+					copyGone(rid, now)
+				}
+				dropped++
+				continue
+			}
 			shed(c.ID, j, now, ov.shedReason)
+			if hd != nil {
+				hd.priIn[c.ID] = false
+				if hd.copyLive[c.ID] {
+					// Kill the orphaned copy after the queue surgery below —
+					// cancelAttempt re-times a queue, and this one is mid-trim.
+					hd.kills = append(hd.kills, c.ID)
+				}
+			}
 			dropped++
 		}
 		if dropped == 0 {
@@ -735,7 +1281,13 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 		prev := run
 		for id := h; id >= 0; {
 			nxt := fq.next[id]
-			if metrics.Shed[id] {
+			gone := false
+			if hd != nil && id >= n {
+				gone = !hd.copyLive[id-n]
+			} else {
+				gone = metrics.Shed[id]
+			}
+			if gone {
 				if prev < 0 {
 					fq.head[j] = nxt
 				} else {
@@ -747,33 +1299,15 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 			id = nxt
 		}
 		fq.tail[j] = prev
-		// Re-time the unstarted suffix back to back.
-		cur := now
-		first := fq.head[j]
-		if run >= 0 {
-			cur = curEnd[run]
-			first = fq.next[run]
-		}
-		for id := first; id >= 0; id = fq.next[id] {
-			task := inst.Tasks[id]
-			start := cur
-			end := start + task.Proc
-			busy := task.Proc
-			if slow != nil && len(slow[j]) > 0 {
-				end = faults.FinishTime(slow[j], start, task.Proc)
-				busy = end - start
+		// Re-time the unstarted suffix back to back (the shared re-arm rule,
+		// also used by the hedge layer's cancellations).
+		a.retime(inst, slow, j, now)
+		if hd != nil && len(hd.kills) > 0 {
+			for _, id := range hd.kills {
+				killCopy(id, now)
 			}
-			gen[id]++
-			completions.Push(end, compEvent{server: j, task: id, gen: gen[id]})
-			metrics.Busy[j] += busy - busyAdd[id]
-			curStart[id], curEnd[id] = start, end
-			busyAdd[id] = busy
-			sched.Assign(id, j, start)
-			metrics.Flows[id] = end - task.Release
-			metrics.Stretches[id] = stretchOf(end-task.Release, task.Proc)
-			cur = end
+			hd.kills = hd.kills[:0]
 		}
-		st.Completion[j] = cur
 	}
 
 	// arrive runs the per-arrival overload controls, in order: offered-load
@@ -798,6 +1332,9 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 				h := fq.head[j]
 				if h < 0 {
 					continue
+				}
+				if hd != nil && h >= n {
+					h -= n // the waiting head may be a speculative copy
 				}
 				if task.Release-inst.Tasks[h].Release > sh.Watermark {
 					trim(j, task.Release)
@@ -841,6 +1378,12 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 					if err := join(ev.server, when); err != nil {
 						return nil, nil, err
 					}
+				case evHedge:
+					if err := hedgeIssue(ev.task, when); err != nil {
+						return nil, nil, err
+					}
+				case evTied:
+					tiedResolve(ev.task, when)
 				}
 				continue
 			}
@@ -867,18 +1410,27 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 	}
 	a.parked = parked[:0] // keep a re-grown backing for the next run
 
-	for id := 0; id < n; id++ {
-		if metrics.Dropped[id] {
-			continue
+	if hd != nil {
+		// Under hedging a task's curEnd may belong to a losing attempt, so
+		// the makespan is the latest *effective* completion, tracked by
+		// drain; draining to +Inf also settles losing attempts that ran to
+		// completion after the last effective one.
+		drain(core.Time(math.Inf(1)))
+		metrics.Makespan = hd.maxEnd
+	} else {
+		for id := 0; id < n; id++ {
+			if metrics.Dropped[id] {
+				continue
+			}
+			if ov != nil && (metrics.Rejected[id] || metrics.Shed[id]) {
+				continue
+			}
+			if curEnd[id] > metrics.Makespan {
+				metrics.Makespan = curEnd[id]
+			}
 		}
-		if ov != nil && (metrics.Rejected[id] || metrics.Shed[id]) {
-			continue
-		}
-		if curEnd[id] > metrics.Makespan {
-			metrics.Makespan = curEnd[id]
-		}
+		drain(metrics.Makespan)
 	}
-	drain(metrics.Makespan)
 	metrics.Horizon = metrics.Makespan
 	if end := plan.End(); end > metrics.Horizon {
 		metrics.Horizon = end

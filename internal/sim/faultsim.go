@@ -161,9 +161,9 @@ func countTrue(bs []bool) int {
 
 // faultEvent is a non-arrival event of the faulty simulation.
 type faultEvent struct {
-	kind   int // evDown | evUp | evRetry | evScale | evJoin
+	kind   int // evDown | evUp | evRetry | evScale | evJoin | evHedge | evTied
 	server int // evDown/evUp: the server; evJoin: the joining machine slot
-	task   int // evRetry: the task; evScale: the signed membership delta
+	task   int // evRetry/evHedge/evTied: the task; evScale: the signed membership delta
 }
 
 const (
@@ -172,6 +172,8 @@ const (
 	evRetry
 	evScale // scripted elastic scale event (task = signed delta)
 	evJoin  // a warming machine finishes setup and goes active (server = slot)
+	evHedge // the hedge trigger fires for a task (task = id)
+	evTied  // a tied pair reaches service start: revoke the loser (task = id)
 )
 
 // compEvent is a queued completion; gen invalidates completions of aborted

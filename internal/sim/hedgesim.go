@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"flowsched/internal/core"
+	"flowsched/internal/elastic"
+	"flowsched/internal/faults"
+	"flowsched/internal/hedge"
+	"flowsched/internal/obs"
+	"flowsched/internal/overload"
+)
+
+// hdRun is the engine-side runtime of a hedge config: the per-task hedge
+// state machine (issued → won / cancelled / revoked), the live flow-time
+// histogram behind the quantile trigger and the candidate scratch for the
+// alternate-server pick. It exists only when a config is present, so the
+// disabled path touches none of it and stays byte-identical to RunElastic.
+//
+// A speculative copy of task id is the virtual attempt id n + id (n = task
+// count): the generation / attempt-window / FIFO-link arrays are grown to
+// 2n under hedging, so the copy occupies server queues and the completion
+// heap exactly like a request of its own while every piece of per-task
+// bookkeeping (flows, schedule, dispositions) stays indexed by the real id.
+type hdRun struct {
+	cfg        *hedge.Config
+	ho         obs.HedgeObserver
+	hist       *obs.Histogram // live flow-time stream for the quantile trigger
+	minSamples int
+	maxEnd     core.Time // latest effective completion: the hedged run's makespan
+
+	done       []bool // effective completion recorded (first win)
+	hedged     []bool // a copy was issued (at most one hedge per task)
+	copyLive   []bool // the copy occupies a server queue right now
+	priIn      []bool // the primary attempt occupies a server queue right now
+	priDropped []bool // primary hit a drop decision while the copy was live (deferred)
+	priRevoked []bool // tied mode revoked the primary; the copy is the sole attempt
+	wonByCopy  []bool
+	copySrv    []int
+	copyAt     core.Times
+	effBuf     core.ProcSet // alternate-server candidate scratch
+	kills      []int        // copies to cancel after a trim's queue surgery
+}
+
+// RunHedged is RunElastic with hedged execution attached: when a dispatched
+// request's in-queue + in-service age crosses the hedge trigger (hcfg — a
+// fixed delay, a live flow-time quantile, or tied-request mode), the engine
+// speculatively re-dispatches a copy to the best *other* eligible server of
+// its processing set (respecting membership remapping, outages, ejection
+// preference and the admission deadline budget); the first completion wins
+// and the losing attempt is cancelled — always before it starts service,
+// mid-service only with hcfg.CancelRunning. A nil hcfg is byte-identical to
+// RunElastic (property-tested by TestRunHedgedNilConfigEquivalence and
+// alloc-pinned by TestRunHedgedNilConfigAllocs).
+//
+// Invariants the auditor re-checks on every hedged chaos trial (audit.
+// Options.Hedge): exactly one effective completion per task, the copy's
+// server dispatch-time eligible, cancelled copies never counted in flow
+// time, and every unit of duplicate busy time accounted in the metrics'
+// DuplicateWork / CancelledWork split.
+//
+// Each call runs in a private Arena; batch callers reuse one arena's
+// RunHedged method to amortize the per-run allocations away.
+func RunHedged(inst *core.Instance, router Router, plan *faults.Plan, policy RetryPolicy, cfg *overload.Config, ecfg *elastic.Config, hcfg *hedge.Config, probe obs.Probe) (*core.Schedule, *ElasticMetrics, error) {
+	return NewArena().RunHedged(inst, router, plan, policy, cfg, ecfg, hcfg, probe)
+}
+
+// retime recomputes server j's unstarted queue suffix back to back from
+// instant now (or from the running head's end), pushing fresh completions
+// and re-crediting busy time. It is the one "re-dispatch later" re-timing
+// rule, shared by the watermark shedder's trim and the hedge layer's
+// first-win cancellations, so the two paths cannot drift apart. Speculative
+// copies (ids ≥ n) are re-timed like any queue entry but never touch the
+// schedule or flow metrics — those belong to effective completions only.
+func (a *Arena) retime(inst *core.Instance, slow [][]faults.Slowdown, j int, now core.Time) {
+	n := len(inst.Tasks)
+	metrics := &a.metrics
+	cur := now
+	first := a.fq.head[j]
+	if h := a.fq.head[j]; h >= 0 && a.curStart[h] <= now {
+		cur = a.curEnd[h]
+		first = a.fq.next[h]
+	}
+	for id := first; id >= 0; id = a.fq.next[id] {
+		rid := id
+		if rid >= n {
+			rid -= n
+		}
+		task := inst.Tasks[rid]
+		start := cur
+		end := start + task.Proc
+		busy := task.Proc
+		if slow != nil && len(slow[j]) > 0 {
+			end = faults.FinishTime(slow[j], start, task.Proc)
+			busy = end - start
+		}
+		a.gen[id]++
+		a.completions.Push(end, compEvent{server: j, task: id, gen: a.gen[id]})
+		metrics.Busy[j] += busy - a.busyAdd[id]
+		a.curStart[id], a.curEnd[id] = start, end
+		a.busyAdd[id] = busy
+		if id < n {
+			a.sched.Assign(id, j, start)
+			metrics.Flows[id] = end - task.Release
+			metrics.Stretches[id] = stretchOf(end-task.Release, task.Proc)
+		}
+		cur = end
+	}
+	a.st.Completion[j] = cur
+}
+
+// cancelAttempt removes attempt aid (a task or its copy, by virtual id)
+// from server j's queue at instant now, reclaiming its busy time and
+// re-timing the queue behind it. An attempt that has already entered
+// service is only cancelled when cancelRunning is set; otherwise it runs to
+// completion as duplicate work and the call reports false. Busy time
+// reclaimed before service lands in CancelledWork; the executed part of a
+// mid-service cancellation is burned duplicate work (DuplicateWork).
+func (a *Arena) cancelAttempt(inst *core.Instance, slow [][]faults.Slowdown, aid, j int, now core.Time, cancelRunning bool) bool {
+	metrics := &a.metrics
+	if a.curStart[aid] < now {
+		if !cancelRunning {
+			return false
+		}
+		executed := now - a.curStart[aid]
+		a.gen[aid]++
+		a.fq.remove(j, aid)
+		a.st.QueueLen[j]--
+		metrics.Busy[j] -= a.busyAdd[aid] - executed
+		metrics.DuplicateWork += executed
+		metrics.CancelledWork += a.busyAdd[aid] - executed
+		a.retime(inst, slow, j, now)
+		return true
+	}
+	a.gen[aid]++
+	a.fq.remove(j, aid)
+	a.st.QueueLen[j]--
+	metrics.Busy[j] -= a.busyAdd[aid]
+	metrics.CancelledWork += a.busyAdd[aid]
+	a.retime(inst, slow, j, now)
+	return true
+}
+
+// armTaskEvent schedules a per-task engine event (a retry re-dispatch, a
+// hedge trigger, a tied-pair service-start check) at instant at — the one
+// "come back to this task later" re-arm path shared by the retry policy's
+// backoff and the hedge triggers.
+func (a *Arena) armTaskEvent(kind, id int, at core.Time) {
+	a.events.Push(at, faultEvent{kind: kind, task: id})
+}
+
+// DuplicateRatio returns the fraction of all server busy time burned on
+// losing hedge attempts: DuplicateWork / Σ_j Busy[j] (0 when idle). The
+// headline hedge experiment bounds this cost against the p99 win.
+func (m *ElasticMetrics) DuplicateRatio() float64 {
+	var total core.Time
+	for _, b := range m.Busy {
+		total += b
+	}
+	if total <= 0 {
+		return 0
+	}
+	return float64(m.DuplicateWork / total)
+}
