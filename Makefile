@@ -23,7 +23,7 @@ check: lint-determinism
 # time.Now() or rand.<Func> hit.
 lint-determinism:
 	@bad=$$(grep -nE 'time\.Now\(|\brand\.[A-Z]' \
-		$$(find internal/sim internal/obs internal/overload internal/elastic internal/hedge -name '*.go' ! -name '*_test.go') \
+		$$(find internal/sim internal/obs internal/overload internal/elastic internal/hedge internal/resilience -name '*.go' ! -name '*_test.go') \
 		| grep -vE 'rand\.(New|NewSource|Rand|Source)' || true); \
 	if [ -n "$$bad" ]; then \
 		echo "determinism lint: wall clock / global rand in simulator core:"; \
@@ -98,6 +98,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzGuardedDisposition -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzElasticMembership -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzHedgedDispatch -fuzztime=30s ./internal/sim/
+	$(GO) test -fuzz=FuzzBreakerStateMachine -fuzztime=30s ./internal/resilience/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1

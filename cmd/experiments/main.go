@@ -24,6 +24,7 @@
 //	experiments postmortem          causal chains of the worst-flow tasks per overload policy
 //	experiments autoscale           elastic provisioning (machine-hours vs Fmax on a bursty trace)
 //	experiments hedge               hedged execution (speculative duplicates vs gray faults and overload)
+//	experiments metastable          retry storms (a healed outage with and without the resilience layer)
 //	experiments all                 everything above
 //
 // Flags select sizes; defaults follow the paper (m=15, k=3, 10 000 tasks,
@@ -55,7 +56,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|fig1|fig2|fig3|fig4|fig5-6|fig7|fig8|fig9|fig10a|fig10b|fig11|extension|robustness|convergence|writes|drift|faults|overload|postmortem|autoscale|hedge|all>")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|fig1|fig2|fig3|fig4|fig5-6|fig7|fig8|fig9|fig10a|fig10b|fig11|extension|robustness|convergence|writes|drift|faults|overload|postmortem|autoscale|hedge|metastable|all>")
 		os.Exit(2)
 	}
 
@@ -185,6 +186,18 @@ func main() {
 			}
 			_, err := experiments.HedgeTradeoff(w, cfg)
 			return err
+		case "metastable":
+			// Like autoscale, the cell is timing-shaped: the flap schedule
+			// and the post-heal measurement window are absolute instants, so
+			// -m/-n would cut the horizon short of the heal. -quick trims
+			// repetitions only (the full cell runs in well under a second).
+			cfg := experiments.DefaultMetastable()
+			cfg.K, cfg.Seed = *k, *seed
+			if *quick {
+				cfg.Reps = 1
+			}
+			_, err := experiments.Metastable(w, cfg)
+			return err
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -193,7 +206,7 @@ func main() {
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {
 		names = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5-6", "fig7",
-			"fig8", "fig9", "fig10a", "fig10b", "fig11", "extension", "robustness", "convergence", "writes", "drift", "faults", "overload", "postmortem", "autoscale", "hedge"}
+			"fig8", "fig9", "fig10a", "fig10b", "fig11", "extension", "robustness", "convergence", "writes", "drift", "faults", "overload", "postmortem", "autoscale", "hedge", "metastable"}
 	}
 	for i, name := range names {
 		if i > 0 {

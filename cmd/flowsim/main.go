@@ -21,6 +21,12 @@
 //	flowsim ... -hedge p95 -cancel  # p95 flow-time trigger, cancel the loser mid-service
 //	flowsim ... -hedge p95 -tied    # tied requests: two copies up front, loser revoked
 //
+// Resilience (anti-retry-storm protections, riding on fault injection):
+//
+//	flowsim ... -mtbf 500 -retries 3 -backoff 1 -jitter full   # jittered failover backoff
+//	flowsim ... -retrybudget 0.1 -budgetburst 3   # cap retries at 10% of fresh dispatches
+//	flowsim ... -breaker 5:0.6:15:2               # per-server circuit breakers
+//
 // Observability (probes on the overlapping-strategy × EFT-Min cell, the
 // same cell -dump saves; all combinable):
 //
@@ -62,7 +68,8 @@ func main() {
 	faultsPath := flag.String("faults", "", "simulate under this fault plan JSON instead of generating one")
 	retries := flag.Int("retries", 0, "max dispatch attempts per request before dropping (0 = unlimited)")
 	timeout := flag.Float64("timeout", 0, "drop a request older than this at failover (0 = never)")
-	backoff := flag.Float64("backoff", 0, "base failover backoff, doubling per extra attempt (0 = immediate)")
+	backoff := flag.Float64("backoff", 0, "base failover backoff, growing per extra attempt (0 = immediate)")
+	backoffFactor := flag.Float64("backofffactor", 2, "multiplier applied to -backoff per extra attempt (1 = constant, must be ≥1)")
 	var ov ovFlags
 	flag.StringVar(&ov.admit, "admit", "", "admission policy: all | queue:LEN[:BACKLOG] | deadline:D")
 	flag.StringVar(&ov.shed, "shed", "", "load shedding: POLICY:WATERMARK with POLICY one of newest|oldest|random|stretch")
@@ -72,6 +79,11 @@ func main() {
 	flag.StringVar(&hg.spec, "hedge", "", "hedge aged dispatches: fixed delay (e.g. 5) or live flow-time percentile (e.g. p95)")
 	flag.BoolVar(&hg.tied, "tied", false, "with -hedge, enqueue two copies up front and revoke the loser at service start")
 	flag.BoolVar(&hg.cancel, "cancel", false, "with -hedge, cancel the losing attempt even mid-service")
+	var rs resilienceFlags
+	flag.StringVar(&rs.jitter, "jitter", "", "jitter the retry backoff: full | equal | decorrelated")
+	flag.Float64Var(&rs.budget, "retrybudget", 0, "cap retries at this fraction of first-attempt dispatches (0 = off)")
+	flag.Float64Var(&rs.burst, "budgetburst", 0, "with -retrybudget, bound the retry token bucket (0 = library default)")
+	flag.StringVar(&rs.breakerSpec, "breaker", "", "per-server circuit breakers: WINDOW:FAILFRAC:COOLDOWN[:PROBES[:SLOW]] (e.g. 5:0.6:15)")
 	var ob obsFlags
 	flag.StringVar(&ob.events, "events", "", "write the observed cell's JSONL event stream to this file")
 	flag.StringVar(&ob.metrics, "metrics", "", "write Prometheus-style counters and flow/stretch quantiles to this file")
@@ -111,6 +123,17 @@ func main() {
 	if *backoff < 0 {
 		usageErr("-backoff must be non-negative, got %v", *backoff)
 	}
+	policy := flowsched.RetryPolicy{
+		MaxAttempts:   *retries,
+		Backoff:       *backoff,
+		BackoffFactor: *backoffFactor,
+		Timeout:       *timeout,
+	}
+	if err := policy.Validate(); err != nil {
+		// Catches the silent-footgun factors too: a -backofffactor in (0,1)
+		// would *shrink* the delay every attempt, the opposite of backoff.
+		usageErr("%v", err)
+	}
 	if ob.traceWorst < 0 {
 		usageErr("-traceworst must be non-negative, got %d", ob.traceWorst)
 	}
@@ -132,6 +155,12 @@ func main() {
 	if hg.active() && *k < 2 {
 		usageErr("-hedge with -k %d is pointless: no alternate server exists to hedge to", *k)
 	}
+	if err := rs.parse(*seed); err != nil {
+		usageErr("%v", err)
+	}
+	if rs.active() && *replay != "" {
+		usageErr("-jitter/-retrybudget/-breaker do not combine with -replay: a saved run replays verbatim")
+	}
 	if *faultsPath != "" && *replay == "" {
 		// Fail fast on an unreadable or invalid plan file (the replay path
 		// resolves its own plan next to the instance, so it parses later).
@@ -147,13 +176,6 @@ func main() {
 	defer stopProf()
 	if ob.sampleSVG != "" && ob.sample <= 0 {
 		log.Fatal("flowsim: -samplesvg needs a positive -sample interval")
-	}
-
-	policy := flowsched.RetryPolicy{
-		MaxAttempts:   *retries,
-		Backoff:       *backoff,
-		BackoffFactor: 2,
-		Timeout:       *timeout,
 	}
 
 	if *replay != "" {
@@ -232,10 +254,15 @@ func main() {
 	if hg.active() {
 		fmt.Printf(" hedge[%s]", hg.describe())
 	}
+	if rs.active() {
+		fmt.Printf(" resilience[%s]", rs.describe())
+	}
 	fmt.Printf("\n\n")
 
 	var out *table.Table
 	switch {
+	case rs.active():
+		out = table.New(resilientHeader()...)
 	case hg.active():
 		out = table.New(hedgedHeader()...)
 	case ov.active():
@@ -270,9 +297,11 @@ func main() {
 					log.Fatal(err)
 				}
 			}
-			if hg.active() {
-				// Hedging composes with the overload controls: the shared
-				// HedgeConfig rides on top of the per-strategy guard config.
+			if rs.active() || hg.active() {
+				// The resilience layer rides on the full unified chain:
+				// hedging and the overload controls compose underneath, so
+				// the shared ResilienceConfig (and HedgeConfig) stack on the
+				// per-strategy guard config.
 				var cfg *flowsched.OverloadConfig
 				if ov.active() {
 					var err error
@@ -280,14 +309,18 @@ func main() {
 						log.Fatal(err)
 					}
 				}
-				_, em, err := flowsched.SimulateHedged(inst, rt.r, plan, policy, cfg, nil, hg.cfg, cell.probeOrNil())
+				_, em, err := flowsched.SimulateResilient(inst, rt.r, plan, policy, cfg, nil, hg.cfg, rs.cfg, cell.probeOrNil())
 				if err != nil {
 					log.Fatal(err)
 				}
 				if err := cell.finish(); err != nil {
 					log.Fatal(err)
 				}
-				out.AddRow(hedgedRow(strat.Name(), rt.name, em)...)
+				if rs.active() {
+					out.AddRow(resilientRow(strat.Name(), rt.name, em)...)
+				} else {
+					out.AddRow(hedgedRow(strat.Name(), rt.name, em)...)
+				}
 				continue
 			}
 			if ov.active() {

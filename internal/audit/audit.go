@@ -32,6 +32,11 @@
 //	             dispatch-time-eligible server; a copy win matches the
 //	             schedule's machine and start; on healthy plans all busy
 //	             time splits into completed work + duplicate work
+//	resilience   resilient runs: retry-budget conservation (issued + dropped
+//	             = requested, drops ↔ BudgetDropped dispositions) and
+//	             breaker-state legality — no final dispatch inside an open
+//	             window, only probe dispatches inside a half-open window,
+//	             breaker counters consistent with the recorded spans
 package audit
 
 import (
@@ -45,6 +50,7 @@ import (
 	"flowsched/internal/faults"
 	"flowsched/internal/obs"
 	"flowsched/internal/offline"
+	"flowsched/internal/resilience"
 	"flowsched/internal/sched"
 )
 
@@ -80,6 +86,15 @@ const (
 	// tasks' processing time plus the metrics' DuplicateWork — cancelled
 	// copies never leak into flow or busy accounting.
 	InvHedge = "hedge"
+	// InvResilience: resilience invariants (sim.RunResilient) — the retry
+	// budget conserves exactly (RetriesIssued + RetriesDropped ==
+	// RetriesRequested, and the drop count matches the BudgetDropped
+	// dispositions); and under circuit breakers every task's *final*
+	// dispatch respects the recorded breaker spans: never strictly inside an
+	// open window (open → half-open), and inside a half-open window
+	// (half-open → end) only when the dispatch was a half-open probe. The
+	// span-derived open/close counts must match the metrics counters.
+	InvResilience = "resilience"
 )
 
 // Violation is one broken invariant. Task and Machine are −1 when the
@@ -135,6 +150,11 @@ type Options struct {
 	// consistency and the busy-time accounting identity are checked
 	// (InvHedge). Optional.
 	Hedge *HedgeInfo
+	// Resilience supplies the retry-budget ledger and breaker history of a
+	// resilient run (sim.RunResilient with a config): budget conservation
+	// and breaker-state dispatch legality are checked (InvResilience).
+	// Optional.
+	Resilience *ResilienceInfo
 	// SkipLowerBound disables the Fmax ≥ offline.LowerBound check
 	// (O(n²·|sets|) — callers auditing very large instances may opt out).
 	SkipLowerBound bool
@@ -189,6 +209,35 @@ type HedgeInfo struct {
 	Busy []core.Time
 	// DuplicateWork is the busy time burned on losing attempts.
 	DuplicateWork core.Time
+}
+
+// ResilienceInfo carries a resilient run's retry-budget ledger and breaker
+// history into the audit. All of it comes straight from sim.ElasticMetrics.
+type ResilienceInfo struct {
+	// RetriesRequested/Issued/Dropped is the budget ledger; the conservation
+	// equation Issued + Dropped == Requested must hold exactly.
+	RetriesRequested int
+	RetriesIssued    int
+	RetriesDropped   int
+	// BudgetDropped marks tasks whose retry the budget refused; the count
+	// must equal RetriesDropped (each task's first refused retry settles its
+	// disposition). Optional when no budget was configured.
+	BudgetDropped []bool
+	// Spans is the breaker open-episode history
+	// (sim.ElasticMetrics.BreakerSpans); nil or empty when no breaker was
+	// configured or none ever opened.
+	Spans []resilience.Span
+	// ProbeDispatch marks tasks whose final dispatch was a half-open probe.
+	// Required (with Dispatched) when Spans is non-empty.
+	ProbeDispatch []bool
+	// Dispatched is each task's final dispatch instant
+	// (sim.ElasticMetrics.Dispatched; NaN = never dispatched). Required when
+	// Spans is non-empty.
+	Dispatched []core.Time
+	// BreakerOpens/BreakerCloses are the metrics counters, cross-checked
+	// against the span history.
+	BreakerOpens  int
+	BreakerCloses int
 }
 
 // Report is the audit outcome: empty Violations means every invariant held.
@@ -340,6 +389,30 @@ func auditInvariants(inst *core.Instance, s *core.Schedule, opts Options) *Repor
 			add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
 				Detail: fmt.Sprintf("%d busy entries for %d machines", len(h.Busy), m)})
 			return r
+		}
+	}
+
+	if opts.Resilience != nil {
+		ri := opts.Resilience
+		if ri.BudgetDropped != nil && len(ri.BudgetDropped) != n {
+			add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
+				Detail: fmt.Sprintf("%d budget-dropped flags for %d tasks", len(ri.BudgetDropped), n)})
+			return r
+		}
+		if len(ri.Spans) > 0 {
+			if len(ri.ProbeDispatch) != n || len(ri.Dispatched) != n {
+				add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
+					Detail: fmt.Sprintf("breaker spans present but %d probe flags / %d dispatch instants for %d tasks",
+						len(ri.ProbeDispatch), len(ri.Dispatched), n)})
+				return r
+			}
+			for _, sp := range ri.Spans {
+				if sp.Server < 0 || sp.Server >= m {
+					add(Violation{Invariant: InvShape, Task: -1, Machine: -1,
+						Detail: fmt.Sprintf("breaker span for server %d out of range [0,%d)", sp.Server, m)})
+					return r
+				}
+			}
 		}
 	}
 
@@ -520,6 +593,12 @@ func auditInvariants(inst *core.Instance, s *core.Schedule, opts Options) *Repor
 		}
 	}
 
+	if opts.Resilience != nil {
+		if !auditResilience(inst, s, opts.Resilience, add) {
+			return r
+		}
+	}
+
 	// Fmax ≥ LB holds for ANY feasible schedule that completes all work —
 	// faults only delay completions — so it is skipped only when tasks were
 	// dropped (work removed) or the schedule is structurally broken.
@@ -641,6 +720,105 @@ func auditHedge(inst *core.Instance, s *core.Schedule, h *HedgeInfo,
 				Detail: fmt.Sprintf("busy time %v ≠ completed work %v + duplicate work %v — cancelled or duplicate attempts leaked into the accounting",
 					total, work, h.DuplicateWork)}) {
 				return false
+			}
+		}
+	}
+	return true
+}
+
+// auditResilience runs the resilience invariants (InvResilience): exact
+// retry-budget conservation and breaker-state dispatch legality. It reports
+// false when the violation limit was hit mid-scan.
+func auditResilience(inst *core.Instance, s *core.Schedule, ri *ResilienceInfo,
+	add func(Violation) bool) bool {
+	// Budget conservation is exact integer arithmetic — no tolerance.
+	if ri.RetriesIssued+ri.RetriesDropped != ri.RetriesRequested {
+		if !add(Violation{Invariant: InvResilience, Task: -1, Machine: -1,
+			Detail: fmt.Sprintf("retry budget leaks: issued %d + dropped %d ≠ requested %d",
+				ri.RetriesIssued, ri.RetriesDropped, ri.RetriesRequested)}) {
+			return false
+		}
+	}
+	if ri.BudgetDropped != nil {
+		bd := 0
+		for _, b := range ri.BudgetDropped {
+			if b {
+				bd++
+			}
+		}
+		if bd != ri.RetriesDropped {
+			if !add(Violation{Invariant: InvResilience, Task: -1, Machine: -1,
+				Detail: fmt.Sprintf("%d budget-dropped dispositions for %d dropped retries", bd, ri.RetriesDropped)}) {
+				return false
+			}
+		}
+	}
+
+	// Span-derived counters must match the metrics counters.
+	closes := 0
+	for _, sp := range ri.Spans {
+		if sp.Closed {
+			closes++
+		}
+	}
+	if ri.BreakerOpens != len(ri.Spans) {
+		if !add(Violation{Invariant: InvResilience, Task: -1, Machine: -1,
+			Detail: fmt.Sprintf("BreakerOpens %d but %d recorded spans", ri.BreakerOpens, len(ri.Spans))}) {
+			return false
+		}
+	}
+	if ri.BreakerCloses != closes {
+		if !add(Violation{Invariant: InvResilience, Task: -1, Machine: -1,
+			Detail: fmt.Sprintf("BreakerCloses %d but %d spans closed by probe success", ri.BreakerCloses, closes)}) {
+			return false
+		}
+	}
+	if len(ri.Spans) == 0 {
+		return true
+	}
+
+	// Breaker legality per executed task: its final dispatch instant must
+	// not fall strictly inside an open window, and inside a half-open window
+	// only as a probe. NaN span bounds mean "until the end of the run".
+	// Strict comparisons on both ends keep same-instant transitions (an open
+	// booked by the completion that tripped it, a close waking parked work)
+	// out of the violation set — those orderings are legal by construction.
+	until := func(t core.Time) core.Time {
+		if math.IsNaN(t) {
+			return core.Time(math.Inf(1))
+		}
+		return t
+	}
+	m := inst.M
+	for i := range inst.Tasks {
+		j := s.Machine[i]
+		if j < 0 || j >= m {
+			continue // never executed: no dispatch to check
+		}
+		d := ri.Dispatched[i]
+		if math.IsNaN(d) {
+			if !add(Violation{Invariant: InvResilience, Task: i, Machine: j,
+				Detail: "executed task has no recorded dispatch instant"}) {
+				return false
+			}
+			continue
+		}
+		for _, sp := range ri.Spans {
+			if sp.Server != j {
+				continue
+			}
+			halfOpen := until(sp.HalfOpenAt)
+			end := until(sp.EndedAt)
+			if d > sp.OpenedAt && d < halfOpen {
+				if !add(Violation{Invariant: InvResilience, Task: i, Machine: j,
+					Detail: fmt.Sprintf("dispatched at %v inside open breaker window [%v, %v)", d, sp.OpenedAt, sp.HalfOpenAt)}) {
+					return false
+				}
+			} else if d > halfOpen && d < end && !ri.ProbeDispatch[i] {
+				if !add(Violation{Invariant: InvResilience, Task: i, Machine: j,
+					Detail: fmt.Sprintf("non-probe dispatch at %v inside half-open breaker window [%v, %v)", d, sp.HalfOpenAt, sp.EndedAt)}) {
+					return false
+				}
 			}
 		}
 	}

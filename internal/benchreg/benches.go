@@ -14,6 +14,7 @@ import (
 	"flowsched/internal/overload"
 	"flowsched/internal/popularity"
 	"flowsched/internal/replicate"
+	"flowsched/internal/resilience"
 	"flowsched/internal/sched"
 	"flowsched/internal/sim"
 	"flowsched/internal/stats"
@@ -45,6 +46,8 @@ func init() {
 	Register("SimRunElasticScale", benchSimRunElasticScale)
 	Register("SimRunHedgedOff", benchSimRunHedgedOff)
 	Register("SimRunHedgedGray", benchSimRunHedgedGray)
+	Register("SimRunResilientOff", benchSimRunResilientOff)
+	Register("SimRunResilientStorm", benchSimRunResilientStorm)
 	Register("SimRunFaultySteady", benchSimRunFaultySteady)
 	Register("SimRunGuardedOffSteady", benchSimRunGuardedOffSteady)
 	Register("SimRunGuardedAdmitSteady", benchSimRunGuardedAdmitSteady)
@@ -340,6 +343,54 @@ func benchSimRunHedgedGray(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := sim.RunHedged(inst, &sim.RoundRobinRouter{}, plan, sim.RetryPolicy{}, cfg, nil, hcfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSimRunResilientOff pins the disabled-path cost of the resilience
+// layer: RunResilient with a nil config must track SimRunHedgedOff (the
+// byte-identical property in internal/sim pins the behavior, the
+// 0-extra-alloc test pins the footprint; this entry pins the speed).
+func benchSimRunResilientOff(b *testing.B) {
+	inst := restrictedInstance(15, 3, 5000)
+	plan := faults.Empty(15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sim.RunResilient(inst, sim.EFTRouter{}, plan, sim.RetryPolicy{}, nil, nil, nil, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSimRunResilientStorm measures the resilience layer under fire: a
+// third of the cluster flaps through the middle of the horizon while the
+// full protection stack is armed — jittered backoff draws on every retry,
+// budget refills/takes on every dispatch, and breaker observe/trip/probe
+// cycles on the flapping servers. This is the metastable-experiment shape
+// (cmd/experiments metastable) at benchmark size.
+func benchSimRunResilientStorm(b *testing.B) {
+	inst := restrictedInstance(15, 3, 5000)
+	plan := faults.Empty(15)
+	for j := 0; j < 15; j += 3 {
+		for f := 0; f < 10; f++ {
+			from := core.Time(20 + 15*f)
+			plan.Down(j, from, from+9)
+		}
+	}
+	pol := sim.RetryPolicy{Backoff: 2, BackoffFactor: 2}
+	rcfg := &resilience.Config{
+		Jitter: resilience.JitterFull, Seed: 1,
+		RetryBudget: 0.1, BudgetBurst: 3,
+		Breaker: &resilience.BreakerConfig{
+			Window: 5, FailureThreshold: 0.6, Cooldown: 15, HalfOpenProbes: 2,
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sim.RunResilient(inst, sim.EFTRouter{}, plan, pol, nil, nil, nil, rcfg, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,7 +1,8 @@
 // Package chaos is the randomized soak harness: it samples points of the
 // cross-product workload × replication strategy × fault plan × overload
-// controls × membership churn × router × retry policy, simulates each one
-// with sim.RunElastic (the full engine stack), and runs every resulting
+// controls × membership churn × hedging × resilience × router × retry
+// policy, simulates each one
+// with sim.RunResilient (the full engine stack), and runs every resulting
 // schedule through the internal/audit invariant auditor plus a counting
 // probe that cross-checks the simulator's own metrics. A trial that
 // violates any invariant is automatically shrunk (drop tasks, drop fault
@@ -28,6 +29,7 @@ import (
 	"flowsched/internal/parallel"
 	"flowsched/internal/popularity"
 	"flowsched/internal/replicate"
+	"flowsched/internal/resilience"
 	"flowsched/internal/sched"
 	"flowsched/internal/sim"
 	"flowsched/internal/workload"
@@ -136,6 +138,11 @@ type Params struct {
 	// (exactly-one-effective-completion, copy eligibility, duplicate-work
 	// accounting) join the check.
 	Hedge *HedgeParams `json:"hedge,omitempty"`
+	// Resilience, when non-nil, runs the trial through sim.RunResilient with
+	// the described retry-storm protections (seeded jitter, retry budget,
+	// circuit breakers), and the audit resilience invariants (budget
+	// conservation, breaker-state dispatch legality) join the check.
+	Resilience *ResilienceParams `json:"resilience,omitempty"`
 }
 
 // OverloadParams pins the overload-control side of a trial; everything
@@ -175,6 +182,20 @@ type HedgeParams struct {
 	MaxHedges     int     `json:"maxHedges,omitempty"`
 	Tied          bool    `json:"tied,omitempty"`
 	CancelRunning bool    `json:"cancelRunning,omitempty"`
+}
+
+// ResilienceParams pins the resilience side of a trial; everything needed to
+// rebuild the resilience.Config deterministically (the jitter seed is the
+// trial seed, so a replay draws identical backoff delays).
+type ResilienceParams struct {
+	Jitter           string  `json:"jitter,omitempty"` // full|equal|decorrelated
+	RetryBudget      float64 `json:"retryBudget,omitempty"`
+	BudgetBurst      float64 `json:"budgetBurst,omitempty"`
+	BreakerWindow    int     `json:"breakerWindow,omitempty"`
+	FailureThreshold float64 `json:"failureThreshold,omitempty"`
+	Cooldown         float64 `json:"cooldown,omitempty"`
+	HalfOpenProbes   int     `json:"halfOpenProbes,omitempty"`
+	SlowFactor       float64 `json:"slowFactor,omitempty"`
 }
 
 var faultModes = []string{"none", "crash", "zones", "gray", "mixed"}
@@ -308,6 +329,39 @@ func SampleParams(cfg Config, trial int) Params {
 		}
 		p.Hedge = hp
 	}
+	// A third of the trials run resilient: seeded retry jitter, a cluster
+	// retry budget and per-server circuit breakers guard the failover path.
+	// Sampled after the hedge block for the same re-draw stability — a trial
+	// seed reproduces the same workload, faults, churn and hedging with or
+	// without this block.
+	if rng.Intn(3) == 0 {
+		rp := &ResilienceParams{}
+		switch rng.Intn(4) {
+		case 0: // no jitter: pure budget/breaker trials stay covered
+		case 1:
+			rp.Jitter = "full"
+		case 2:
+			rp.Jitter = "equal"
+		default:
+			rp.Jitter = "decorrelated"
+		}
+		if rng.Intn(2) == 0 {
+			rp.RetryBudget = 0.05 + rng.Float64()*0.45
+			if rng.Intn(2) == 0 {
+				rp.BudgetBurst = 1 + rng.Float64()*19
+			}
+		}
+		if rng.Intn(2) == 0 {
+			rp.BreakerWindow = 3 + rng.Intn(8)
+			rp.FailureThreshold = 0.3 + rng.Float64()*0.7
+			rp.Cooldown = 0.5 + rng.Float64()*10
+			rp.HalfOpenProbes = 1 + rng.Intn(3)
+			if rng.Intn(2) == 0 {
+				rp.SlowFactor = 2 + rng.Float64()*8
+			}
+		}
+		p.Resilience = rp
+	}
 	return p
 }
 
@@ -418,6 +472,32 @@ func (p Params) hedgeConfig() *hedge.Config {
 		Tied:          hp.Tied,
 		CancelRunning: hp.CancelRunning,
 	}
+}
+
+// resilienceConfig rebuilds the trial's resilience.Config (nil when the
+// trial runs unprotected). The jitter seed is the trial seed, so a replay
+// draws bit-identical backoff delays.
+func (p Params) resilienceConfig() *resilience.Config {
+	rp := p.Resilience
+	if rp == nil {
+		return nil
+	}
+	cfg := &resilience.Config{
+		Jitter:      resilience.JitterMode(rp.Jitter),
+		Seed:        p.Seed,
+		RetryBudget: rp.RetryBudget,
+		BudgetBurst: rp.BudgetBurst,
+	}
+	if rp.BreakerWindow > 0 {
+		cfg.Breaker = &resilience.BreakerConfig{
+			Window:           rp.BreakerWindow,
+			FailureThreshold: rp.FailureThreshold,
+			Cooldown:         core.Time(rp.Cooldown),
+			HalfOpenProbes:   rp.HalfOpenProbes,
+			SlowFactor:       rp.SlowFactor,
+		}
+	}
+	return cfg
 }
 
 func (p Params) strategy(rng *rand.Rand) replicate.Strategy {
@@ -534,9 +614,10 @@ func CheckRecorded(inst *core.Instance, plan *faults.Plan, spec RouterSpec, p Pa
 	}
 	ecfg := p.elasticConfig(inst.M)
 	hcfg := p.hedgeConfig()
+	rcfg := p.resilienceConfig()
 	arena := arenas.Get().(*sim.Arena)
 	defer arenas.Put(arena)
-	s, em, err := arena.RunHedged(inst, router, plan, p.Policy, cfg, ecfg, hcfg, simProbe)
+	s, em, err := arena.RunResilient(inst, router, plan, p.Policy, cfg, ecfg, hcfg, rcfg, simProbe)
 	if err != nil {
 		return []audit.Violation{{Invariant: InvSimError, Task: -1, Machine: -1, Detail: err.Error()}}
 	}
@@ -570,12 +651,26 @@ func CheckRecorded(inst *core.Instance, plan *faults.Plan, spec RouterSpec, p Pa
 			WonByCopy: em.HedgeWonByCopy, Busy: em.Busy, DuplicateWork: em.DuplicateWork,
 		}
 	}
+	if rcfg != nil {
+		opts.Resilience = &audit.ResilienceInfo{
+			RetriesRequested: em.RetriesRequested,
+			RetriesIssued:    em.RetriesIssued,
+			RetriesDropped:   em.RetriesDropped,
+			BudgetDropped:    em.BudgetDropped,
+			Spans:            em.BreakerSpans,
+			ProbeDispatch:    em.ProbeDispatch,
+			Dispatched:       em.Dispatched,
+			BreakerOpens:     em.BreakerOpens,
+			BreakerCloses:    em.BreakerCloses,
+		}
+	}
 	r := audit.Audit(inst, s, opts)
 	vs := append(r.Violations, probe.crossCheck(inst, om)...)
 	if ecfg != nil {
 		vs = append(vs, probe.crossCheckElastic(inst, em)...)
 	}
 	vs = append(vs, probe.crossCheckHedge(inst, em, hcfg != nil)...)
+	vs = append(vs, probe.crossCheckResilience(inst, em, rcfg != nil)...)
 	return vs
 }
 

@@ -18,7 +18,10 @@ import (
 // (obs.OverloadObserver), so guarded trials cross-check rejections, sheds
 // and ejections the same way, and the membership stream
 // (obs.MembershipObserver), so churn trials cross-check scale-ups, joins,
-// drains and handoffs against the run's metrics and membership log.
+// drains and handoffs against the run's metrics and membership log, and the
+// resilience stream (obs.ResilienceObserver), so resilient trials
+// cross-check breaker transitions, probe dispatches and retry-budget drops
+// against the run's metrics.
 type countProbe struct {
 	obs.BaseProbe
 	arrivals   int
@@ -50,6 +53,13 @@ type countProbe struct {
 	hedgeCancels int
 	hedged       []bool
 	wonByCopy    []bool
+
+	breakerOpens  int
+	breakerCloses int
+	breakerProbes int
+	budgetDrops   int
+	probed        []bool
+	budgetDropped []bool
 }
 
 func newCountProbe(n int) *countProbe {
@@ -60,6 +70,7 @@ func newCountProbe(n int) *countProbe {
 	return &countProbe{
 		ends: ends, rejected: make([]bool, n), shed: make([]bool, n),
 		hedged: make([]bool, n), wonByCopy: make([]bool, n),
+		probed: make([]bool, n), budgetDropped: make([]bool, n),
 	}
 }
 
@@ -147,6 +158,28 @@ func (c *countProbe) OnHedgeWin(task, server int, byCopy bool, at core.Time) {
 
 // OnHedgeCancel implements obs.HedgeObserver.
 func (c *countProbe) OnHedgeCancel(task, server int, at core.Time, started bool) { c.hedgeCancels++ }
+
+// OnBreakerOpen implements obs.ResilienceObserver.
+func (c *countProbe) OnBreakerOpen(server int, at core.Time) { c.breakerOpens++ }
+
+// OnBreakerProbe implements obs.ResilienceObserver.
+func (c *countProbe) OnBreakerProbe(server, task int, at core.Time) {
+	c.breakerProbes++
+	if task >= 0 && task < len(c.probed) {
+		c.probed[task] = true
+	}
+}
+
+// OnBreakerClose implements obs.ResilienceObserver.
+func (c *countProbe) OnBreakerClose(server int, at core.Time) { c.breakerCloses++ }
+
+// OnRetryBudgetDrop implements obs.ResilienceObserver.
+func (c *countProbe) OnRetryBudgetDrop(task, attempts int, at core.Time) {
+	c.budgetDrops++
+	if task >= 0 && task < len(c.budgetDropped) {
+		c.budgetDropped[task] = true
+	}
+}
 
 // crossCheck compares the probe's event counts against the run's metrics
 // and returns one InvProbe violation per disagreement.
@@ -279,6 +312,64 @@ func (c *countProbe) crossCheckHedge(inst *core.Instance, em *sim.ElasticMetrics
 		}
 		if em.HedgeWonByCopy[i] != c.wonByCopy[i] {
 			bad("task %d won-by-copy flag: probe %v, metrics %v", i, c.wonByCopy[i], em.HedgeWonByCopy[i])
+		}
+	}
+	return vs
+}
+
+// crossCheckResilience compares the probe's resilience event counts against
+// a resilient run's metrics — the breaker transition and probe totals, the
+// retry-budget ledger's conservation equation and the per-task budget-drop
+// dispositions — and, for unprotected runs, that no resilience state leaked
+// out at all.
+func (c *countProbe) crossCheckResilience(inst *core.Instance, em *sim.ElasticMetrics, resilient bool) []audit.Violation {
+	var vs []audit.Violation
+	bad := func(format string, args ...any) {
+		vs = append(vs, audit.Violation{Invariant: InvProbe, Task: -1, Machine: -1,
+			Detail: fmt.Sprintf(format, args...)})
+	}
+	if !resilient {
+		if c.breakerOpens != 0 || c.breakerProbes != 0 || c.breakerCloses != 0 || c.budgetDrops != 0 {
+			bad("unprotected run emitted resilience events (%d/%d/%d/%d)",
+				c.breakerOpens, c.breakerProbes, c.breakerCloses, c.budgetDrops)
+		}
+		if em.RetriesRequested != 0 || em.RetriesIssued != 0 || em.RetriesDropped != 0 {
+			bad("unprotected run carries a retry-budget ledger (%d/%d/%d)",
+				em.RetriesRequested, em.RetriesIssued, em.RetriesDropped)
+		}
+		if em.BreakerSpans != nil || em.ProbeDispatch != nil || em.BudgetDropped != nil {
+			bad("unprotected run carries breaker or budget metrics")
+		}
+		return vs
+	}
+	if em.RetriesIssued+em.RetriesDropped != em.RetriesRequested {
+		bad("budget conservation broken: issued %d + dropped %d ≠ requested %d",
+			em.RetriesIssued, em.RetriesDropped, em.RetriesRequested)
+	}
+	if c.budgetDrops != em.RetriesDropped {
+		bad("probe saw %d budget drops, metrics report %d", c.budgetDrops, em.RetriesDropped)
+	}
+	if c.breakerOpens != em.BreakerOpens {
+		bad("probe saw %d breaker opens, metrics report %d", c.breakerOpens, em.BreakerOpens)
+	}
+	if c.breakerCloses != em.BreakerCloses {
+		bad("probe saw %d breaker closes, metrics report %d", c.breakerCloses, em.BreakerCloses)
+	}
+	if c.breakerProbes != em.BreakerProbes {
+		bad("probe saw %d breaker probes, metrics report %d", c.breakerProbes, em.BreakerProbes)
+	}
+	if em.BreakerOpens != len(em.BreakerSpans) {
+		bad("metrics report %d breaker opens for %d recorded spans", em.BreakerOpens, len(em.BreakerSpans))
+	}
+	for i := range inst.Tasks {
+		if em.BudgetDropped != nil && em.BudgetDropped[i] != c.budgetDropped[i] {
+			bad("task %d budget-dropped flag: probe %v, metrics %v", i, c.budgetDropped[i], em.BudgetDropped[i])
+		}
+		// ProbeDispatch marks tasks whose final dispatch was a half-open
+		// probe; every such dispatch fired OnBreakerProbe (the converse need
+		// not hold — an aborted probe clears the flag, not the event).
+		if em.ProbeDispatch != nil && em.ProbeDispatch[i] && !c.probed[i] {
+			bad("task %d marked a probe dispatch without a breaker-probe event", i)
 		}
 	}
 	return vs

@@ -71,10 +71,18 @@ func (r *Repro) N() int {
 // instead of encoding/json aborting a half-written stream with an opaque
 // "unsupported value: NaN".
 func (r *Repro) WriteJSON(w io.Writer) error {
-	for _, f := range []struct {
+	type field struct {
 		name string
 		v    float64
-	}{{"load", r.Params.Load}, {"mtbf", r.Params.MTBF}, {"mttr", r.Params.MTTR}} {
+	}
+	fields := []field{{"load", r.Params.Load}, {"mtbf", r.Params.MTBF}, {"mttr", r.Params.MTTR}}
+	if rp := r.Params.Resilience; rp != nil {
+		fields = append(fields,
+			field{"retryBudget", rp.RetryBudget}, field{"budgetBurst", rp.BudgetBurst},
+			field{"failureThreshold", rp.FailureThreshold}, field{"cooldown", rp.Cooldown},
+			field{"slowFactor", rp.SlowFactor})
+	}
+	for _, f := range fields {
 		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
 			return fmt.Errorf("chaos: repro params: non-finite %s %v", f.name, f.v)
 		}

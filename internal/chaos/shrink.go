@@ -269,6 +269,74 @@ func shrinkHedge(p Params, inst *core.Instance, plan *faults.Plan, spec RouterSp
 	return p, shrunk
 }
 
+// shrinkResilience simplifies the params' resilience config with a
+// ddmin-style pass: drop the protections entirely (proving the failure is
+// not resilience-related), then peel individual mechanisms — the circuit
+// breakers, the slow-completion classifier, the retry budget, the jitter —
+// keeping every simplification under which the trial still fails. The
+// candidate simulations count against the shared budget.
+func shrinkResilience(p Params, inst *core.Instance, plan *faults.Plan, spec RouterSpec, budget *int) (Params, bool) {
+	if p.Resilience == nil {
+		return p, false
+	}
+	failing := func(cand Params) bool {
+		if *budget <= 0 {
+			return false
+		}
+		*budget--
+		return len(Check(inst, plan, spec, cand)) > 0
+	}
+	shrunk := false
+	try := func(mutate func(*ResilienceParams) bool) {
+		cp := p
+		rp := *p.Resilience
+		if !mutate(&rp) {
+			return // mechanism not enabled; nothing to peel
+		}
+		cp.Resilience = &rp
+		if failing(cp) {
+			p = cp
+			shrunk = true
+		}
+	}
+	// Dropping the protections outright dominates every other simplification.
+	cp := p
+	cp.Resilience = nil
+	if failing(cp) {
+		return cp, true
+	}
+	try(func(rp *ResilienceParams) bool {
+		if rp.BreakerWindow == 0 {
+			return false
+		}
+		rp.BreakerWindow, rp.FailureThreshold, rp.Cooldown = 0, 0, 0
+		rp.HalfOpenProbes, rp.SlowFactor = 0, 0
+		return true
+	})
+	try(func(rp *ResilienceParams) bool {
+		if rp.SlowFactor == 0 {
+			return false
+		}
+		rp.SlowFactor = 0
+		return true
+	})
+	try(func(rp *ResilienceParams) bool {
+		if rp.RetryBudget == 0 {
+			return false
+		}
+		rp.RetryBudget, rp.BudgetBurst = 0, 0
+		return true
+	})
+	try(func(rp *ResilienceParams) bool {
+		if rp.Jitter == "" {
+			return false
+		}
+		rp.Jitter = ""
+		return true
+	})
+	return p, shrunk
+}
+
 // ShrinkFailure rebuilds the failing trial from its params, shrinks it and
 // packages the result as a replayable repro. The shrink oracle re-runs the
 // full Check (simulate + audit + probe cross-check) under the trial's
@@ -297,14 +365,17 @@ func ShrinkFailure(cfg Config, p Params) (*Repro, error) {
 		return nil, fmt.Errorf("chaos: trial %d is not failing under its own params", p.Trial)
 	}
 	mi, mp := Shrink(inst, plan, failing)
-	// Minimize the membership script and the hedge config too, then give the
-	// structural shrinker one more pass under the reduced params (failing
-	// closes over p, so it sees the updates).
+	// Minimize the membership script, the hedge config and the resilience
+	// config too, then give the structural shrinker one more pass under the
+	// reduced params (failing closes over p, so it sees the updates).
 	reduced := false
 	if p2, ok := shrinkScript(p, mi, mp, spec, &budget); ok {
 		p, reduced = p2, true
 	}
 	if p2, ok := shrinkHedge(p, mi, mp, spec, &budget); ok {
+		p, reduced = p2, true
+	}
+	if p2, ok := shrinkResilience(p, mi, mp, spec, &budget); ok {
 		p, reduced = p2, true
 	}
 	if reduced {

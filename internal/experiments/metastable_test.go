@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMetastableHeadline pins the resilience experiment's headline: after
+// the flapping outage heals, plain deterministic backoff keeps the admitted
+// p99 of post-heal releases blown up — at least 5× the protected stack's —
+// while jitter + retry budget + breakers recover to within 2× the pre-fault
+// p99. The gray cell pins the breakers' slow-completion tripwire ejecting
+// the gray server faster than the EWMA outlier ejector.
+func TestMetastableHeadline(t *testing.T) {
+	cfg := DefaultMetastable() // full 3-rep medians: the whole cell runs in ~0.1s
+	var b strings.Builder
+	res, err := Metastable(&b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Storm) != 2 || len(res.Gray) != 2 {
+		t.Fatalf("rows = %d storm / %d gray, want 2/2", len(res.Storm), len(res.Gray))
+	}
+	plain, prot := res.Storm[0], res.Storm[1]
+	if plain.Policy != "plain-backoff" || prot.Policy != "protected" {
+		t.Fatalf("row order %q, %q", plain.Policy, prot.Policy)
+	}
+
+	// The metastable signature: the fault is gone, plain p99 is not.
+	if plain.PostP99 < 5*prot.PostP99 {
+		t.Errorf("post-heal p99 %.2f unprotected vs %.2f protected: not the ≥5× metastable gap",
+			plain.PostP99, prot.PostP99)
+	}
+	if prot.PostP99 > 2*prot.PreP99 {
+		t.Errorf("protected post-heal p99 %.2f did not recover to within 2× pre-fault %.2f",
+			prot.PostP99, prot.PreP99)
+	}
+
+	// The protections actually engaged — and only on the protected run.
+	if prot.RetriesDrop == 0 || prot.BreakerOpens == 0 {
+		t.Errorf("protections idle: %v budget drops, %v breaker opens",
+			prot.RetriesDrop, prot.BreakerOpens)
+	}
+	if plain.RetriesDrop != 0 || plain.BreakerOpens != 0 {
+		t.Errorf("plain run used protections: %v drops, %v opens",
+			plain.RetriesDrop, plain.BreakerOpens)
+	}
+	// Protection costs bounded goodput: the budget drops a slice of the
+	// storm, not the workload.
+	if prot.GoodputPct < 90 {
+		t.Errorf("protected goodput %.2f%% collapsed", prot.GoodputPct)
+	}
+
+	// Gray cell: the breaker's outcome window fills before the ejector's
+	// EWMA clears its sample floor, so the breaker ejects first.
+	ej, brk := res.Gray[0], res.Gray[1]
+	if ej.Policy != "ewma-ejector" || brk.Policy != "breaker" {
+		t.Fatalf("gray row order %q, %q", ej.Policy, brk.Policy)
+	}
+	if brk.DetectLatency >= ej.DetectLatency {
+		t.Errorf("breaker detected the gray server at %.2f, no faster than the ejector's %.2f",
+			brk.DetectLatency, ej.DetectLatency)
+	}
+
+	if !strings.Contains(b.String(), "Metastable failure") {
+		t.Errorf("output incomplete")
+	}
+}

@@ -39,6 +39,12 @@ type Counters struct {
 	HedgeWins     int64 // hedged tasks completed (either attempt)
 	HedgeCopyWins int64 // hedged tasks whose speculative copy won
 	HedgeCancels  int64 // losing attempts abandoned (cancelled, revoked, crashed)
+
+	// Resilience totals (sim.RunResilient with a config; zero otherwise).
+	BreakerOpens     int64 // breaker open episodes (window trips and probe failures)
+	BreakerCloses    int64 // probe-success closes
+	BreakerProbes    int64 // half-open probe dispatches
+	RetryBudgetDrops int64 // retries refused by the retry budget
 }
 
 // OnArrival implements Probe.
@@ -110,6 +116,18 @@ func (c *Counters) OnHedgeWin(task, server int, byCopy bool, at core.Time) {
 // OnHedgeCancel implements HedgeObserver.
 func (c *Counters) OnHedgeCancel(task, server int, at core.Time, started bool) { c.HedgeCancels++ }
 
+// OnBreakerOpen implements ResilienceObserver.
+func (c *Counters) OnBreakerOpen(server int, at core.Time) { c.BreakerOpens++ }
+
+// OnBreakerProbe implements ResilienceObserver.
+func (c *Counters) OnBreakerProbe(server, task int, at core.Time) { c.BreakerProbes++ }
+
+// OnBreakerClose implements ResilienceObserver.
+func (c *Counters) OnBreakerClose(server int, at core.Time) { c.BreakerCloses++ }
+
+// OnRetryBudgetDrop implements ResilienceObserver.
+func (c *Counters) OnRetryBudgetDrop(task, attempts int, at core.Time) { c.RetryBudgetDrops++ }
+
 // WriteProm writes the counters in the Prometheus text exposition format
 // under the flowsched_ namespace.
 func (c *Counters) WriteProm(w io.Writer) error {
@@ -137,6 +155,10 @@ func (c *Counters) WriteProm(w io.Writer) error {
 		{"flowsched_hedge_wins_total", "Hedged tasks completed.", c.HedgeWins},
 		{"flowsched_hedge_copy_wins_total", "Hedged tasks won by the speculative copy.", c.HedgeCopyWins},
 		{"flowsched_hedge_cancels_total", "Losing hedge attempts abandoned.", c.HedgeCancels},
+		{"flowsched_breaker_opens_total", "Circuit breaker open episodes.", c.BreakerOpens},
+		{"flowsched_breaker_closes_total", "Circuit breakers closed by probe success.", c.BreakerCloses},
+		{"flowsched_breaker_probes_total", "Half-open breaker probe dispatches.", c.BreakerProbes},
+		{"flowsched_retry_budget_drops_total", "Retries refused by the retry budget.", c.RetryBudgetDrops},
 	} {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 			row.name, row.help, row.name, row.name, row.value); err != nil {

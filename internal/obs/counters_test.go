@@ -17,6 +17,8 @@ func TestCountersPromExposition(t *testing.T) {
 		Readmissions: 11, Brownouts: 12, ScaleUps: 13, Joins: 14,
 		ScaleDowns: 15, Handoffs: 16, WarmUpTime: 17.5,
 		Hedges: 18, HedgeWins: 19, HedgeCopyWins: 20, HedgeCancels: 21,
+		BreakerOpens: 22, BreakerCloses: 23, BreakerProbes: 24,
+		RetryBudgetDrops: 25,
 	}
 	var b strings.Builder
 	if err := c.WriteProm(&b); err != nil {
@@ -77,13 +79,15 @@ func TestCountersPromExposition(t *testing.T) {
 	for _, want := range []string{
 		"flowsched_arrivals_total 1", "flowsched_handoffs_total 16",
 		"flowsched_hedges_total 18", "flowsched_hedge_cancels_total 21",
+		"flowsched_breaker_opens_total 22", "flowsched_breaker_closes_total 23",
+		"flowsched_breaker_probes_total 24", "flowsched_retry_budget_drops_total 25",
 		"flowsched_warm_up_time_total 17.5",
 	} {
 		if !strings.Contains(b.String(), want) {
 			t.Errorf("exposition missing %q in:\n%s", want, b.String())
 		}
 	}
-	if len(typ) != 21 {
-		t.Errorf("%d families exposed, want 21", len(typ))
+	if len(typ) != 25 {
+		t.Errorf("%d families exposed, want 25", len(typ))
 	}
 }

@@ -53,7 +53,8 @@ func blankEvent(ev string, t core.Time) FlightEvent {
 // constructed with size ≤ 0.
 const DefaultFlightSize = 4096
 
-// FlightRecorder is a Probe (plus OverloadObserver and MembershipObserver)
+// FlightRecorder is a Probe (plus OverloadObserver, MembershipObserver,
+// HedgeObserver and ResilienceObserver)
 // keeping the last N raw events of a run in a fixed-size ring — the
 // always-on crash recorder. When a soak trial fails or an audit violation
 // names a task, the ring holds the causal context without anyone having
@@ -307,5 +308,33 @@ func (r *FlightRecorder) OnHedgeWin(task, server int, byCopy bool, at core.Time)
 func (r *FlightRecorder) OnHedgeCancel(task, server int, at core.Time, started bool) {
 	ev := blankEvent("hedge-cancel", at)
 	ev.Task, ev.Server, ev.Started = task, server, started
+	r.append(ev)
+}
+
+// OnBreakerOpen implements ResilienceObserver.
+func (r *FlightRecorder) OnBreakerOpen(server int, at core.Time) {
+	ev := blankEvent("breaker-open", at)
+	ev.Server = server
+	r.append(ev)
+}
+
+// OnBreakerProbe implements ResilienceObserver.
+func (r *FlightRecorder) OnBreakerProbe(server, task int, at core.Time) {
+	ev := blankEvent("breaker-probe", at)
+	ev.Task, ev.Server = task, server
+	r.append(ev)
+}
+
+// OnBreakerClose implements ResilienceObserver.
+func (r *FlightRecorder) OnBreakerClose(server int, at core.Time) {
+	ev := blankEvent("breaker-close", at)
+	ev.Server = server
+	r.append(ev)
+}
+
+// OnRetryBudgetDrop implements ResilienceObserver.
+func (r *FlightRecorder) OnRetryBudgetDrop(task, attempts int, at core.Time) {
+	ev := blankEvent("retry-budget-drop", at)
+	ev.Task, ev.Attempt = task, attempts
 	r.append(ev)
 }

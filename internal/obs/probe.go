@@ -27,14 +27,16 @@
 //   - FlightRecorder: a fixed-size ring of the last N raw events — the
 //     crash recorder chaos and audit dump next to their findings.
 //
-// Three optional extension interfaces widen the base 7-hook Probe contract:
+// Four optional extension interfaces widen the base 7-hook Probe contract:
 // OverloadObserver (reject/shed/eject/readmit/brownout, fired by
 // sim.RunGuarded), MembershipObserver (scale-up/join/scale-down/handoff,
-// fired by sim.RunElastic) and HedgeObserver (hedge/hedge-win/hedge-cancel,
-// fired by sim.RunHedged). The simulator type-asserts its probe once per
-// run, so probes opt in by implementing the methods — Counters, Tracer and
-// FlightRecorder observe all 19 hooks, the other probes only the base
-// stream.
+// fired by sim.RunElastic), HedgeObserver (hedge/hedge-win/hedge-cancel,
+// fired by sim.RunHedged) and ResilienceObserver (breaker
+// open/probe/close and retry-budget drops, fired by sim.RunResilient). The
+// simulator type-asserts its probe once per run, so probes opt in by
+// implementing the methods — Counters and FlightRecorder observe all 23
+// hooks, Tracer everything but the resilience stream, the other probes only
+// the base stream.
 //
 // Multi fans one event stream out to several probes, forwarding extension
 // hooks to the members that implement them.

@@ -1,0 +1,245 @@
+package resilience
+
+import (
+	"math"
+
+	"flowsched/internal/core"
+)
+
+// State is a circuit breaker's position.
+type State uint8
+
+const (
+	// Closed passes all traffic while recording outcomes in the sliding
+	// window.
+	Closed State = iota
+	// Open blocks all dispatches until the cooldown elapses.
+	Open
+	// HalfOpen admits up to the probe cap of concurrently outstanding
+	// probe dispatches; a probe success closes the breaker, a probe
+	// failure re-opens it.
+	HalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// Span is one open episode of a breaker, recorded for the auditor: the
+// breaker opened at OpenedAt, went half-open at HalfOpenAt (NaN if the run
+// ended first) and ended at EndedAt (NaN if still open or half-open at the
+// end of the run) — by a probe success when Closed is true, by a probe
+// failure re-opening it (a new Span follows) when false.
+type Span struct {
+	Server     int       `json:"server"`
+	OpenedAt   core.Time `json:"opened_at"`
+	HalfOpenAt core.Time `json:"half_open_at"`
+	EndedAt    core.Time `json:"ended_at"`
+	Closed     bool      `json:"closed"`
+}
+
+// Breakers is the per-server circuit breaker bank of one engine run. All
+// state lives in flat reusable slices (the outcome rings share one backing
+// array), so a Reset between runs allocates only when the cluster grew —
+// the same arena discipline as the engine itself.
+//
+// Transitions are explicit and deterministic: Observe/ObserveProbe move
+// closed→open and half-open→{closed,open}; the timed open→half-open
+// transition happens only in Tick, which the engine drives from a
+// cooldown-expiry event, so the observable state stream is a pure function
+// of the event sequence.
+type Breakers struct {
+	cfg *BreakerConfig
+
+	state    []State
+	openedAt []core.Time
+	ring     []bool // m × Window outcome ring (true = failure)
+	count    []int  // outcomes recorded on the server (saturates at Window)
+	fails    []int  // failures currently in the server's ring
+	pos      []int  // next ring write position
+	issued   []int  // probes issued this half-open episode
+	inflight []int  // probes currently outstanding
+}
+
+// Reset arms the bank for m servers, recycling every buffer.
+func (b *Breakers) Reset(cfg *BreakerConfig, m int) {
+	b.cfg = cfg
+	b.state = resliceZero(b.state, m)
+	b.openedAt = resliceZero(b.openedAt, m)
+	b.ring = resliceZero(b.ring, m*cfg.Window)
+	b.count = resliceZero(b.count, m)
+	b.fails = resliceZero(b.fails, m)
+	b.pos = resliceZero(b.pos, m)
+	b.issued = resliceZero(b.issued, m)
+	b.inflight = resliceZero(b.inflight, m)
+}
+
+// State returns server j's current position.
+func (b *Breakers) State(j int) State { return b.state[j] }
+
+// OpenUntil returns when server j's open breaker is due to go half-open
+// (meaningful only in the Open state).
+func (b *Breakers) OpenUntil(j int) core.Time { return b.openedAt[j] + b.cfg.Cooldown }
+
+// SlowFactor returns the configured gray-slowness failure threshold.
+func (b *Breakers) SlowFactor() float64 { return b.cfg.SlowFactor }
+
+// Allow reports whether a dispatch to server j is admissible now: always
+// in the closed state, never in the open state, and in the half-open state
+// only while a probe slot is free (such a dispatch must then be registered
+// with StartProbe). Allow never mutates state.
+func (b *Breakers) Allow(j int) bool {
+	switch b.state[j] {
+	case Closed:
+		return true
+	case HalfOpen:
+		return b.issued[j] < b.cfg.ProbeCap()
+	}
+	return false
+}
+
+// StartProbe registers a half-open dispatch to server j as a probe. The
+// caller checks Allow first; every half-open dispatch is a probe.
+func (b *Breakers) StartProbe(j int) {
+	b.issued[j]++
+	b.inflight[j]++
+}
+
+// AbortProbe returns a probe slot that resolved without an outcome (the
+// attempt was cancelled, handed off or shed), so the half-open breaker can
+// issue a replacement probe instead of waiting forever.
+func (b *Breakers) AbortProbe(j int) {
+	if b.state[j] != HalfOpen {
+		return
+	}
+	if b.issued[j] > 0 {
+		b.issued[j]--
+	}
+	if b.inflight[j] > 0 {
+		b.inflight[j]--
+	}
+}
+
+// Observe records a normal (non-probe) dispatch outcome on server j and
+// reports whether the breaker opened. Outcomes only count toward the
+// sliding window in the closed state: in-flight stragglers completing
+// against an open or half-open breaker carry no new information.
+func (b *Breakers) Observe(j int, failure bool, now core.Time) (opened bool) {
+	if b.state[j] != Closed {
+		return false
+	}
+	w := b.cfg.Window
+	slot := j*w + b.pos[j]
+	if b.count[j] == w {
+		if b.ring[slot] {
+			b.fails[j]--
+		}
+	} else {
+		b.count[j]++
+	}
+	b.ring[slot] = failure
+	if failure {
+		b.fails[j]++
+	}
+	b.pos[j]++
+	if b.pos[j] == w {
+		b.pos[j] = 0
+	}
+	if b.count[j] == w && float64(b.fails[j]) >= b.cfg.FailureThreshold*float64(w) {
+		b.open(j, now)
+		return true
+	}
+	return false
+}
+
+// ObserveProbe records a probe outcome on server j: success closes the
+// breaker (closed=true), failure re-opens it (opened=true). A probe whose
+// breaker already left the half-open state (a racing probe closed or
+// re-opened it first) feeds the outcome through the normal closed-state
+// window instead — and can trip the breaker that way, which also surfaces
+// through opened.
+func (b *Breakers) ObserveProbe(j int, failure bool, now core.Time) (closed, opened bool) {
+	if b.state[j] != HalfOpen {
+		if b.inflight[j] > 0 {
+			b.inflight[j]--
+		}
+		return false, b.Observe(j, failure, now)
+	}
+	b.inflight[j]--
+	if failure {
+		b.open(j, now)
+		return false, true
+	}
+	b.state[j] = Closed
+	b.resetWindow(j)
+	return true, false
+}
+
+// Tick applies the timed open → half-open transition when server j's
+// cooldown has elapsed, reporting whether it fired. The engine calls it
+// from the cooldown-expiry event it arms at every open.
+func (b *Breakers) Tick(j int, now core.Time) bool {
+	if b.state[j] != Open || now < b.OpenUntil(j) {
+		return false
+	}
+	b.state[j] = HalfOpen
+	b.issued[j] = 0
+	b.inflight[j] = 0
+	return true
+}
+
+// open trips server j's breaker at now, from closed (window threshold) or
+// half-open (probe failure).
+func (b *Breakers) open(j int, now core.Time) {
+	b.state[j] = Open
+	b.openedAt[j] = now
+	b.issued[j] = 0
+	b.inflight[j] = 0
+	b.resetWindow(j)
+}
+
+// resetWindow clears server j's outcome ring — a state change resets the
+// evidence.
+func (b *Breakers) resetWindow(j int) {
+	w := b.cfg.Window
+	for i := j * w; i < (j+1)*w; i++ {
+		b.ring[i] = false
+	}
+	b.count[j] = 0
+	b.fails[j] = 0
+	b.pos[j] = 0
+}
+
+// Inflight returns server j's outstanding probe count (for tests and the
+// fuzzer's invariant checks).
+func (b *Breakers) Inflight(j int) int { return b.inflight[j] }
+
+// Issued returns server j's issued-probe count this half-open episode.
+func (b *Breakers) Issued(j int) int { return b.issued[j] }
+
+// NaNTime is the "never happened" sentinel used in Span fields.
+func NaNTime() core.Time { return core.Time(math.NaN()) }
+
+// resliceZero reslices buf to n zeroed elements, reallocating only when
+// capacity is short (the engine arena's helper, duplicated to keep this
+// package dependency-light).
+func resliceZero[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		buf = make([]T, n)
+	}
+	buf = buf[:n]
+	var zero T
+	for i := range buf {
+		buf[i] = zero
+	}
+	return buf
+}

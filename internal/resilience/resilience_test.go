@@ -1,0 +1,366 @@
+package resilience
+
+import (
+	"math"
+	"testing"
+
+	"flowsched/internal/core"
+)
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	const d, base = core.Time(8), core.Time(1)
+	for task := 0; task < 50; task++ {
+		for attempt := 1; attempt <= 5; attempt++ {
+			full := Jitter(JitterFull, 42, task, attempt, d, base, 0)
+			if full < 0 || full >= d {
+				t.Fatalf("full jitter %v outside [0, %v)", full, d)
+			}
+			eq := Jitter(JitterEqual, 42, task, attempt, d, base, 0)
+			if eq < d/2 || eq >= d {
+				t.Fatalf("equal jitter %v outside [%v, %v)", eq, d/2, d)
+			}
+			prev := core.Time(2)
+			dec := Jitter(JitterDecorrelated, 42, task, attempt, d, base, prev)
+			if dec < base || dec >= 3*prev {
+				t.Fatalf("decorrelated jitter %v outside [%v, %v)", dec, base, 3*prev)
+			}
+			if none := Jitter(JitterNone, 42, task, attempt, d, base, 0); none != d {
+				t.Fatalf("no-jitter delay %v, want the deterministic %v", none, d)
+			}
+			// Replayable: the same (seed, task, attempt) always draws the
+			// same delay.
+			if again := Jitter(JitterFull, 42, task, attempt, d, base, 0); again != full {
+				t.Fatalf("replay drew %v, first draw was %v", again, full)
+			}
+		}
+	}
+	// Distinct seeds must decorrelate: across 50 tasks at least one draw
+	// differs (in fact essentially all do).
+	same := 0
+	for task := 0; task < 50; task++ {
+		if Jitter(JitterFull, 1, task, 1, d, base, 0) == Jitter(JitterFull, 2, task, 1, d, base, 0) {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("two different seeds drew identical jitter for every task")
+	}
+}
+
+func TestJitterDecorrelatedClamps(t *testing.T) {
+	// A runaway decorrelated recurrence must saturate at maxDelay, never
+	// overflow to +Inf.
+	prev := core.Time(math.MaxFloat64 / 4)
+	for attempt := 1; attempt < 10; attempt++ {
+		d := Jitter(JitterDecorrelated, 9, 0, attempt, 1, 1, prev)
+		if math.IsInf(float64(d), 0) || math.IsNaN(float64(d)) || d > maxDelay {
+			t.Fatalf("attempt %d: delay %v escaped the clamp", attempt, d)
+		}
+		prev = d
+	}
+	// prev below base snaps up to base, keeping the draw in [base, 3·base).
+	d := Jitter(JitterDecorrelated, 9, 3, 1, 4, 2, 0)
+	if d < 2 || d >= 6 {
+		t.Fatalf("first decorrelated draw %v outside [base, 3·base) = [2, 6)", d)
+	}
+}
+
+func TestBudgetTokenBucket(t *testing.T) {
+	var b Budget
+	b.Reset(0.5, 2)
+	if b.Tokens() != 2 {
+		t.Fatalf("bucket starts at %v, want full burst 2", b.Tokens())
+	}
+	if !b.Take() || !b.Take() {
+		t.Fatal("a full bucket must grant two retries")
+	}
+	if b.Take() {
+		t.Fatal("an empty bucket granted a retry")
+	}
+	if b.Tokens() != 0 {
+		t.Fatalf("failed Take spent tokens: %v", b.Tokens())
+	}
+	b.Refill()
+	if b.Take() {
+		t.Fatal("half a token granted a retry")
+	}
+	b.Refill()
+	if !b.Take() {
+		t.Fatal("two refills at fraction 0.5 must bank one retry")
+	}
+	for i := 0; i < 10; i++ {
+		b.Refill()
+	}
+	if b.Tokens() != 2 {
+		t.Fatalf("bucket banked %v tokens past its burst of 2", b.Tokens())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	valid := []*Config{
+		nil,
+		{},
+		{Jitter: JitterFull, Seed: 7},
+		{Jitter: JitterEqual, RetryBudget: 0.1, BudgetBurst: 5},
+		{Jitter: JitterDecorrelated, RetryBudget: 1},
+		{Breaker: &BreakerConfig{Window: 1, FailureThreshold: 1, Cooldown: 1}},
+		{Breaker: &BreakerConfig{Window: 20, FailureThreshold: 0.5, Cooldown: 10, HalfOpenProbes: 3, SlowFactor: 4}},
+	}
+	for _, c := range valid {
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %+v rejected: %v", c, err)
+		}
+	}
+	invalid := []*Config{
+		{Jitter: "bogus"},
+		{RetryBudget: -0.1},
+		{RetryBudget: 1.5},
+		{RetryBudget: math.NaN()},
+		{BudgetBurst: -1},
+		{BudgetBurst: math.Inf(1)},
+		{Breaker: &BreakerConfig{Window: 0, FailureThreshold: 1, Cooldown: 1}},
+		{Breaker: &BreakerConfig{Window: 1, FailureThreshold: 0, Cooldown: 1}},
+		{Breaker: &BreakerConfig{Window: 1, FailureThreshold: 1.5, Cooldown: 1}},
+		{Breaker: &BreakerConfig{Window: 1, FailureThreshold: 1, Cooldown: 0}},
+		{Breaker: &BreakerConfig{Window: 1, FailureThreshold: 1, Cooldown: core.Time(math.Inf(1))}},
+		{Breaker: &BreakerConfig{Window: 1, FailureThreshold: 1, Cooldown: 1, HalfOpenProbes: -1}},
+		// SlowFactor in (0, 1] would flag every on-time completion.
+		{Breaker: &BreakerConfig{Window: 1, FailureThreshold: 1, Cooldown: 1, SlowFactor: 0.5}},
+		{Breaker: &BreakerConfig{Window: 1, FailureThreshold: 1, Cooldown: 1, SlowFactor: 1}},
+	}
+	for _, c := range invalid {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted, want rejection", c)
+		}
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	var b Breakers
+	b.Reset(&BreakerConfig{Window: 2, FailureThreshold: 0.5, Cooldown: 5, HalfOpenProbes: 1}, 2)
+
+	// Closed: the window must fill before the breaker can trip.
+	if opened := b.Observe(0, true, 1); opened {
+		t.Fatal("breaker tripped before its window filled")
+	}
+	if opened := b.Observe(0, false, 2); !opened {
+		t.Fatal("1 failure in a window of 2 at threshold 0.5 must trip")
+	}
+	if b.State(0) != Open || b.Allow(0) {
+		t.Fatalf("state %v allow %v, want open and blocking", b.State(0), b.Allow(0))
+	}
+	if b.State(1) != Closed || !b.Allow(1) {
+		t.Fatal("server 1's breaker is independent and must stay closed")
+	}
+	if got := b.OpenUntil(0); got != 7 {
+		t.Fatalf("open until %v, want openedAt 2 + cooldown 5 = 7", got)
+	}
+
+	// Timed transition only fires at the cooldown boundary, only via Tick.
+	if b.Tick(0, 6) {
+		t.Fatal("Tick fired before the cooldown elapsed")
+	}
+	if !b.Tick(0, 7) || b.State(0) != HalfOpen {
+		t.Fatal("Tick at the cooldown boundary must go half-open")
+	}
+
+	// Half-open: one probe slot, then blocked.
+	if !b.Allow(0) {
+		t.Fatal("half-open breaker must admit a probe")
+	}
+	b.StartProbe(0)
+	if b.Allow(0) {
+		t.Fatal("probe cap 1 admitted a second probe")
+	}
+	if b.Issued(0) != 1 || b.Inflight(0) != 1 {
+		t.Fatalf("issued %d inflight %d, want 1/1", b.Issued(0), b.Inflight(0))
+	}
+
+	// Probe success closes and resets the evidence window.
+	closed, opened := b.ObserveProbe(0, false, 10)
+	if !closed || opened || b.State(0) != Closed {
+		t.Fatalf("probe success: closed=%v opened=%v state=%v", closed, opened, b.State(0))
+	}
+	if opened := b.Observe(0, true, 11); opened {
+		t.Fatal("the post-close window kept stale outcomes: one failure re-tripped")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	var b Breakers
+	b.Reset(&BreakerConfig{Window: 1, FailureThreshold: 1, Cooldown: 3}, 1)
+	if !b.Observe(0, true, 1) {
+		t.Fatal("window 1 threshold 1: one failure must trip")
+	}
+	b.Tick(0, 4)
+	b.StartProbe(0)
+	closed, opened := b.ObserveProbe(0, true, 5)
+	if closed || !opened || b.State(0) != Open {
+		t.Fatalf("probe failure: closed=%v opened=%v state=%v, want re-open", closed, opened, b.State(0))
+	}
+	if got := b.OpenUntil(0); got != 8 {
+		t.Fatalf("re-open cooldown from %v, want the probe-failure instant 5 + 3 = 8", got-3)
+	}
+}
+
+func TestBreakerAbortProbeRefundsSlot(t *testing.T) {
+	var b Breakers
+	b.Reset(&BreakerConfig{Window: 1, FailureThreshold: 1, Cooldown: 1, HalfOpenProbes: 1}, 1)
+	b.Observe(0, true, 0)
+	b.Tick(0, 1)
+	b.StartProbe(0)
+	if b.Allow(0) {
+		t.Fatal("slot taken, Allow must block")
+	}
+	b.AbortProbe(0)
+	if !b.Allow(0) || b.Issued(0) != 0 || b.Inflight(0) != 0 {
+		t.Fatal("aborted probe did not refund its slot")
+	}
+	// Aborting against a non-half-open breaker is a no-op, not an underflow.
+	b.StartProbe(0)
+	b.ObserveProbe(0, true, 2) // re-opens
+	b.AbortProbe(0)
+	if b.Issued(0) != 0 || b.Inflight(0) != 0 {
+		t.Fatal("abort after re-open corrupted the counters")
+	}
+}
+
+func TestBreakerStragglerOutcomes(t *testing.T) {
+	var b Breakers
+	b.Reset(&BreakerConfig{Window: 2, FailureThreshold: 1, Cooldown: 10}, 1)
+	b.Observe(0, true, 0)
+	b.Observe(0, true, 1) // trips
+	if b.State(0) != Open {
+		t.Fatal("setup: breaker should be open")
+	}
+	// A straggler completing against an open breaker carries no information.
+	if b.Observe(0, false, 2); b.State(0) != Open {
+		t.Fatal("open-state observe mutated the breaker")
+	}
+	// A probe straggler whose breaker already left half-open feeds the
+	// normal window instead: two failures re-trip from the closed state.
+	b.Tick(0, 11)
+	b.StartProbe(0)
+	b.ObserveProbe(0, false, 12) // closes
+	closed, opened := b.ObserveProbe(0, true, 13)
+	if closed || opened {
+		t.Fatal("first straggler failure filled only half the window")
+	}
+	_, opened = b.ObserveProbe(0, true, 14)
+	if !opened || b.State(0) != Open {
+		t.Fatal("straggler probe outcomes must flow through the closed-state window")
+	}
+}
+
+// FuzzBreakerStateMachine drives two identical breaker banks through an
+// arbitrary op stream and checks, after every op, that the state machine
+// stays legal (transitions only via the op that owns them, probe counters
+// within the cap, Allow consistent with the state) and deterministic (both
+// banks agree on every observable).
+func FuzzBreakerStateMachine(f *testing.F) {
+	f.Add(int64(0x010101), []byte{0x12, 0x23, 0x34, 0x45, 0x56})
+	f.Add(int64(0x050302), []byte("open-close-open"))
+	f.Add(int64(0x020107), []byte{0x03, 0x03, 0x21, 0x42, 0x1b, 0x03, 0x2a, 0x15})
+	f.Add(int64(-1), []byte{0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa})
+	f.Fuzz(func(t *testing.T, knobs int64, ops []byte) {
+		const m = 3
+		cfg := &BreakerConfig{
+			Window:           1 + int(uint64(knobs)%5),
+			FailureThreshold: []float64{0.25, 0.5, 1}[uint64(knobs>>8)%3],
+			Cooldown:         core.Time(1 + uint64(knobs>>16)%7),
+			HalfOpenProbes:   int(uint64(knobs>>24) % 4),
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("constructed config invalid: %v", err)
+		}
+		var a, b Breakers
+		a.Reset(cfg, m)
+		b.Reset(cfg, m)
+		outstanding := [m]int{} // probes we started and have not yet resolved
+		now := core.Time(0)
+		for i, op := range ops {
+			j := int(op) % m
+			now += core.Time(op % 3)
+			kind := (op / 4) % 6
+			prev := a.State(j)
+			started := false
+			step := func(bk *Breakers) (State, int, int, bool) {
+				fired := false
+				switch kind {
+				case 0:
+					_ = bk.Allow(j)
+				case 1:
+					if bk.State(j) == HalfOpen && bk.Allow(j) {
+						bk.StartProbe(j)
+						started = true
+					}
+				case 2:
+					bk.Observe(j, op&0x80 != 0, now)
+				case 3:
+					// Resolve only probes this caller actually started —
+					// including stragglers whose breaker has since moved on.
+					if outstanding[j] > 0 {
+						bk.ObserveProbe(j, op&0x80 != 0, now)
+					}
+				case 4:
+					fired = bk.Tick(j, now)
+				case 5:
+					if outstanding[j] > 0 {
+						bk.AbortProbe(j)
+					}
+				}
+				return bk.State(j), bk.Issued(j), bk.Inflight(j), fired
+			}
+			s1, i1, f1, t1 := step(&a)
+			started1 := started
+			started = false
+			s2, i2, f2, t2 := step(&b)
+			if s1 != s2 || i1 != i2 || f1 != f2 || t1 != t2 || started1 != started {
+				t.Fatalf("op %d: banks diverged: (%v,%d,%d,%v,%v) vs (%v,%d,%d,%v,%v)",
+					i, s1, i1, f1, t1, started1, s2, i2, f2, t2, started)
+			}
+			if started1 {
+				outstanding[j]++
+			}
+			if (kind == 3 || kind == 5) && outstanding[j] > 0 {
+				outstanding[j]--
+			}
+
+			// Invariants.
+			if s1.String() == "invalid" {
+				t.Fatalf("op %d: invalid state %d", i, s1)
+			}
+			switch s1 {
+			case Closed:
+				if !a.Allow(j) {
+					t.Fatalf("op %d: closed breaker blocked a dispatch", i)
+				}
+			case Open:
+				if a.Allow(j) {
+					t.Fatalf("op %d: open breaker admitted a dispatch", i)
+				}
+			case HalfOpen:
+				if i1 < 0 || f1 < 0 || f1 > i1 || i1 > cfg.ProbeCap() {
+					t.Fatalf("op %d: probe counters issued=%d inflight=%d cap=%d", i, i1, f1, cfg.ProbeCap())
+				}
+				if a.Allow(j) != (i1 < cfg.ProbeCap()) {
+					t.Fatalf("op %d: half-open Allow inconsistent with issued=%d", i, i1)
+				}
+			}
+			// Transition legality: Open is left only by Tick, and Tick only
+			// fires at or after the cooldown boundary.
+			if prev == Open && s1 != Open && !t1 {
+				t.Fatalf("op %d: open → %v without a Tick", i, s1)
+			}
+			if t1 && now < a.openedAt[j]+cfg.Cooldown {
+				t.Fatalf("op %d: Tick fired before the cooldown elapsed", i)
+			}
+			if prev == Closed && s1 == HalfOpen {
+				t.Fatalf("op %d: closed → half-open is not a legal transition", i)
+			}
+			if (kind == 0 || kind == 1 || kind == 5) && prev != s1 {
+				t.Fatalf("op %d: op kind %d mutated the state %v → %v", i, kind, prev, s1)
+			}
+		}
+	})
+}

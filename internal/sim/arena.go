@@ -6,6 +6,7 @@ import (
 	"flowsched/internal/core"
 	"flowsched/internal/elastic"
 	"flowsched/internal/eventq"
+	"flowsched/internal/resilience"
 )
 
 // Arena owns every per-run buffer of the unified engine (elasticsim.go): the
@@ -68,14 +69,16 @@ type Arena struct {
 
 	liveBuf core.ProcSet // dispatch-time live-subset scratch
 
-	// Overload / elastic / hedge runtimes (their scratch slices are recycled
-	// via the struct fields; see the cfg/ecfg/hcfg setup blocks in
-	// elasticsim.go).
+	// Overload / elastic / hedge / resilience runtimes (their scratch slices
+	// are recycled via the struct fields; see the cfg/ecfg/hcfg/rcfg setup
+	// blocks in elasticsim.go).
 	ov         ovRun
 	el         elRun
 	hd         hdRun
+	rs         rsRun
 	membership elastic.Membership
 	ctrl       elastic.Controller
+	breakers   resilience.Breakers
 }
 
 // NewArena returns an empty arena. The first run sizes it; later runs of the

@@ -10,6 +10,7 @@ import (
 	"flowsched/internal/hedge"
 	"flowsched/internal/obs"
 	"flowsched/internal/overload"
+	"flowsched/internal/resilience"
 )
 
 // ElasticMetrics extends OverloadMetrics with the membership observables of
@@ -27,6 +28,9 @@ type ElasticMetrics struct {
 	// that never dispatched: rejected, or parked forever). The auditor checks
 	// membership eligibility at this instant. The core.Times type keeps the
 	// deliberate NaN sentinels JSON-encodable (they marshal as null).
+	// Breaker-enabled runs (sim.RunResilient with a Breaker config) populate
+	// it too, so the auditor can check dispatch instants against the
+	// breaker's open spans even without an elastic config.
 	Dispatched core.Times
 	// ScaleUps / ScaleDowns count committed scale decisions (per machine);
 	// Handoffs counts queued tasks moved off draining machines.
@@ -69,6 +73,33 @@ type ElasticMetrics struct {
 	// headline experiment via DuplicateRatio.
 	CancelledWork core.Time
 	DuplicateWork core.Time
+
+	// Resilience observables (sim.RunResilient). The per-task vectors are
+	// nil and every counter zero when the run had no resilience config.
+	//
+	// Every retry that survives the policy's attempt-cap and timeout
+	// checks is Requested; with a retry budget it is then either Issued
+	// (a token was available) or Dropped (over budget — the task takes
+	// the BudgetDropped disposition instead of parking forever). Without
+	// a budget every requested retry is issued, so the conservation
+	// equation RetriesIssued + RetriesDropped == RetriesRequested holds
+	// exactly either way (audited per run).
+	RetriesRequested int
+	RetriesIssued    int
+	RetriesDropped   int
+	// BudgetDropped marks tasks whose retry was refused by the budget.
+	// Such a task is dropped — unless a live hedge copy completed it.
+	BudgetDropped []bool
+	// BreakerOpens/BreakerCloses/BreakerProbes count breaker open
+	// episodes, probe-success closes and issued half-open probes;
+	// BreakerSpans records each open episode for the auditor.
+	BreakerOpens   int
+	BreakerCloses  int
+	BreakerProbes  int
+	BreakerSpans   []resilience.Span
+	// ProbeDispatch marks tasks whose completing dispatch was a half-open
+	// probe (the only dispatches legal against a non-closed breaker).
+	ProbeDispatch []bool
 }
 
 // elRun is the engine-side runtime of an elastic config: the active/warming
@@ -147,13 +178,16 @@ func (a *Arena) RunElastic(inst *core.Instance, router Router, plan *faults.Plan
 	return a.RunHedged(inst, router, plan, policy, cfg, ecfg, nil, probe)
 }
 
-// RunHedged is the unified engine (see the package-level RunElastic and
-// RunHedged for the model). All per-run state lives in the arena: repeat
-// calls on one arena reuse every buffer, and the returned schedule and
-// metrics point into the arena — valid until its next run.
-func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan, policy RetryPolicy, cfg *overload.Config, ecfg *elastic.Config, hcfg *hedge.Config, probe obs.Probe) (*core.Schedule, *ElasticMetrics, error) {
+// RunResilient is the unified engine (see the package-level RunElastic,
+// RunHedged and RunResilient for the model). All per-run state lives in the
+// arena: repeat calls on one arena reuse every buffer, and the returned
+// schedule and metrics point into the arena — valid until its next run.
+func (a *Arena) RunResilient(inst *core.Instance, router Router, plan *faults.Plan, policy RetryPolicy, cfg *overload.Config, ecfg *elastic.Config, hcfg *hedge.Config, rcfg *resilience.Config, probe obs.Probe) (*core.Schedule, *ElasticMetrics, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := policy.Validate(); err != nil {
+		return nil, nil, err
 	}
 	if plan == nil {
 		plan = faults.Empty(inst.M)
@@ -171,6 +205,9 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 		return nil, nil, fmt.Errorf("sim: %w", err)
 	}
 	if err := hcfg.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := rcfg.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("sim: %w", err)
 	}
 	plan = plan.Normalize()
@@ -362,6 +399,58 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 		metrics.HedgeWonByCopy = hd.wonByCopy
 	}
 
+	// Everything resilience hangs off rs, with the same discipline as ov,
+	// el and hd: every use below sits behind an rs != nil guard, so the
+	// disabled path is byte-identical to RunHedged and allocation-free
+	// relative to it. No closures are assigned here — all resilience work
+	// is straight-line code inside the existing ones.
+	var rs *rsRun
+	if rcfg != nil {
+		rs = &a.rs
+		// The composite literal wipes a.rs, so every recycled buffer is
+		// carried through it (the conditional ones at length 0, resliced to
+		// size below only when their mechanism is on).
+		*rs = rsRun{
+			cfg:     rcfg,
+			bdrop:   resliceZero(a.rs.bdrop, n),
+			prev:    a.rs.prev[:0],
+			probe:   a.rs.probe[:0],
+			curSpan: a.rs.curSpan[:0],
+			spans:   a.rs.spans[:0],
+			brkBuf:  a.rs.brkBuf,
+		}
+		rs.ro, _ = probe.(obs.ResilienceObserver)
+		if rcfg.RetryBudget > 0 {
+			rs.budgetOn = true
+			rs.budget.Reset(rcfg.RetryBudget, rcfg.BudgetBurstOrDefault())
+		}
+		if rcfg.Jitter == resilience.JitterDecorrelated {
+			rs.prev = resliceZero(rs.prev, n)
+		}
+		metrics.BudgetDropped = rs.bdrop
+		if rcfg.Breaker != nil {
+			rs.brk = &a.breakers
+			rs.brk.Reset(rcfg.Breaker, m)
+			rs.probe = resliceZero(rs.probe, n)
+			rs.curSpan = resliceZero(rs.curSpan, m)
+			metrics.ProbeDispatch = rs.probe
+			if cap(rs.brkBuf) < m {
+				rs.brkBuf = make(core.ProcSet, 0, m)
+			}
+			if el == nil {
+				// Breaker legality is audited against dispatch instants, so
+				// record them even without an elastic config (which fills
+				// this same arena vector itself).
+				a.dispatched = grow(a.dispatched, n)
+				for i := range a.dispatched {
+					a.dispatched[i] = core.Time(math.NaN())
+				}
+				metrics.Dispatched = a.dispatched
+			}
+			rs.disp = a.dispatched
+		}
+	}
+
 	// Hedge helpers, assigned only on hedged runs (closure values allocate;
 	// the nil-config path must not). Declared up front so drain and dispatch
 	// can call them; every call site sits behind an hd != nil guard.
@@ -378,6 +467,17 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 			when, c := completions.Peek()
 			if when > upTo {
 				return
+			}
+			if rs != nil && events.Len() > 0 {
+				// A completion in this drain may have armed a breaker
+				// event due before the next completion — a close waking
+				// parked work at its own instant, an open's cooldown
+				// expiry. Yield so the caller's event loop interleaves it
+				// in time order; a same-instant completion still settles
+				// first (strict <).
+				if te, _ := events.Peek(); te < when {
+					return
+				}
 			}
 			completions.Pop()
 			if c.gen != gen[c.task] {
@@ -436,11 +536,22 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 					sched.Assign(rid, c.server, curStart[c.task])
 					if el != nil {
 						metrics.Dispatched[rid] = hd.copyAt[rid]
+					} else if rs != nil && rs.disp != nil {
+						rs.disp[rid] = hd.copyAt[rid]
 					}
 					if hd.priIn[rid] {
 						started := curStart[rid] < when
 						a.cancelAttempt(inst, slow, rid, pj, when, hd.cfg.CancelRunning)
 						hd.priIn[rid] = false
+						if rs != nil && rs.brk != nil && rs.probe[rid] {
+							// The cancelled primary was a half-open probe:
+							// refund its slot, it resolves without an outcome.
+							// The freed slot is admissible capacity — wake
+							// parked work via a same-instant breaker event.
+							rs.brk.AbortProbe(pj)
+							rs.probe[rid] = false
+							events.Push(when, faultEvent{kind: evBreaker, server: pj})
+						}
 						if hd.ho != nil {
 							hd.ho.OnHedgeCancel(rid, pj, when, started)
 						}
@@ -454,6 +565,13 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 									ov.op.OnEject(c.server, when)
 								}
 							}
+						}
+					}
+					if rs != nil && rs.brk != nil {
+						// A copy is never a probe (it goes only to closed
+						// breakers), so its completion feeds the window.
+						if rs.brk.Observe(c.server, rs.failed(inst, rid, curStart[c.task], when), when) {
+							rs.opened(c.server, when, metrics, events)
 						}
 					}
 					if hd.ho != nil {
@@ -492,6 +610,25 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 							ov.op.OnEject(c.server, when)
 						}
 					}
+				}
+			}
+			if rs != nil && rs.brk != nil {
+				// An effective completion feeds the server's breaker: on time
+				// is a success, SlowFactor-late is a failure (how a gray-slow
+				// server trips without ever crashing). A completing probe
+				// settles the half-open state instead; its probe mark stays
+				// set — that is the ProbeDispatch metric the auditor reads.
+				f := rs.failed(inst, c.task, curStart[c.task], when)
+				if rs.probe[c.task] {
+					closedNow, openedNow := rs.brk.ObserveProbe(c.server, f, when)
+					if closedNow {
+						rs.closed(c.server, when, metrics, events)
+					}
+					if openedNow {
+						rs.opened(c.server, when, metrics, events)
+					}
+				} else if rs.brk.Observe(c.server, f, when) {
+					rs.opened(c.server, when, metrics, events)
 				}
 			}
 		}
@@ -619,6 +756,37 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 			}
 			view.Set = eff
 		}
+		if rs != nil && rs.brk != nil {
+			// Failover routing consults the breakers: open servers leave the
+			// candidate set, half-open ones stay only while a probe slot is
+			// free. Unlike ejection this is mandatory, so a task whose whole
+			// set is breaker-blocked parks — it wakes at the next breaker
+			// transition (every open arms a cooldown event and every close
+			// pushes one), never livelocks.
+			out := rs.brkBuf[:0]
+			if view.Set == nil {
+				for j := 0; j < m; j++ {
+					if live[j] && rs.brk.Allow(j) {
+						out = append(out, j)
+					}
+				}
+			} else {
+				for _, j := range view.Set {
+					if rs.brk.Allow(j) {
+						out = append(out, j)
+					}
+				}
+			}
+			if len(out) == 0 {
+				if hd != nil {
+					hd.priIn[id] = false
+				}
+				metrics.Parked[id] = true
+				parked = append(parked, id)
+				return nil
+			}
+			view.Set = out
+		}
 		view.Release = now // failover re-dispatches cannot start before now
 		j := router.Pick(st, view)
 		if j < 0 || j >= m || !view.Eligible(j) {
@@ -658,6 +826,27 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 		metrics.Attempts[id]++
 		if el != nil {
 			metrics.Dispatched[id] = now
+		} else if rs != nil && rs.disp != nil {
+			rs.disp[id] = now
+		}
+		if rs != nil {
+			if rs.budgetOn && metrics.Attempts[id] == 1 {
+				rs.budget.Refill()
+			}
+			if rs.brk != nil {
+				if rs.brk.State(j) == resilience.HalfOpen {
+					// Every half-open dispatch is a probe (Allow admitted it
+					// into a probe slot above).
+					rs.brk.StartProbe(j)
+					rs.probe[id] = true
+					metrics.BreakerProbes++
+					if rs.ro != nil {
+						rs.ro.OnBreakerProbe(j, id, now)
+					}
+				} else if rs.probe[id] {
+					rs.probe[id] = false // defensive: a fresh attempt is not a probe
+				}
+			}
 		}
 		st.Completion[j] = end
 		st.QueueLen[j]++
@@ -698,7 +887,12 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 		return nil
 	}
 
-	// requeue decides the fate of request id aborted at instant now.
+	// requeue decides the fate of request id aborted at instant now: the
+	// policy's attempt cap and timeout first, then (on resilient runs) the
+	// jittered delay and the retry-budget gate. A retry that survives the
+	// policy checks is Requested; the budget then either Issues it or Drops
+	// it with the BudgetDropped disposition — the conservation equation
+	// RetriesIssued + RetriesDropped == RetriesRequested is exact.
 	requeue := func(id int, now core.Time) {
 		if policy.MaxAttempts > 0 && metrics.Attempts[id] >= policy.MaxAttempts {
 			if hd != nil && hd.copyLive[id] {
@@ -710,7 +904,18 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 			drop(id, now)
 			return
 		}
-		next := now + policy.delay(metrics.Attempts[id])
+		d := policy.delay(metrics.Attempts[id])
+		if rs != nil && rs.cfg.Jitter != resilience.JitterNone {
+			var prev core.Time
+			if len(rs.prev) > 0 { // decorrelated mode tracks the previous draw
+				prev = rs.prev[id]
+			}
+			d = resilience.Jitter(rs.cfg.Jitter, rs.cfg.Seed, id, metrics.Attempts[id], d, policy.Backoff, prev)
+			if len(rs.prev) > 0 {
+				rs.prev[id] = d
+			}
+		}
+		next := now + d
 		if policy.Timeout > 0 && next-inst.Tasks[id].Release > policy.Timeout {
 			if hd != nil && hd.copyLive[id] {
 				hd.priDropped[id] = true
@@ -718,6 +923,24 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 			}
 			drop(id, now)
 			return
+		}
+		if rs != nil {
+			metrics.RetriesRequested++
+			if rs.budgetOn && !rs.budget.Take() {
+				metrics.RetriesDropped++
+				rs.bdrop[id] = true
+				if rs.ro != nil {
+					rs.ro.OnRetryBudgetDrop(id, metrics.Attempts[id], now)
+				}
+				if hd != nil && hd.copyLive[id] {
+					// Dropped unless its live hedge copy completes it.
+					hd.priDropped[id] = true
+					return
+				}
+				drop(id, now)
+				return
+			}
+			metrics.RetriesIssued++
 		}
 		events.Push(next, faultEvent{kind: evRetry, task: id})
 		if probe != nil {
@@ -805,18 +1028,20 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 			if hd.priIn[id] {
 				pj = a.machine[id]
 			}
-			// Candidates: the (effective) set minus the primary's server and
-			// the dead. When set aliases hd.effBuf the filter runs in place.
+			// Candidates: the (effective) set minus the primary's server, the
+			// dead, and (on resilient runs) servers whose breaker is not
+			// closed — a speculative copy is never spent as a half-open
+			// probe. When set aliases hd.effBuf the filter runs in place.
 			cands := hd.effBuf[:0]
 			if set == nil {
 				for j := 0; j < m; j++ {
-					if j != pj && live[j] {
+					if j != pj && live[j] && (rs == nil || rs.brk == nil || rs.brk.State(j) == resilience.Closed) {
 						cands = append(cands, j)
 					}
 				}
 			} else {
 				for _, j := range set {
-					if j != pj && live[j] {
+					if j != pj && live[j] && (rs == nil || rs.brk == nil || rs.brk.State(j) == resilience.Closed) {
 						cands = append(cands, j)
 					}
 				}
@@ -923,6 +1148,13 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 			if a.cancelAttempt(inst, slow, id, pj, when, hd.cfg.CancelRunning) {
 				hd.priIn[id] = false
 				hd.priRevoked[id] = true
+				if rs != nil && rs.brk != nil && rs.probe[id] {
+					// The revoked primary was a half-open probe: refund,
+					// and wake parked work — the slot is free again.
+					rs.brk.AbortProbe(pj)
+					rs.probe[id] = false
+					events.Push(when, faultEvent{kind: evBreaker, server: pj})
+				}
 				if hd.ho != nil {
 					hd.ho.OnHedgeCancel(id, pj, when, started)
 				}
@@ -951,6 +1183,20 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 				executed = now - curStart[id] // the running request's wasted partial work
 			}
 			metrics.Busy[j] -= busyAdd[id] - executed
+			if rs != nil && rs.brk != nil {
+				// Every attempt lost to the crash is a failure outcome. A
+				// lost half-open probe reports through ObserveProbe (a probe
+				// failure re-opens the breaker).
+				if id < n && rs.probe[id] {
+					_, openedNow := rs.brk.ObserveProbe(j, true, now)
+					rs.probe[id] = false
+					if openedNow {
+						rs.opened(j, now, metrics, events)
+					}
+				} else if rs.brk.Observe(j, true, now) {
+					rs.opened(j, now, metrics, events)
+				}
+			}
 			if hd != nil {
 				if id >= n {
 					// A crashed speculative copy: its executed part is burned
@@ -992,6 +1238,12 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 		wake := parked
 		parked = a.wake[:0]
 		a.wake = wake[:0] // recycled once the walk below has consumed it
+		// Re-anchor a.parked immediately: a breaker-closing final drain runs
+		// wakeAll after the loop-exit a.parked assignment, and leaving the
+		// swap unrecorded would hand the NEXT run a.parked and a.wake on the
+		// same backing array — restore would then build its still/wake lists
+		// aliased, waking tasks that are already queued.
+		a.parked = parked
 		for _, id := range wake {
 			if hd != nil && hd.done[id] {
 				continue // completed by its copy while parked
@@ -1145,6 +1397,14 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 				nxt := fq.next[id] // before dispatch: a re-queue relinks id
 				gen[id]++          // invalidate the queued completion
 				metrics.Busy[victim] -= busyAdd[id]
+				if rs != nil && rs.brk != nil && id < n && rs.probe[id] {
+					// A half-open probe racing the drain: the attempt hands
+					// off without an outcome, so refund the probe slot and
+					// wake parked work — the slot is free again.
+					rs.brk.AbortProbe(victim)
+					rs.probe[id] = false
+					events.Push(now, faultEvent{kind: evBreaker, server: victim})
+				}
 				if hd != nil {
 					if id >= n {
 						// A drained speculative copy is cancelled, not handed
@@ -1263,6 +1523,13 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 				dropped++
 				continue
 			}
+			if rs != nil && rs.brk != nil && rs.probe[c.ID] {
+				// A queued probe trimmed by the shedder: no outcome, refund
+				// and wake parked work — the slot is free again.
+				rs.brk.AbortProbe(j)
+				rs.probe[c.ID] = false
+				events.Push(now, faultEvent{kind: evBreaker, server: j})
+			}
 			shed(c.ID, j, now, ov.shedReason)
 			if hd != nil {
 				hd.priIn[c.ID] = false
@@ -1356,9 +1623,18 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 		if events.Len() > 0 {
 			when, _ := events.Peek()
 			if next >= n || when <= inst.Tasks[next].Release {
-				when, ev := events.Pop()
 				st.Now = when
 				drain(when)
+				if rs != nil && events.Len() > 0 {
+					// The drain yielded to an earlier breaker event it
+					// armed; restart the loop so that event pops first,
+					// in time order.
+					if w2, _ := events.Peek(); w2 < when {
+						continue
+					}
+				}
+				when, ev := events.Pop()
+				st.Now = when
 				switch ev.kind {
 				case evDown:
 					fail(ev.server, when)
@@ -1384,6 +1660,22 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 					}
 				case evTied:
 					tiedResolve(ev.task, when)
+				case evBreaker:
+					if rs != nil && rs.brk != nil {
+						// Cooldown expiry: the timed open → half-open
+						// transition fires here (and only here, so the state
+						// stream is a pure function of the event sequence). A
+						// close pushes a same-instant event through this case
+						// too; either way newly admissible capacity exists, so
+						// wake parked work. Stale events (the breaker
+						// re-opened meanwhile) tick to a no-op.
+						if rs.brk.Tick(ev.server, when) {
+							rs.halfOpened(ev.server, when)
+						}
+						if err := wakeAll(when); err != nil {
+							return nil, nil, err
+						}
+					}
 				}
 				continue
 			}
@@ -1391,6 +1683,13 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 		task := inst.Tasks[next]
 		st.Now = task.Release
 		drain(st.Now)
+		if rs != nil && events.Len() > 0 {
+			// The drain yielded to a breaker event due at or before this
+			// arrival; restart the loop so the event branch takes it first.
+			if te, _ := events.Peek(); te <= task.Release {
+				continue
+			}
+		}
 		if probe != nil {
 			probe.OnArrival(next, task.Release)
 		}
@@ -1410,7 +1709,58 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 	}
 	a.parked = parked[:0] // keep a re-grown backing for the next run
 
-	if hd != nil {
+	if rs != nil && rs.brk != nil {
+		// Completions in the final drain can still move breakers — a close
+		// wakes parked work (whose fresh completions extend the run), an
+		// open arms a cooldown that must fire in time order — so the drain
+		// re-enters event processing until both queues are dry. Only
+		// breaker, retry, and hedge timer events can appear here: the
+		// fault plan and the membership script were consumed by the main
+		// loop. The makespan is derived afterwards, from what actually
+		// completed.
+		for {
+			drain(core.Time(math.Inf(1)))
+			if events.Len() == 0 {
+				break
+			}
+			when, ev := events.Pop()
+			st.Now = when
+			switch ev.kind {
+			case evRetry:
+				if err := dispatch(ev.task, when); err != nil {
+					return nil, nil, err
+				}
+			case evHedge:
+				if err := hedgeIssue(ev.task, when); err != nil {
+					return nil, nil, err
+				}
+			case evTied:
+				tiedResolve(ev.task, when)
+			case evBreaker:
+				if rs.brk.Tick(ev.server, when) {
+					rs.halfOpened(ev.server, when)
+				}
+				if err := wakeAll(when); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		if hd != nil {
+			metrics.Makespan = hd.maxEnd
+		} else {
+			for id := 0; id < n; id++ {
+				if metrics.Dropped[id] {
+					continue
+				}
+				if ov != nil && (metrics.Rejected[id] || metrics.Shed[id]) {
+					continue
+				}
+				if curEnd[id] > metrics.Makespan {
+					metrics.Makespan = curEnd[id]
+				}
+			}
+		}
+	} else if hd != nil {
 		// Under hedging a task's curEnd may belong to a losing attempt, so
 		// the makespan is the latest *effective* completion, tracked by
 		// drain; draining to +Inf also settles losing attempts that ran to
@@ -1439,6 +1789,10 @@ func (a *Arena) RunHedged(inst *core.Instance, router Router, plan *faults.Plan,
 	metrics.Downtime = a.downtime
 	if el != nil {
 		metrics.MachineHours = el.ms.MachineHours(metrics.Horizon)
+	}
+	if rs != nil && rs.brk != nil {
+		// Assigned at the end: the opens above may have regrown the backing.
+		metrics.BreakerSpans = rs.spans
 	}
 	if probe != nil {
 		probe.OnDone(metrics.Makespan)

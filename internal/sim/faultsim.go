@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"fmt"
+	"math"
+
 	"flowsched/internal/core"
 	"flowsched/internal/faults"
 	"flowsched/internal/obs"
@@ -21,7 +24,9 @@ type RetryPolicy struct {
 	// immediately.
 	Backoff core.Time
 	// BackoffFactor is the multiplier applied per additional attempt
-	// (exponential backoff). Values ≤ 0 and 1 mean constant backoff.
+	// (exponential backoff). 0 and 1 mean constant backoff; values in
+	// (0, 1) are rejected by Validate (they would shrink the delay per
+	// attempt — retries accelerating into a down server).
 	BackoffFactor float64
 	// Timeout drops a request when its age (time since release) would
 	// exceed this at the next re-dispatch instant. 0 means no timeout.
@@ -33,6 +38,32 @@ type RetryPolicy struct {
 // would overflow core.Time to +Inf for large attempt counts, producing a
 // NaN-infested event queue instead of a late retry.
 const maxBackoff = core.Time(1 << 60)
+
+// Validate rejects retry policies the engine would execute surprisingly.
+// The headline case is a BackoffFactor in (0, 1): delay used to shrink it
+// silently per attempt — retries accelerating as a server stays down, the
+// opposite of backoff — so the engine now refuses it up front (flowsim
+// surfaces this as a usage error, exit 2). Zero values keep their
+// documented meanings (unlimited attempts, no backoff, constant factor, no
+// timeout); negative and non-finite fields are rejected.
+func (p RetryPolicy) Validate() error {
+	if p.MaxAttempts < 0 {
+		return fmt.Errorf("sim: retry policy: MaxAttempts %d must be non-negative (0 = unlimited)", p.MaxAttempts)
+	}
+	if math.IsNaN(float64(p.Backoff)) || math.IsInf(float64(p.Backoff), 0) || p.Backoff < 0 {
+		return fmt.Errorf("sim: retry policy: Backoff %v must be finite and non-negative", p.Backoff)
+	}
+	if math.IsNaN(p.BackoffFactor) || math.IsInf(p.BackoffFactor, 0) || p.BackoffFactor < 0 {
+		return fmt.Errorf("sim: retry policy: BackoffFactor %v must be finite and non-negative", p.BackoffFactor)
+	}
+	if p.BackoffFactor > 0 && p.BackoffFactor < 1 {
+		return fmt.Errorf("sim: retry policy: BackoffFactor %v in (0, 1) would shrink the delay per attempt — retries accelerating into a down server; use 1 (or 0) for constant backoff", p.BackoffFactor)
+	}
+	if math.IsNaN(float64(p.Timeout)) || math.IsInf(float64(p.Timeout), 0) || p.Timeout < 0 {
+		return fmt.Errorf("sim: retry policy: Timeout %v must be finite and non-negative", p.Timeout)
+	}
+	return nil
+}
 
 // delay returns the backoff before attempt attempts+1, given attempts
 // completed so far (≥ 1). The result is clamped to maxBackoff.
@@ -161,8 +192,8 @@ func countTrue(bs []bool) int {
 
 // faultEvent is a non-arrival event of the faulty simulation.
 type faultEvent struct {
-	kind   int // evDown | evUp | evRetry | evScale | evJoin | evHedge | evTied
-	server int // evDown/evUp: the server; evJoin: the joining machine slot
+	kind   int // evDown | evUp | evRetry | evScale | evJoin | evHedge | evTied | evBreaker
+	server int // evDown/evUp: the server; evJoin: the joining machine slot; evBreaker: the breaker's server
 	task   int // evRetry/evHedge/evTied: the task; evScale: the signed membership delta
 }
 
@@ -170,10 +201,11 @@ const (
 	evDown = iota
 	evUp
 	evRetry
-	evScale // scripted elastic scale event (task = signed delta)
-	evJoin  // a warming machine finishes setup and goes active (server = slot)
-	evHedge // the hedge trigger fires for a task (task = id)
-	evTied  // a tied pair reaches service start: revoke the loser (task = id)
+	evScale   // scripted elastic scale event (task = signed delta)
+	evJoin    // a warming machine finishes setup and goes active (server = slot)
+	evHedge   // the hedge trigger fires for a task (task = id)
+	evTied    // a tied pair reaches service start: revoke the loser (task = id)
+	evBreaker // a breaker's state may have changed: tick the cooldown, wake parked work (server = slot)
 )
 
 // compEvent is a queued completion; gen invalidates completions of aborted

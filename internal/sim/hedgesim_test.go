@@ -477,7 +477,7 @@ func FuzzHedgedDispatch(f *testing.F) {
 			horizon := inst.Tasks[n-1].Release + 10
 			plan = faults.Generate(m, horizon, 15, 4, rand.New(rand.NewSource(seed+1)))
 		}
-		pol := RetryPolicy{MaxAttempts: int(seed % 4), Backoff: float64(seed%3) * 0.2}
+		pol := RetryPolicy{MaxAttempts: int(seed & 3), Backoff: float64((seed%3+3)%3) * 0.2}
 		hcfg := &hedge.Config{Tied: tied, CancelRunning: cancel}
 		if !tied {
 			if q := float64(q8%100) / 100; q > 0 {

@@ -1,0 +1,68 @@
+package flowsched
+
+// Facade over the resilience subsystem (internal/resilience +
+// sim.RunResilient): seeded retry jitter, a cluster-wide retry budget and
+// per-server circuit breakers that together keep a healed fault from
+// turning into a metastable retry storm.
+
+import (
+	"flowsched/internal/obs"
+	"flowsched/internal/resilience"
+	"flowsched/internal/sim"
+)
+
+type (
+	// ResilienceConfig bundles the three anti-storm mechanisms of one run:
+	// Jitter decorrelates retry backoff delays (deterministically, from
+	// Seed), RetryBudget caps cluster-wide retry dispatches to a fraction
+	// of fresh arrivals (a token bucket with BudgetBurst capacity; refused
+	// retries become BudgetDropped tasks instead of parking forever), and
+	// Breaker trips a per-server circuit after a window of failures so
+	// retries stop hammering a down or gray server until a half-open probe
+	// succeeds. A nil *ResilienceConfig makes SimulateResilient
+	// byte-identical to SimulateHedged.
+	ResilienceConfig = resilience.Config
+	// BreakerConfig tunes the per-server circuit breakers: outcome Window,
+	// FailureThreshold fraction that trips, open Cooldown, HalfOpenProbes
+	// admitted concurrently, and an optional SlowFactor treating
+	// completions slower than SlowFactor× the expected service time as
+	// failures (the gray-server tripwire).
+	BreakerConfig = resilience.BreakerConfig
+	// JitterMode selects the retry backoff jitter strategy.
+	JitterMode = resilience.JitterMode
+	// BreakerSpan records one breaker open episode (open, half-open,
+	// close) in ElasticMetrics.BreakerSpans.
+	BreakerSpan = resilience.Span
+	// ResilienceObserver is the optional probe extension receiving the
+	// resilience event stream (breaker opens/probes/closes, retry budget
+	// drops).
+	ResilienceObserver = obs.ResilienceObserver
+)
+
+// Jitter modes for ResilienceConfig.Jitter: none keeps the deterministic
+// exponential backoff, full draws from [0,d), equal from [d/2,d), and
+// decorrelated from [base, 3·prev) — the AWS-style ladder that spreads a
+// synchronized retry wave the widest.
+const (
+	JitterNone         = resilience.JitterNone
+	JitterFull         = resilience.JitterFull
+	JitterEqual        = resilience.JitterEqual
+	JitterDecorrelated = resilience.JitterDecorrelated
+)
+
+// SimulateResilient is SimulateHedged with the resilience layer attached:
+// retry backoff delays are jittered by rcfg.Jitter (seeded, replayable),
+// every retry dispatch first asks the cluster-wide retry budget (a refusal
+// drops the task with the BudgetDropped disposition, keeping the
+// conservation equation RetriesIssued + RetriesDropped == RetriesRequested
+// exact), and each server's circuit breaker gates dispatch: a tripped
+// breaker removes the server from every task's candidate set until the
+// cooldown elapses and a half-open probe dispatch succeeds. Tasks whose
+// only servers sit behind open breakers park and wake on the breaker's
+// state transitions, never spinning.
+//
+// A nil rcfg reproduces SimulateHedged bit for bit; probe may additionally
+// implement ResilienceObserver to receive the resilience event stream.
+func SimulateResilient(inst *Instance, router Router, plan *FaultPlan, policy RetryPolicy, cfg *OverloadConfig, ecfg *ElasticConfig, hcfg *HedgeConfig, rcfg *ResilienceConfig, probe Probe) (*Schedule, *ElasticMetrics, error) {
+	return sim.RunResilient(inst, router, plan, policy, cfg, ecfg, hcfg, rcfg, probe)
+}
